@@ -1,0 +1,70 @@
+//! Criterion benches that regenerate the paper's artifacts: one bench per
+//! table group and figure. Each measures the full pipeline (simulate →
+//! trace → analyze → render) at a small scale, so `cargo bench` both
+//! exercises and times every experiment in the index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vani_core::analyzer::Analysis;
+use vani_core::{reconfig, tables};
+
+/// Small scale so a bench iteration stays in the tens of milliseconds.
+const S: f64 = 0.01;
+
+fn bench_workload_characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_1_to_6_characterize");
+    g.sample_size(10);
+    g.bench_function("fig1_cm1", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::cm1::run(black_box(S), 7)))
+    });
+    g.bench_function("fig2_hacc", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::hacc::run(black_box(S), 7)))
+    });
+    g.bench_function("fig3_cosmoflow", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::cosmoflow::run(black_box(S / 5.0), 7)))
+    });
+    g.bench_function("fig4_jag", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::jag::run(black_box(S), 7)))
+    });
+    g.bench_function("fig5_montage_mpi", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::montage::run(black_box(S), 7)))
+    });
+    g.bench_function("fig6_montage_pegasus", |b| {
+        b.iter(|| Analysis::from_run(&exemplar_workloads::montage_pegasus::run(black_box(S), 7)))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    // Run the workloads once; the tables bench measures attribute
+    // extraction + rendering over the fixed runs.
+    let analyses: Vec<Analysis> = vec![
+        Analysis::from_run(&exemplar_workloads::cm1::run(S, 7)),
+        Analysis::from_run(&exemplar_workloads::hacc::run(S, 7)),
+        Analysis::from_run(&exemplar_workloads::jag::run(S, 7)),
+    ];
+    let cols: Vec<&Analysis> = analyses.iter().collect();
+    let mut g = c.benchmark_group("tables_1_to_11_render");
+    g.bench_function("table1", |b| b.iter(|| tables::table1(black_box(&cols)).render()));
+    g.bench_function("table3", |b| b.iter(|| tables::table3(black_box(&cols)).render()));
+    g.bench_function("table5_phases", |b| b.iter(|| tables::table5(black_box(&cols)).render()));
+    g.bench_function("table6_highlevel", |b| b.iter(|| tables::table6(black_box(&cols)).render()));
+    g.bench_function("table10_dataset", |b| b.iter(|| tables::table10(black_box(&cols)).render()));
+    g.bench_function("table11_file", |b| b.iter(|| tables::table11(black_box(&cols)).render()));
+    g.finish();
+}
+
+fn bench_use_cases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_7_8_use_cases");
+    g.sample_size(10);
+    g.bench_function("fig7_point_8nodes", |b| {
+        b.iter(|| reconfig::figure7(black_box(0.01), &[8], 7))
+    });
+    g.bench_function("fig8_point_8nodes", |b| {
+        b.iter(|| reconfig::figure8(black_box(0.05), &[8], 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload_characterization, bench_tables, bench_use_cases);
+criterion_main!(benches);

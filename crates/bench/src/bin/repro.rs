@@ -1,0 +1,92 @@
+//! Reproduction harness: regenerates every table (I–XI) and figure (1–8)
+//! of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- table1 table3 fig7
+//! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
+//! ```
+//!
+//! `VANI_SCALE` (default 0.05) sets the workload scale: 1.0 is the paper's
+//! full configuration (1.5 TiB CosmoFlow corpus, 1280 ranks), which takes
+//! considerably longer. Shapes are scale-stable by construction.
+
+use bench::{ior_peak, run_all_six, scale_from_env};
+use vani_core::analyzer::Analysis;
+use vani_core::{figures, reconfig, tables, yaml};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+            "table9", "table10", "table11", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "yaml",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let scale = scale_from_env();
+    let needs_six = wanted.iter().any(|w| w.starts_with("table") || matches!(*w, "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "yaml"));
+    let analyses: Vec<Analysis> = if needs_six {
+        eprintln!("running the six exemplar workloads at scale {scale} ...");
+        run_all_six(scale, 7)
+    } else {
+        Vec::new()
+    };
+    let cols: Vec<&Analysis> = analyses.iter().collect();
+
+    for w in wanted {
+        match w {
+            "table1" => print!("{}", tables::table1(&cols).render()),
+            "table2" => print!("{}", tables::table2(&cols).render()),
+            "table3" => print!("{}", tables::table3(&cols).render()),
+            "table4" => print!("{}", tables::table4(&cols).render()),
+            "table5" => print!("{}", tables::table5(&cols).render()),
+            "table6" => print!("{}", tables::table6(&cols).render()),
+            "table7" => print!("{}", tables::table7(&cols).render()),
+            "table8" => print!("{}", tables::table8(&cols).render()),
+            "table9" => {
+                eprintln!("measuring IOR peak bandwidth ...");
+                print!("{}", tables::table9(&cols, ior_peak()).render());
+            }
+            "table10" => print!("{}", tables::table10(&cols).render()),
+            "table11" => print!("{}", tables::table11(&cols).render()),
+            f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6") => {
+                let idx = f[3..].parse::<usize>().expect("figure index") - 1;
+                println!("== Figure {}: I/O behavior of {}", idx + 1, cols[idx].kind.name());
+                print!("{}", figures::figure(cols[idx]));
+            }
+            "fig7" => {
+                eprintln!("running Figure 7 sweep (CosmoFlow preload-to-shm) ...");
+                let pts = reconfig::figure7((scale * 2.0).clamp(0.05, 1.0), &[32, 64, 128, 256], 7);
+                print!(
+                    "{}",
+                    reconfig::render_sweep(
+                        "Figure 7: CosmoFlow baseline (GPFS) vs optimized (preload to shm)",
+                        &pts
+                    )
+                );
+            }
+            "fig8" => {
+                eprintln!("running Figure 8 sweep (Montage intermediates-to-shm) ...");
+                let pts = reconfig::figure8(scale.max(0.02) * 4.0, &[32, 64, 128, 256], 7);
+                print!(
+                    "{}",
+                    reconfig::render_sweep(
+                        "Figure 8: Montage-MPI baseline (GPFS) vs optimized (/dev/shm intermediates)",
+                        &pts
+                    )
+                );
+            }
+            "yaml" => {
+                for a in &cols {
+                    println!("# --- {}", a.kind.name());
+                    print!("{}", yaml::emit(&tables::entities_for(a)));
+                }
+            }
+            other => eprintln!("unknown artifact: {other}"),
+        }
+        println!();
+    }
+}

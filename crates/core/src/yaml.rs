@@ -1,0 +1,113 @@
+//! YAML emission of characterized entities — the machine-readable artifact
+//! the paper's Analyzer produces ("generate a YAML file of entities and
+//! attributes with workload-specific values", §IV-C) for the storage system
+//! to consume.
+//!
+//! Hand-rolled emitter: the schema is flat (entities → attributes → scalar
+//! values), so a dependency-free writer keeps the suite lean.
+
+use crate::entities::Entity;
+
+/// Escape a YAML scalar if needed.
+fn scalar(s: &str) -> String {
+    let needs_quote = s.is_empty()
+        || s.contains(':')
+        || s.contains('#')
+        || s.contains('\'')
+        || s.contains('"')
+        || s.starts_with(|c: char| c.is_whitespace() || c == '-' || c == '%')
+        || s.ends_with(char::is_whitespace);
+    if needs_quote {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Emit a set of entities grouped by the paper's three top-level groups.
+pub fn emit(entities: &[Entity]) -> String {
+    let mut out = String::from("# Vani workload characterization\n");
+    for group in ["job", "software", "data"] {
+        let members: Vec<&Entity> = entities.iter().filter(|e| e.etype.group() == group).collect();
+        if members.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{group}:\n"));
+        for e in members {
+            out.push_str(&format!("  - type: {}\n", e.etype.label()));
+            out.push_str(&format!("    name: {}\n", scalar(&e.name)));
+            out.push_str("    attributes:\n");
+            for (k, v) in &e.attrs {
+                out.push_str(&format!("      {}: {}\n", scalar(k), scalar(&v.render())));
+            }
+        }
+    }
+    out
+}
+
+/// Minimal parser for round-trip validation: returns (type, name, #attrs)
+/// triples. Not a general YAML parser — just enough to verify our emission.
+pub fn parse_summary(yaml: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    let mut cur: Option<(String, String, usize)> = None;
+    for line in yaml.lines() {
+        let t = line.trim();
+        if let Some(ty) = t.strip_prefix("- type: ") {
+            if let Some(c) = cur.take() {
+                out.push(c);
+            }
+            cur = Some((ty.to_string(), String::new(), 0));
+        } else if let Some(name) = t.strip_prefix("name: ") {
+            if let Some(c) = cur.as_mut() {
+                c.1 = name.trim_matches('"').to_string();
+            }
+        } else if t.contains(": ")
+            && !t.starts_with("attributes")
+            && !t.ends_with(':')
+            && cur.is_some()
+            && line.starts_with("      ")
+        {
+            cur.as_mut().expect("checked").2 += 1;
+        }
+    }
+    if let Some(c) = cur.take() {
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{AttrValue, EntityType};
+
+    #[test]
+    fn emission_round_trips_through_summary_parse() {
+        let ents = vec![
+            Entity::new(EntityType::JobConfiguration, "CM1")
+                .with("#nodes", AttrValue::Count(32))
+                .with("pfs_dir", AttrValue::Str("/p/gpfs1".into())),
+            Entity::new(EntityType::Dataset, "CM1")
+                .with("size", AttrValue::Bytes(20 << 30)),
+        ];
+        let yaml = emit(&ents);
+        assert!(yaml.contains("job:"));
+        assert!(yaml.contains("data:"));
+        let parsed = parse_summary(&yaml);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "job_configuration");
+        assert_eq!(parsed[0].1, "CM1");
+        assert_eq!(parsed[0].2, 2);
+        assert_eq!(parsed[1].0, "dataset");
+        assert_eq!(parsed[1].2, 1);
+    }
+
+    #[test]
+    fn scalars_with_special_chars_are_quoted() {
+        assert_eq!(scalar("/p/gpfs1"), "/p/gpfs1");
+        assert_eq!(scalar("a: b"), "\"a: b\"");
+        assert_eq!(scalar("98.0%, 2.0%"), "98.0%, 2.0%");
+        assert_eq!(scalar("%starts"), "\"%starts\"");
+        assert_eq!(scalar(""), "\"\"");
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared machinery for running workload skeletons through the engine.
+
+use hpc_cluster::engine::{Engine, EngineReport, RankScript};
+use hpc_cluster::mpi::MpiCostModel;
+use hpc_cluster::topology::ClusterSpec;
+use io_layers::world::IoWorld;
+use recorder_sim::ColumnarTrace;
+use serde::{Deserialize, Serialize};
+use sim_core::{Dur, SimTime};
+
+/// The six exemplar workloads (plus the IOR calibrator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// CM1 atmospheric simulation.
+    Cm1,
+    /// HACC-IO checkpoint/restart kernel (file per process).
+    Hacc,
+    /// CosmoFlow deep-learning input pipeline.
+    Cosmoflow,
+    /// JAG ICF surrogate model.
+    Jag,
+    /// Montage mosaic workflow, MPI flavor.
+    MontageMpi,
+    /// Montage mosaic workflow, Pegasus flavor.
+    MontagePegasus,
+    /// IOR-like synthetic calibrator.
+    Ior,
+}
+
+impl WorkloadKind {
+    /// Display name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Cm1 => "CM1",
+            WorkloadKind::Hacc => "HACC (FPP)",
+            WorkloadKind::Cosmoflow => "Cosmoflow",
+            WorkloadKind::Jag => "JAG",
+            WorkloadKind::MontageMpi => "Montage MPI",
+            WorkloadKind::MontagePegasus => "Montage Pegasus",
+            WorkloadKind::Ior => "IOR",
+        }
+    }
+
+    /// All six paper workloads, in the tables' column order.
+    pub fn paper_six() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::Cm1,
+            WorkloadKind::Hacc,
+            WorkloadKind::Cosmoflow,
+            WorkloadKind::Jag,
+            WorkloadKind::MontageMpi,
+            WorkloadKind::MontagePegasus,
+        ]
+    }
+}
+
+/// A completed workload execution: the run report plus the world holding
+/// the captured trace and storage counters.
+pub struct WorkloadRun {
+    /// Which workload ran.
+    pub kind: WorkloadKind,
+    /// Scale factor it ran at (1.0 = paper scale).
+    pub scale: f64,
+    /// Engine report (makespan = job runtime).
+    pub report: EngineReport,
+    /// The world: trace, storage, allocation.
+    pub world: IoWorld,
+}
+
+impl WorkloadRun {
+    /// The job runtime.
+    pub fn runtime(&self) -> Dur {
+        self.report.makespan.since(SimTime::ZERO)
+    }
+
+    /// Columnar view of the captured trace.
+    pub fn columnar(&self) -> ColumnarTrace {
+        ColumnarTrace::from_tracer(&self.world.tracer)
+    }
+}
+
+/// Drive a prepared world + scripts to completion.
+pub fn execute(
+    kind: WorkloadKind,
+    scale: f64,
+    world: IoWorld,
+    scripts: Vec<Box<dyn RankScript<IoWorld>>>,
+    comms: Vec<hpc_cluster::mpi::Communicator>,
+) -> WorkloadRun {
+    let cost = MpiCostModel::from_node(&ClusterSpec::lassen().node);
+    let mut engine = Engine::new(world, scripts, cost);
+    for c in comms {
+        engine.add_comm(c);
+    }
+    // A generous cap that still catches runaway scripts.
+    engine.set_max_steps(200_000_000);
+    let report = engine.run();
+    WorkloadRun {
+        kind,
+        scale,
+        report,
+        world: engine.into_world(),
+    }
+}
+
+/// Scale a count, keeping at least `min`.
+pub fn scaled(n: u64, scale: f64, min: u64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(min)
+}
+
+/// Scale a node count within the cluster's limits.
+pub fn scaled_nodes(n: u32, scale: f64) -> u32 {
+    ((n as f64 * scale.min(1.0)).round() as u32).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_clamps_to_minimum() {
+        assert_eq!(scaled(1000, 0.5, 1), 500);
+        assert_eq!(scaled(3, 0.001, 1), 1);
+        assert_eq!(scaled(3, 0.001, 2), 2);
+    }
+
+    #[test]
+    fn scaled_nodes_never_exceeds_full() {
+        assert_eq!(scaled_nodes(32, 1.0), 32);
+        assert_eq!(scaled_nodes(32, 2.0), 32);
+        assert_eq!(scaled_nodes(32, 0.05), 2);
+        assert_eq!(scaled_nodes(32, 0.0001), 1);
+    }
+
+    #[test]
+    fn workload_names_match_paper_headers() {
+        let names: Vec<&str> = WorkloadKind::paper_six().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["CM1", "HACC (FPP)", "Cosmoflow", "JAG", "Montage MPI", "Montage Pegasus"]
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! The discrete-event engine.
+//!
+//! Each rank runs a *script* — a state machine that, when asked, performs its
+//! next step against the shared world (compute, an I/O call into the storage
+//! stack, a collective, or a wait) and reports when it will be ready again.
+//! The engine advances ranks in global time order, so resource queues inside
+//! the world observe arrivals in causal order, and handles synchronization:
+//! collectives over communicators and one-shot *gates* used for cross-rank
+//! signalling (task queues, stage completion).
+//!
+//! The engine is generic over the world type `W`; this crate knows nothing
+//! about storage. `io-layers` provides the world used by real workloads.
+
+use crate::mpi::{CollectiveKind, CommId, Communicator, MpiCostModel};
+use crate::topology::RankId;
+use sim_core::{EventQueue, SimTime};
+use std::collections::HashMap;
+
+/// Identifies a one-shot signalling gate. Scripts allocate their own ids;
+/// the engine only requires that waiters and openers agree on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u64);
+
+/// What a rank does next, as reported by its script.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The step occupied the rank until the given instant (compute or I/O
+    /// whose completion time the world already determined). Must be `>= now`.
+    BusyUntil(SimTime),
+    /// The rank entered a collective on `comm`; it resumes when every member
+    /// has arrived plus the modeled collective cost.
+    Collective {
+        /// Communicator to synchronize on.
+        comm: CommId,
+        /// Which collective.
+        kind: CollectiveKind,
+        /// Per-member payload bytes.
+        bytes: u64,
+    },
+    /// Park until the gate opens (immediately resumes if already open).
+    WaitGate(GateId),
+    /// The rank's program is complete.
+    Done,
+}
+
+/// The full effect of one step: the rank's own outcome plus any gates it
+/// opened for others. Gates open before the outcome is applied, so a rank
+/// may open the very gate it then waits on.
+#[derive(Debug)]
+pub struct StepEffect {
+    /// What happens to the stepping rank.
+    pub outcome: Outcome,
+    /// Gates opened by this step.
+    pub open_gates: Vec<GateId>,
+}
+
+impl StepEffect {
+    /// A step that keeps the rank busy until `t`.
+    pub fn busy_until(t: SimTime) -> Self {
+        StepEffect {
+            outcome: Outcome::BusyUntil(t),
+            open_gates: Vec::new(),
+        }
+    }
+
+    /// A step that ends the rank's program.
+    pub fn done() -> Self {
+        StepEffect {
+            outcome: Outcome::Done,
+            open_gates: Vec::new(),
+        }
+    }
+
+    /// Attach gate openings to this effect.
+    pub fn opening(mut self, gates: impl IntoIterator<Item = GateId>) -> Self {
+        self.open_gates.extend(gates);
+        self
+    }
+}
+
+/// A per-rank program advanced by the engine.
+pub trait RankScript<W> {
+    /// Perform the rank's next step at time `now` against the world.
+    fn next_step(&mut self, world: &mut W, rank: RankId, now: SimTime) -> StepEffect;
+}
+
+/// Adapter turning a closure into a [`RankScript`].
+pub struct FnScript<F>(pub F);
+
+impl<W, F> RankScript<W> for FnScript<F>
+where
+    F: FnMut(&mut W, RankId, SimTime) -> StepEffect,
+{
+    fn next_step(&mut self, world: &mut W, rank: RankId, now: SimTime) -> StepEffect {
+        (self.0)(world, rank, now)
+    }
+}
+
+#[derive(Debug)]
+enum RankState {
+    Runnable,
+    /// Parked in a collective; the payload identifies it for diagnostics.
+    #[allow(dead_code)]
+    InCollective(CommId),
+    /// Parked on a gate; the payload identifies it for diagnostics.
+    #[allow(dead_code)]
+    WaitingGate(GateId),
+    Finished(SimTime),
+}
+
+#[derive(Debug)]
+struct CollectiveState {
+    kind: CollectiveKind,
+    bytes: u64,
+    arrived: Vec<RankId>,
+    last_arrival: SimTime,
+}
+
+#[derive(Debug)]
+enum GateState {
+    Open(SimTime),
+    Closed(Vec<RankId>),
+}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// When the last rank finished — the job runtime.
+    pub makespan: SimTime,
+    /// Per-rank completion times, indexed by rank.
+    pub finish_times: Vec<SimTime>,
+    /// Total script steps executed.
+    pub steps: u64,
+}
+
+/// The discrete-event engine driving all rank scripts over a shared world.
+pub struct Engine<W> {
+    world: W,
+    scripts: Vec<Box<dyn RankScript<W>>>,
+    states: Vec<RankState>,
+    comms: HashMap<CommId, Communicator>,
+    collectives: HashMap<CommId, CollectiveState>,
+    gates: HashMap<GateId, GateState>,
+    queue: EventQueue<RankId>,
+    cost: MpiCostModel,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl<W> Engine<W> {
+    /// Build an engine over `world` with one script per rank. A WORLD
+    /// communicator spanning all ranks is created automatically.
+    pub fn new(world: W, scripts: Vec<Box<dyn RankScript<W>>>, cost: MpiCostModel) -> Self {
+        let n = scripts.len() as u32;
+        let world_comm = Communicator::new(CommId::WORLD, (0..n).map(RankId).collect());
+        let mut comms = HashMap::new();
+        comms.insert(CommId::WORLD, world_comm);
+        let states = (0..n).map(|_| RankState::Runnable).collect();
+        let mut queue = EventQueue::new();
+        for r in 0..n {
+            queue.push(SimTime::ZERO, RankId(r));
+        }
+        Engine {
+            world,
+            scripts,
+            states,
+            comms,
+            collectives: HashMap::new(),
+            gates: HashMap::new(),
+            queue,
+            cost,
+            steps: 0,
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Register an additional communicator (sub-groups such as per-node
+    /// comms or CosmoFlow's GPU comm).
+    pub fn add_comm(&mut self, comm: Communicator) {
+        assert!(
+            comm.id != CommId::WORLD,
+            "communicator 0 is reserved for WORLD"
+        );
+        self.comms.insert(comm.id, comm);
+    }
+
+    /// Cap the number of script steps; exceeding it panics. Useful for
+    /// catching livelocked scripts in tests.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    /// Immutable access to the world (for post-run inspection).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for pre-run setup).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Run until every rank is done. Returns the run report.
+    ///
+    /// # Panics
+    /// Panics on deadlock: the event queue drains while some rank is still
+    /// waiting on a gate or collective that can no longer complete.
+    pub fn run(&mut self) -> EngineReport {
+        while let Some(ev) = self.queue.pop() {
+            let rank = ev.payload;
+            let now = ev.time;
+            debug_assert!(
+                matches!(self.states[rank.0 as usize], RankState::Runnable),
+                "{rank} scheduled while not runnable"
+            );
+            self.steps += 1;
+            assert!(
+                self.steps <= self.max_steps,
+                "engine exceeded max_steps = {}",
+                self.max_steps
+            );
+            let effect = self.scripts[rank.0 as usize].next_step(&mut self.world, rank, now);
+            for g in effect.open_gates {
+                self.open_gate(g, now);
+            }
+            match effect.outcome {
+                Outcome::BusyUntil(t) => {
+                    assert!(t >= now, "{rank} reported completion in the past");
+                    self.queue.push(t, rank);
+                }
+                Outcome::Collective { comm, kind, bytes } => {
+                    self.arrive_collective(rank, comm, kind, bytes, now);
+                }
+                Outcome::WaitGate(g) => match self.gates.entry(g).or_insert_with(|| GateState::Closed(Vec::new())) {
+                    GateState::Open(t_open) => {
+                        let resume = now.max(*t_open);
+                        self.queue.push(resume, rank);
+                    }
+                    GateState::Closed(waiters) => {
+                        waiters.push(rank);
+                        self.states[rank.0 as usize] = RankState::WaitingGate(g);
+                    }
+                },
+                Outcome::Done => {
+                    self.states[rank.0 as usize] = RankState::Finished(now);
+                }
+            }
+        }
+        let unfinished: Vec<RankId> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, RankState::Finished(_)))
+            .map(|(i, _)| RankId(i as u32))
+            .collect();
+        assert!(
+            unfinished.is_empty(),
+            "deadlock: queue drained with ranks still blocked: {unfinished:?}"
+        );
+        let finish_times: Vec<SimTime> = self
+            .states
+            .iter()
+            .map(|s| match s {
+                RankState::Finished(t) => *t,
+                _ => unreachable!(),
+            })
+            .collect();
+        let makespan = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+        EngineReport {
+            makespan,
+            finish_times,
+            steps: self.steps,
+        }
+    }
+
+    fn open_gate(&mut self, g: GateId, now: SimTime) {
+        match self.gates.insert(g, GateState::Open(now)) {
+            Some(GateState::Closed(waiters)) => {
+                for r in waiters {
+                    self.states[r.0 as usize] = RankState::Runnable;
+                    self.queue.push(now, r);
+                }
+            }
+            Some(GateState::Open(earlier)) => {
+                // Re-opening is idempotent; keep the earliest open time.
+                self.gates.insert(g, GateState::Open(earlier.min(now)));
+            }
+            None => {}
+        }
+    }
+
+    fn arrive_collective(
+        &mut self,
+        rank: RankId,
+        comm_id: CommId,
+        kind: CollectiveKind,
+        bytes: u64,
+        now: SimTime,
+    ) {
+        let comm = self
+            .comms
+            .get(&comm_id)
+            .unwrap_or_else(|| panic!("unknown communicator {comm_id:?}"))
+            .clone();
+        assert!(
+            comm.contains(rank),
+            "{rank} called a collective on {comm_id:?} it does not belong to"
+        );
+        let entry = self
+            .collectives
+            .entry(comm_id)
+            .or_insert_with(|| CollectiveState {
+                kind,
+                bytes,
+                arrived: Vec::new(),
+                last_arrival: SimTime::ZERO,
+            });
+        assert!(
+            entry.kind == kind,
+            "collective mismatch on {comm_id:?}: {:?} vs {kind:?}",
+            entry.kind
+        );
+        entry.bytes = entry.bytes.max(bytes);
+        entry.arrived.push(rank);
+        entry.last_arrival = entry.last_arrival.max(now);
+        self.states[rank.0 as usize] = RankState::InCollective(comm_id);
+        if entry.arrived.len() == comm.size() {
+            let state = self.collectives.remove(&comm_id).expect("just inserted");
+            let release = state.last_arrival + self.cost.cost(kind, comm.size(), state.bytes);
+            for r in state.arrived {
+                self.states[r.0 as usize] = RankState::Runnable;
+                self.queue.push(release, r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Dur;
+
+    /// A world counting how much "work" each rank did.
+    #[derive(Default)]
+    struct CounterWorld {
+        work: Vec<u64>,
+    }
+
+    fn model() -> MpiCostModel {
+        MpiCostModel {
+            latency: Dur::from_micros(10),
+            bandwidth: 1 << 30,
+        }
+    }
+
+    /// Script: do `n` compute steps of 1 s each, then finish.
+    struct ComputeScript {
+        remaining: u32,
+    }
+
+    impl RankScript<CounterWorld> for ComputeScript {
+        fn next_step(&mut self, world: &mut CounterWorld, rank: RankId, now: SimTime) -> StepEffect {
+            if self.remaining == 0 {
+                return StepEffect::done();
+            }
+            self.remaining -= 1;
+            world.work[rank.0 as usize] += 1;
+            StepEffect::busy_until(now + Dur::from_secs(1))
+        }
+    }
+
+    #[test]
+    fn independent_ranks_run_in_parallel_virtual_time() {
+        let world = CounterWorld { work: vec![0; 4] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = (0..4)
+            .map(|_| Box::new(ComputeScript { remaining: 3 }) as Box<_>)
+            .collect();
+        let mut e = Engine::new(world, scripts, model());
+        let report = e.run();
+        // Each rank computes 3 s independently: makespan 3 s, not 12 s.
+        assert_eq!(report.makespan, SimTime::from_secs(3));
+        assert_eq!(e.world().work, vec![3, 3, 3, 3]);
+        assert_eq!(report.steps, 4 * 4); // 3 computes + 1 done per rank
+    }
+
+    /// Script: compute `my_time`, barrier, then finish.
+    struct BarrierScript {
+        compute: Dur,
+        phase: u8,
+    }
+
+    impl RankScript<CounterWorld> for BarrierScript {
+        fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, now: SimTime) -> StepEffect {
+            self.phase += 1;
+            match self.phase {
+                1 => StepEffect::busy_until(now + self.compute),
+                2 => StepEffect {
+                    outcome: Outcome::Collective {
+                        comm: CommId::WORLD,
+                        kind: CollectiveKind::Barrier,
+                        bytes: 0,
+                    },
+                    open_gates: vec![],
+                },
+                _ => StepEffect::done(),
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest_rank() {
+        let world = CounterWorld { work: vec![0; 3] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = [1u64, 5, 2]
+            .iter()
+            .map(|&s| {
+                Box::new(BarrierScript {
+                    compute: Dur::from_secs(s),
+                    phase: 0,
+                }) as Box<_>
+            })
+            .collect();
+        let mut e = Engine::new(world, scripts, model());
+        let report = e.run();
+        // All finish at 5 s + barrier cost (2 rounds × 10 µs).
+        let expect = SimTime::from_secs(5) + Dur::from_micros(20);
+        assert!(report.finish_times.iter().all(|&t| t == expect));
+    }
+
+    /// Rank 0 computes 3 s then opens a gate; rank 1 waits on the gate.
+    struct ProducerScript {
+        phase: u8,
+    }
+    struct ConsumerScript {
+        phase: u8,
+    }
+
+    impl RankScript<CounterWorld> for ProducerScript {
+        fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, now: SimTime) -> StepEffect {
+            self.phase += 1;
+            match self.phase {
+                1 => StepEffect::busy_until(now + Dur::from_secs(3)),
+                _ => StepEffect::done().opening([GateId(7)]),
+            }
+        }
+    }
+
+    impl RankScript<CounterWorld> for ConsumerScript {
+        fn next_step(&mut self, w: &mut CounterWorld, _r: RankId, now: SimTime) -> StepEffect {
+            self.phase += 1;
+            match self.phase {
+                1 => StepEffect {
+                    outcome: Outcome::WaitGate(GateId(7)),
+                    open_gates: vec![],
+                },
+                2 => {
+                    w.work[1] = now.as_nanos();
+                    StepEffect::busy_until(now + Dur::from_secs(1))
+                }
+                _ => StepEffect::done(),
+            }
+        }
+    }
+
+    #[test]
+    fn gates_signal_across_ranks() {
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = vec![
+            Box::new(ProducerScript { phase: 0 }),
+            Box::new(ConsumerScript { phase: 0 }),
+        ];
+        let mut e = Engine::new(world, scripts, model());
+        let report = e.run();
+        // Consumer resumed exactly when producer opened the gate (t = 3 s).
+        assert_eq!(e.world().work[1], SimTime::from_secs(3).as_nanos());
+        assert_eq!(report.makespan, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn waiting_on_an_already_open_gate_resumes_immediately() {
+        // Rank 0 opens the gate at t=0 and finishes; rank 1 waits at t=0 and
+        // should proceed at t=0.
+        struct Opener;
+        impl RankScript<CounterWorld> for Opener {
+            fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, _n: SimTime) -> StepEffect {
+                StepEffect::done().opening([GateId(1)])
+            }
+        }
+        struct Waiter {
+            phase: u8,
+        }
+        impl RankScript<CounterWorld> for Waiter {
+            fn next_step(&mut self, w: &mut CounterWorld, _r: RankId, now: SimTime) -> StepEffect {
+                self.phase += 1;
+                match self.phase {
+                    1 => StepEffect::busy_until(now + Dur::from_secs(1)), // let rank 0 go first
+                    2 => StepEffect {
+                        outcome: Outcome::WaitGate(GateId(1)),
+                        open_gates: vec![],
+                    },
+                    _ => {
+                        w.work[1] = now.as_nanos();
+                        StepEffect::done()
+                    }
+                }
+            }
+        }
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> =
+            vec![Box::new(Opener), Box::new(Waiter { phase: 0 })];
+        let mut e = Engine::new(world, scripts, model());
+        e.run();
+        assert_eq!(e.world().work[1], SimTime::from_secs(1).as_nanos());
+    }
+
+    #[test]
+    fn subcommunicator_collectives_only_sync_members() {
+        // Ranks 0,1 barrier on comm 1; rank 2 runs free.
+        struct SubBarrier {
+            phase: u8,
+            in_comm: bool,
+        }
+        impl RankScript<CounterWorld> for SubBarrier {
+            fn next_step(&mut self, w: &mut CounterWorld, r: RankId, now: SimTime) -> StepEffect {
+                self.phase += 1;
+                match (self.phase, self.in_comm) {
+                    (1, true) => StepEffect {
+                        outcome: Outcome::Collective {
+                            comm: CommId(1),
+                            kind: CollectiveKind::Barrier,
+                            bytes: 0,
+                        },
+                        open_gates: vec![],
+                    },
+                    (1, false) => StepEffect::busy_until(now + Dur::from_secs(10)),
+                    _ => {
+                        w.work[r.0 as usize] = now.as_nanos();
+                        StepEffect::done()
+                    }
+                }
+            }
+        }
+        let world = CounterWorld { work: vec![0; 3] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = vec![
+            Box::new(SubBarrier { phase: 0, in_comm: true }),
+            Box::new(SubBarrier { phase: 0, in_comm: true }),
+            Box::new(SubBarrier { phase: 0, in_comm: false }),
+        ];
+        let mut e = Engine::new(world, scripts, model());
+        e.add_comm(Communicator::new(CommId(1), vec![RankId(0), RankId(1)]));
+        let r = e.run();
+        // Ranks 0 and 1 finished long before rank 2's 10 s compute.
+        assert!(e.world().work[0] < SimTime::from_secs(1).as_nanos());
+        assert!(e.world().work[1] < SimTime::from_secs(1).as_nanos());
+        assert_eq!(r.makespan, SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unopened_gate_is_a_deadlock() {
+        struct Stuck;
+        impl RankScript<CounterWorld> for Stuck {
+            fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, _n: SimTime) -> StepEffect {
+                StepEffect {
+                    outcome: Outcome::WaitGate(GateId(99)),
+                    open_gates: vec![],
+                }
+            }
+        }
+        let world = CounterWorld { work: vec![0; 1] };
+        let mut e = Engine::new(world, vec![Box::new(Stuck) as Box<_>], model());
+        e.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_steps")]
+    fn livelock_is_caught_by_step_cap() {
+        struct Spinner;
+        impl RankScript<CounterWorld> for Spinner {
+            fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, now: SimTime) -> StepEffect {
+                StepEffect::busy_until(now + Dur::from_nanos(1))
+            }
+        }
+        let world = CounterWorld { work: vec![0; 1] };
+        let mut e = Engine::new(world, vec![Box::new(Spinner) as Box<_>], model());
+        e.set_max_steps(1000);
+        e.run();
+    }
+
+    #[test]
+    fn fn_script_adapter_works() {
+        let world = CounterWorld { work: vec![0; 1] };
+        let mut fired = 0u32;
+        let script = FnScript(move |_w: &mut CounterWorld, _r: RankId, now: SimTime| {
+            fired += 1;
+            if fired == 1 {
+                StepEffect::busy_until(now + Dur::from_secs(2))
+            } else {
+                StepEffect::done()
+            }
+        });
+        let mut e = Engine::new(world, vec![Box::new(script) as Box<_>], model());
+        let r = e.run();
+        assert_eq!(r.makespan, SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,27 @@
+//! # hpc-cluster
+//!
+//! A deterministic model of an HPC cluster and its parallel runtime:
+//!
+//! * [`topology`] — node and cluster specifications (cores, GPUs, memory,
+//!   NIC bandwidth/latency, node-local storage tiers) with a preset modeled
+//!   on LLNL's Lassen machine, the paper's testbed,
+//! * [`job`] — job allocations: which nodes a job holds, how ranks map onto
+//!   nodes and cores, and the storage directories visible to the job,
+//! * [`mpi`] — communicators and an analytic cost model for collectives
+//!   (barrier, bcast, gather, allreduce) over the cluster fabric,
+//! * [`engine`] — the discrete-event engine that advances per-rank scripts
+//!   through compute, I/O, and synchronization steps in global time order.
+//!
+//! The engine is generic over the "world" the scripts mutate, so this crate
+//! knows nothing about file systems; the `io-layers` crate supplies a world
+//! containing the storage stack.
+
+pub mod engine;
+pub mod job;
+pub mod mpi;
+pub mod topology;
+
+pub use engine::{Engine, EngineReport, GateId, Outcome, RankScript, StepEffect};
+pub use job::{JobAlloc, JobSpec};
+pub use mpi::{CollectiveKind, CommId, Communicator, MpiCostModel};
+pub use topology::{ClusterSpec, NodeId, NodeSpec, RankId};

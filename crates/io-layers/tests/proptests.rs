@@ -1,0 +1,126 @@
+//! Property tests across the interface layers: the buffered stdio layer
+//! must be observationally equivalent to a plain byte-vector file model,
+//! and format layers must round-trip arbitrary metadata.
+
+use hpc_cluster::topology::RankId;
+use io_layers::posix::Whence;
+use io_layers::world::IoWorld;
+use io_layers::{fits, npy, stdio};
+use proptest::prelude::*;
+use sim_core::{Dur, SimTime};
+
+/// A scripted stdio operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    Read(u16),
+    Seek(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..600).prop_map(Op::Write),
+        (1u16..600).prop_map(Op::Read),
+        (0u16..2048).prop_map(Op::Seek),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleavings of buffered writes, reads, and seeks produce
+    /// exactly the bytes a Vec<u8> file model predicts — buffering must be
+    /// invisible to the application.
+    #[test]
+    fn stdio_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut w = IoWorld::lassen(1, 1, Dur::from_secs(3600), 1);
+        let r = RankId(0);
+        // Small buffer to force plenty of flush/fill boundary cases.
+        let (h, mut t) = stdio::fopen_buffered(&mut w, r, "/p/gpfs1/prop.bin", "w+", 128, SimTime::ZERO);
+        let h = h.unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        let mut pos: usize = 0;
+        for op in &ops {
+            match op {
+                Op::Write(data) => {
+                    let (n, t2) = stdio::fwrite(&mut w, r, h, data, t);
+                    prop_assert_eq!(n.unwrap(), data.len() as u64);
+                    t = t2;
+                    if model.len() < pos + data.len() {
+                        model.resize(pos + data.len(), 0);
+                    }
+                    model[pos..pos + data.len()].copy_from_slice(data);
+                    pos += data.len();
+                }
+                Op::Read(len) => {
+                    let (data, t2) = stdio::fread_data(&mut w, r, h, *len as u64, t);
+                    let data = data.unwrap();
+                    t = t2;
+                    let avail = model.len().saturating_sub(pos).min(*len as usize);
+                    prop_assert_eq!(data.len(), avail);
+                    let expect = model.get(pos..pos + avail).unwrap_or(&[]);
+                    prop_assert_eq!(&data[..], expect);
+                    pos += avail;
+                }
+                Op::Seek(to) => {
+                    let (p, t2) = stdio::fseek(&mut w, r, h, *to as i64, Whence::Set, t);
+                    prop_assert_eq!(p.unwrap(), *to as u64);
+                    t = t2;
+                    pos = *to as usize;
+                }
+            }
+        }
+        // Close and re-read the whole file: must equal the model.
+        let (_, t) = stdio::fclose(&mut w, r, h, t);
+        let (h2, t) = stdio::fopen(&mut w, r, "/p/gpfs1/prop.bin", "r", t);
+        let h2 = h2.unwrap();
+        let (full, _) = stdio::fread_data(&mut w, r, h2, model.len() as u64 + 64, t);
+        prop_assert_eq!(full.unwrap(), model);
+    }
+
+    /// npy headers round-trip for arbitrary shapes and dtypes.
+    #[test]
+    fn npy_header_round_trips(
+        dims in proptest::collection::vec(1u64..10_000, 1..4),
+        dtype in prop_oneof![Just("<f4"), Just("<f8"), Just("<i2"), Just("<u1")],
+    ) {
+        let h = npy::NpyHeader { descr: dtype.to_string(), shape: dims.clone() };
+        let enc = h.encode();
+        let (parsed, off) = npy::NpyHeader::parse(&enc).unwrap();
+        prop_assert_eq!(&parsed, &h);
+        prop_assert_eq!(off as usize, enc.len());
+        prop_assert_eq!(parsed.shape, dims);
+    }
+
+    /// FITS headers round-trip for arbitrary axes and bitpix values.
+    #[test]
+    fn fits_header_round_trips(
+        axes in proptest::collection::vec(1u64..5_000, 1..4),
+        bitpix in prop_oneof![Just(8i32), Just(16), Just(32), Just(-32), Just(-64)],
+    ) {
+        let h = fits::FitsHeader { bitpix, naxes: axes };
+        let enc = h.encode();
+        prop_assert_eq!(enc.len() as u64 % fits::BLOCK, 0);
+        let (parsed, hlen) = fits::FitsHeader::parse(&enc).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert!(hlen as usize <= enc.len());
+    }
+
+    /// Timed layer calls never travel backwards in time, whatever the op mix.
+    #[test]
+    fn time_is_monotonic_through_the_stack(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut w = IoWorld::lassen(1, 1, Dur::from_secs(3600), 1);
+        let r = RankId(0);
+        let (h, mut t) = stdio::fopen(&mut w, r, "/p/gpfs1/mono.bin", "w+", SimTime::ZERO);
+        let h = h.unwrap();
+        for op in &ops {
+            let t2 = match op {
+                Op::Write(data) => stdio::fwrite(&mut w, r, h, data, t).1,
+                Op::Read(len) => stdio::fread(&mut w, r, h, *len as u64, t).1,
+                Op::Seek(to) => stdio::fseek(&mut w, r, h, *to as i64, Whence::Set, t).1,
+            };
+            prop_assert!(t2 >= t, "time went backwards: {t2} < {t}");
+            t = t2;
+        }
+    }
+}

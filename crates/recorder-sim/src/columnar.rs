@@ -1,0 +1,345 @@
+//! Column-major trace storage and analysis kernels.
+//!
+//! Recorder logs are row-major; the paper converts them to parquet and runs
+//! DASK over the columns because filtering and aggregation are hopelessly
+//! slow row-by-row. [`ColumnarTrace`] is that conversion: a struct-of-arrays
+//! copy of the trace with rayon-parallel filter and group-by kernels the
+//! analyzer builds everything else out of.
+
+use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
+use crate::tracer::Tracer;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sim_core::{Dur, SimTime};
+use std::collections::HashMap;
+
+/// Sentinel for "no file" in the file column.
+const NO_FILE: u32 = u32::MAX;
+
+/// A struct-of-arrays view of a whole trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ColumnarTrace {
+    /// Caller rank per record.
+    pub rank: Vec<u32>,
+    /// Caller node per record.
+    pub node: Vec<u32>,
+    /// Application id per record.
+    pub app: Vec<u16>,
+    /// Capture layer per record.
+    pub layer: Vec<Layer>,
+    /// Operation per record.
+    pub op: Vec<OpKind>,
+    /// Start time (ns) per record.
+    pub start: Vec<u64>,
+    /// End time (ns) per record.
+    pub end: Vec<u64>,
+    /// File id per record (`u32::MAX` = none).
+    pub file: Vec<u32>,
+    /// Offset per record.
+    pub offset: Vec<u64>,
+    /// Bytes moved per record.
+    pub bytes: Vec<u64>,
+    /// File id → path.
+    pub file_paths: Vec<String>,
+    /// App id → name.
+    pub app_names: Vec<String>,
+}
+
+/// Aggregate over a group of records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupAgg {
+    /// Record count.
+    pub ops: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Total busy time.
+    pub time: Dur,
+}
+
+impl ColumnarTrace {
+    /// Convert a captured trace to columns.
+    pub fn from_tracer(t: &Tracer) -> Self {
+        Self::from_records(t.records(), t.file_paths().to_vec(), t.app_names().to_vec())
+    }
+
+    /// Convert raw records to columns.
+    pub fn from_records(records: &[TraceRecord], file_paths: Vec<String>, app_names: Vec<String>) -> Self {
+        let n = records.len();
+        let mut c = ColumnarTrace {
+            rank: Vec::with_capacity(n),
+            node: Vec::with_capacity(n),
+            app: Vec::with_capacity(n),
+            layer: Vec::with_capacity(n),
+            op: Vec::with_capacity(n),
+            start: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            file: Vec::with_capacity(n),
+            offset: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            file_paths,
+            app_names,
+        };
+        for r in records {
+            c.rank.push(r.rank);
+            c.node.push(r.node);
+            c.app.push(r.app.0);
+            c.layer.push(r.layer);
+            c.op.push(r.op);
+            c.start.push(r.start.as_nanos());
+            c.end.push(r.end.as_nanos());
+            c.file.push(r.file.map(|f| f.0).unwrap_or(NO_FILE));
+            c.offset.push(r.offset);
+            c.bytes.push(r.bytes);
+        }
+        c
+    }
+
+    /// Reconstruct row-major records (inverse of [`Self::from_records`]).
+    pub fn to_records(&self) -> Vec<TraceRecord> {
+        (0..self.len())
+            .map(|i| TraceRecord {
+                rank: self.rank[i],
+                node: self.node[i],
+                app: AppId(self.app[i]),
+                layer: self.layer[i],
+                op: self.op[i],
+                start: SimTime(self.start[i]),
+                end: SimTime(self.end[i]),
+                file: self.file_id(i),
+                offset: self.offset[i],
+                bytes: self.bytes[i],
+            })
+            .collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// The file id of record `i`, if any.
+    pub fn file_id(&self, i: usize) -> Option<FileId> {
+        (self.file[i] != NO_FILE).then(|| FileId(self.file[i]))
+    }
+
+    /// Duration of record `i`.
+    pub fn dur(&self, i: usize) -> Dur {
+        Dur(self.end[i].saturating_sub(self.start[i]))
+    }
+
+    /// Indices matching a predicate, in record order (rayon-parallel scan).
+    pub fn select<P>(&self, pred: P) -> Vec<u32>
+    where
+        P: Fn(usize) -> bool + Sync,
+    {
+        let mut v: Vec<u32> = (0..self.len() as u32)
+            .into_par_iter()
+            .filter(|&i| pred(i as usize))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Indices of all I/O operations (data + metadata).
+    pub fn io_ops(&self) -> Vec<u32> {
+        self.select(|i| self.op[i].is_io())
+    }
+
+    /// Indices of data operations at a given layer, or across layers.
+    pub fn data_ops(&self, layer: Option<Layer>) -> Vec<u32> {
+        self.select(|i| self.op[i].is_data() && layer.is_none_or(|l| self.layer[i] == l))
+    }
+
+    /// Indices of metadata operations at a given layer, or across layers.
+    pub fn meta_ops(&self, layer: Option<Layer>) -> Vec<u32> {
+        self.select(|i| self.op[i].is_meta() && layer.is_none_or(|l| self.layer[i] == l))
+    }
+
+    /// Sum of `bytes` over a selection.
+    pub fn sum_bytes(&self, sel: &[u32]) -> u64 {
+        sel.par_iter().map(|&i| self.bytes[i as usize]).sum()
+    }
+
+    /// Sum of durations over a selection.
+    pub fn sum_time(&self, sel: &[u32]) -> Dur {
+        Dur(sel
+            .par_iter()
+            .map(|&i| self.end[i as usize] - self.start[i as usize])
+            .sum())
+    }
+
+    /// Group a selection by file id.
+    pub fn group_by_file(&self, sel: &[u32]) -> HashMap<u32, GroupAgg> {
+        self.group_by(sel, |i| self.file[i])
+    }
+
+    /// Group a selection by rank.
+    pub fn group_by_rank(&self, sel: &[u32]) -> HashMap<u32, GroupAgg> {
+        self.group_by(sel, |i| self.rank[i])
+    }
+
+    /// Group a selection by app id.
+    pub fn group_by_app(&self, sel: &[u32]) -> HashMap<u16, GroupAgg> {
+        self.group_by(sel, |i| self.app[i])
+    }
+
+    /// Generic group-by over a selection.
+    pub fn group_by<K, F>(&self, sel: &[u32], key: F) -> HashMap<K, GroupAgg>
+    where
+        K: std::hash::Hash + Eq + Send,
+        F: Fn(usize) -> K + Sync,
+    {
+        sel.par_iter()
+            .fold(HashMap::new, |mut acc: HashMap<K, GroupAgg>, &i| {
+                let i = i as usize;
+                let e = acc.entry(key(i)).or_default();
+                e.ops += 1;
+                e.bytes += self.bytes[i];
+                e.time += Dur(self.end[i] - self.start[i]);
+                acc
+            })
+            .reduce(HashMap::new, |mut a, b| {
+                for (k, v) in b {
+                    let e = a.entry(k).or_default();
+                    e.ops += v.ops;
+                    e.bytes += v.bytes;
+                    e.time += v.time;
+                }
+                a
+            })
+    }
+
+    /// Earliest start over the whole trace.
+    pub fn t_min(&self) -> SimTime {
+        SimTime(self.start.par_iter().copied().min().unwrap_or(0))
+    }
+
+    /// Latest end over the whole trace.
+    pub fn t_max(&self) -> SimTime {
+        SimTime(self.end.par_iter().copied().max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Tracer {
+        let mut t = Tracer::new();
+        let f0 = t.file_id("/a");
+        let f1 = t.file_id("/b");
+        let app = t.app_id("app");
+        // rank 0: open, write 100 B (1 s), close on /a
+        t.record(0, 0, app, Layer::Posix, OpKind::Open, SimTime(0), SimTime(10), Some(f0), 0, 0);
+        t.record(0, 0, app, Layer::Posix, OpKind::Write, SimTime(10), SimTime(1_000_000_010), Some(f0), 0, 100);
+        t.record(0, 0, app, Layer::Posix, OpKind::Close, SimTime(1_000_000_010), SimTime(1_000_000_020), Some(f0), 0, 0);
+        // rank 1: read 50 B on /b, compute
+        t.record(1, 0, app, Layer::Stdio, OpKind::Read, SimTime(0), SimTime(500), Some(f1), 0, 50);
+        t.record(1, 0, app, Layer::App, OpKind::Compute, SimTime(500), SimTime(10_000), None, 0, 0);
+        t
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        let t = sample_trace();
+        let c = ColumnarTrace::from_tracer(&t);
+        assert_eq!(c.len(), 5);
+        let back = c.to_records();
+        assert_eq!(back.as_slice(), t.records());
+    }
+
+    #[test]
+    fn selections_split_data_and_meta() {
+        let c = ColumnarTrace::from_tracer(&sample_trace());
+        assert_eq!(c.data_ops(None).len(), 2);
+        assert_eq!(c.meta_ops(None).len(), 2);
+        assert_eq!(c.io_ops().len(), 4);
+        assert_eq!(c.data_ops(Some(Layer::Posix)).len(), 1);
+        assert_eq!(c.data_ops(Some(Layer::Stdio)).len(), 1);
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let c = ColumnarTrace::from_tracer(&sample_trace());
+        let data = c.data_ops(None);
+        assert_eq!(c.sum_bytes(&data), 150);
+        let by_file = c.group_by_file(&data);
+        assert_eq!(by_file[&0].bytes, 100);
+        assert_eq!(by_file[&1].bytes, 50);
+        let by_rank = c.group_by_rank(&c.io_ops());
+        assert_eq!(by_rank[&0].ops, 3);
+        assert_eq!(by_rank[&1].ops, 1);
+    }
+
+    #[test]
+    fn time_range_spans_all_records() {
+        let c = ColumnarTrace::from_tracer(&sample_trace());
+        assert_eq!(c.t_min(), SimTime(0));
+        assert_eq!(c.t_max(), SimTime(1_000_000_020));
+    }
+
+    proptest! {
+        /// Row → column → row is the identity for arbitrary records.
+        #[test]
+        fn prop_round_trip(
+            recs in proptest::collection::vec(
+                (0u32..8, 0u32..4, 0u64..1_000, 1u64..1_000, 0u64..4096, 0u64..65536),
+                0..50,
+            )
+        ) {
+            let records: Vec<TraceRecord> = recs
+                .iter()
+                .map(|&(rank, node, start, dur, off, bytes)| TraceRecord {
+                    rank,
+                    node,
+                    app: AppId(0),
+                    layer: Layer::Posix,
+                    op: if bytes % 2 == 0 { OpKind::Read } else { OpKind::Open },
+                    start: SimTime(start),
+                    end: SimTime(start + dur),
+                    file: if bytes % 3 == 0 { None } else { Some(FileId(rank)) },
+                    offset: off,
+                    bytes,
+                })
+                .collect();
+            let c = ColumnarTrace::from_records(&records, vec!["/f".into(); 8], vec!["a".into()]);
+            prop_assert_eq!(c.to_records(), records);
+        }
+
+        /// group_by_rank partitions the selection: totals match.
+        #[test]
+        fn prop_group_by_partitions(
+            recs in proptest::collection::vec((0u32..5, 1u64..100), 1..100)
+        ) {
+            let records: Vec<TraceRecord> = recs
+                .iter()
+                .enumerate()
+                .map(|(i, &(rank, bytes))| TraceRecord {
+                    rank,
+                    node: 0,
+                    app: AppId(0),
+                    layer: Layer::Posix,
+                    op: OpKind::Write,
+                    start: SimTime(i as u64),
+                    end: SimTime(i as u64 + 1),
+                    file: None,
+                    offset: 0,
+                    bytes,
+                })
+                .collect();
+            let c = ColumnarTrace::from_records(&records, vec![], vec!["a".into()]);
+            let sel = c.data_ops(None);
+            let groups = c.group_by_rank(&sel);
+            let total_ops: u64 = groups.values().map(|g| g.ops).sum();
+            let total_bytes: u64 = groups.values().map(|g| g.bytes).sum();
+            prop_assert_eq!(total_ops, recs.len() as u64);
+            prop_assert_eq!(total_bytes, c.sum_bytes(&sel));
+        }
+    }
+}

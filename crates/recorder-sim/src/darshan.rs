@@ -1,0 +1,239 @@
+//! A Darshan-style aggregate-counter profiler, for contrast with Recorder's
+//! full tracing.
+//!
+//! The paper (§III-C) chooses Recorder over Darshan precisely because
+//! Darshan keeps only per-file aggregate counters — enough for Table-I-style
+//! summaries but not for phase detection, timelines, or dependency graphs.
+//! This module implements that counter model so the suite can demonstrate
+//! the difference: [`DarshanProfile::from_records`] folds a full trace into
+//! counters, and the tests show which analyses survive the folding.
+
+use crate::record::{OpKind, TraceRecord};
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use std::collections::HashMap;
+
+/// Darshan-style per-file counters (a subset of the POSIX module's).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FileCounters {
+    /// POSIX_OPENS.
+    pub opens: u64,
+    /// POSIX_READS.
+    pub reads: u64,
+    /// POSIX_WRITES.
+    pub writes: u64,
+    /// POSIX_SEEKS.
+    pub seeks: u64,
+    /// POSIX_STATS.
+    pub stats: u64,
+    /// POSIX_BYTES_READ.
+    pub bytes_read: u64,
+    /// POSIX_BYTES_WRITTEN.
+    pub bytes_written: u64,
+    /// POSIX_F_READ_TIME (seconds).
+    pub read_time: f64,
+    /// POSIX_F_WRITE_TIME (seconds).
+    pub write_time: f64,
+    /// POSIX_F_META_TIME (seconds).
+    pub meta_time: f64,
+    /// POSIX_MAX_BYTE_READ.
+    pub max_byte_read: u64,
+    /// POSIX_MAX_BYTE_WRITTEN.
+    pub max_byte_written: u64,
+    /// Timestamp of first open (F_OPEN_START_TIMESTAMP).
+    pub first_open: Option<SimTime>,
+    /// Timestamp of last close (F_CLOSE_END_TIMESTAMP).
+    pub last_close: Option<SimTime>,
+    /// Distinct ranks that touched the file.
+    pub rank_count: u64,
+    ranks_seen: Vec<u32>,
+}
+
+/// An aggregate profile: per-file counters plus job-level totals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DarshanProfile {
+    /// Per-file counters keyed by file id.
+    pub files: HashMap<u32, FileCounters>,
+    /// Job start/end observed.
+    pub job_start: SimTime,
+    /// Job end observed.
+    pub job_end: SimTime,
+    /// Number of ranks observed.
+    pub nprocs: u64,
+}
+
+impl DarshanProfile {
+    /// Fold a full trace into aggregate counters — the information Darshan
+    /// would have kept. Everything not representable here (ordering, phase
+    /// structure, per-op sizes) is irreversibly lost, which is the paper's
+    /// point.
+    pub fn from_records(records: &[TraceRecord]) -> DarshanProfile {
+        let mut p = DarshanProfile {
+            job_start: SimTime(u64::MAX),
+            ..Default::default()
+        };
+        let mut ranks = std::collections::HashSet::new();
+        for r in records {
+            if !r.op.is_io() {
+                continue;
+            }
+            ranks.insert(r.rank);
+            p.job_start = p.job_start.min(r.start);
+            p.job_end = p.job_end.max(r.end);
+            let Some(fid) = r.file else { continue };
+            let f = p.files.entry(fid.0).or_default();
+            if !f.ranks_seen.contains(&r.rank) {
+                f.ranks_seen.push(r.rank);
+                f.rank_count = f.ranks_seen.len() as u64;
+            }
+            let dur = r.dur().as_secs_f64();
+            match r.op {
+                OpKind::Open | OpKind::Create => {
+                    f.opens += 1;
+                    f.meta_time += dur;
+                    if f.first_open.is_none() {
+                        f.first_open = Some(r.start);
+                    }
+                }
+                OpKind::Close => {
+                    f.meta_time += dur;
+                    f.last_close = Some(r.end);
+                }
+                OpKind::Read => {
+                    f.reads += 1;
+                    f.bytes_read += r.bytes;
+                    f.read_time += dur;
+                    f.max_byte_read = f.max_byte_read.max(r.offset + r.bytes);
+                }
+                OpKind::Write => {
+                    f.writes += 1;
+                    f.bytes_written += r.bytes;
+                    f.write_time += dur;
+                    f.max_byte_written = f.max_byte_written.max(r.offset + r.bytes);
+                }
+                OpKind::Seek => {
+                    f.seeks += 1;
+                    f.meta_time += dur;
+                }
+                OpKind::Stat => {
+                    f.stats += 1;
+                    f.meta_time += dur;
+                }
+                _ => f.meta_time += dur,
+            }
+        }
+        p.nprocs = ranks.len() as u64;
+        if p.files.is_empty() && p.job_start == SimTime(u64::MAX) {
+            p.job_start = SimTime::ZERO;
+        }
+        p
+    }
+
+    /// Job-level totals (what `darshan-parser --total` prints).
+    pub fn totals(&self) -> FileCounters {
+        let mut t = FileCounters::default();
+        for f in self.files.values() {
+            t.opens += f.opens;
+            t.reads += f.reads;
+            t.writes += f.writes;
+            t.seeks += f.seeks;
+            t.stats += f.stats;
+            t.bytes_read += f.bytes_read;
+            t.bytes_written += f.bytes_written;
+            t.read_time += f.read_time;
+            t.write_time += f.write_time;
+            t.meta_time += f.meta_time;
+        }
+        t
+    }
+
+    /// Fraction of I/O time spent in metadata — one of the few paper
+    /// attributes that *does* survive aggregation.
+    pub fn meta_time_frac(&self) -> f64 {
+        let t = self.totals();
+        let total = t.read_time + t.write_time + t.meta_time;
+        if total <= 0.0 {
+            0.0
+        } else {
+            t.meta_time / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Layer;
+    use crate::tracer::Tracer;
+
+    fn sample() -> Vec<TraceRecord> {
+        let mut t = Tracer::new();
+        let f = t.file_id("/p/gpfs1/a");
+        let a = t.app_id("app");
+        t.record(0, 0, a, Layer::Posix, OpKind::Open, SimTime(0), SimTime(100), Some(f), 0, 0);
+        t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(100), SimTime(300), Some(f), 0, 4096);
+        t.record(1, 0, a, Layer::Posix, OpKind::Read, SimTime(150), SimTime(250), Some(f), 0, 1024);
+        t.record(0, 0, a, Layer::Posix, OpKind::Seek, SimTime(300), SimTime(301), Some(f), 512, 0);
+        t.record(0, 0, a, Layer::Posix, OpKind::Close, SimTime(301), SimTime(400), Some(f), 0, 0);
+        t.records().to_vec()
+    }
+
+    #[test]
+    fn counters_fold_correctly() {
+        let p = DarshanProfile::from_records(&sample());
+        assert_eq!(p.nprocs, 2);
+        let f = &p.files[&0];
+        assert_eq!(f.opens, 1);
+        assert_eq!(f.reads, 1);
+        assert_eq!(f.writes, 1);
+        assert_eq!(f.seeks, 1);
+        assert_eq!(f.bytes_written, 4096);
+        assert_eq!(f.bytes_read, 1024);
+        assert_eq!(f.rank_count, 2);
+        assert_eq!(f.first_open, Some(SimTime(0)));
+        assert_eq!(f.last_close, Some(SimTime(400)));
+        assert_eq!(f.max_byte_written, 4096);
+    }
+
+    #[test]
+    fn totals_and_meta_fraction() {
+        let p = DarshanProfile::from_records(&sample());
+        let t = p.totals();
+        assert_eq!(t.bytes_read + t.bytes_written, 5120);
+        // meta = open(100ns) + seek(1ns) + close(99ns) = 200ns;
+        // data = write 200ns + read 100ns.
+        assert!((p.meta_time_frac() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_loses_what_the_paper_needs() {
+        // Two traces with *different phase structure* but identical
+        // aggregate counters: Darshan cannot distinguish them — Recorder
+        // (the full trace) can. This is the paper's §III-C argument.
+        let mk = |gap: u64| {
+            let mut t = Tracer::new();
+            let f = t.file_id("/f");
+            let a = t.app_id("app");
+            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(0), SimTime(10), Some(f), 0, 100);
+            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(gap), SimTime(gap + 10), Some(f), 100, 100);
+            t.records().to_vec()
+        };
+        let burst = mk(10); // one phase
+        let phased = mk(1_000_000_000); // two phases, 1 s apart
+        let pa = DarshanProfile::from_records(&burst);
+        let pb = DarshanProfile::from_records(&phased);
+        // Aggregates identical (except the job span):
+        assert_eq!(pa.totals().writes, pb.totals().writes);
+        assert_eq!(pa.totals().bytes_written, pb.totals().bytes_written);
+        // But the full traces differ in structure:
+        assert_ne!(burst[1].start, phased[1].start);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let p = DarshanProfile::from_records(&[]);
+        assert_eq!(p.nprocs, 0);
+        assert_eq!(p.meta_time_frac(), 0.0);
+        assert!(p.files.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # recorder-sim
+//!
+//! A Recorder-2.0-like multi-level tracer for the simulated stack.
+//!
+//! The paper chose Recorder over Darshan because it captures *multi-level*
+//! traces — every I/O call at every interface layer, plus CPU, GPU, and MPI
+//! events — rather than aggregate counters. This crate reproduces that
+//! capture model:
+//!
+//! * [`record`] — the trace schema: one [`record::TraceRecord`] per call,
+//!   tagged with rank, node, application, interface layer, operation kind,
+//!   file, offset, byte count, and the simulated start/end instants,
+//! * [`tracer`] — the row-major capture sink the layers write into during a
+//!   run (with an optional per-record overhead model reproducing the 8 %
+//!   runtime overhead the paper reports),
+//! * [`columnar`] — the row-major → column-major conversion that mirrors the
+//!   paper's Recorder-log → parquet step, with the filter/group-by kernels
+//!   the Vani analyzer runs over the columns (rayon-parallel),
+//! * [`persist`] — JSON save/load of whole traces,
+//! * [`darshan`] — a Darshan-style aggregate-counter profiler, implemented
+//!   as a fold over the full trace to demonstrate (as the paper argues in
+//!   §III-C) which analyses aggregation destroys.
+
+pub mod columnar;
+pub mod darshan;
+pub mod persist;
+pub mod record;
+pub mod tracer;
+
+pub use columnar::ColumnarTrace;
+pub use record::{AppId, FileId, Layer, OpKind, TraceRecord};
+pub use tracer::Tracer;

@@ -1,0 +1,77 @@
+//! Trace persistence.
+//!
+//! Whole traces serialize to JSON (the stand-in for Recorder's binary logs
+//! and the parquet conversion). Round-tripping through disk lets experiments
+//! separate capture from analysis, exactly like the paper's two-phase
+//! JobUtility/Analyzer pipeline.
+
+use crate::columnar::ColumnarTrace;
+use crate::tracer::Tracer;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Save a row-major trace as JSON.
+pub fn save_tracer(t: &Tracer, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(t).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load a row-major trace from JSON (intern maps rebuilt).
+pub fn load_tracer(path: &Path) -> io::Result<Tracer> {
+    let json = fs::read_to_string(path)?;
+    let mut t: Tracer = serde_json::from_str(&json).map_err(io::Error::other)?;
+    t.rebuild_index();
+    Ok(t)
+}
+
+/// Save a columnar trace as JSON.
+pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(c).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load a columnar trace from JSON.
+pub fn load_columnar(path: &Path) -> io::Result<ColumnarTrace> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Layer, OpKind};
+    use sim_core::SimTime;
+
+    #[test]
+    fn tracer_round_trips_through_disk() {
+        let mut t = Tracer::new();
+        let f = t.file_id("/p/gpfs1/x");
+        let a = t.app_id("hacc");
+        t.record(3, 1, a, Layer::Posix, OpKind::Write, SimTime(5), SimTime(10), Some(f), 0, 42);
+        let dir = std::env::temp_dir().join("vani_persist_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("trace.json");
+        save_tracer(&t, &p).unwrap();
+        let back = load_tracer(&p).unwrap();
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.path_of(f), "/p/gpfs1/x");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn columnar_round_trips_through_disk() {
+        let mut t = Tracer::new();
+        let f = t.file_id("/y");
+        let a = t.app_id("a");
+        t.record(0, 0, a, Layer::Stdio, OpKind::Read, SimTime(0), SimTime(9), Some(f), 4, 8);
+        let c = ColumnarTrace::from_tracer(&t);
+        let dir = std::env::temp_dir().join("vani_persist_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("columnar.json");
+        save_columnar(&c, &p).unwrap();
+        let back = load_columnar(&p).unwrap();
+        assert_eq!(back.to_records(), c.to_records());
+        fs::remove_file(&p).unwrap();
+    }
+}

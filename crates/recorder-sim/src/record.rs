@@ -1,0 +1,199 @@
+//! The trace schema: one record per intercepted call.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{Dur, SimTime};
+
+/// Interned file identifier; the tracer owns the id → path table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// Interned application identifier (workflow step), id → name in the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u16);
+
+/// The interface layer a call was captured at — Recorder's "multi-level"
+/// dimension. One logical application call may produce records at several
+/// layers (HDF5 → MPI-IO → POSIX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Layer {
+    /// Application-level events (compute, GPU, MPI).
+    App,
+    /// High-level I/O libraries: HDF5, npy, FITS.
+    HighLevel,
+    /// MPI-IO.
+    MpiIo,
+    /// Buffered C stdio.
+    Stdio,
+    /// POSIX syscalls.
+    Posix,
+    /// Middleware interceptors (buffering/prefetch/compression), when active.
+    Middleware,
+}
+
+impl Layer {
+    /// Short label for table output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layer::App => "APP",
+            Layer::HighLevel => "H5/NPY/FITS",
+            Layer::MpiIo => "MPI-IO",
+            Layer::Stdio => "STDIO",
+            Layer::Posix => "POSIX",
+            Layer::Middleware => "MIDW",
+        }
+    }
+}
+
+/// The operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Open an existing file.
+    Open,
+    /// Create (open with creation).
+    Create,
+    /// Close.
+    Close,
+    /// Stat / size query.
+    Stat,
+    /// Seek (metadata: no data moves).
+    Seek,
+    /// fsync / flush to stable storage.
+    Sync,
+    /// Unlink.
+    Unlink,
+    /// Directory creation.
+    Mkdir,
+    /// CPU compute span.
+    Compute,
+    /// GPU compute span.
+    GpuCompute,
+    /// MPI collective (barrier/bcast/…).
+    MpiColl,
+    /// MPI point-to-point.
+    MpiP2p,
+}
+
+impl OpKind {
+    /// Whether this is a data operation (moves file bytes).
+    pub fn is_data(&self) -> bool {
+        matches!(self, OpKind::Read | OpKind::Write)
+    }
+
+    /// Whether this is a file-metadata operation. The paper's "I/O ops dist
+    /// (data, meta)" attribute is computed from this split.
+    pub fn is_meta(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Open
+                | OpKind::Create
+                | OpKind::Close
+                | OpKind::Stat
+                | OpKind::Seek
+                | OpKind::Sync
+                | OpKind::Unlink
+                | OpKind::Mkdir
+        )
+    }
+
+    /// Whether this is any I/O operation (data or metadata).
+    pub fn is_io(&self) -> bool {
+        self.is_data() || self.is_meta()
+    }
+
+    /// Short label for table output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Open => "open",
+            OpKind::Create => "create",
+            OpKind::Close => "close",
+            OpKind::Stat => "stat",
+            OpKind::Seek => "seek",
+            OpKind::Sync => "sync",
+            OpKind::Unlink => "unlink",
+            OpKind::Mkdir => "mkdir",
+            OpKind::Compute => "compute",
+            OpKind::GpuCompute => "gpu",
+            OpKind::MpiColl => "mpi_coll",
+            OpKind::MpiP2p => "mpi_p2p",
+        }
+    }
+}
+
+/// One captured call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Global rank of the caller.
+    pub rank: u32,
+    /// Node the caller ran on.
+    pub node: u32,
+    /// Application (workflow step) the caller belonged to.
+    pub app: AppId,
+    /// Interface layer of capture.
+    pub layer: Layer,
+    /// Operation.
+    pub op: OpKind,
+    /// Call start (simulated).
+    pub start: SimTime,
+    /// Call end (simulated).
+    pub end: SimTime,
+    /// File touched, for I/O ops.
+    pub file: Option<FileId>,
+    /// File offset, for data ops.
+    pub offset: u64,
+    /// Bytes moved, for data ops (0 for metadata).
+    pub bytes: u64,
+}
+
+impl TraceRecord {
+    /// Call duration.
+    pub fn dur(&self) -> Dur {
+        self.end.since(self.start)
+    }
+
+    /// Achieved bandwidth for data ops, bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.dur().bandwidth(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_meta_classification() {
+        assert!(OpKind::Read.is_data());
+        assert!(OpKind::Write.is_data());
+        assert!(!OpKind::Open.is_data());
+        assert!(OpKind::Open.is_meta());
+        assert!(OpKind::Seek.is_meta());
+        assert!(OpKind::Sync.is_meta());
+        assert!(!OpKind::Compute.is_io());
+        assert!(!OpKind::MpiColl.is_io());
+        assert!(OpKind::Unlink.is_io());
+    }
+
+    #[test]
+    fn record_bandwidth() {
+        let r = TraceRecord {
+            rank: 0,
+            node: 0,
+            app: AppId(0),
+            layer: Layer::Posix,
+            op: OpKind::Read,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(2),
+            file: Some(FileId(0)),
+            offset: 0,
+            bytes: 4 << 20,
+        };
+        assert_eq!(r.dur(), Dur::from_secs(2));
+        assert!((r.bandwidth() - (2 << 20) as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Queueing-theoretic resource models.
+//!
+//! These are the primitives from which the storage and network simulators
+//! build contention: a FIFO single-server queue ([`ServerQueue`]), a pool of
+//! identical servers with earliest-free dispatch ([`ServerPool`]), and a
+//! serializing bandwidth channel ([`BandwidthChannel`]).
+//!
+//! The simulation dispatches requests in global arrival-time order (the
+//! engine's event queue guarantees this), so a simple `next_free` horizon per
+//! server reproduces FIFO queueing delay exactly.
+
+use crate::time::{Dur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A single FIFO server: requests are serviced back-to-back in arrival order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerQueue {
+    next_free: SimTime,
+    busy: Dur,
+    served: u64,
+}
+
+impl ServerQueue {
+    /// New idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serve a request arriving at `arrival` with service demand `service`.
+    /// Returns `(start, end)` of service.
+    pub fn serve(&mut self, arrival: SimTime, service: Dur) -> (SimTime, SimTime) {
+        let start = arrival.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy += service;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// Earliest instant at which a new arrival would begin service.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over a horizon (busy / horizon), clamped to `[0, 1]`.
+    pub fn utilization(&self, horizon: Dur) -> f64 {
+        if horizon == Dur::ZERO {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+/// A pool of identical FIFO servers; each request is dispatched to the server
+/// that frees up earliest (central-queue approximation of an M/M/k station).
+///
+/// An optional `route` lets callers pin a request to a specific member (e.g.
+/// a file stripe that lives on one object server).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerPool {
+    servers: Vec<ServerQueue>,
+}
+
+impl ServerPool {
+    /// Create a pool of `n` idle servers (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a server pool needs at least one server");
+        ServerPool {
+            servers: vec![ServerQueue::new(); n],
+        }
+    }
+
+    /// Number of servers in the pool.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Serve on the earliest-free server. Returns `(start, end)`.
+    pub fn serve(&mut self, arrival: SimTime, service: Dur) -> (SimTime, SimTime) {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.next_free())
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.servers[idx].serve(arrival, service)
+    }
+
+    /// Serve on a specific server (e.g. stripe routing). `which` is taken
+    /// modulo the pool size so callers can pass raw stripe indices.
+    pub fn serve_on(&mut self, which: usize, arrival: SimTime, service: Dur) -> (SimTime, SimTime) {
+        let n = self.servers.len();
+        self.servers[which % n].serve(arrival, service)
+    }
+
+    /// Earliest time any server frees up.
+    pub fn earliest_free(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|s| s.next_free())
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total requests served across the pool.
+    pub fn served(&self) -> u64 {
+        self.servers.iter().map(|s| s.served()).sum()
+    }
+
+    /// Total busy time across the pool.
+    pub fn busy_time(&self) -> Dur {
+        self.servers
+            .iter()
+            .fold(Dur::ZERO, |acc, s| acc + s.busy_time())
+    }
+
+    /// Mean utilization across servers over a horizon.
+    pub fn utilization(&self, horizon: Dur) -> f64 {
+        if self.servers.is_empty() {
+            return 0.0;
+        }
+        self.servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum::<f64>()
+            / self.servers.len() as f64
+    }
+}
+
+/// A shared link that serializes transfers at a fixed byte rate, with a fixed
+/// per-message latency. Models NICs and backbone links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthChannel {
+    bytes_per_sec: u64,
+    latency: Dur,
+    queue: ServerQueue,
+    bytes_moved: u64,
+}
+
+impl BandwidthChannel {
+    /// A channel moving `bytes_per_sec` with `latency` per message.
+    pub fn new(bytes_per_sec: u64, latency: Dur) -> Self {
+        assert!(bytes_per_sec > 0, "channel bandwidth must be positive");
+        BandwidthChannel {
+            bytes_per_sec,
+            latency,
+            queue: ServerQueue::new(),
+            bytes_moved: 0,
+        }
+    }
+
+    /// Transfer `bytes` starting no earlier than `arrival`; returns the
+    /// completion time (queueing + latency + serialization).
+    pub fn transfer(&mut self, arrival: SimTime, bytes: u64) -> SimTime {
+        let service = self.latency + Dur::for_transfer(bytes, self.bytes_per_sec);
+        let (_, end) = self.queue.serve(arrival, service);
+        self.bytes_moved += bytes;
+        end
+    }
+
+    /// Configured bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Configured per-message latency.
+    pub fn latency(&self) -> Dur {
+        self.latency
+    }
+
+    /// Total bytes moved through the channel.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Earliest time a new transfer could begin.
+    pub fn next_free(&self) -> SimTime {
+        self.queue.next_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = ServerQueue::new();
+        let (start, end) = s.serve(SimTime::from_secs(10), Dur::from_secs(2));
+        assert_eq!(start, SimTime::from_secs(10));
+        assert_eq!(end, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = ServerQueue::new();
+        s.serve(SimTime::ZERO, Dur::from_secs(5));
+        // Arrives at t=1 but must wait until t=5.
+        let (start, end) = s.serve(SimTime::from_secs(1), Dur::from_secs(1));
+        assert_eq!(start, SimTime::from_secs(5));
+        assert_eq!(end, SimTime::from_secs(6));
+        assert_eq!(s.served(), 2);
+        assert_eq!(s.busy_time(), Dur::from_secs(6));
+    }
+
+    #[test]
+    fn pool_spreads_load_across_servers() {
+        let mut p = ServerPool::new(4);
+        // Four simultaneous arrivals each take 1s: all should finish at t=1.
+        let ends: Vec<SimTime> = (0..4)
+            .map(|_| p.serve(SimTime::ZERO, Dur::from_secs(1)).1)
+            .collect();
+        assert!(ends.iter().all(|&e| e == SimTime::from_secs(1)));
+        // A fifth queues behind one of them.
+        let (_, end5) = p.serve(SimTime::ZERO, Dur::from_secs(1));
+        assert_eq!(end5, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn pool_routing_pins_to_one_server() {
+        let mut p = ServerPool::new(4);
+        let (_, e1) = p.serve_on(2, SimTime::ZERO, Dur::from_secs(1));
+        let (_, e2) = p.serve_on(2, SimTime::ZERO, Dur::from_secs(1));
+        let (_, e3) = p.serve_on(6, SimTime::ZERO, Dur::from_secs(1)); // 6 % 4 == 2
+        assert_eq!(e1, SimTime::from_secs(1));
+        assert_eq!(e2, SimTime::from_secs(2));
+        assert_eq!(e3, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn channel_serializes_transfers() {
+        // 1 MiB/s channel, zero latency: two 1 MiB messages take 2 seconds.
+        let mut c = BandwidthChannel::new(1 << 20, Dur::ZERO);
+        let t1 = c.transfer(SimTime::ZERO, 1 << 20);
+        let t2 = c.transfer(SimTime::ZERO, 1 << 20);
+        assert_eq!(t1, SimTime::from_secs(1));
+        assert_eq!(t2, SimTime::from_secs(2));
+        assert_eq!(c.bytes_moved(), 2 << 20);
+    }
+
+    #[test]
+    fn channel_latency_applies_per_message() {
+        let mut c = BandwidthChannel::new(1 << 30, Dur::from_micros(5));
+        let t = c.transfer(SimTime::ZERO, 0);
+        assert_eq!(t, SimTime::ZERO + Dur::from_micros(5));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut s = ServerQueue::new();
+        s.serve(SimTime::ZERO, Dur::from_secs(10));
+        assert!(s.utilization(Dur::from_secs(5)) <= 1.0);
+        assert!((s.utilization(Dur::from_secs(20)) - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// FIFO invariant: for non-decreasing arrivals, service start times
+        /// are non-decreasing and never precede arrival.
+        #[test]
+        fn prop_fifo_start_ordering(
+            mut arrivals in proptest::collection::vec(0u64..10_000, 1..100),
+            services in proptest::collection::vec(1u64..1_000, 100),
+        ) {
+            arrivals.sort_unstable();
+            let mut s = ServerQueue::new();
+            let mut last_start = SimTime::ZERO;
+            for (&a, &svc) in arrivals.iter().zip(&services) {
+                let (start, end) = s.serve(SimTime(a), Dur(svc));
+                prop_assert!(start >= SimTime(a));
+                prop_assert!(start >= last_start);
+                prop_assert_eq!(end, start + Dur(svc));
+                last_start = start;
+            }
+        }
+
+        /// Pool conservation: total busy time equals the sum of services.
+        #[test]
+        fn prop_pool_conserves_work(
+            jobs in proptest::collection::vec((0u64..1_000, 1u64..100), 1..100),
+            n in 1usize..8,
+        ) {
+            let mut p = ServerPool::new(n);
+            let mut total = Dur::ZERO;
+            let mut sorted = jobs.clone();
+            sorted.sort_unstable();
+            for (a, svc) in sorted {
+                p.serve(SimTime(a), Dur(svc));
+                total += Dur(svc);
+            }
+            prop_assert_eq!(p.busy_time(), total);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Byte-size and bandwidth constants plus human-readable formatting helpers
+//! used throughout the suite and in table/figure output.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+/// One tebibyte.
+pub const TIB: u64 = 1024 * GIB;
+
+/// Format a byte count with binary units ("1.50GiB").
+pub fn fmt_bytes(b: u64) -> String {
+    let bf = b as f64;
+    if b >= TIB {
+        format!("{:.2}TiB", bf / TIB as f64)
+    } else if b >= GIB {
+        format!("{:.2}GiB", bf / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2}MiB", bf / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.2}KiB", bf / KIB as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Format a bandwidth in bytes/second ("3.50GiB/s").
+pub fn fmt_bw(bytes_per_sec: f64) -> String {
+    let b = bytes_per_sec;
+    if !b.is_finite() {
+        return "inf".to_string();
+    }
+    if b >= TIB as f64 {
+        format!("{:.2}TiB/s", b / TIB as f64)
+    } else if b >= GIB as f64 {
+        format!("{:.2}GiB/s", b / GIB as f64)
+    } else if b >= MIB as f64 {
+        format!("{:.2}MiB/s", b / MIB as f64)
+    } else if b >= KIB as f64 {
+        format!("{:.2}KiB/s", b / KIB as f64)
+    } else {
+        format!("{b:.1}B/s")
+    }
+}
+
+/// Format a ratio as a percentage ("87.5%").
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Format a count with thousands separators ("1,234,567").
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    let digits = s.as_bytes();
+    for (i, d) in digits.iter().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*d as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 * MIB / 2), "1.50MiB");
+        assert_eq!(fmt_bytes(GIB), "1.00GiB");
+        assert_eq!(fmt_bytes(5 * TIB / 2), "2.50TiB");
+    }
+
+    #[test]
+    fn bandwidth_formatting() {
+        assert_eq!(fmt_bw(64.0 * MIB as f64), "64.00MiB/s");
+        assert_eq!(fmt_bw(64.0 * GIB as f64), "64.00GiB/s");
+        assert_eq!(fmt_bw(f64::INFINITY), "inf");
+        assert_eq!(fmt_bw(3.0), "3.0B/s");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(fmt_pct(0.875), "87.5%");
+        assert_eq!(fmt_pct(0.0), "0.0%");
+        assert_eq!(fmt_pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+}

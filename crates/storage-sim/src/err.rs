@@ -1,0 +1,62 @@
+//! Error codes surfaced by the simulated storage stack, mirroring the POSIX
+//! failures real HPC I/O middleware must handle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A storage error. The variants map 1:1 onto the `errno` values the real
+/// interfaces would return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoErr {
+    /// `ENOENT`: path does not exist.
+    NotFound,
+    /// `EEXIST`: exclusive create of an existing path.
+    AlreadyExists,
+    /// `ENOSPC`: the tier's capacity is exhausted.
+    NoSpace,
+    /// `EBADF`: operation on a closed or invalid descriptor.
+    BadFd,
+    /// `EISDIR`: data operation on a directory.
+    IsDir,
+    /// `ENOTDIR`: path component is not a directory.
+    NotDir,
+    /// `EINVAL`: malformed path or argument.
+    Invalid,
+    /// `EMFILE`: per-process descriptor table is full.
+    TooManyOpenFiles,
+    /// `EROFS` / permission: write to a read-only open.
+    ReadOnly,
+    /// `ENODEV`: path resolves to no mounted tier on this node.
+    NoSuchTier,
+}
+
+impl fmt::Display for IoErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoErr::NotFound => "no such file or directory",
+            IoErr::AlreadyExists => "file exists",
+            IoErr::NoSpace => "no space left on device",
+            IoErr::BadFd => "bad file descriptor",
+            IoErr::IsDir => "is a directory",
+            IoErr::NotDir => "not a directory",
+            IoErr::Invalid => "invalid argument",
+            IoErr::TooManyOpenFiles => "too many open files",
+            IoErr::ReadOnly => "read-only file",
+            IoErr::NoSuchTier => "no such device",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for IoErr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_like_errno_strings() {
+        assert_eq!(IoErr::NotFound.to_string(), "no such file or directory");
+        assert_eq!(IoErr::NoSpace.to_string(), "no space left on device");
+    }
+}

@@ -1,0 +1,573 @@
+//! Inodes, sparse content, and the flat namespace.
+//!
+//! File content is a sparse map of [`Segment`]s. A segment is either
+//! byte-backed (real data, used by format layers that must round-trip
+//! headers) or pattern-backed (a deterministic synthetic fill used for the
+//! multi-gigabyte checkpoint bodies the workloads move, which would be
+//! wasteful to materialize). Reads can either materialize bytes or just
+//! report how many bytes of the range exist — the timing paths use the
+//! latter.
+
+use crate::err::IoErr;
+use crate::path as vpath;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Stable identifier of a file within one [`FileStore`] (an inode number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileKey(pub u64);
+
+/// The source of one contiguous run of file content.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Segment {
+    /// Real bytes.
+    Bytes(Arc<Vec<u8>>),
+    /// A deterministic synthetic fill of `len` bytes derived from `seed`.
+    Pattern {
+        /// Seed for the fill function.
+        seed: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+}
+
+impl Segment {
+    /// Length of the segment in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Segment::Bytes(b) => b.len() as u64,
+            Segment::Pattern { len, .. } => *len,
+        }
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The byte at `off` within the segment.
+    fn byte_at(&self, off: u64) -> u8 {
+        match self {
+            Segment::Bytes(b) => b[off as usize],
+            Segment::Pattern { seed, .. } => pattern_byte(*seed, off),
+        }
+    }
+}
+
+/// The deterministic synthetic fill: mixes seed and offset so different
+/// files and offsets produce different bytes, reproducibly.
+pub fn pattern_byte(seed: u64, off: u64) -> u8 {
+    let x = (seed ^ off).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (x >> 56) as u8
+}
+
+/// A file's content: non-overlapping segments keyed by start offset, plus a
+/// logical size (which may exceed the last segment — sparse tail reads as
+/// zeros, like POSIX).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SegmentMap {
+    segs: BTreeMap<u64, Segment>,
+    size: u64,
+}
+
+impl SegmentMap {
+    /// Logical file size.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Write a segment at `offset`, truncating/splitting whatever overlaps.
+    pub fn write(&mut self, offset: u64, seg: Segment) {
+        let len = seg.len();
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        // Split a segment that starts before `offset` and overlaps it.
+        if let Some((&s_off, s)) = self.segs.range(..offset).next_back() {
+            let s_end = s_off + s.len();
+            if s_end > offset {
+                let keep = self.slice_of(s, s_off, s_off, offset);
+                let tail = if s_end > end {
+                    Some((end, self.slice_of(s, s_off, end, s_end)))
+                } else {
+                    None
+                };
+                self.segs.insert(s_off, keep);
+                if let Some((t_off, t)) = tail {
+                    self.segs.insert(t_off, t);
+                }
+            }
+        }
+        // Remove or trim segments starting inside [offset, end).
+        let inside: Vec<u64> = self.segs.range(offset..end).map(|(&o, _)| o).collect();
+        for o in inside {
+            let s = self.segs.remove(&o).expect("key just listed");
+            let s_end = o + s.len();
+            if s_end > end {
+                let tail = self.slice_of(&s, o, end, s_end);
+                self.segs.insert(end, tail);
+            }
+        }
+        self.segs.insert(offset, seg);
+        self.size = self.size.max(end);
+    }
+
+    /// Extract `[from, to)` of a segment whose own start is `seg_off`.
+    fn slice_of(&self, seg: &Segment, seg_off: u64, from: u64, to: u64) -> Segment {
+        debug_assert!(from >= seg_off && to >= from);
+        match seg {
+            Segment::Bytes(b) => {
+                let lo = (from - seg_off) as usize;
+                let hi = (to - seg_off) as usize;
+                Segment::Bytes(Arc::new(b[lo..hi].to_vec()))
+            }
+            Segment::Pattern { seed, .. } => Segment::Pattern {
+                // Shift the seed so pattern bytes stay consistent with their
+                // absolute position in the original segment.
+                seed: seed ^ (from - seg_off).wrapping_mul(0x9E37_79B9),
+                len: to - from,
+            },
+        }
+    }
+
+    /// Materialize `len` bytes at `offset`. Bytes past EOF are not returned;
+    /// holes within the file read as zeros.
+    pub fn read(&self, offset: u64, len: u64) -> Vec<u8> {
+        let end = (offset + len).min(self.size);
+        if end <= offset {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; (end - offset) as usize];
+        // Walk segments overlapping [offset, end).
+        let first = self
+            .segs
+            .range(..=offset)
+            .next_back()
+            .map(|(&o, _)| o)
+            .unwrap_or(0);
+        for (&s_off, s) in self.segs.range(first..end) {
+            let s_end = s_off + s.len();
+            if s_end <= offset {
+                continue;
+            }
+            let lo = s_off.max(offset);
+            let hi = s_end.min(end);
+            for abs in lo..hi {
+                out[(abs - offset) as usize] = s.byte_at(abs - s_off);
+            }
+        }
+        out
+    }
+
+    /// How many bytes of `[offset, offset+len)` lie within the file —
+    /// the timing-only read used for bulk synthetic data.
+    pub fn readable_len(&self, offset: u64, len: u64) -> u64 {
+        let end = (offset + len).min(self.size);
+        end.saturating_sub(offset)
+    }
+
+    /// Truncate to `new_size`.
+    pub fn truncate(&mut self, new_size: u64) {
+        let beyond: Vec<u64> = self.segs.range(new_size..).map(|(&o, _)| o).collect();
+        for o in beyond {
+            self.segs.remove(&o);
+        }
+        if let Some((&s_off, s)) = self.segs.range(..new_size).next_back() {
+            let s_end = s_off + s.len();
+            if s_end > new_size {
+                let head = self.slice_of(s, s_off, s_off, new_size);
+                self.segs.insert(s_off, head);
+            }
+        }
+        self.size = new_size;
+    }
+}
+
+/// Metadata and content of one file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileNode {
+    /// Normalized absolute path.
+    pub path: String,
+    /// Content map.
+    pub data: SegmentMap,
+    /// Whether this node is a directory.
+    pub is_dir: bool,
+}
+
+/// A flat namespace of files and directories, the common core of every tier.
+///
+/// Parent directories are created implicitly (the job scripts in the paper
+/// all `mkdir -p` their output trees before running).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FileStore {
+    nodes: Vec<Option<FileNode>>,
+    by_path: HashMap<String, FileKey>,
+    bytes_stored: u64,
+    capacity: Option<u64>,
+}
+
+impl FileStore {
+    /// New store with unlimited capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New store with a byte capacity (exceeding it yields `NoSpace`).
+    pub fn with_capacity(capacity: u64) -> Self {
+        FileStore {
+            capacity: Some(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// Bytes currently stored (sum of file sizes).
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Number of live files (not directories).
+    pub fn file_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .filter(|n| !n.is_dir)
+            .count()
+    }
+
+    /// Look up a path.
+    pub fn lookup(&self, path: &str) -> Option<FileKey> {
+        let p = vpath::normalize(path).ok()?;
+        self.by_path.get(&p).copied()
+    }
+
+    /// Create a file (or return the existing one when `exclusive` is false).
+    pub fn create(&mut self, path: &str, exclusive: bool) -> Result<FileKey, IoErr> {
+        let p = vpath::normalize(path)?;
+        if let Some(&k) = self.by_path.get(&p) {
+            let node = self.get(k)?;
+            if node.is_dir {
+                return Err(IoErr::IsDir);
+            }
+            if exclusive {
+                return Err(IoErr::AlreadyExists);
+            }
+            return Ok(k);
+        }
+        self.mkdirs(vpath::parent(&p))?;
+        let key = FileKey(self.nodes.len() as u64);
+        self.nodes.push(Some(FileNode {
+            path: p.clone(),
+            data: SegmentMap::default(),
+            is_dir: false,
+        }));
+        self.by_path.insert(p, key);
+        Ok(key)
+    }
+
+    /// Create a directory chain.
+    pub fn mkdirs(&mut self, path: &str) -> Result<(), IoErr> {
+        let p = vpath::normalize(path)?;
+        if p == "/" {
+            return Ok(());
+        }
+        // Create ancestors first.
+        self.mkdirs(vpath::parent(&p))?;
+        match self.by_path.get(&p) {
+            Some(&k) => {
+                if !self.get(k)?.is_dir {
+                    return Err(IoErr::NotDir);
+                }
+            }
+            None => {
+                let key = FileKey(self.nodes.len() as u64);
+                self.nodes.push(Some(FileNode {
+                    path: p.clone(),
+                    data: SegmentMap::default(),
+                    is_dir: true,
+                }));
+                self.by_path.insert(p, key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Access a node.
+    pub fn get(&self, key: FileKey) -> Result<&FileNode, IoErr> {
+        self.nodes
+            .get(key.0 as usize)
+            .and_then(|n| n.as_ref())
+            .ok_or(IoErr::NotFound)
+    }
+
+    fn get_mut(&mut self, key: FileKey) -> Result<&mut FileNode, IoErr> {
+        self.nodes
+            .get_mut(key.0 as usize)
+            .and_then(|n| n.as_mut())
+            .ok_or(IoErr::NotFound)
+    }
+
+    /// File size.
+    pub fn size_of(&self, key: FileKey) -> Result<u64, IoErr> {
+        Ok(self.get(key)?.data.size())
+    }
+
+    /// Write a segment; enforces capacity on growth.
+    pub fn write(&mut self, key: FileKey, offset: u64, seg: Segment) -> Result<u64, IoErr> {
+        let cap = self.capacity;
+        let stored = self.bytes_stored;
+        let node = self.get_mut(key)?;
+        if node.is_dir {
+            return Err(IoErr::IsDir);
+        }
+        let old = node.data.size();
+        let new_end = offset + seg.len();
+        let growth = new_end.saturating_sub(old);
+        if let Some(c) = cap {
+            if stored + growth > c {
+                return Err(IoErr::NoSpace);
+            }
+        }
+        let n = seg.len();
+        node.data.write(offset, seg);
+        self.bytes_stored += growth;
+        Ok(n)
+    }
+
+    /// Materializing read.
+    pub fn read(&self, key: FileKey, offset: u64, len: u64) -> Result<Vec<u8>, IoErr> {
+        let node = self.get(key)?;
+        if node.is_dir {
+            return Err(IoErr::IsDir);
+        }
+        Ok(node.data.read(offset, len))
+    }
+
+    /// Timing-only read: bytes available in the range.
+    pub fn readable_len(&self, key: FileKey, offset: u64, len: u64) -> Result<u64, IoErr> {
+        let node = self.get(key)?;
+        if node.is_dir {
+            return Err(IoErr::IsDir);
+        }
+        Ok(node.data.readable_len(offset, len))
+    }
+
+    /// Truncate a file.
+    pub fn truncate(&mut self, key: FileKey, new_size: u64) -> Result<(), IoErr> {
+        let node = self.get_mut(key)?;
+        if node.is_dir {
+            return Err(IoErr::IsDir);
+        }
+        let old = node.data.size();
+        node.data.truncate(new_size);
+        self.bytes_stored = self.bytes_stored + new_size.saturating_sub(old)
+            - old.saturating_sub(new_size).min(self.bytes_stored);
+        Ok(())
+    }
+
+    /// Remove a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), IoErr> {
+        let p = vpath::normalize(path)?;
+        let key = *self.by_path.get(&p).ok_or(IoErr::NotFound)?;
+        let node = self.get(key)?;
+        if node.is_dir {
+            return Err(IoErr::IsDir);
+        }
+        self.bytes_stored -= node.data.size().min(self.bytes_stored);
+        self.by_path.remove(&p);
+        self.nodes[key.0 as usize] = None;
+        Ok(())
+    }
+
+    /// Snapshot a file's content map (cheap: segments are `Arc`-backed).
+    pub fn snapshot(&self, key: FileKey) -> Result<SegmentMap, IoErr> {
+        Ok(self.get(key)?.data.clone())
+    }
+
+    /// Create (or replace) a file with a pre-built content map. Used by
+    /// preload passes that copy datasets between tiers without
+    /// materializing bytes.
+    pub fn insert_snapshot(&mut self, path: &str, data: SegmentMap) -> Result<FileKey, IoErr> {
+        let key = self.create(path, false)?;
+        let old = self.get(key)?.data.size();
+        let new = data.size();
+        if let Some(c) = self.capacity {
+            if self.bytes_stored - old.min(self.bytes_stored) + new > c {
+                return Err(IoErr::NoSpace);
+            }
+        }
+        self.bytes_stored = self.bytes_stored - old.min(self.bytes_stored) + new;
+        self.get_mut(key)?.data = data;
+        Ok(key)
+    }
+
+    /// All file paths under a directory prefix (recursive), sorted.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let Ok(d) = vpath::normalize(dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = self
+            .nodes
+            .iter()
+            .flatten()
+            .filter(|n| !n.is_dir && vpath::starts_with_dir(&n.path, &d))
+            .map(|n| n.path.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let mut fs = FileStore::new();
+        let k = fs.create("/p/gpfs1/data.bin", false).unwrap();
+        fs.write(k, 0, Segment::Bytes(Arc::new(b"hello world".to_vec())))
+            .unwrap();
+        assert_eq!(fs.read(k, 0, 5).unwrap(), b"hello");
+        assert_eq!(fs.read(k, 6, 100).unwrap(), b"world");
+        assert_eq!(fs.size_of(k).unwrap(), 11);
+    }
+
+    #[test]
+    fn overwrite_splits_segments() {
+        let mut fs = FileStore::new();
+        let k = fs.create("/f", false).unwrap();
+        fs.write(k, 0, Segment::Bytes(Arc::new(vec![b'a'; 10]))).unwrap();
+        fs.write(k, 3, Segment::Bytes(Arc::new(vec![b'b'; 4]))).unwrap();
+        assert_eq!(fs.read(k, 0, 10).unwrap(), b"aaabbbbaaa");
+    }
+
+    #[test]
+    fn sparse_holes_read_as_zeros() {
+        let mut fs = FileStore::new();
+        let k = fs.create("/f", false).unwrap();
+        fs.write(k, 8, Segment::Bytes(Arc::new(vec![1, 2]))).unwrap();
+        let data = fs.read(k, 0, 10).unwrap();
+        assert_eq!(&data[..8], &[0u8; 8]);
+        assert_eq!(&data[8..], &[1, 2]);
+    }
+
+    #[test]
+    fn pattern_segments_are_deterministic() {
+        let mut fs = FileStore::new();
+        let k = fs.create("/big", false).unwrap();
+        fs.write(k, 0, Segment::Pattern { seed: 42, len: 1 << 20 }).unwrap();
+        let a = fs.read(k, 1000, 64).unwrap();
+        let b = fs.read(k, 1000, 64).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fs.readable_len(k, 0, 2 << 20).unwrap(), 1 << 20);
+        // Not all zero — the pattern has content.
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn exclusive_create_fails_on_existing() {
+        let mut fs = FileStore::new();
+        fs.create("/x", false).unwrap();
+        assert_eq!(fs.create("/x", true), Err(IoErr::AlreadyExists));
+        assert!(fs.create("/x", false).is_ok());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut fs = FileStore::with_capacity(100);
+        let k = fs.create("/f", false).unwrap();
+        fs.write(k, 0, Segment::Pattern { seed: 1, len: 80 }).unwrap();
+        assert_eq!(
+            fs.write(k, 80, Segment::Pattern { seed: 1, len: 40 }),
+            Err(IoErr::NoSpace)
+        );
+        // Overwrite within the file is fine — no growth.
+        assert!(fs.write(k, 0, Segment::Pattern { seed: 2, len: 80 }).is_ok());
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let mut fs = FileStore::with_capacity(100);
+        let k = fs.create("/f", false).unwrap();
+        fs.write(k, 0, Segment::Pattern { seed: 1, len: 100 }).unwrap();
+        fs.unlink("/f").unwrap();
+        assert_eq!(fs.bytes_stored(), 0);
+        assert_eq!(fs.lookup("/f"), None);
+        let k2 = fs.create("/g", false).unwrap();
+        assert!(fs.write(k2, 0, Segment::Pattern { seed: 1, len: 100 }).is_ok());
+    }
+
+    #[test]
+    fn list_is_recursive_and_sorted() {
+        let mut fs = FileStore::new();
+        fs.create("/a/b/1", false).unwrap();
+        fs.create("/a/2", false).unwrap();
+        fs.create("/c/3", false).unwrap();
+        assert_eq!(fs.list("/a"), vec!["/a/2".to_string(), "/a/b/1".to_string()]);
+        assert_eq!(fs.list("/"), vec!["/a/2", "/a/b/1", "/c/3"]);
+    }
+
+    #[test]
+    fn file_over_directory_conflicts() {
+        let mut fs = FileStore::new();
+        fs.create("/a/b/c", false).unwrap();
+        // "/a/b" is a directory; creating a file there must fail.
+        assert_eq!(fs.create("/a/b", false), Err(IoErr::IsDir));
+        // And a directory over the file "/a/b/c" must fail.
+        assert_eq!(fs.mkdirs("/a/b/c"), Err(IoErr::NotDir));
+    }
+
+    #[test]
+    fn truncate_shrinks_and_zero_extends() {
+        let mut fs = FileStore::new();
+        let k = fs.create("/f", false).unwrap();
+        fs.write(k, 0, Segment::Bytes(Arc::new(b"abcdefgh".to_vec()))).unwrap();
+        fs.truncate(k, 3).unwrap();
+        assert_eq!(fs.size_of(k).unwrap(), 3);
+        assert_eq!(fs.read(k, 0, 10).unwrap(), b"abc");
+        fs.truncate(k, 6).unwrap();
+        assert_eq!(fs.read(k, 0, 10).unwrap(), &[b'a', b'b', b'c', 0, 0, 0]);
+    }
+
+    proptest! {
+        /// Random write sequences: SegmentMap agrees with a Vec<u8> model.
+        #[test]
+        fn prop_segment_map_matches_vec_model(
+            writes in proptest::collection::vec((0u64..256, proptest::collection::vec(any::<u8>(), 1..64)), 1..40)
+        ) {
+            let mut sm = SegmentMap::default();
+            let mut model: Vec<u8> = Vec::new();
+            for (off, data) in &writes {
+                let end = *off as usize + data.len();
+                if model.len() < end {
+                    model.resize(end, 0);
+                }
+                model[*off as usize..end].copy_from_slice(data);
+                sm.write(*off, Segment::Bytes(Arc::new(data.clone())));
+            }
+            prop_assert_eq!(sm.size(), model.len() as u64);
+            prop_assert_eq!(sm.read(0, model.len() as u64 + 32), model);
+        }
+
+        /// readable_len never exceeds the requested length or the file size.
+        #[test]
+        fn prop_readable_len_bounds(off in 0u64..10_000, len in 0u64..10_000, size in 0u64..10_000) {
+            let mut sm = SegmentMap::default();
+            if size > 0 {
+                sm.write(0, Segment::Pattern { seed: 3, len: size });
+            }
+            let r = sm.readable_len(off, len);
+            prop_assert!(r <= len);
+            prop_assert!(off + r <= size.max(off));
+        }
+    }
+}

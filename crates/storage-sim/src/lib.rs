@@ -1,0 +1,33 @@
+//! # storage-sim
+//!
+//! The simulated storage substrate under every I/O interface in the suite:
+//!
+//! * [`err`] — error codes mirroring the POSIX failures the layers surface,
+//! * [`path`] — path normalization shared by all namespaces,
+//! * [`file`] — inodes, sparse segment maps (byte-backed or synthetic
+//!   pattern-backed content), and the flat namespace [`file::FileStore`],
+//! * [`pfs`] — a GPFS-like parallel file system: striped data servers,
+//!   metadata servers with queueing contention, per-file byte-range lock
+//!   queues, and a per-node client write-behind cache,
+//! * [`node_local`] — node-local tiers (tmpfs `/dev/shm`, burst buffers),
+//! * [`mounts`] — the [`mounts::StorageSystem`] that routes paths to tiers
+//!   exactly as a compute node's mount table would.
+//!
+//! All operations are *timed*: they take the simulated instant at which the
+//! calling rank issues the call and return the instant it completes, after
+//! queueing on the shared resources. Contention between ranks therefore
+//! emerges from call ordering, which the `hpc-cluster` engine guarantees is
+//! causal.
+
+pub mod err;
+pub mod file;
+pub mod mounts;
+pub mod node_local;
+pub mod path;
+pub mod pfs;
+
+pub use err::IoErr;
+pub use file::{FileKey, FileStore, Segment};
+pub use mounts::{StorageSystem, Tier};
+pub use node_local::{NodeLocalConfig, NodeLocalFs};
+pub use pfs::{GpfsConfig, GpfsSim};

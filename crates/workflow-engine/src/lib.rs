@@ -1,0 +1,17 @@
+//! # workflow-engine
+//!
+//! The workflow substrate beneath the paper's Montage experiments:
+//!
+//! * [`dag`] — task DAGs: explicit dependencies or dependencies inferred
+//!   from producer/consumer file relations (how Pegasus plans an abstract
+//!   workflow), plus topological levels and critical-path analysis,
+//! * [`queue`] — a pegasus-mpi-cluster-style work queue: a fixed pool of
+//!   MPI ranks pulls ready tasks, and completions unlock dependents. The
+//!   queue exposes an epoch counter that maps onto engine gates so idle
+//!   workers sleep until new work appears instead of spinning.
+
+pub mod dag;
+pub mod queue;
+
+pub use dag::{Dag, Task, TaskId};
+pub use queue::WorkQueue;

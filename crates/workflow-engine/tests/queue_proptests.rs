@@ -1,0 +1,150 @@
+//! Property tests for the pegasus-mpi-cluster-style scheduler: for random
+//! DAGs and random worker interleavings, every task executes exactly once,
+//! never before its dependencies, and the queue terminates.
+
+use proptest::prelude::*;
+use workflow_engine::dag::{Dag, Task, TaskId};
+use workflow_engine::queue::WorkQueue;
+
+/// Build a random DAG: `n` tasks; each task may depend on a subset of
+/// earlier tasks (guaranteeing acyclicity by construction).
+fn random_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
+    let mut g = Dag::new();
+    for i in 0..n {
+        g.add(Task {
+            name: format!("t{i}"),
+            app: format!("k{}", i % 3),
+            inputs: vec![],
+            outputs: vec![],
+        });
+    }
+    for &(a, b) in edges {
+        let (lo, hi) = (a.min(b) % n, (a.max(b) + 1) % n);
+        if lo < hi {
+            g.add_edge(TaskId(lo as u32), TaskId(hi as u32));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every task is claimed exactly once and completion order respects
+    /// dependencies, for any greedy interleaving of `k` workers.
+    #[test]
+    fn scheduler_is_exactly_once_and_dependency_safe(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+        k in 1usize..8,
+        // Worker pick order: which worker acts at each step.
+        picks in proptest::collection::vec(0usize..8, 0..400),
+    ) {
+        let dag = random_dag(n, &edges);
+        prop_assume!(dag.is_acyclic());
+        let mut q = WorkQueue::new(dag.clone(), 0);
+        // Each worker holds at most one claimed task.
+        let mut holding: Vec<Option<TaskId>> = vec![None; k];
+        let mut completed: Vec<TaskId> = Vec::new();
+        let mut done_set = std::collections::HashSet::new();
+        let mut pick_iter = picks.into_iter().cycle();
+        let mut steps = 0usize;
+        while !q.all_done() {
+            steps += 1;
+            prop_assert!(steps < 100_000, "scheduler did not terminate");
+            let w = pick_iter.next().expect("cycle is infinite") % k;
+            match holding[w].take() {
+                Some(t) => {
+                    // Completing a task must release only tasks whose deps
+                    // are all done.
+                    for &d in dag.deps_of(t) {
+                        prop_assert!(done_set.contains(&d), "{t:?} ran before dep {d:?}");
+                    }
+                    q.complete(t);
+                    done_set.insert(t);
+                    completed.push(t);
+                }
+                None => {
+                    if let Some(t) = q.try_claim() {
+                        holding[w] = Some(t);
+                    }
+                    // else: this worker idles this step; others proceed.
+                }
+            }
+        }
+        // Exactly-once execution.
+        prop_assert_eq!(completed.len(), dag.len());
+        let mut sorted: Vec<u32> = completed.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..dag.len() as u32).collect::<Vec<_>>());
+        // And the completion sequence is a valid topological order.
+        let mut seen = std::collections::HashSet::new();
+        for t in &completed {
+            for d in dag.deps_of(*t) {
+                prop_assert!(seen.contains(d));
+            }
+            seen.insert(*t);
+        }
+    }
+
+    /// Wake-gate protocol: after any completion that exposes new work, the
+    /// pre-bump gate id is exactly one less than the current wake gate, so
+    /// a worker parked on the old id is always woken by the completer.
+    #[test]
+    fn wake_gate_ids_never_skip(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+    ) {
+        let dag = random_dag(n, &edges);
+        prop_assume!(dag.is_acyclic());
+        let mut q = WorkQueue::new(dag, 500);
+        let mut last_gate = q.wake_gate();
+        while !q.all_done() {
+            let t = match q.try_claim() {
+                Some(t) => t,
+                None => break, // nothing ready while something runs: not possible serially
+            };
+            let gate_before = q.wake_gate();
+            let newly = q.complete(t);
+            let gate_after = q.wake_gate();
+            if !newly.is_empty() || q.all_done() {
+                prop_assert_eq!(gate_after, gate_before + 1);
+                prop_assert_eq!(q.gate_to_open_after_complete(), gate_before);
+            } else {
+                prop_assert_eq!(gate_after, gate_before);
+            }
+            prop_assert!(gate_after >= last_gate);
+            last_gate = gate_after;
+        }
+        prop_assert!(q.all_done());
+    }
+
+    /// Levels are consistent with the queue: tasks become ready only after
+    /// every task in every earlier level that they depend on completes —
+    /// a serial executor drains the DAG in at most `levels` waves.
+    #[test]
+    fn serial_execution_matches_level_structure(
+        n in 1usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+    ) {
+        let dag = random_dag(n, &edges);
+        prop_assume!(dag.is_acyclic());
+        let levels = dag.levels();
+        let mut q = WorkQueue::new(dag, 0);
+        let mut waves = 0usize;
+        while !q.all_done() {
+            waves += 1;
+            prop_assert!(waves <= levels.len(), "more waves than DAG levels");
+            // Drain everything currently ready (one "wave").
+            let mut batch = Vec::new();
+            while let Some(t) = q.try_claim() {
+                batch.push(t);
+            }
+            prop_assert!(!batch.is_empty(), "stalled with work outstanding");
+            for t in batch {
+                q.complete(t);
+            }
+        }
+        prop_assert_eq!(waves, levels.len());
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the vani-rs suite: re-exports the public API of every
+//! member crate so examples and integration tests can use one import root.
+pub use exemplar_workloads as workloads;
+pub use hpc_cluster as cluster;
+pub use io_layers as layers;
+pub use recorder_sim as recorder;
+pub use sim_core as sim;
+pub use storage_sim as storage;
+pub use vani_core as vani;
+pub use workflow_engine as workflow;

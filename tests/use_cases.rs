@@ -1,0 +1,34 @@
+//! Integration: the §V use cases reproduce the paper's *shape* — the
+//! reconfigured variant wins by a materially large factor.
+
+use vani_suite::vani::reconfig;
+
+#[test]
+fn figure7_preload_speedup_band() {
+    let pts = reconfig::figure7(0.02, &[8, 16], 7);
+    for p in &pts {
+        assert!(
+            p.speedup() > 1.3,
+            "fig7 at {} nodes: speedup {:.2} too small",
+            p.nodes,
+            p.speedup()
+        );
+        assert!(p.optimized_io < p.baseline_io);
+    }
+}
+
+#[test]
+fn figure8_node_local_speedup_band() {
+    let pts = reconfig::figure8(0.1, &[8, 16], 7);
+    for p in &pts {
+        assert!(
+            p.speedup() > 4.0,
+            "fig8 at {} nodes: speedup {:.2} too small",
+            p.nodes,
+            p.speedup()
+        );
+    }
+    // Strong scaling: per-rank baseline I/O shrinks sublinearly or not at
+    // all (contention), but never grows faster than the work shrinks.
+    assert!(pts[1].baseline_io < pts[0].baseline_io * 1.5);
+}
