@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline (see DESIGN.md, "Hermeticity").
+#
+# --offline proves the zero-external-dependency invariant: the build must
+# succeed with an empty registry cache. --workspace is required because the
+# root package (vani-suite) does not depend on the `bench` crate, so a plain
+# `cargo build` at the root would silently skip it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo bench -q --offline -p bench --no-run
+
+echo "ci: OK"

@@ -2,8 +2,13 @@
 //! mapping rules evaluated empirically by sweeping one storage knob at a
 //! time and measuring the resulting simulated I/O completion time.
 
+// Built-in wall-clock harness by default; the `external-bench` feature
+// switches to real criterion (requires vendoring it — see DESIGN.md).
+#[cfg(feature = "external-bench")]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpc_cluster::topology::{NodeId, RankId};
+#[cfg(not(feature = "external-bench"))]
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_cluster::topology::RankId;
 use io_layers::hdf5::{self, H5Options};
 use io_layers::posix::{self, OpenFlags};
 use io_layers::world::IoWorld;

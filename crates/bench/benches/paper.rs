@@ -1,9 +1,16 @@
-//! Criterion benches that regenerate the paper's artifacts: one bench per
-//! table group and figure. Each measures the full pipeline (simulate →
-//! trace → analyze → render) at a small scale, so `cargo bench` both
-//! exercises and times every experiment in the index.
+//! Benches that regenerate the paper's artifacts: one bench per table
+//! group and figure. Each measures the full pipeline (simulate → trace →
+//! analyze → render) at a small scale, so `cargo bench` both exercises and
+//! times every experiment in the index.
+//!
+//! By default these run on the built-in wall-clock harness so the workspace
+//! benches build offline; enable the `external-bench` feature (after
+//! vendoring criterion) for statistical timing.
 
+#[cfg(feature = "external-bench")]
 use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "external-bench"))]
+use bench::harness::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vani_core::analyzer::Analysis;
 use vani_core::{reconfig, tables};

@@ -1,0 +1,210 @@
+//! Built-in wall-clock benchmark harness.
+//!
+//! A minimal, dependency-free stand-in for the subset of the criterion API
+//! the bench targets use (`Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `criterion_group!`,
+//! `criterion_main!`). Timing is plain `std::time::Instant` sampling —
+//! no outlier rejection or regression analysis — which is enough to spot
+//! order-of-magnitude changes and keeps `cargo bench` building offline.
+//!
+//! Enable the `external-bench` feature (after vendoring the `criterion`
+//! crate) to switch the bench targets back to the real thing.
+
+use std::time::{Duration, Instant};
+
+// The bench targets import the macros from this module; `#[macro_export]`
+// puts them at the crate root, so re-export them here.
+pub use crate::{criterion_group, criterion_main};
+
+/// Samples per benchmark unless overridden with
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named benchmark id, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark within a group by its parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// A group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time a closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// Time a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// End the group (criterion parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warm-up, then `samples` timed iterations.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        std::hint::black_box(f());
+        self.times = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.times.is_empty() {
+            eprintln!("{group}/{id}: no samples recorded");
+            return;
+        }
+        let min = self.times.iter().min().unwrap();
+        let max = self.times.iter().max().unwrap();
+        let mean = self.times.iter().sum::<Duration>() / self.times.len() as u32;
+        eprintln!(
+            "{group}/{id}: mean {} (min {}, max {}, {} samples)",
+            fmt_dur(mean),
+            fmt_dur(*min),
+            fmt_dur(*max),
+            self.times.len()
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a bench entry point running each listed function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` names, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("harness_test");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_dur(Duration::from_nanos(17)), "17ns");
+        assert_eq!(fmt_dur(Duration::from_micros(250)), "250.00us");
+        assert_eq!(fmt_dur(Duration::from_millis(3)), "3.00ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
+    }
+}

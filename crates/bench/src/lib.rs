@@ -1,10 +1,11 @@
 //! Shared harness code for the table/figure reproduction binary and the
-//! Criterion benches: runs the six exemplar workloads once at a chosen
-//! scale and hands out their analyses.
+//! benches: runs the six exemplar workloads once at a chosen scale and
+//! hands out their analyses.
 
 use exemplar_workloads::{cm1, cosmoflow, hacc, jag, montage, montage_pegasus};
-use rayon::prelude::*;
 use vani_core::analyzer::Analysis;
+
+pub mod harness;
 
 /// Default scale for the reproduction harness (`VANI_SCALE` overrides).
 pub const DEFAULT_SCALE: f64 = 0.05;
@@ -28,10 +29,7 @@ pub fn run_all_six(scale: f64, seed: u64) -> Vec<Analysis> {
         montage::run,
         montage_pegasus::run,
     ];
-    runners
-        .into_par_iter()
-        .map(|r| Analysis::from_run(&r(scale, seed)))
-        .collect()
+    vani_rt::par::par_map_owned(runners, |r| Analysis::from_run(&r(scale, seed)))
 }
 
 /// Measured IOR peak bandwidth for Table IX.

@@ -6,11 +6,10 @@
 //! Analyzer emits (as YAML) and the storage system would consume to
 //! configure itself.
 
-use serde::{Deserialize, Serialize};
 use sim_core::units::{fmt_bw, fmt_bytes, fmt_count, fmt_pct};
 
 /// The ten entity types of the characterization (§IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EntityType {
     /// Job scheduling and allocated resources (Table II).
     JobConfiguration,
@@ -68,7 +67,7 @@ impl EntityType {
 }
 
 /// One attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// Free text ("POSIX", "/dev/shm", "Sequential").
     Str(String),
@@ -120,7 +119,7 @@ impl AttrValue {
 }
 
 /// A characterized entity: type, instance name, attributes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Entity {
     /// Which entity type this is.
     pub etype: EntityType,

@@ -6,12 +6,11 @@
 //! should reconfigure. The two §V case studies are the first two rules.
 
 use crate::analyzer::Analysis;
-use serde::{Deserialize, Serialize};
 use sim_core::stats::DistributionFit;
 use sim_core::units::{GIB, KIB, MIB};
 
 /// A storage-stack reconfiguration the rules can recommend.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Recommendation {
     /// §V-A: preload the dataset into node-local shm and read locally
     /// (CosmoFlow). Fired by small shared files + metadata-dominated I/O +
@@ -73,7 +72,7 @@ impl Recommendation {
 }
 
 /// A fired rule: the recommendation plus its attribute-based rationale.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Advice {
     /// What to reconfigure.
     pub recommendation: Recommendation,

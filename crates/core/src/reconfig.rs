@@ -8,10 +8,9 @@
 
 use crate::analyzer::Analysis;
 use exemplar_workloads::{cosmoflow, montage};
-use serde::{Deserialize, Serialize};
 
 /// One point of a Figure 7/8 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Node count.
     pub nodes: u32,
@@ -43,11 +42,10 @@ fn io_time_of(run: &exemplar_workloads::WorkloadRun) -> (f64, f64) {
 
 /// Figure 7: CosmoFlow baseline (GPFS, cross-node MPI-IO groups) vs
 /// optimized (preload to shm, node-local reads), strong-scaled over
-/// `node_counts`.
+/// `node_counts`. Sweep points are independent simulations and run in
+/// parallel.
 pub fn figure7(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
-    node_counts
-        .iter()
-        .map(|&nodes| {
+    vani_rt::par::par_map_owned(node_counts.to_vec(), |nodes| {
             let mut p = cosmoflow::CosmoflowParams::scaled(scale);
             p.nodes = nodes;
             let base = cosmoflow::run_with(p.clone(), scale, seed);
@@ -63,18 +61,16 @@ pub fn figure7(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
                 baseline_runtime: brt,
                 optimized_runtime: ort,
             }
-        })
-        .collect()
+    })
 }
 
 /// Figure 8: Montage-MPI baseline (intermediates on GPFS) vs optimized
 /// (intermediates in `/dev/shm`), strong-scaled over `node_counts`:
 /// total work fixed at the `scale`-sized workload, divided per node.
+/// Sweep points are independent simulations and run in parallel.
 pub fn figure8(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
     let base_p = montage::MontageParams::scaled(scale);
-    node_counts
-        .iter()
-        .map(|&nodes| {
+    vani_rt::par::par_map_owned(node_counts.to_vec(), |nodes| {
             let f = base_p.nodes as f64 / nodes as f64;
             let mut p = base_p.clone();
             p.nodes = nodes;
@@ -99,8 +95,7 @@ pub fn figure8(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
                 baseline_runtime: brt,
                 optimized_runtime: ort,
             }
-        })
-        .collect()
+    })
 }
 
 /// Render a sweep as the repro harness prints it.

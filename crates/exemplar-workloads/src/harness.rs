@@ -5,11 +5,10 @@ use hpc_cluster::mpi::MpiCostModel;
 use hpc_cluster::topology::ClusterSpec;
 use io_layers::world::IoWorld;
 use recorder_sim::ColumnarTrace;
-use serde::{Deserialize, Serialize};
 use sim_core::{Dur, SimTime};
 
 /// The six exemplar workloads (plus the IOR calibrator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// CM1 atmospheric simulation.
     Cm1,

@@ -6,12 +6,11 @@
 //! other layer uses.
 
 use crate::topology::{ClusterSpec, NodeId, RankId};
-use serde::{Deserialize, Serialize};
 use sim_core::Dur;
 
 /// A job submission: resources requested and storage locations used.
 /// Mirrors the paper's job-configuration entity (Table II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Nodes requested.
     pub nodes: u32,
@@ -53,7 +52,7 @@ impl JobSpec {
 /// `i`-th node, matching typical `jsrun`/`srun` defaults and the paper's
 /// observation that "every first rank per node (i.e. 40, 80, …, 1240)"
 /// performs node-level duties in CM1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobAlloc {
     /// The submitted spec.
     pub spec: JobSpec,

@@ -6,11 +6,10 @@
 //! attributes to collective I/O.
 
 use crate::topology::{NodeSpec, RankId};
-use serde::{Deserialize, Serialize};
 use sim_core::Dur;
 
 /// Identifies a communicator. Communicator 0 is always `MPI_COMM_WORLD`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CommId(pub u32);
 
 impl CommId {
@@ -19,7 +18,7 @@ impl CommId {
 }
 
 /// A group of ranks that synchronize together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Communicator {
     /// This communicator's id.
     pub id: CommId,
@@ -53,7 +52,7 @@ impl Communicator {
 }
 
 /// The collective operations the engine models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
     /// Pure synchronization.
     Barrier,
@@ -68,7 +67,7 @@ pub enum CollectiveKind {
 }
 
 /// Hockney-style analytic cost model for collectives.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpiCostModel {
     /// Per-message fabric latency.
     pub latency: Dur,

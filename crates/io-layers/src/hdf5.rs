@@ -18,7 +18,7 @@ use crate::posix::{self, Fd, OpenFlags};
 use crate::world::IoWorld;
 use hpc_cluster::topology::RankId;
 use recorder_sim::record::{Layer, OpKind};
-use serde::{Deserialize, Serialize};
+use vani_rt::{FromJson, Json, JsonError, ToJson};
 use sim_core::SimTime;
 use std::collections::HashMap;
 use storage_sim::IoErr;
@@ -28,7 +28,7 @@ const SUPERBLOCK: u64 = 512;
 const MAGIC: &[u8; 8] = b"H5SIM001";
 
 /// Per-open options.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct H5Options {
     /// Access the file through MPI-IO semantics (collective metadata:
     /// per-access header validation on unchunked datasets).
@@ -48,7 +48,7 @@ impl Default for H5Options {
 }
 
 /// Storage layout of one dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DsLayout {
     /// One contiguous extent at `offset`.
     Contiguous {
@@ -65,7 +65,7 @@ pub enum DsLayout {
 }
 
 /// A dataset's header entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetInfo {
     /// Dataset name.
     pub name: String,
@@ -84,9 +84,83 @@ impl DatasetInfo {
     }
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct Header {
     datasets: Vec<DatasetInfo>,
+}
+
+// The on-disk header format uses externally-tagged enums
+// (`{"Chunked": {"offset": N, "chunk_bytes": M}}`) so existing H5SIM files
+// keep parsing.
+impl ToJson for DsLayout {
+    fn to_json(&self) -> Json {
+        match self {
+            DsLayout::Contiguous { offset } => Json::obj([(
+                "Contiguous",
+                Json::obj([("offset", offset.to_json())]),
+            )]),
+            DsLayout::Chunked { offset, chunk_bytes } => Json::obj([(
+                "Chunked",
+                Json::obj([
+                    ("offset", offset.to_json()),
+                    ("chunk_bytes", chunk_bytes.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for DsLayout {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = j.get("Contiguous") {
+            Ok(DsLayout::Contiguous {
+                offset: body.decode_field("offset")?,
+            })
+        } else if let Some(body) = j.get("Chunked") {
+            Ok(DsLayout::Chunked {
+                offset: body.decode_field("offset")?,
+                chunk_bytes: body.decode_field("chunk_bytes")?,
+            })
+        } else {
+            Err(JsonError::shape("unknown DsLayout variant"))
+        }
+    }
+}
+
+impl ToJson for DatasetInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("shape", self.shape.to_json()),
+            ("dtype_size", self.dtype_size.to_json()),
+            ("layout", self.layout.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DatasetInfo {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(DatasetInfo {
+            name: j.decode_field("name")?,
+            shape: j.decode_field("shape")?,
+            dtype_size: j.decode_field("dtype_size")?,
+            layout: j.decode_field("layout")?,
+        })
+    }
+}
+
+impl ToJson for Header {
+    fn to_json(&self) -> Json {
+        Json::obj([("datasets", self.datasets.to_json())])
+    }
+}
+
+impl FromJson for Header {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Header {
+            datasets: j.decode_field("datasets")?,
+        })
+    }
 }
 
 /// Writer handle for producing an H5SIM file.
@@ -193,7 +267,7 @@ impl H5Writer {
         let header = Header {
             datasets: self.datasets,
         };
-        let json = serde_json::to_vec(&header).expect("header serializes");
+        let json = vani_rt::json::to_vec(&header);
         let hlen = json.len() as u64;
         let (res, t) = posix::write_at(w, rank, self.fd, self.eof, &json, now);
         if let Err(e) = res {
@@ -251,7 +325,7 @@ pub fn materialize(
         });
         eof += nbytes;
     }
-    let json = serde_json::to_vec(&Header { datasets }).expect("header serializes");
+    let json = vani_rt::json::to_vec(&Header { datasets });
     let hlen = json.len() as u64;
     store.write(key, eof, Segment::Bytes(std::sync::Arc::new(json)))?;
     let mut sb = vec![0u8; SUPERBLOCK as usize];
@@ -330,7 +404,7 @@ pub fn open(
         header_offset,
         hjson.len() as u64,
     );
-    let header: Header = match serde_json::from_slice(&hjson) {
+    let header: Header = match vani_rt::json::from_slice(&hjson) {
         Ok(h) => h,
         Err(_) => return (Err(IoErr::Invalid), t),
     };

@@ -16,7 +16,6 @@ use crate::posix::{self, Fd};
 use crate::world::IoWorld;
 use hpc_cluster::topology::RankId;
 use recorder_sim::record::{Layer, OpKind};
-use serde::{Deserialize, Serialize};
 use sim_core::stats::DistributionFit;
 use sim_core::units::MIB;
 use sim_core::{Dur, SimTime};
@@ -166,7 +165,7 @@ impl Prefetcher {
 }
 
 /// Compression middleware configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressionCfg {
     /// Compression throughput (bytes/sec of input).
     pub compress_bw: u64,

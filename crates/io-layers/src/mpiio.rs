@@ -17,13 +17,12 @@ use crate::world::IoWorld;
 use hpc_cluster::mpi::{CollectiveKind, MpiCostModel};
 use hpc_cluster::topology::RankId;
 use recorder_sim::record::{Layer, OpKind};
-use serde::{Deserialize, Serialize};
 use sim_core::units::MIB;
 use sim_core::SimTime;
 use storage_sim::IoErr;
 
 /// ROMIO-style hints controlling collective buffering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpiIoHints {
     /// Number of aggregator ranks (`cb_nodes`); `None` = one per node.
     pub cb_nodes: Option<u32>,

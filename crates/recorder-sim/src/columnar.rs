@@ -3,21 +3,21 @@
 //! Recorder logs are row-major; the paper converts them to parquet and runs
 //! DASK over the columns because filtering and aggregation are hopelessly
 //! slow row-by-row. [`ColumnarTrace`] is that conversion: a struct-of-arrays
-//! copy of the trace with rayon-parallel filter and group-by kernels the
-//! analyzer builds everything else out of.
+//! copy of the trace with parallel filter and group-by kernels (built on
+//! [`vani_rt::par`]) the analyzer builds everything else out of.
 
 use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
 use crate::tracer::Tracer;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use sim_core::{Dur, SimTime};
 use std::collections::HashMap;
+use vani_rt::par;
+use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Sentinel for "no file" in the file column.
 const NO_FILE: u32 = u32::MAX;
 
 /// A struct-of-arrays view of a whole trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ColumnarTrace {
     /// Caller rank per record.
     pub rank: Vec<u32>,
@@ -46,7 +46,7 @@ pub struct ColumnarTrace {
 }
 
 /// Aggregate over a group of records.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GroupAgg {
     /// Record count.
     pub ops: u64,
@@ -132,17 +132,12 @@ impl ColumnarTrace {
         Dur(self.end[i].saturating_sub(self.start[i]))
     }
 
-    /// Indices matching a predicate, in record order (rayon-parallel scan).
+    /// Indices matching a predicate, in record order (parallel scan).
     pub fn select<P>(&self, pred: P) -> Vec<u32>
     where
         P: Fn(usize) -> bool + Sync,
     {
-        let mut v: Vec<u32> = (0..self.len() as u32)
-            .into_par_iter()
-            .filter(|&i| pred(i as usize))
-            .collect();
-        v.sort_unstable();
-        v
+        par::par_filter_indices(self.len(), pred)
     }
 
     /// Indices of all I/O operations (data + metadata).
@@ -162,15 +157,17 @@ impl ColumnarTrace {
 
     /// Sum of `bytes` over a selection.
     pub fn sum_bytes(&self, sel: &[u32]) -> u64 {
-        sel.par_iter().map(|&i| self.bytes[i as usize]).sum()
+        par::par_reduce(sel, || 0u64, |acc, &i| acc + self.bytes[i as usize], |a, b| a + b)
     }
 
     /// Sum of durations over a selection.
     pub fn sum_time(&self, sel: &[u32]) -> Dur {
-        Dur(sel
-            .par_iter()
-            .map(|&i| self.end[i as usize] - self.start[i as usize])
-            .sum())
+        Dur(par::par_reduce(
+            sel,
+            || 0u64,
+            |acc, &i| acc + (self.end[i as usize] - self.start[i as usize]),
+            |a, b| a + b,
+        ))
     }
 
     /// Group a selection by file id.
@@ -194,41 +191,83 @@ impl ColumnarTrace {
         K: std::hash::Hash + Eq + Send,
         F: Fn(usize) -> K + Sync,
     {
-        sel.par_iter()
-            .fold(HashMap::new, |mut acc: HashMap<K, GroupAgg>, &i| {
+        par::par_group_by(
+            sel,
+            |&i| key(i as usize),
+            |agg: &mut GroupAgg, &i| {
                 let i = i as usize;
-                let e = acc.entry(key(i)).or_default();
-                e.ops += 1;
-                e.bytes += self.bytes[i];
-                e.time += Dur(self.end[i] - self.start[i]);
-                acc
-            })
-            .reduce(HashMap::new, |mut a, b| {
-                for (k, v) in b {
-                    let e = a.entry(k).or_default();
-                    e.ops += v.ops;
-                    e.bytes += v.bytes;
-                    e.time += v.time;
-                }
-                a
-            })
+                agg.ops += 1;
+                agg.bytes += self.bytes[i];
+                agg.time += Dur(self.end[i] - self.start[i]);
+            },
+            |a, b| {
+                a.ops += b.ops;
+                a.bytes += b.bytes;
+                a.time += b.time;
+            },
+        )
     }
 
     /// Earliest start over the whole trace.
     pub fn t_min(&self) -> SimTime {
-        SimTime(self.start.par_iter().copied().min().unwrap_or(0))
+        if self.start.is_empty() {
+            return SimTime::ZERO;
+        }
+        SimTime(par::par_reduce(
+            &self.start,
+            || u64::MAX,
+            |acc, &t| acc.min(t),
+            |a, b| a.min(b),
+        ))
     }
 
     /// Latest end over the whole trace.
     pub fn t_max(&self) -> SimTime {
-        SimTime(self.end.par_iter().copied().max().unwrap_or(0))
+        SimTime(par::par_reduce(&self.end, || 0u64, |acc, &t| acc.max(t), |a, b| a.max(b)))
+    }
+}
+
+impl ToJson for ColumnarTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rank", self.rank.to_json()),
+            ("node", self.node.to_json()),
+            ("app", self.app.to_json()),
+            ("layer", self.layer.to_json()),
+            ("op", self.op.to_json()),
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+            ("file", self.file.to_json()),
+            ("offset", self.offset.to_json()),
+            ("bytes", self.bytes.to_json()),
+            ("file_paths", self.file_paths.to_json()),
+            ("app_names", self.app_names.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ColumnarTrace {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ColumnarTrace {
+            rank: j.decode_field("rank")?,
+            node: j.decode_field("node")?,
+            app: j.decode_field("app")?,
+            layer: j.decode_field("layer")?,
+            op: j.decode_field("op")?,
+            start: j.decode_field("start")?,
+            end: j.decode_field("end")?,
+            file: j.decode_field("file")?,
+            offset: j.decode_field("offset")?,
+            bytes: j.decode_field("bytes")?,
+            file_paths: j.decode_field("file_paths")?,
+            app_names: j.decode_field("app_names")?,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_trace() -> Tracer {
         let mut t = Tracer::new();
@@ -284,44 +323,49 @@ mod tests {
         assert_eq!(c.t_max(), SimTime(1_000_000_020));
     }
 
-    proptest! {
-        /// Row → column → row is the identity for arbitrary records.
-        #[test]
-        fn prop_round_trip(
-            recs in proptest::collection::vec(
-                (0u32..8, 0u32..4, 0u64..1_000, 1u64..1_000, 0u64..4096, 0u64..65536),
-                0..50,
-            )
-        ) {
-            let records: Vec<TraceRecord> = recs
-                .iter()
-                .map(|&(rank, node, start, dur, off, bytes)| TraceRecord {
-                    rank,
-                    node,
-                    app: AppId(0),
-                    layer: Layer::Posix,
-                    op: if bytes % 2 == 0 { OpKind::Read } else { OpKind::Open },
-                    start: SimTime(start),
-                    end: SimTime(start + dur),
-                    file: if bytes % 3 == 0 { None } else { Some(FileId(rank)) },
-                    offset: off,
-                    bytes,
+    // Deterministic randomized sweeps (seeded `vani_rt::Rng`) — converted
+    // from the original proptest suites.
+
+    /// Row → column → row is the identity for arbitrary records.
+    #[test]
+    fn randomized_round_trip() {
+        let mut r = vani_rt::Rng::new(0xc001_0001);
+        for _ in 0..64 {
+            let n = r.uniform_u64(0, 50) as usize;
+            let records: Vec<TraceRecord> = (0..n)
+                .map(|_| {
+                    let rank = r.uniform_u64(0, 8) as u32;
+                    let start = r.uniform_u64(0, 1_000);
+                    let dur = r.uniform_u64(1, 1_000);
+                    let bytes = r.uniform_u64(0, 65536);
+                    TraceRecord {
+                        rank,
+                        node: r.uniform_u64(0, 4) as u32,
+                        app: AppId(0),
+                        layer: Layer::Posix,
+                        op: if bytes % 2 == 0 { OpKind::Read } else { OpKind::Open },
+                        start: SimTime(start),
+                        end: SimTime(start + dur),
+                        file: if bytes % 3 == 0 { None } else { Some(FileId(rank)) },
+                        offset: r.uniform_u64(0, 4096),
+                        bytes,
+                    }
                 })
                 .collect();
             let c = ColumnarTrace::from_records(&records, vec!["/f".into(); 8], vec!["a".into()]);
-            prop_assert_eq!(c.to_records(), records);
+            assert_eq!(c.to_records(), records);
         }
+    }
 
-        /// group_by_rank partitions the selection: totals match.
-        #[test]
-        fn prop_group_by_partitions(
-            recs in proptest::collection::vec((0u32..5, 1u64..100), 1..100)
-        ) {
-            let records: Vec<TraceRecord> = recs
-                .iter()
-                .enumerate()
-                .map(|(i, &(rank, bytes))| TraceRecord {
-                    rank,
+    /// group_by_rank partitions the selection: totals match.
+    #[test]
+    fn randomized_group_by_partitions() {
+        let mut r = vani_rt::Rng::new(0xc001_0002);
+        for _ in 0..64 {
+            let n = r.uniform_u64(1, 100) as usize;
+            let records: Vec<TraceRecord> = (0..n)
+                .map(|i| TraceRecord {
+                    rank: r.uniform_u64(0, 5) as u32,
                     node: 0,
                     app: AppId(0),
                     layer: Layer::Posix,
@@ -330,7 +374,7 @@ mod tests {
                     end: SimTime(i as u64 + 1),
                     file: None,
                     offset: 0,
-                    bytes,
+                    bytes: r.uniform_u64(1, 100),
                 })
                 .collect();
             let c = ColumnarTrace::from_records(&records, vec![], vec!["a".into()]);
@@ -338,8 +382,8 @@ mod tests {
             let groups = c.group_by_rank(&sel);
             let total_ops: u64 = groups.values().map(|g| g.ops).sum();
             let total_bytes: u64 = groups.values().map(|g| g.bytes).sum();
-            prop_assert_eq!(total_ops, recs.len() as u64);
-            prop_assert_eq!(total_bytes, c.sum_bytes(&sel));
+            assert_eq!(total_ops, n as u64);
+            assert_eq!(total_bytes, c.sum_bytes(&sel));
         }
     }
 }

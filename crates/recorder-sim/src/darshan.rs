@@ -9,12 +9,11 @@
 //! counters, and the tests show which analyses survive the folding.
 
 use crate::record::{OpKind, TraceRecord};
-use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 use std::collections::HashMap;
 
 /// Darshan-style per-file counters (a subset of the POSIX module's).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FileCounters {
     /// POSIX_OPENS.
     pub opens: u64,
@@ -50,7 +49,7 @@ pub struct FileCounters {
 }
 
 /// An aggregate profile: per-file counters plus job-level totals.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DarshanProfile {
     /// Per-file counters keyed by file id.
     pub files: HashMap<u32, FileCounters>,

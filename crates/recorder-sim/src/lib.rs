@@ -15,7 +15,7 @@
 //!   runtime overhead the paper reports),
 //! * [`columnar`] — the row-major → column-major conversion that mirrors the
 //!   paper's Recorder-log → parquet step, with the filter/group-by kernels
-//!   the Vani analyzer runs over the columns (rayon-parallel),
+//!   the Vani analyzer runs over the columns (parallel via `vani_rt::par`),
 //! * [`persist`] — JSON save/load of whole traces,
 //! * [`darshan`] — a Darshan-style aggregate-counter profiler, implemented
 //!   as a fold over the full trace to demonstrate (as the paper argues in

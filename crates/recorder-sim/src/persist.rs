@@ -13,28 +13,26 @@ use std::path::Path;
 
 /// Save a row-major trace as JSON.
 pub fn save_tracer(t: &Tracer, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(t).map_err(io::Error::other)?;
-    fs::write(path, json)
+    fs::write(path, vani_rt::json::to_string(t))
 }
 
 /// Load a row-major trace from JSON (intern maps rebuilt).
 pub fn load_tracer(path: &Path) -> io::Result<Tracer> {
     let json = fs::read_to_string(path)?;
-    let mut t: Tracer = serde_json::from_str(&json).map_err(io::Error::other)?;
+    let mut t: Tracer = vani_rt::json::from_str(&json).map_err(io::Error::other)?;
     t.rebuild_index();
     Ok(t)
 }
 
 /// Save a columnar trace as JSON.
 pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(c).map_err(io::Error::other)?;
-    fs::write(path, json)
+    fs::write(path, vani_rt::json::to_string(c))
 }
 
 /// Load a columnar trace from JSON.
 pub fn load_columnar(path: &Path) -> io::Result<ColumnarTrace> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(io::Error::other)
+    vani_rt::json::from_str(&json).map_err(io::Error::other)
 }
 
 #[cfg(test)]

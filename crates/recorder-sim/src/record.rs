@@ -1,20 +1,20 @@
 //! The trace schema: one record per intercepted call.
 
-use serde::{Deserialize, Serialize};
 use sim_core::{Dur, SimTime};
+use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Interned file identifier; the tracer owns the id → path table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u32);
 
 /// Interned application identifier (workflow step), id → name in the tracer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u16);
 
 /// The interface layer a call was captured at — Recorder's "multi-level"
 /// dimension. One logical application call may produce records at several
 /// layers (HDF5 → MPI-IO → POSIX).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Layer {
     /// Application-level events (compute, GPU, MPI).
     App,
@@ -45,7 +45,7 @@ impl Layer {
 }
 
 /// The operation a record describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
     /// Data read.
     Read,
@@ -126,7 +126,7 @@ impl OpKind {
 }
 
 /// One captured call.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Global rank of the caller.
     pub rank: u32,
@@ -148,6 +148,140 @@ pub struct TraceRecord {
     pub offset: u64,
     /// Bytes moved, for data ops (0 for metadata).
     pub bytes: u64,
+}
+
+impl ToJson for FileId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for FileId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u32::from_json(j).map(FileId)
+    }
+}
+
+impl ToJson for AppId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for AppId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u16::from_json(j).map(AppId)
+    }
+}
+
+impl ToJson for Layer {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Layer::App => "App",
+                Layer::HighLevel => "HighLevel",
+                Layer::MpiIo => "MpiIo",
+                Layer::Stdio => "Stdio",
+                Layer::Posix => "Posix",
+                Layer::Middleware => "Middleware",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Layer {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str()? {
+            "App" => Ok(Layer::App),
+            "HighLevel" => Ok(Layer::HighLevel),
+            "MpiIo" => Ok(Layer::MpiIo),
+            "Stdio" => Ok(Layer::Stdio),
+            "Posix" => Ok(Layer::Posix),
+            "Middleware" => Ok(Layer::Middleware),
+            other => Err(JsonError::shape(format!("unknown Layer variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for OpKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                OpKind::Read => "Read",
+                OpKind::Write => "Write",
+                OpKind::Open => "Open",
+                OpKind::Create => "Create",
+                OpKind::Close => "Close",
+                OpKind::Stat => "Stat",
+                OpKind::Seek => "Seek",
+                OpKind::Sync => "Sync",
+                OpKind::Unlink => "Unlink",
+                OpKind::Mkdir => "Mkdir",
+                OpKind::Compute => "Compute",
+                OpKind::GpuCompute => "GpuCompute",
+                OpKind::MpiColl => "MpiColl",
+                OpKind::MpiP2p => "MpiP2p",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for OpKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str()? {
+            "Read" => Ok(OpKind::Read),
+            "Write" => Ok(OpKind::Write),
+            "Open" => Ok(OpKind::Open),
+            "Create" => Ok(OpKind::Create),
+            "Close" => Ok(OpKind::Close),
+            "Stat" => Ok(OpKind::Stat),
+            "Seek" => Ok(OpKind::Seek),
+            "Sync" => Ok(OpKind::Sync),
+            "Unlink" => Ok(OpKind::Unlink),
+            "Mkdir" => Ok(OpKind::Mkdir),
+            "Compute" => Ok(OpKind::Compute),
+            "GpuCompute" => Ok(OpKind::GpuCompute),
+            "MpiColl" => Ok(OpKind::MpiColl),
+            "MpiP2p" => Ok(OpKind::MpiP2p),
+            other => Err(JsonError::shape(format!("unknown OpKind variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rank", self.rank.to_json()),
+            ("node", self.node.to_json()),
+            ("app", self.app.to_json()),
+            ("layer", self.layer.to_json()),
+            ("op", self.op.to_json()),
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+            ("file", self.file.to_json()),
+            ("offset", self.offset.to_json()),
+            ("bytes", self.bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TraceRecord {
+            rank: j.decode_field("rank")?,
+            node: j.decode_field("node")?,
+            app: j.decode_field("app")?,
+            layer: j.decode_field("layer")?,
+            op: j.decode_field("op")?,
+            start: j.decode_field("start")?,
+            end: j.decode_field("end")?,
+            file: j.decode_field("file")?,
+            offset: j.decode_field("offset")?,
+            bytes: j.decode_field("bytes")?,
+        })
+    }
 }
 
 impl TraceRecord {

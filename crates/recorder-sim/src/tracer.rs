@@ -7,19 +7,17 @@
 //! times.
 
 use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
-use serde::{Deserialize, Serialize};
 use sim_core::{Dur, SimTime};
 use std::collections::HashMap;
+use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// The trace capture sink for one workload run.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Tracer {
     records: Vec<TraceRecord>,
     file_paths: Vec<String>,
-    #[serde(skip)]
     file_ids: HashMap<String, FileId>,
     app_names: Vec<String>,
-    #[serde(skip)]
     app_ids: HashMap<String, AppId>,
     /// Cost charged per captured record (0 disables overhead modelling).
     pub per_record_overhead: Dur,
@@ -163,6 +161,34 @@ impl Tracer {
     }
 }
 
+// The intern maps (`file_ids`, `app_ids`) are derived state and are not
+// persisted; [`Tracer::rebuild_index`] reconstructs them after a load.
+impl ToJson for Tracer {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("records", self.records.to_json()),
+            ("file_paths", self.file_paths.to_json()),
+            ("app_names", self.app_names.to_json()),
+            ("per_record_overhead", self.per_record_overhead.to_json()),
+            ("enabled", self.enabled.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Tracer {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Tracer {
+            records: j.decode_field("records")?,
+            file_paths: j.decode_field("file_paths")?,
+            file_ids: HashMap::new(),
+            app_names: j.decode_field("app_names")?,
+            app_ids: HashMap::new(),
+            per_record_overhead: j.decode_field("per_record_overhead")?,
+            enabled: j.decode_field("enabled")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,8 +253,8 @@ mod tests {
         t.file_id("/x");
         t.file_id("/y");
         t.app_id("app");
-        let json = serde_json::to_string(&t).unwrap();
-        let mut back: Tracer = serde_json::from_str(&json).unwrap();
+        let json = vani_rt::json::to_string(&t);
+        let mut back: Tracer = vani_rt::json::from_str(&json).unwrap();
         back.rebuild_index();
         assert_eq!(back.file_id("/x"), FileId(0));
         assert_eq!(back.file_id("/y"), FileId(1));

@@ -1,0 +1,314 @@
+//! Scoped-thread data parallelism with deterministic results.
+//!
+//! The executor replaces `rayon` for the suite's analysis kernels. Work is
+//! split into chunks whose boundaries depend only on the input length —
+//! never on the worker count — and per-chunk results are combined in chunk
+//! order on the calling thread. Consequently every entry point returns
+//! **bit-identical** results whether it runs on one thread or many, which
+//! is what lets the determinism suite compare a parallel run against the
+//! sequential fallback.
+//!
+//! Worker count resolution, in priority order:
+//! 1. compiled out entirely under `--cfg single_thread` (always sequential),
+//! 2. [`set_threads`] (process-wide, mainly for tests),
+//! 3. the `VANI_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count for subsequent calls (0 clears the override).
+/// Intended for tests and the determinism harness.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel calls will use.
+pub fn num_threads() -> usize {
+    if cfg!(single_thread) {
+        return 1;
+    }
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("VANI_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Chunk size used for an input of `len` items: small enough to balance
+/// load across many workers, large enough to amortize dispatch. Depends
+/// only on `len`, which is what makes results thread-count-independent.
+fn chunk_size(len: usize) -> usize {
+    (len / 64).clamp(256, 16_384).min(len.max(1))
+}
+
+/// Run `work(chunk_index, start..end)` over every chunk of `csize` items
+/// of `0..len` and return the per-chunk outputs in chunk order. The
+/// scheduling backbone of every entry point below.
+fn run_chunked<R, F>(len: usize, csize: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    debug_assert!(csize > 0);
+    let nchunks = len.div_ceil(csize);
+    let workers = num_threads().min(nchunks);
+    if workers <= 1 {
+        return (0..nchunks)
+            .map(|c| work(c, c * csize..((c + 1) * csize).min(len)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..nchunks).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let out = work(c, c * csize..((c + 1) * csize).min(len));
+                results.lock().expect("no panics hold the results lock")[c] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every chunk ran"))
+        .collect()
+}
+
+/// Parallel map: `f` applied to every item, outputs in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+        items[range].iter().map(&f).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel map over owned items (the `into_par_iter().map().collect()`
+/// shape): consumes the vector, outputs in input order. Each item is its
+/// own work unit, so this is the coarse task-parallel entry point — use it
+/// for a handful of expensive jobs, not millions of cheap ones.
+pub fn par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let per_chunk = run_chunked(slots.len(), 1, |_, range| {
+        range
+            .map(|i| {
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock is uncontended")
+                    .take()
+                    .expect("each slot is consumed once");
+                f(item)
+            })
+            .collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(slots.len());
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel map over fixed-size chunks of the input: `f(chunk_index,
+/// sub_slice)` for every chunk of `chunk` items (the last may be short).
+/// Chunk boundaries here are caller-chosen, so outputs are deterministic by
+/// construction.
+pub fn par_chunks<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk > 0, "par_chunks: chunk size must be positive");
+    run_chunked(items.len(), chunk, |c, range| f(c, &items[range]))
+}
+
+/// Parallel fold-then-combine. Each deterministic chunk is folded
+/// left-to-right from `identity()`, and chunk accumulators are combined
+/// left-to-right in chunk order, so the full reduction tree is a pure
+/// function of `items.len()` — bit-identical on any worker count, even for
+/// non-associative floating-point folds.
+pub fn par_reduce<T, A, F, C>(items: &[T], identity: impl Fn() -> A + Sync, fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+        items[range].iter().fold(identity(), &fold)
+    });
+    per_chunk.into_iter().fold(identity(), combine)
+}
+
+/// Parallel filter over indices `0..len`: the sorted list of indices for
+/// which `pred` holds. Output order equals sequential order because chunks
+/// are concatenated in chunk order.
+pub fn par_filter_indices<P>(len: usize, pred: P) -> Vec<u32>
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    let per_chunk = run_chunked(len, chunk_size(len), |_, range| {
+        range.filter(|&i| pred(i)).map(|i| i as u32).collect::<Vec<u32>>()
+    });
+    let mut out = Vec::new();
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel group-by kernel: classify every item with `key`, fold items of
+/// equal key with `fold`, merge per-chunk tables with `merge`. The merge
+/// order is chunk order, so any non-commutative `merge` still produces
+/// deterministic values.
+pub fn par_group_by<T, K, A, KF, FF, MF>(items: &[T], key: KF, fold: FF, merge: MF) -> HashMap<K, A>
+where
+    T: Sync,
+    K: Hash + Eq + Send,
+    A: Default + Send,
+    KF: Fn(&T) -> K + Sync,
+    FF: Fn(&mut A, &T) + Sync,
+    MF: Fn(&mut A, A),
+{
+    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+        let mut table: HashMap<K, A> = HashMap::new();
+        for item in &items[range] {
+            fold(table.entry(key(item)).or_default(), item);
+        }
+        table
+    });
+    let mut out: HashMap<K, A> = HashMap::new();
+    for table in per_chunk {
+        for (k, v) in table {
+            match out.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` under a forced worker count, restoring the default after.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * 3 + 1).collect();
+        let par = with_threads(4, || par_map(&xs, |x| x * 3 + 1));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_owned_consumes_in_order() {
+        let xs: Vec<String> = (0..3000).map(|i| format!("v{i}")).collect();
+        let expect: Vec<usize> = xs.iter().map(|s| s.len()).collect();
+        let got = with_threads(3, || par_map_owned(xs, |s| s.len()));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_once() {
+        let xs: Vec<u32> = (0..2701).collect();
+        let sums = with_threads(4, || par_chunks(&xs, 100, |_, c| c.iter().sum::<u32>()));
+        assert_eq!(sums.len(), 28);
+        assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn par_reduce_floats_bit_identical_across_thread_counts() {
+        // Sums of many varied floats: the chunked tree must give the exact
+        // same bits for 1 worker and 8 workers.
+        let xs: Vec<f64> = (0..100_000).map(|i| ((i * 2654435761u64) % 1000) as f64 * 0.1).collect();
+        let one = with_threads(1, || {
+            par_reduce(&xs, || 0.0f64, |a, &x| a + x, |a, b| a + b)
+        });
+        let eight = with_threads(8, || {
+            par_reduce(&xs, || 0.0f64, |a, &x| a + x, |a, b| a + b)
+        });
+        assert_eq!(one.to_bits(), eight.to_bits());
+    }
+
+    #[test]
+    fn par_filter_indices_matches_sequential() {
+        let seq: Vec<u32> = (0..50_000u32).filter(|i| i % 7 == 0).collect();
+        let par = with_threads(5, || par_filter_indices(50_000, |i| i % 7 == 0));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_group_by_totals_match() {
+        let xs: Vec<u64> = (0..30_000).collect();
+        let groups = with_threads(4, || {
+            par_group_by(
+                &xs,
+                |&x| (x % 13) as u32,
+                |acc: &mut u64, &x| *acc += x,
+                |acc, v| *acc += v,
+            )
+        });
+        assert_eq!(groups.len(), 13);
+        let total: u64 = groups.values().sum();
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u64> = Vec::new();
+        assert!(par_map(&xs, |x| *x).is_empty());
+        assert!(par_filter_indices(0, |_| true).is_empty());
+        assert_eq!(par_reduce(&xs, || 7u64, |a, _| a, |a, _| a), 7);
+        assert!(par_group_by(&xs, |&x| x, |_: &mut u64, _| {}, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

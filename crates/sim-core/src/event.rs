@@ -127,7 +127,6 @@ impl<T> EventQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -170,31 +169,42 @@ mod tests {
         q.push(SimTime::from_secs(1), ());
     }
 
-    proptest! {
-        /// Popped times are non-decreasing for arbitrary insertion orders.
-        #[test]
-        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+    // Deterministic randomized sweeps (seeded `vani_rt::Rng`) — converted
+    // from the original proptest suites.
+
+    /// Popped times are non-decreasing for arbitrary insertion orders.
+    #[test]
+    fn randomized_pop_order_is_sorted() {
+        let mut r = vani_rt::Rng::new(0xe7e7_0001);
+        for _ in 0..128 {
+            let n = r.uniform_u64(0, 200) as usize;
+            let times: Vec<u64> = (0..n).map(|_| r.uniform_u64(0, 1_000_000)).collect();
             let mut q = EventQueue::new();
             for &t in &times {
                 q.push(SimTime(t), t);
             }
             let mut last = 0u64;
             while let Some(ev) = q.pop() {
-                prop_assert!(ev.time.0 >= last);
+                assert!(ev.time.0 >= last);
                 last = ev.time.0;
             }
         }
+    }
 
-        /// The queue yields exactly the multiset of inserted payloads.
-        #[test]
-        fn prop_no_events_lost(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+    /// The queue yields exactly the multiset of inserted payloads.
+    #[test]
+    fn randomized_no_events_lost() {
+        let mut r = vani_rt::Rng::new(0xe7e7_0002);
+        for _ in 0..128 {
+            let n = r.uniform_u64(0, 200) as usize;
+            let times: Vec<u64> = (0..n).map(|_| r.uniform_u64(0, 1_000)).collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime(t), i);
             }
             let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
             seen.sort_unstable();
-            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+            assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
         }
     }
 }

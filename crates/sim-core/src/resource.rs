@@ -10,10 +10,9 @@
 //! server reproduces FIFO queueing delay exactly.
 
 use crate::time::{Dur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A single FIFO server: requests are serviced back-to-back in arrival order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerQueue {
     next_free: SimTime,
     busy: Dur,
@@ -67,7 +66,7 @@ impl ServerQueue {
 ///
 /// An optional `route` lets callers pin a request to a specific member (e.g.
 /// a file stripe that lives on one object server).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerPool {
     servers: Vec<ServerQueue>,
 }
@@ -146,7 +145,7 @@ impl ServerPool {
 
 /// A shared link that serializes transfers at a fixed byte rate, with a fixed
 /// per-message latency. Models NICs and backbone links.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthChannel {
     bytes_per_sec: u64,
     latency: Dur,
@@ -199,7 +198,6 @@ impl BandwidthChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn idle_server_starts_immediately() {
@@ -271,41 +269,49 @@ mod tests {
         assert!((s.utilization(Dur::from_secs(20)) - 0.5).abs() < 1e-9);
     }
 
-    proptest! {
-        /// FIFO invariant: for non-decreasing arrivals, service start times
-        /// are non-decreasing and never precede arrival.
-        #[test]
-        fn prop_fifo_start_ordering(
-            mut arrivals in proptest::collection::vec(0u64..10_000, 1..100),
-            services in proptest::collection::vec(1u64..1_000, 100),
-        ) {
+    // Deterministic randomized sweeps (seeded `vani_rt::Rng`) — converted
+    // from the original proptest suites.
+
+    /// FIFO invariant: for non-decreasing arrivals, service start times
+    /// are non-decreasing and never precede arrival.
+    #[test]
+    fn randomized_fifo_start_ordering() {
+        let mut r = vani_rt::Rng::new(0x5e57_0001);
+        for _ in 0..128 {
+            let n = r.uniform_u64(1, 100) as usize;
+            let mut arrivals: Vec<u64> = (0..n).map(|_| r.uniform_u64(0, 10_000)).collect();
+            let services: Vec<u64> = (0..n).map(|_| r.uniform_u64(1, 1_000)).collect();
             arrivals.sort_unstable();
             let mut s = ServerQueue::new();
             let mut last_start = SimTime::ZERO;
             for (&a, &svc) in arrivals.iter().zip(&services) {
                 let (start, end) = s.serve(SimTime(a), Dur(svc));
-                prop_assert!(start >= SimTime(a));
-                prop_assert!(start >= last_start);
-                prop_assert_eq!(end, start + Dur(svc));
+                assert!(start >= SimTime(a));
+                assert!(start >= last_start);
+                assert_eq!(end, start + Dur(svc));
                 last_start = start;
             }
         }
+    }
 
-        /// Pool conservation: total busy time equals the sum of services.
-        #[test]
-        fn prop_pool_conserves_work(
-            jobs in proptest::collection::vec((0u64..1_000, 1u64..100), 1..100),
-            n in 1usize..8,
-        ) {
+    /// Pool conservation: total busy time equals the sum of services.
+    #[test]
+    fn randomized_pool_conserves_work() {
+        let mut r = vani_rt::Rng::new(0x5e57_0002);
+        for _ in 0..128 {
+            let njobs = r.uniform_u64(1, 100) as usize;
+            let n = r.uniform_u64(1, 8) as usize;
+            let mut jobs: Vec<(u64, u64)> = (0..njobs)
+                .map(|_| (r.uniform_u64(0, 1_000), r.uniform_u64(1, 100)))
+                .collect();
+            jobs.sort_unstable();
             let mut p = ServerPool::new(n);
             let mut total = Dur::ZERO;
-            let mut sorted = jobs.clone();
-            sorted.sort_unstable();
-            for (a, svc) in sorted {
+            for (a, svc) in jobs {
                 p.serve(SimTime(a), Dur(svc));
                 total += Dur(svc);
             }
-            prop_assert_eq!(p.busy_time(), total);
+            assert_eq!(p.busy_time(), total);
         }
     }
 }

@@ -4,10 +4,12 @@
 //! value synthesis, workload shuffles) draws from a [`DetRng`] derived from a
 //! root seed plus a component label. This keeps runs reproducible while
 //! decoupling streams: adding draws in one component never perturbs another.
+//!
+//! The generator is `vani-rt`'s splittable xoshiro256++ ([`vani_rt::Rng`]);
+//! this module only adds the component-labelling convention and the sampler
+//! surface the simulators were written against.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Gamma, Normal};
+use vani_rt::Rng;
 
 /// FNV-1a hash of a label, used to derive per-component seeds.
 fn fnv1a(s: &str) -> u64 {
@@ -22,50 +24,58 @@ fn fnv1a(s: &str) -> u64 {
 /// A deterministic RNG stream for one simulation component.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    inner: Rng,
 }
 
 impl DetRng {
     /// Derive a stream from a root seed and a component label.
     pub fn for_component(root_seed: u64, label: &str) -> Self {
         DetRng {
-            inner: StdRng::seed_from_u64(root_seed ^ fnv1a(label)),
+            inner: Rng::new(root_seed ^ fnv1a(label)),
         }
     }
 
     /// Derive a stream directly from a seed.
     pub fn from_seed(seed: u64) -> Self {
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Rng::new(seed),
+        }
+    }
+
+    /// Fork an independent child stream; the parent stream advances by two
+    /// draws and the child shares no further state with it.
+    pub fn split(&mut self) -> DetRng {
+        DetRng {
+            inner: self.inner.split(),
         }
     }
 
     /// Uniform draw in `[lo, hi)`.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        self.inner.uniform_f64(lo, hi)
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        self.inner.uniform_u64(lo, hi)
     }
 
     /// Normal draw with the given mean and standard deviation. A non-finite
     /// or non-positive `std` falls back to the mean.
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
-        match Normal::new(mean, std) {
-            Ok(d) => d.sample(&mut self.inner),
-            Err(_) => mean,
-        }
+        self.inner.normal(mean, std)
     }
 
     /// Gamma draw with the given shape and scale; falls back to
     /// `shape * scale` (the mean) on invalid parameters.
     pub fn gamma(&mut self, shape: f64, scale: f64) -> f64 {
-        match Gamma::new(shape, scale) {
-            Ok(d) => d.sample(&mut self.inner),
-            Err(_) => shape * scale,
-        }
+        self.inner.gamma(shape, scale)
+    }
+
+    /// Lognormal draw: `exp(N(mu, sigma))`; falls back to the median
+    /// `exp(mu)` on invalid parameters.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.inner.lognormal(mu, sigma)
     }
 
     /// A multiplicative jitter factor in `[1 - amp, 1 + amp]`, used to model
@@ -77,15 +87,12 @@ impl DetRng {
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.inner.bernoulli(p)
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
-            xs.swap(i, j);
-        }
+        self.inner.shuffle(xs)
     }
 }
 
@@ -110,6 +117,19 @@ mod tests {
             .filter(|_| a.uniform_u64(0, 1 << 40) == b.uniform_u64(0, 1 << 40))
             .count();
         assert!(same < 5, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn split_is_deterministic_and_decoupled() {
+        let mut a = DetRng::from_seed(23);
+        let mut b = DetRng::from_seed(23);
+        let mut ca = a.split();
+        let mut cb = b.split();
+        for _ in 0..50 {
+            assert_eq!(ca.uniform_u64(0, 1 << 40), cb.uniform_u64(0, 1 << 40));
+        }
+        // The parents stayed in lockstep too.
+        assert_eq!(a.uniform_u64(0, 1 << 40), b.uniform_u64(0, 1 << 40));
     }
 
     #[test]
@@ -138,10 +158,20 @@ mod tests {
     }
 
     #[test]
+    fn lognormal_mean_is_close() {
+        let mut r = DetRng::from_seed(19);
+        let n = 50_000;
+        // mean of LogNormal(0, 0.5) = exp(0.125).
+        let mean: f64 = (0..n).map(|_| r.lognormal(0.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 0.125f64.exp()).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
     fn invalid_distribution_params_fall_back_to_mean() {
         let mut r = DetRng::from_seed(13);
         assert_eq!(r.normal(5.0, f64::NAN), 5.0);
         assert_eq!(r.gamma(-2.0, 3.0), -6.0);
+        assert_eq!(r.lognormal(0.0, -1.0), 1.0);
     }
 
     #[test]

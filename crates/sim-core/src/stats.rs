@@ -9,11 +9,10 @@
 //!   distributions into uniform/normal/gamma (Table VI's "Data dist" row).
 
 use crate::time::{Dur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A histogram over power-of-two buckets: bucket `i` holds values in
 /// `[2^i, 2^(i+1))`, with values of zero counted in bucket 0.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -118,7 +117,7 @@ impl Histogram {
 
 /// Streaming summary statistics over f64 samples (Welford-style central
 /// moments up to order four).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -216,7 +215,7 @@ impl Summary {
 }
 
 /// Distribution families the analyzer recognizes (Table VI "Data dist").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DistributionFit {
     /// Flat spread over a bounded range.
     Uniform,
@@ -279,7 +278,7 @@ pub fn synth_bytes(dist: DistributionFit, seed: u64, n: usize) -> Vec<u8> {
 
 /// A fixed-bin time series accumulating a value (e.g. bytes moved) per bin;
 /// used to render I/O timelines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     bin: Dur,
     bins: Vec<f64>,
@@ -350,7 +349,6 @@ impl TimeSeries {
 mod tests {
     use super::*;
     use crate::rng::DetRng;
-    use proptest::prelude::*;
 
     #[test]
     fn histogram_buckets_powers_of_two() {
@@ -481,36 +479,49 @@ mod tests {
         assert!((ts.rates()[0] - 20.0).abs() < 1e-9);
     }
 
-    proptest! {
-        /// Histogram mass conservation: total == number of records, and
-        /// iter() covers all of it.
-        #[test]
-        fn prop_histogram_mass(values in proptest::collection::vec(0u64..u64::MAX / 2, 0..500)) {
+    // Deterministic randomized sweeps (seeded `vani_rt::Rng`, fixed case
+    // counts) — converted from the original proptest suites.
+
+    /// Histogram mass conservation: total == number of records, and
+    /// iter() covers all of it, for random value sets.
+    #[test]
+    fn randomized_histogram_mass() {
+        let mut r = vani_rt::Rng::new(0x5747_0001);
+        for _ in 0..64 {
+            let n = r.uniform_u64(0, 500) as usize;
+            let values: Vec<u64> = (0..n).map(|_| r.uniform_u64(0, u64::MAX / 2)).collect();
             let mut h = Histogram::new();
             for &v in &values {
                 h.record(v);
             }
-            prop_assert_eq!(h.total(), values.len() as u64);
+            assert_eq!(h.total(), values.len() as u64);
             let iter_total: u64 = h.iter().map(|(_, c)| c).sum();
-            prop_assert_eq!(iter_total, values.len() as u64);
-            prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+            assert_eq!(iter_total, values.len() as u64);
+            assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
         }
+    }
 
-        /// TimeSeries conserves the amount added regardless of interval.
-        #[test]
-        fn prop_timeseries_conserves(
-            start in 0u64..10_000_000,
-            len in 0u64..10_000_000,
-            amount in 0.0f64..1e6,
-        ) {
+    /// TimeSeries conserves the amount added regardless of interval.
+    #[test]
+    fn randomized_timeseries_conserves() {
+        let mut r = vani_rt::Rng::new(0x5747_0002);
+        for _ in 0..256 {
+            let start = r.uniform_u64(0, 10_000_000);
+            let len = r.uniform_u64(0, 10_000_000);
+            let amount = r.uniform_f64(0.0, 1e6);
             let mut ts = TimeSeries::new(Dur::from_micros(250));
             ts.add(SimTime(start), SimTime(start + len), amount);
-            prop_assert!((ts.total() - amount).abs() < 1e-6 * amount.max(1.0));
+            assert!((ts.total() - amount).abs() < 1e-6 * amount.max(1.0));
         }
+    }
 
-        /// Welford summary agrees with the naive two-pass computation.
-        #[test]
-        fn prop_summary_matches_naive(values in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+    /// Welford summary agrees with the naive two-pass computation.
+    #[test]
+    fn randomized_summary_matches_naive() {
+        let mut r = vani_rt::Rng::new(0x5747_0003);
+        for _ in 0..64 {
+            let n = r.uniform_u64(2, 200) as usize;
+            let values: Vec<f64> = (0..n).map(|_| r.uniform_f64(-1e3, 1e3)).collect();
             let mut s = Summary::new();
             for &v in &values {
                 s.record(v);
@@ -518,8 +529,8 @@ mod tests {
             let n = values.len() as f64;
             let mean = values.iter().sum::<f64>() / n;
             let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-            prop_assert!((s.mean() - mean).abs() < 1e-6);
-            prop_assert!((s.variance() - var).abs() < 1e-4 * var.max(1.0));
+            assert!((s.mean() - mean).abs() < 1e-6);
+            assert!((s.variance() - var).abs() < 1e-4 * var.max(1.0));
         }
     }
 }

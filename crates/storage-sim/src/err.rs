@@ -1,12 +1,11 @@
 //! Error codes surfaced by the simulated storage stack, mirroring the POSIX
 //! failures real HPC I/O middleware must handle.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A storage error. The variants map 1:1 onto the `errno` values the real
 /// interfaces would return.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoErr {
     /// `ENOENT`: path does not exist.
     NotFound,

@@ -10,17 +10,16 @@
 
 use crate::err::IoErr;
 use crate::path as vpath;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Stable identifier of a file within one [`FileStore`] (an inode number).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileKey(pub u64);
 
 /// The source of one contiguous run of file content.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Segment {
     /// Real bytes.
     Bytes(Arc<Vec<u8>>),
@@ -66,7 +65,7 @@ pub fn pattern_byte(seed: u64, off: u64) -> u8 {
 /// A file's content: non-overlapping segments keyed by start offset, plus a
 /// logical size (which may exceed the last segment — sparse tail reads as
 /// zeros, like POSIX).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SegmentMap {
     segs: BTreeMap<u64, Segment>,
     size: u64,
@@ -187,7 +186,7 @@ impl SegmentMap {
 }
 
 /// Metadata and content of one file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FileNode {
     /// Normalized absolute path.
     pub path: String,
@@ -201,7 +200,7 @@ pub struct FileNode {
 ///
 /// Parent directories are created implicitly (the job scripts in the paper
 /// all `mkdir -p` their output trees before running).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct FileStore {
     nodes: Vec<Option<FileNode>>,
     by_path: HashMap<String, FileKey>,
@@ -428,7 +427,6 @@ impl FileStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn create_write_read_round_trip() {
@@ -538,12 +536,23 @@ mod tests {
         assert_eq!(fs.read(k, 0, 10).unwrap(), &[b'a', b'b', b'c', 0, 0, 0]);
     }
 
-    proptest! {
-        /// Random write sequences: SegmentMap agrees with a Vec<u8> model.
-        #[test]
-        fn prop_segment_map_matches_vec_model(
-            writes in proptest::collection::vec((0u64..256, proptest::collection::vec(any::<u8>(), 1..64)), 1..40)
-        ) {
+    // Deterministic randomized sweeps (seeded `vani_rt::Rng`) — converted
+    // from the original proptest suites.
+
+    /// Random write sequences: SegmentMap agrees with a Vec<u8> model.
+    #[test]
+    fn randomized_segment_map_matches_vec_model() {
+        let mut r = vani_rt::Rng::new(0xf11e_0001);
+        for _ in 0..64 {
+            let nwrites = r.uniform_u64(1, 40) as usize;
+            let writes: Vec<(u64, Vec<u8>)> = (0..nwrites)
+                .map(|_| {
+                    let off = r.uniform_u64(0, 256);
+                    let len = r.uniform_u64(1, 64) as usize;
+                    let data: Vec<u8> = (0..len).map(|_| r.uniform_u64(0, 256) as u8).collect();
+                    (off, data)
+                })
+                .collect();
             let mut sm = SegmentMap::default();
             let mut model: Vec<u8> = Vec::new();
             for (off, data) in &writes {
@@ -554,20 +563,26 @@ mod tests {
                 model[*off as usize..end].copy_from_slice(data);
                 sm.write(*off, Segment::Bytes(Arc::new(data.clone())));
             }
-            prop_assert_eq!(sm.size(), model.len() as u64);
-            prop_assert_eq!(sm.read(0, model.len() as u64 + 32), model);
+            assert_eq!(sm.size(), model.len() as u64);
+            assert_eq!(sm.read(0, model.len() as u64 + 32), model);
         }
+    }
 
-        /// readable_len never exceeds the requested length or the file size.
-        #[test]
-        fn prop_readable_len_bounds(off in 0u64..10_000, len in 0u64..10_000, size in 0u64..10_000) {
+    /// readable_len never exceeds the requested length or the file size.
+    #[test]
+    fn randomized_readable_len_bounds() {
+        let mut r = vani_rt::Rng::new(0xf11e_0002);
+        for _ in 0..256 {
+            let off = r.uniform_u64(0, 10_000);
+            let len = r.uniform_u64(0, 10_000);
+            let size = r.uniform_u64(0, 10_000);
             let mut sm = SegmentMap::default();
             if size > 0 {
                 sm.write(0, Segment::Pattern { seed: 3, len: size });
             }
-            let r = sm.readable_len(off, len);
-            prop_assert!(r <= len);
-            prop_assert!(off + r <= size.max(off));
+            let rl = sm.readable_len(off, len);
+            assert!(rl <= len);
+            assert!(off + rl <= size.max(off));
         }
     }
 }

@@ -12,11 +12,10 @@ use crate::node_local::{NodeLocalConfig, NodeLocalFs};
 use crate::path as vpath;
 use crate::pfs::{GpfsConfig, GpfsSim};
 use hpc_cluster::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use sim_core::{Dur, SimTime};
 
 /// Which tier a path resolved to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// The shared parallel file system.
     Pfs,
@@ -25,7 +24,7 @@ pub enum Tier {
 }
 
 /// A file handle valid across the whole system: tier plus per-tier key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileHandle {
     /// The tier the file lives on.
     pub tier: Tier,

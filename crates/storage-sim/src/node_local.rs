@@ -13,12 +13,11 @@
 use crate::err::IoErr;
 use crate::file::{FileKey, FileStore, Segment};
 use hpc_cluster::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use sim_core::units::GIB;
 use sim_core::{BandwidthChannel, Dur, SimTime};
 
 /// Parameters of a node-local tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeLocalConfig {
     /// Mount point, e.g. "/dev/shm" or "/tmp".
     pub mount: String,

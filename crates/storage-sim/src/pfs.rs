@@ -24,14 +24,13 @@
 use crate::err::IoErr;
 use crate::file::{FileKey, FileStore, Segment};
 use hpc_cluster::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use sim_core::units::{GIB, MIB, TIB};
 use sim_core::{BandwidthChannel, DetRng, Dur, ServerPool, ServerQueue, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Tunable parameters of the parallel file system (the knobs the paper's
 /// optimizer reconfigures live here and in the MPI-IO layer).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpfsConfig {
     /// Number of NSD data servers.
     pub n_data_servers: usize,
@@ -105,7 +104,7 @@ impl GpfsConfig {
 }
 
 /// Aggregate counters the shared-storage entity (Table IX) reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PfsStats {
     /// Bytes read from servers (cache hits excluded).
     pub bytes_read: u64,

@@ -1,14 +1,13 @@
 //! Task DAGs: structure, validation, and analysis.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Identifies a task within one DAG.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u32);
 
 /// One schedulable task (a kernel invocation in Pegasus terms).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Instance name, e.g. `"mProject_0042"`.
     pub name: String,
@@ -21,7 +20,7 @@ pub struct Task {
 }
 
 /// A directed acyclic graph of tasks.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dag {
     tasks: Vec<Task>,
     /// deps[t] = tasks that must finish before t starts.

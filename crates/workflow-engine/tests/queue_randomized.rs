@@ -1,8 +1,12 @@
-//! Property tests for the pegasus-mpi-cluster-style scheduler: for random
+//! Randomized tests for the pegasus-mpi-cluster-style scheduler: for random
 //! DAGs and random worker interleavings, every task executes exactly once,
 //! never before its dependencies, and the queue terminates.
+//!
+//! Originally proptest properties; now deterministic sweeps driven by the
+//! seeded [`vani_rt::Rng`] so the same cases run everywhere. Cyclic DAGs
+//! (which proptest used to discard via `prop_assume!`) are simply skipped.
 
-use proptest::prelude::*;
+use vani_rt::Rng;
 use workflow_engine::dag::{Dag, Task, TaskId};
 use workflow_engine::queue::WorkQueue;
 
@@ -27,21 +31,30 @@ fn random_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draw `count` random node pairs in `0..bound`.
+fn random_edges(r: &mut Rng, bound: u64, count: usize) -> Vec<(usize, usize)> {
+    (0..count)
+        .map(|_| (r.uniform_u64(0, bound) as usize, r.uniform_u64(0, bound) as usize))
+        .collect()
+}
 
-    /// Every task is claimed exactly once and completion order respects
-    /// dependencies, for any greedy interleaving of `k` workers.
-    #[test]
-    fn scheduler_is_exactly_once_and_dependency_safe(
-        n in 1usize..40,
-        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
-        k in 1usize..8,
+/// Every task is claimed exactly once and completion order respects
+/// dependencies, for any greedy interleaving of `k` workers.
+#[test]
+fn randomized_scheduler_is_exactly_once_and_dependency_safe() {
+    let mut r = Rng::new(0xdac_0001);
+    for _ in 0..64 {
+        let n = r.uniform_u64(1, 40) as usize;
+        let nedges = r.uniform_u64(0, 80) as usize;
+        let edges = random_edges(&mut r, 40, nedges);
+        let k = r.uniform_u64(1, 8) as usize;
         // Worker pick order: which worker acts at each step.
-        picks in proptest::collection::vec(0usize..8, 0..400),
-    ) {
+        let npicks = r.uniform_u64(1, 400) as usize;
+        let picks: Vec<usize> = (0..npicks).map(|_| r.uniform_u64(0, 8) as usize).collect();
         let dag = random_dag(n, &edges);
-        prop_assume!(dag.is_acyclic());
+        if !dag.is_acyclic() {
+            continue;
+        }
         let mut q = WorkQueue::new(dag.clone(), 0);
         // Each worker holds at most one claimed task.
         let mut holding: Vec<Option<TaskId>> = vec![None; k];
@@ -51,14 +64,14 @@ proptest! {
         let mut steps = 0usize;
         while !q.all_done() {
             steps += 1;
-            prop_assert!(steps < 100_000, "scheduler did not terminate");
+            assert!(steps < 100_000, "scheduler did not terminate");
             let w = pick_iter.next().expect("cycle is infinite") % k;
             match holding[w].take() {
                 Some(t) => {
                     // Completing a task must release only tasks whose deps
                     // are all done.
                     for &d in dag.deps_of(t) {
-                        prop_assert!(done_set.contains(&d), "{t:?} ran before dep {d:?}");
+                        assert!(done_set.contains(&d), "{t:?} ran before dep {d:?}");
                     }
                     q.complete(t);
                     done_set.insert(t);
@@ -73,30 +86,35 @@ proptest! {
             }
         }
         // Exactly-once execution.
-        prop_assert_eq!(completed.len(), dag.len());
+        assert_eq!(completed.len(), dag.len());
         let mut sorted: Vec<u32> = completed.iter().map(|t| t.0).collect();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..dag.len() as u32).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..dag.len() as u32).collect::<Vec<_>>());
         // And the completion sequence is a valid topological order.
         let mut seen = std::collections::HashSet::new();
         for t in &completed {
             for d in dag.deps_of(*t) {
-                prop_assert!(seen.contains(d));
+                assert!(seen.contains(d));
             }
             seen.insert(*t);
         }
     }
+}
 
-    /// Wake-gate protocol: after any completion that exposes new work, the
-    /// pre-bump gate id is exactly one less than the current wake gate, so
-    /// a worker parked on the old id is always woken by the completer.
-    #[test]
-    fn wake_gate_ids_never_skip(
-        n in 2usize..30,
-        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
-    ) {
+/// Wake-gate protocol: after any completion that exposes new work, the
+/// pre-bump gate id is exactly one less than the current wake gate, so
+/// a worker parked on the old id is always woken by the completer.
+#[test]
+fn randomized_wake_gate_ids_never_skip() {
+    let mut r = Rng::new(0xdac_0002);
+    for _ in 0..64 {
+        let n = r.uniform_u64(2, 30) as usize;
+        let nedges = r.uniform_u64(0, 60) as usize;
+        let edges = random_edges(&mut r, 30, nedges);
         let dag = random_dag(n, &edges);
-        prop_assume!(dag.is_acyclic());
+        if !dag.is_acyclic() {
+            continue;
+        }
         let mut q = WorkQueue::new(dag, 500);
         let mut last_gate = q.wake_gate();
         while !q.all_done() {
@@ -108,43 +126,48 @@ proptest! {
             let newly = q.complete(t);
             let gate_after = q.wake_gate();
             if !newly.is_empty() || q.all_done() {
-                prop_assert_eq!(gate_after, gate_before + 1);
-                prop_assert_eq!(q.gate_to_open_after_complete(), gate_before);
+                assert_eq!(gate_after, gate_before + 1);
+                assert_eq!(q.gate_to_open_after_complete(), gate_before);
             } else {
-                prop_assert_eq!(gate_after, gate_before);
+                assert_eq!(gate_after, gate_before);
             }
-            prop_assert!(gate_after >= last_gate);
+            assert!(gate_after >= last_gate);
             last_gate = gate_after;
         }
-        prop_assert!(q.all_done());
+        assert!(q.all_done());
     }
+}
 
-    /// Levels are consistent with the queue: tasks become ready only after
-    /// every task in every earlier level that they depend on completes —
-    /// a serial executor drains the DAG in at most `levels` waves.
-    #[test]
-    fn serial_execution_matches_level_structure(
-        n in 1usize..30,
-        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
-    ) {
+/// Levels are consistent with the queue: tasks become ready only after
+/// every task in every earlier level that they depend on completes —
+/// a serial executor drains the DAG in at most `levels` waves.
+#[test]
+fn randomized_serial_execution_matches_level_structure() {
+    let mut r = Rng::new(0xdac_0003);
+    for _ in 0..64 {
+        let n = r.uniform_u64(1, 30) as usize;
+        let nedges = r.uniform_u64(0, 60) as usize;
+        let edges = random_edges(&mut r, 30, nedges);
         let dag = random_dag(n, &edges);
-        prop_assume!(dag.is_acyclic());
+        if !dag.is_acyclic() {
+            continue;
+        }
         let levels = dag.levels();
         let mut q = WorkQueue::new(dag, 0);
         let mut waves = 0usize;
         while !q.all_done() {
             waves += 1;
-            prop_assert!(waves <= levels.len(), "more waves than DAG levels");
+            assert!(waves <= levels.len(), "more waves than DAG levels");
             // Drain everything currently ready (one "wave").
             let mut batch = Vec::new();
             while let Some(t) = q.try_claim() {
                 batch.push(t);
             }
-            prop_assert!(!batch.is_empty(), "stalled with work outstanding");
+            assert!(!batch.is_empty(), "stalled with work outstanding");
             for t in batch {
                 q.complete(t);
             }
         }
-        prop_assert_eq!(waves, levels.len());
+        assert_eq!(waves, levels.len());
     }
 }

@@ -7,4 +7,5 @@ pub use recorder_sim as recorder;
 pub use sim_core as sim;
 pub use storage_sim as storage;
 pub use vani_core as vani;
+pub use vani_rt as rt;
 pub use workflow_engine as workflow;

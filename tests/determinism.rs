@@ -26,6 +26,45 @@ fn all_workloads_are_deterministic() {
     }
 }
 
+/// The `vani_rt::par` kernels must be bit-identical to their sequential
+/// fallback: chunk boundaries depend only on input length and chunk results
+/// combine in chunk order, so the worker count must never change a result —
+/// not even the floating-point rounding of a non-associative reduction.
+#[test]
+fn parallel_kernels_match_sequential_bit_for_bit() {
+    use vani_rt::par;
+
+    let run = wl::cm1::run(0.01, 5);
+    let c = run.columnar();
+    let sel = c.data_ops(None);
+
+    let compute = || {
+        let bytes = c.sum_bytes(&sel);
+        let time = c.sum_time(&sel);
+        let mut by_rank: Vec<(u32, u64)> = c
+            .group_by_rank(&sel)
+            .into_iter()
+            .map(|(k, g)| (k, g.bytes))
+            .collect();
+        by_rank.sort_unstable();
+        // A non-associative f64 fold: parallel summation order matters.
+        let mean_bw: f64 = par::par_reduce(
+            &sel,
+            || 0.0f64,
+            |acc, &i| acc + c.dur(i as usize).bandwidth(c.bytes[i as usize]),
+            |a, b| a + b,
+        );
+        (bytes, time, by_rank, mean_bw.to_bits())
+    };
+
+    par::set_threads(1);
+    let seq = compute();
+    par::set_threads(8);
+    let par8 = compute();
+    par::set_threads(0); // back to auto
+    assert_eq!(seq, par8, "parallel results diverged from sequential");
+}
+
 #[test]
 fn different_seeds_change_jittered_timings() {
     let a = wl::hacc::run(0.02, 1);

@@ -1,0 +1,90 @@
+//! Integration: traces persisted with `vani_rt::json` survive the disk
+//! round-trip losslessly — a reloaded trace yields the same columnar
+//! analysis and the same rendered attribute tables as the original run.
+
+use std::fs;
+use vani_suite::recorder::columnar::ColumnarTrace;
+use vani_suite::recorder::persist;
+use vani_suite::vani::analyzer::Analysis;
+use vani_suite::vani::tables;
+use vani_suite::workloads as wl;
+
+#[test]
+fn cm1_trace_round_trips_through_disk() {
+    let run = wl::cm1::run(0.01, 11);
+    let dir = std::env::temp_dir().join("vani_json_roundtrip");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cm1.trace.json");
+
+    persist::save_tracer(&run.world.tracer, &path).unwrap();
+    let reloaded = persist::load_tracer(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+
+    // Records and intern tables are preserved exactly.
+    assert_eq!(reloaded.records(), run.world.tracer.records());
+    assert_eq!(reloaded.file_paths(), run.world.tracer.file_paths());
+    assert_eq!(reloaded.app_names(), run.world.tracer.app_names());
+    // The rebuilt intern maps still resolve every path.
+    for (i, p) in run.world.tracer.file_paths().iter().enumerate() {
+        let mut r = reloaded.clone();
+        assert_eq!(r.file_id(p).0 as usize, i);
+    }
+
+    // Columnar analysis over the reloaded trace is identical.
+    let c0 = run.columnar();
+    let c1 = ColumnarTrace::from_tracer(&reloaded);
+    assert_eq!(c0.to_records(), c1.to_records());
+    assert_eq!(c0.io_ops(), c1.io_ops());
+    let sel0 = c0.data_ops(None);
+    let sel1 = c1.data_ops(None);
+    assert_eq!(sel0, sel1);
+    assert_eq!(c0.sum_bytes(&sel0), c1.sum_bytes(&sel1));
+    assert_eq!(c0.sum_time(&sel0), c1.sum_time(&sel1));
+    assert_eq!(c0.t_min(), c1.t_min());
+    assert_eq!(c0.t_max(), c1.t_max());
+}
+
+#[test]
+fn reloaded_trace_renders_identical_attribute_tables() {
+    // Two identical runs (the stack is deterministic for a fixed seed) ...
+    let run_a = wl::cm1::run(0.01, 11);
+    let mut run_b = wl::cm1::run(0.01, 11);
+
+    // ... but run_b analyzes a trace that went JSON → disk → back.
+    let dir = std::env::temp_dir().join("vani_json_roundtrip");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cm1.tables.trace.json");
+    persist::save_tracer(&run_a.world.tracer, &path).unwrap();
+    run_b.world.tracer = persist::load_tracer(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+
+    let a = Analysis::from_run(&run_a);
+    let b = Analysis::from_run(&run_b);
+    let cols_a = [&a];
+    let cols_b = [&b];
+    for (name, ta, tb) in [
+        ("table1", tables::table1(&cols_a), tables::table1(&cols_b)),
+        ("table10", tables::table10(&cols_a), tables::table10(&cols_b)),
+        ("table11", tables::table11(&cols_a), tables::table11(&cols_b)),
+    ] {
+        assert_eq!(ta.render(), tb.render(), "{name} diverged after reload");
+    }
+}
+
+#[test]
+fn columnar_persistence_is_canonical() {
+    // Saving the same columnar trace twice produces byte-identical JSON,
+    // and a save → load → save cycle is a fixed point.
+    let run = wl::cm1::run(0.005, 3);
+    let c = ColumnarTrace::from_tracer(&run.world.tracer);
+    let dir = std::env::temp_dir().join("vani_json_roundtrip");
+    fs::create_dir_all(&dir).unwrap();
+    let p1 = dir.join("c1.json");
+    let p2 = dir.join("c2.json");
+    persist::save_columnar(&c, &p1).unwrap();
+    let back = persist::load_columnar(&p1).unwrap();
+    persist::save_columnar(&back, &p2).unwrap();
+    assert_eq!(fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+    fs::remove_file(&p1).unwrap();
+    fs::remove_file(&p2).unwrap();
+}
