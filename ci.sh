@@ -12,4 +12,10 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo bench -q --offline -p bench --no-run
 
+# bench-smoke: exercise the analyzer old-vs-new harness end to end in its
+# short mode. Regenerates BENCH_analyzer.json at the repo root and asserts
+# (inside the binary) that the fused and multipass profiles stay equal on
+# every measured trace.
+cargo run --release --offline -p bench --bin bench_analyzer -- --short
+
 echo "ci: OK"

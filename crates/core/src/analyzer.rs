@@ -6,6 +6,24 @@
 //! computed with group-by/filter kernels (the DASK step). `JobUtility`-style
 //! system attributes come from the run's allocation and storage
 //! configuration rather than the trace.
+//!
+//! # Fused single-pass scan
+//!
+//! Trace-derived attributes are computed by [`TraceProfile::fused`]: a
+//! morsel-driven parallel traversal (built on [`vani_rt::par::par_fold_shards`])
+//! whose per-morsel shard accumulator carries *everything at once* — byte and
+//! op counters, per-rank aggregates, per-file profiles, per-app profiles,
+//! producer/consumer file maps, request-size and bandwidth histograms, and
+//! the interface-selection index lists that feed phase detection. Shards are
+//! merged in morsel order, and every floating-point reduction downstream
+//! happens in a key-sorted or index-sorted order, so the resulting
+//! [`Analysis`] is **bit-identical across worker counts**.
+//!
+//! The pre-fusion implementation (one scan per statistic plus sequential
+//! profiling loops) is retained as [`TraceProfile::multipass`]: it is the
+//! correctness oracle for the fused scan (see the
+//! `analyzer_fused_vs_multipass` integration suite) and the baseline the
+//! `bench_analyzer` harness measures the speedup against.
 
 use exemplar_workloads::harness::{WorkloadKind, WorkloadRun};
 use recorder_sim::record::{Layer, OpKind};
@@ -14,9 +32,10 @@ use sim_core::stats::{DistributionFit, Summary};
 
 use sim_core::{Dur, Histogram, SimTime, TimeSeries};
 use std::collections::{HashMap, HashSet};
+use vani_rt::par;
 
 /// Per-file profile: who touches it and how much.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FileProfile {
     /// Interned path.
     pub path: String,
@@ -56,10 +75,34 @@ impl FileProfile {
     pub fn is_shared(&self) -> bool {
         self.touchers() > 1
     }
+
+    /// Fold one interface-selection record into this profile.
+    fn absorb(&mut self, c: &ColumnarTrace, i: usize) {
+        match c.op[i] {
+            OpKind::Read => {
+                self.readers.insert(c.rank[i]);
+                self.read_bytes += c.bytes[i];
+                self.data_ops += 1;
+                self.size = self.size.max(c.offset[i] + c.bytes[i]);
+            }
+            OpKind::Write => {
+                self.writers.insert(c.rank[i]);
+                self.write_bytes += c.bytes[i];
+                self.data_ops += 1;
+                self.size = self.size.max(c.offset[i] + c.bytes[i]);
+            }
+            op if op.is_meta() => {
+                self.meta_ops += 1;
+                self.openers.insert(c.rank[i]);
+            }
+            _ => {}
+        }
+        self.time += Dur(c.end[i] - c.start[i]);
+    }
 }
 
 /// One detected I/O phase (Table V).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseInfo {
     /// Phase start.
     pub start: SimTime,
@@ -83,7 +126,7 @@ impl PhaseInfo {
 }
 
 /// Per-application (workflow step) profile.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AppProfile {
     /// Kernel name.
     pub name: String,
@@ -103,7 +146,46 @@ pub struct AppProfile {
     pub last: SimTime,
 }
 
+/// All workload attributes derivable from the columnar trace alone (no
+/// allocation or storage state needed). [`Analysis`] is this plus the
+/// run-level attributes; the bench harness profiles bare synthetic traces
+/// through this type directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Mean per-rank time spent inside I/O calls, as a fraction of runtime.
+    pub io_time_frac: f64,
+    /// Bytes read at the interface layer.
+    pub read_bytes: u64,
+    /// Bytes written at the interface layer.
+    pub write_bytes: u64,
+    /// Interface-layer data op count.
+    pub data_ops: u64,
+    /// Interface-layer metadata op count.
+    pub meta_ops: u64,
+    /// Detected interface ("POSIX", "STDIO", "HDF5-MPI-IO").
+    pub interface: String,
+    /// "Seq" / "Mixed" access pattern.
+    pub access_pattern: String,
+    /// Request-size histogram (Figures 1a–6a, left panel).
+    pub req_sizes: Histogram,
+    /// Per-request bandwidth histogram, bytes/s buckets (right panel).
+    pub req_bandwidth: Histogram,
+    /// Read-bytes timeline (Figures 1c–6c).
+    pub read_timeline: TimeSeries,
+    /// Write-bytes timeline.
+    pub write_timeline: TimeSeries,
+    /// Per-file profiles.
+    pub files: Vec<FileProfile>,
+    /// Detected I/O phases.
+    pub phases: Vec<PhaseInfo>,
+    /// Per-application profiles (workflows have several).
+    pub apps: Vec<AppProfile>,
+    /// App-level data dependencies (producer → consumer).
+    pub app_deps: Vec<(String, String)>,
+}
+
 /// The complete analysis of one workload run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Which workload.
     pub kind: WorkloadKind,
@@ -154,120 +236,48 @@ pub struct Analysis {
 }
 
 impl Analysis {
-    /// Analyze a completed run.
+    /// Analyze a completed run with the fused single-pass scan.
     pub fn from_run(run: &WorkloadRun) -> Analysis {
         let c = run.columnar();
-        let job_time = run.runtime();
-        let interface = detect_interface(&c);
-        let iface_layers = interface_layers(&interface);
+        let profile = TraceProfile::fused(&c, run.runtime());
+        Self::assemble(run, c, profile)
+    }
 
-        // Interface-layer selections, plus POSIX ops on files the higher
-        // layers never touch (e.g. checkpoints written with raw
-        // open/write/close while the dataset goes through HDF5 or stdio).
-        let iface_files: HashSet<u32> = (0..c.len())
-            .filter(|&i| c.op[i].is_io() && iface_layers.contains(&c.layer[i]))
-            .filter_map(|i| c.file_id(i).map(|f| f.0))
-            .collect();
-        let io_sel = c.select(|i| {
-            c.op[i].is_io()
-                && (iface_layers.contains(&c.layer[i])
-                    || (c.layer[i] == Layer::Posix
-                        && !iface_layers.contains(&Layer::Posix)
-                        && c.file_id(i).is_some_and(|f| !iface_files.contains(&f.0))))
-        });
-        let data_sel: Vec<u32> = io_sel
-            .iter()
-            .copied()
-            .filter(|&i| c.op[i as usize].is_data())
-            .collect();
-        let meta_sel: Vec<u32> = io_sel
-            .iter()
-            .copied()
-            .filter(|&i| c.op[i as usize].is_meta())
-            .collect();
+    /// Analyze a completed run with the legacy one-scan-per-statistic
+    /// pipeline. Retained as the oracle the fused scan is cross-checked
+    /// against and as the benchmark baseline; results are bit-identical to
+    /// [`Self::from_run`].
+    pub fn from_run_multipass(run: &WorkloadRun) -> Analysis {
+        let c = run.columnar();
+        let profile = TraceProfile::multipass(&c, run.runtime());
+        Self::assemble(run, c, profile)
+    }
 
-        let read_bytes = c.sum_bytes(
-            &data_sel
-                .iter()
-                .copied()
-                .filter(|&i| c.op[i as usize] == OpKind::Read)
-                .collect::<Vec<_>>(),
-        );
-        let write_bytes = c.sum_bytes(
-            &data_sel
-                .iter()
-                .copied()
-                .filter(|&i| c.op[i as usize] == OpKind::Write)
-                .collect::<Vec<_>>(),
-        );
-
-        // I/O time fraction: mean per-rank busy-in-I/O time over runtime.
-        let by_rank = c.group_by_rank(&io_sel);
-        let io_time_frac = if by_rank.is_empty() || job_time == Dur::ZERO {
-            0.0
-        } else {
-            let mean: f64 = by_rank.values().map(|g| g.time.as_secs_f64()).sum::<f64>()
-                / by_rank.len() as f64;
-            (mean / job_time.as_secs_f64()).min(1.0)
-        };
-
-        // Histograms over data ops.
-        let mut req_sizes = Histogram::new();
-        let mut req_bandwidth = Histogram::new();
-        for &i in &data_sel {
-            let i = i as usize;
-            if c.bytes[i] == 0 {
-                continue;
-            }
-            req_sizes.record(c.bytes[i]);
-            let bw = Dur(c.end[i] - c.start[i]).bandwidth(c.bytes[i]);
-            if bw.is_finite() {
-                req_bandwidth.record(bw as u64);
-            }
-        }
-
-        // Timelines (128 bins over the run).
-        let bin = Dur((job_time.as_nanos() / 128).max(1));
-        let mut read_timeline = TimeSeries::new(bin);
-        let mut write_timeline = TimeSeries::new(bin);
-        for &i in &data_sel {
-            let i = i as usize;
-            let ts = match c.op[i] {
-                OpKind::Read => &mut read_timeline,
-                OpKind::Write => &mut write_timeline,
-                _ => continue,
-            };
-            ts.add(SimTime(c.start[i]), SimTime(c.end[i]), c.bytes[i] as f64);
-        }
-
-        let files = profile_files(&c, &io_sel);
-        let phases = detect_phases(&c, &io_sel, job_time);
-        let (apps, app_deps) = profile_apps(&c, run);
-        let access_pattern = detect_access_pattern(&c, &data_sel);
-        let data_dist = fit_data_distribution(run, &files);
-
+    /// Combine a trace profile with the run-level attributes.
+    fn assemble(run: &WorkloadRun, c: ColumnarTrace, p: TraceProfile) -> Analysis {
+        let data_dist = fit_data_distribution(run, &p.files);
         Analysis {
             kind: run.kind,
             scale: run.scale,
-            job_time,
-            io_time_frac,
+            job_time: run.runtime(),
+            io_time_frac: p.io_time_frac,
             nodes: run.world.alloc.spec.nodes,
             ranks_per_node: run.world.alloc.spec.ranks_per_node,
             n_ranks: run.world.alloc.total_ranks(),
-            read_bytes,
-            write_bytes,
-            data_ops: data_sel.len() as u64,
-            meta_ops: meta_sel.len() as u64,
-            interface,
-            access_pattern,
-            req_sizes,
-            req_bandwidth,
-            read_timeline,
-            write_timeline,
-            files,
-            phases,
-            apps,
-            app_deps,
+            read_bytes: p.read_bytes,
+            write_bytes: p.write_bytes,
+            data_ops: p.data_ops,
+            meta_ops: p.meta_ops,
+            interface: p.interface,
+            access_pattern: p.access_pattern,
+            req_sizes: p.req_sizes,
+            req_bandwidth: p.req_bandwidth,
+            read_timeline: p.read_timeline,
+            write_timeline: p.write_timeline,
+            files: p.files,
+            phases: p.phases,
+            apps: p.apps,
+            app_deps: p.app_deps,
             data_dist,
             trace: c,
         }
@@ -337,6 +347,18 @@ impl Analysis {
     }
 }
 
+/// Dense index for a [`Layer`] (array-backed lookup tables in the scans).
+fn layer_idx(l: Layer) -> usize {
+    match l {
+        Layer::App => 0,
+        Layer::HighLevel => 1,
+        Layer::MpiIo => 2,
+        Layer::Stdio => 3,
+        Layer::Posix => 4,
+        Layer::Middleware => 5,
+    }
+}
+
 /// Layers counted as "the interface" for op statistics.
 fn interface_layers(interface: &str) -> Vec<Layer> {
     match interface {
@@ -348,68 +370,816 @@ fn interface_layers(interface: &str) -> Vec<Layer> {
 
 /// Identify the workload's I/O interface from the layers present (Table I).
 fn detect_interface(c: &ColumnarTrace) -> String {
-    let mut has = HashSet::new();
+    let mut present = [false; 6];
     for &l in &c.layer {
-        has.insert(l);
+        present[layer_idx(l)] = true;
     }
-    if has.contains(&Layer::MpiIo) && has.contains(&Layer::HighLevel) {
+    interface_from_presence(&present)
+}
+
+/// [`detect_interface`] from a precomputed layer-presence table.
+fn interface_from_presence(present: &[bool; 6]) -> String {
+    if present[layer_idx(Layer::MpiIo)] && present[layer_idx(Layer::HighLevel)] {
         "HDF5-MPI-IO".to_string()
-    } else if has.contains(&Layer::Stdio) {
+    } else if present[layer_idx(Layer::Stdio)] {
         "STDIO".to_string()
     } else {
         "POSIX".to_string()
     }
 }
 
+/// Workflow-step name for an app id, from the trace's interned name table.
+fn app_name(c: &ColumnarTrace, app: u16) -> String {
+    c.app_names
+        .get(app as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("app{app}"))
+}
+
+/// Mean-per-rank I/O-time fraction from per-rank I/O times visited in
+/// ascending rank order. Both analyzer paths feed this the same sorted
+/// sequence, so the non-associative f64 accumulation is byte-stable run to
+/// run (summing in HashMap iteration order is not).
+fn io_frac_sorted(times: impl Iterator<Item = Dur>, job_time: Dur) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for t in times {
+        sum += t.as_secs_f64();
+        n += 1;
+    }
+    if n == 0 || job_time == Dur::ZERO {
+        return 0.0;
+    }
+    ((sum / n as f64) / job_time.as_secs_f64()).min(1.0)
+}
+
+/// [`io_frac_sorted`] over a per-rank aggregate map (the multipass path).
+fn io_frac_from_rank_aggs(
+    by_rank: &HashMap<u32, recorder_sim::columnar::GroupAgg>,
+    job_time: Dur,
+) -> f64 {
+    let mut ranks: Vec<u32> = by_rank.keys().copied().collect();
+    ranks.sort_unstable();
+    io_frac_sorted(ranks.iter().map(|r| by_rank[r].time), job_time)
+}
+
+/// Build the read/write timelines (128 bins over the run) from the
+/// interface-layer data-op selection. Shared by the fused and multipass
+/// paths — f64 bin accumulation is non-associative, so both must add
+/// record contributions in the same (index) order to stay bit-identical.
+fn build_timelines(c: &ColumnarTrace, data_sel: &[u32], job_time: Dur) -> (TimeSeries, TimeSeries) {
+    let bin = Dur((job_time.as_nanos() / 128).max(1));
+    let mut read_timeline = TimeSeries::new(bin);
+    let mut write_timeline = TimeSeries::new(bin);
+    for &i in data_sel {
+        let i = i as usize;
+        let ts = match c.op[i] {
+            OpKind::Read => &mut read_timeline,
+            OpKind::Write => &mut write_timeline,
+            _ => continue,
+        };
+        ts.add(SimTime(c.start[i]), SimTime(c.end[i]), c.bytes[i] as f64);
+    }
+    (read_timeline, write_timeline)
+}
+
+/// Sort file profiles for emission: most-read first, path as the tiebreak
+/// (paths are unique per file id, so the order is total and byte-stable).
+fn sort_files(mut v: Vec<FileProfile>) -> Vec<FileProfile> {
+    v.sort_by(|a, b| b.read_bytes.cmp(&a.read_bytes).then(a.path.cmp(&b.path)));
+    v
+}
+
+/// Sort app profiles for emission by (first record, name) — the name
+/// tiebreak keeps the order byte-stable when two workflow steps start at
+/// the same instant (HashMap drain order is not deterministic).
+fn sort_apps(mut v: Vec<AppProfile>) -> Vec<AppProfile> {
+    v.sort_by(|a, b| a.first.cmp(&b.first).then_with(|| a.name.cmp(&b.name)));
+    v
+}
+
+/// Producer → consumer app edges through files, sorted for emission.
+fn deps_from_file_maps(
+    c: &ColumnarTrace,
+    writers_of: &HashMap<u32, HashSet<u16>>,
+    readers_of: &HashMap<u32, HashSet<u16>>,
+) -> Vec<(String, String)> {
+    let mut deps = HashSet::new();
+    for (file, writers) in writers_of {
+        if let Some(readers) = readers_of.get(file) {
+            for &wr in writers {
+                for &rd in readers {
+                    if wr != rd {
+                        deps.insert((app_name(c, wr), app_name(c, rd)));
+                    }
+                }
+            }
+        }
+    }
+    let mut deps: Vec<_> = deps.into_iter().collect();
+    deps.sort();
+    deps
+}
+
+// ---------------------------------------------------------------------------
+// Fused single-pass scan
+// ---------------------------------------------------------------------------
+
+/// A lazily-allocated bitset over a small dense id space (ranks, apps,
+/// file ids). The fused scan uses these instead of `HashSet`s in its inner
+/// loop: an insert is one bounds check and an OR, not a SipHash probe.
+#[derive(Debug, Default, Clone)]
+struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    #[inline]
+    fn insert(&mut self, id: usize) {
+        let w = id / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (id % 64);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn merge(&mut self, other: &IdSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Set members in ascending order.
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors(
+                (w != 0).then_some(w),
+                |&rest| {
+                    let rest = rest & (rest - 1);
+                    (rest != 0).then_some(rest)
+                },
+            )
+            .map(move |bits| wi * 64 + bits.trailing_zeros() as usize)
+        })
+    }
+
+    fn to_hashset_u32(&self) -> HashSet<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+}
+
+/// Dense per-file accumulator inside the fused shard (a [`FileProfile`]
+/// with the rank/app sets as bitsets, plus the producer/consumer app sets
+/// that drive workflow dependency edges).
+#[derive(Debug, Default, Clone)]
+struct FileAcc {
+    /// Appears in the interface selection (emitted as a [`FileProfile`]).
+    profiled: bool,
+    read_bytes: u64,
+    write_bytes: u64,
+    data_ops: u64,
+    meta_ops: u64,
+    time: Dur,
+    size: u64,
+    readers: IdSet,
+    writers: IdSet,
+    openers: IdSet,
+    /// Apps that read / wrote this file at *any* layer (dependency edges).
+    reader_apps: IdSet,
+    writer_apps: IdSet,
+}
+
+impl FileAcc {
+    fn merge(&mut self, other: &FileAcc) {
+        self.profiled |= other.profiled;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.data_ops += other.data_ops;
+        self.meta_ops += other.meta_ops;
+        self.time += other.time;
+        self.size = self.size.max(other.size);
+        self.readers.merge(&other.readers);
+        self.writers.merge(&other.writers);
+        self.openers.merge(&other.openers);
+        self.reader_apps.merge(&other.reader_apps);
+        self.writer_apps.merge(&other.writer_apps);
+    }
+}
+
+/// Dense per-app accumulator (an [`AppProfile`] with the rank set as a
+/// bitset). `first` starts at `u64::MAX` exactly like the multipass path.
+#[derive(Debug, Clone)]
+struct AppAcc {
+    seen: bool,
+    read_bytes: u64,
+    write_bytes: u64,
+    data_ops: u64,
+    meta_ops: u64,
+    first: u64,
+    last: u64,
+    ranks: IdSet,
+}
+
+impl Default for AppAcc {
+    fn default() -> Self {
+        AppAcc {
+            seen: false,
+            read_bytes: 0,
+            write_bytes: 0,
+            data_ops: 0,
+            meta_ops: 0,
+            first: u64::MAX,
+            last: 0,
+            ranks: IdSet::default(),
+        }
+    }
+}
+
+impl AppAcc {
+    fn merge(&mut self, other: &AppAcc) {
+        self.seen |= other.seen;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.data_ops += other.data_ops;
+        self.meta_ops += other.meta_ops;
+        self.first = self.first.min(other.first);
+        self.last = self.last.max(other.last);
+        self.ranks.merge(&other.ranks);
+    }
+}
+
+/// Id-space dimensions for the dense shard accumulators, from the prescan.
+#[derive(Debug, Clone, Copy)]
+struct Dims {
+    n_files: usize,
+    n_apps: usize,
+    n_ranks: usize,
+}
+
+/// Per-file accumulators with slot indirection: a flat `file id → slot`
+/// vector plus a compact list of accumulators in first-touch order. Lookup
+/// stays O(1), but per-shard setup zeroes 4 bytes per file id instead of a
+/// whole [`FileAcc`], and merging visits only the files a shard touched —
+/// traces with many files and short morsels (Pegasus-style workflows)
+/// would otherwise pay O(shards × files) in allocation and merge.
+#[derive(Debug)]
+struct FileTable {
+    /// File id → index into `ids`/`accs`; `u32::MAX` = untouched.
+    slot: Vec<u32>,
+    /// Touched file ids in first-touch order.
+    ids: Vec<u32>,
+    accs: Vec<FileAcc>,
+}
+
+impl FileTable {
+    fn new(n_files: usize) -> FileTable {
+        FileTable {
+            slot: vec![u32::MAX; n_files],
+            ids: Vec::new(),
+            accs: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, fid: usize) -> &mut FileAcc {
+        let s = self.slot[fid];
+        if s != u32::MAX {
+            return &mut self.accs[s as usize];
+        }
+        self.slot[fid] = self.accs.len() as u32;
+        self.ids.push(fid as u32);
+        self.accs.push(FileAcc::default());
+        self.accs.last_mut().expect("just pushed")
+    }
+
+    fn merge(&mut self, other: &FileTable) {
+        for (k, &fid) in other.ids.iter().enumerate() {
+            self.get(fid as usize).merge(&other.accs[k]);
+        }
+    }
+
+    /// Touched `(file id, accumulator)` pairs in first-touch order.
+    fn iter(&self) -> impl Iterator<Item = (u32, &FileAcc)> {
+        self.ids.iter().copied().zip(&self.accs)
+    }
+}
+
+/// The fused scan's shard accumulator: one morsel's worth of every
+/// statistic the analyzer needs, in dense array-indexed form. Merged in
+/// morsel order.
+#[derive(Debug)]
+struct FusedShard {
+    /// Interface-selection indices, ascending (morsel concat keeps order).
+    io_idx: Vec<u32>,
+    /// Data-op subset of `io_idx`, ascending.
+    data_idx: Vec<u32>,
+    read_bytes: u64,
+    write_bytes: u64,
+    meta_ops: u64,
+    /// Indexed by rank.
+    rank_aggs: Vec<recorder_sim::columnar::GroupAgg>,
+    req_sizes: Histogram,
+    req_bandwidth: Histogram,
+    /// Slot-indirect per-file accumulators.
+    files: FileTable,
+    /// Indexed by app id.
+    apps: Vec<AppAcc>,
+}
+
+impl FusedShard {
+    fn new(dims: Dims) -> FusedShard {
+        FusedShard {
+            io_idx: Vec::new(),
+            data_idx: Vec::new(),
+            read_bytes: 0,
+            write_bytes: 0,
+            meta_ops: 0,
+            rank_aggs: vec![Default::default(); dims.n_ranks],
+            req_sizes: Histogram::new(),
+            req_bandwidth: Histogram::new(),
+            files: FileTable::new(dims.n_files),
+            apps: vec![AppAcc::default(); dims.n_apps],
+        }
+    }
+
+    fn merge(&mut self, other: FusedShard) {
+        self.io_idx.extend(other.io_idx);
+        self.data_idx.extend(other.data_idx);
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.meta_ops += other.meta_ops;
+        for (a, b) in self.rank_aggs.iter_mut().zip(&other.rank_aggs) {
+            a.ops += b.ops;
+            a.bytes += b.bytes;
+            a.time += b.time;
+        }
+        self.req_sizes.merge(&other.req_sizes);
+        self.req_bandwidth.merge(&other.req_bandwidth);
+        self.files.merge(&other.files);
+        for (a, b) in self.apps.iter_mut().zip(&other.apps) {
+            if b.seen {
+                a.merge(b);
+            }
+        }
+    }
+}
+
+impl TraceProfile {
+    /// Fused single-pass profile: two parallel traversals (a cheap
+    /// interface prescan, then the wide fused scan), one shared sort for
+    /// phase/pattern detection, and a final timeline pass over data ops.
+    ///
+    /// The shard accumulators are dense: file ids, app ids, and ranks all
+    /// live in small id spaces (sized by the prescan), so the inner loop
+    /// indexes arrays and flips bitset bits instead of probing hash tables.
+    pub fn fused(c: &ColumnarTrace, job_time: Dur) -> TraceProfile {
+        let n = c.len();
+
+        // Prescan: layer presence, id-space bounds, and the per-layer file
+        // sets the interface-selection predicate needs. One parallel fold.
+        struct PreShard {
+            present: [bool; 6],
+            layer_files: [IdSet; 6],
+            n_ranks: usize,
+            n_apps: usize,
+            n_files: usize,
+        }
+        let pre = par::par_fold_shards(
+            n,
+            || PreShard {
+                present: [false; 6],
+                layer_files: Default::default(),
+                n_ranks: 0,
+                n_apps: 0,
+                n_files: 0,
+            },
+            |acc: &mut PreShard, range| {
+                for i in range {
+                    let l = layer_idx(c.layer[i]);
+                    acc.present[l] = true;
+                    acc.n_ranks = acc.n_ranks.max(c.rank[i] as usize + 1);
+                    acc.n_apps = acc.n_apps.max(c.app[i] as usize + 1);
+                    if let Some(f) = c.file_id(i) {
+                        acc.n_files = acc.n_files.max(f.0 as usize + 1);
+                        if c.op[i].is_io() {
+                            acc.layer_files[l].insert(f.0 as usize);
+                        }
+                    }
+                }
+            },
+            |a, b| {
+                for l in 0..6 {
+                    a.present[l] |= b.present[l];
+                    a.layer_files[l].merge(&b.layer_files[l]);
+                }
+                a.n_ranks = a.n_ranks.max(b.n_ranks);
+                a.n_apps = a.n_apps.max(b.n_apps);
+                a.n_files = a.n_files.max(b.n_files);
+            },
+        );
+        let dims = Dims {
+            n_files: pre.n_files.max(c.file_paths.len()),
+            n_apps: pre.n_apps.max(c.app_names.len()),
+            n_ranks: pre.n_ranks,
+        };
+        let interface = interface_from_presence(&pre.present);
+        let mut iface_mask = [false; 6];
+        for l in interface_layers(&interface) {
+            iface_mask[layer_idx(l)] = true;
+        }
+        // Files touched at the interface layers: POSIX ops on *other* files
+        // fall through into the selection (checkpoints written with raw
+        // open/write/close while the dataset goes through HDF5 or stdio).
+        let mut iface_file = vec![false; dims.n_files];
+        for l in 0..6 {
+            if iface_mask[l] {
+                for f in pre.layer_files[l].iter() {
+                    iface_file[f] = true;
+                }
+            }
+        }
+        let posix_fallback = !iface_mask[layer_idx(Layer::Posix)];
+
+        // The fused scan: one traversal computes every per-record statistic.
+        let fused = par::par_fold_shards(
+            n,
+            || FusedShard::new(dims),
+            |acc: &mut FusedShard, range| {
+                // One exact reservation per morsel instead of doubling
+                // growth (io_idx can't outgrow the morsel).
+                acc.io_idx.reserve(range.len());
+                acc.data_idx.reserve(range.len());
+                for i in range {
+                    let op = c.op[i];
+                    if !op.is_io() {
+                        continue;
+                    }
+                    let rank = c.rank[i] as usize;
+                    let file = c.file_id(i).map(|f| f.0 as usize);
+                    let dur = Dur(c.end[i] - c.start[i]);
+
+                    // App profiles cover I/O at *every* layer.
+                    let app = &mut acc.apps[c.app[i] as usize];
+                    app.seen = true;
+                    app.ranks.insert(rank);
+                    app.first = app.first.min(c.start[i]);
+                    app.last = app.last.max(c.end[i]);
+                    match op {
+                        OpKind::Read => {
+                            app.read_bytes += c.bytes[i];
+                            app.data_ops += 1;
+                            if let Some(f) = file {
+                                acc.files.get(f).reader_apps.insert(c.app[i] as usize);
+                            }
+                        }
+                        OpKind::Write => {
+                            app.write_bytes += c.bytes[i];
+                            app.data_ops += 1;
+                            if let Some(f) = file {
+                                acc.files.get(f).writer_apps.insert(c.app[i] as usize);
+                            }
+                        }
+                        _ => app.meta_ops += 1,
+                    }
+
+                    // Everything else covers the interface selection only.
+                    let in_sel = iface_mask[layer_idx(c.layer[i])]
+                        || (posix_fallback
+                            && c.layer[i] == Layer::Posix
+                            && file.is_some_and(|f| !iface_file[f]));
+                    if !in_sel {
+                        continue;
+                    }
+                    acc.io_idx.push(i as u32);
+
+                    let agg = &mut acc.rank_aggs[rank];
+                    agg.ops += 1;
+                    agg.bytes += c.bytes[i];
+                    agg.time += dur;
+
+                    if let Some(f) = file {
+                        let fa = acc.files.get(f);
+                        fa.profiled = true;
+                        fa.time += dur;
+                        match op {
+                            OpKind::Read => {
+                                fa.readers.insert(rank);
+                                fa.read_bytes += c.bytes[i];
+                                fa.data_ops += 1;
+                                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
+                            }
+                            OpKind::Write => {
+                                fa.writers.insert(rank);
+                                fa.write_bytes += c.bytes[i];
+                                fa.data_ops += 1;
+                                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
+                            }
+                            _ => {
+                                fa.meta_ops += 1;
+                                fa.openers.insert(rank);
+                            }
+                        }
+                    }
+
+                    if op.is_data() {
+                        acc.data_idx.push(i as u32);
+                        match op {
+                            OpKind::Read => acc.read_bytes += c.bytes[i],
+                            OpKind::Write => acc.write_bytes += c.bytes[i],
+                            _ => {}
+                        }
+                        if c.bytes[i] > 0 {
+                            acc.req_sizes.record(c.bytes[i]);
+                            let bw = dur.bandwidth(c.bytes[i]);
+                            if bw.is_finite() {
+                                acc.req_bandwidth.record(bw as u64);
+                            }
+                        }
+                    } else {
+                        acc.meta_ops += 1;
+                    }
+                }
+            },
+            FusedShard::merge,
+        );
+
+        // One time-sort of the interface selection feeds both phase
+        // detection and the access-pattern scan (the multipass path sorts
+        // twice). Stable sort: ties in start keep ascending index order.
+        let mut sorted_io = fused.io_idx;
+        sorted_io.sort_by_key(|&i| c.start[i as usize]);
+        let phases = detect_phases_sorted(c, &sorted_io, job_time);
+        let sorted_data: Vec<u32> =
+            sorted_io.iter().copied().filter(|&i| c.op[i as usize].is_data()).collect();
+        let access_pattern = scan_access_pattern(c, &sorted_data);
+        let (read_timeline, write_timeline) = build_timelines(c, &fused.data_idx, job_time);
+        let io_time_frac = io_frac_sorted(
+            fused.rank_aggs.iter().filter(|g| g.ops > 0).map(|g| g.time),
+            job_time,
+        );
+
+        let files = sort_files(
+            fused
+                .files
+                .iter()
+                .filter(|(_, fa)| fa.profiled)
+                .map(|(fid, fa)| FileProfile {
+                    path: c.file_paths.get(fid as usize).cloned().unwrap_or_default(),
+                    readers: fa.readers.to_hashset_u32(),
+                    writers: fa.writers.to_hashset_u32(),
+                    openers: fa.openers.to_hashset_u32(),
+                    read_bytes: fa.read_bytes,
+                    write_bytes: fa.write_bytes,
+                    data_ops: fa.data_ops,
+                    meta_ops: fa.meta_ops,
+                    time: fa.time,
+                    size: fa.size,
+                })
+                .collect(),
+        );
+
+        let apps = sort_apps(
+            fused
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.seen)
+                .map(|(id, a)| AppProfile {
+                    name: app_name(c, id as u16),
+                    processes: a.ranks.count(),
+                    read_bytes: a.read_bytes,
+                    write_bytes: a.write_bytes,
+                    data_ops: a.data_ops,
+                    meta_ops: a.meta_ops,
+                    first: SimTime(a.first),
+                    last: SimTime(a.last),
+                })
+                .collect(),
+        );
+
+        // Producer → consumer edges through each file's app bitsets.
+        let mut dep_set = HashSet::new();
+        for (_, fa) in fused.files.iter() {
+            if fa.writer_apps.is_empty() || fa.reader_apps.is_empty() {
+                continue;
+            }
+            for wr in fa.writer_apps.iter() {
+                for rd in fa.reader_apps.iter() {
+                    if wr != rd {
+                        dep_set.insert((app_name(c, wr as u16), app_name(c, rd as u16)));
+                    }
+                }
+            }
+        }
+        let mut app_deps: Vec<_> = dep_set.into_iter().collect();
+        app_deps.sort();
+
+        TraceProfile {
+            io_time_frac,
+            read_bytes: fused.read_bytes,
+            write_bytes: fused.write_bytes,
+            data_ops: fused.data_idx.len() as u64,
+            meta_ops: fused.meta_ops,
+            interface,
+            access_pattern,
+            req_sizes: fused.req_sizes,
+            req_bandwidth: fused.req_bandwidth,
+            read_timeline,
+            write_timeline,
+            files,
+            phases,
+            apps,
+            app_deps,
+        }
+    }
+
+    /// The pre-fusion pipeline: one scan (or sequential loop) per
+    /// statistic. Kept as the fused scan's oracle and benchmark baseline.
+    pub fn multipass(c: &ColumnarTrace, job_time: Dur) -> TraceProfile {
+        let interface = detect_interface(c);
+        let iface_layers = interface_layers(&interface);
+
+        // Interface-layer selections, plus POSIX ops on files the higher
+        // layers never touch.
+        let iface_files: HashSet<u32> = (0..c.len())
+            .filter(|&i| c.op[i].is_io() && iface_layers.contains(&c.layer[i]))
+            .filter_map(|i| c.file_id(i).map(|f| f.0))
+            .collect();
+        let io_sel = c.select(|i| {
+            c.op[i].is_io()
+                && (iface_layers.contains(&c.layer[i])
+                    || (c.layer[i] == Layer::Posix
+                        && !iface_layers.contains(&Layer::Posix)
+                        && c.file_id(i).is_some_and(|f| !iface_files.contains(&f.0))))
+        });
+        let data_sel: Vec<u32> = io_sel
+            .iter()
+            .copied()
+            .filter(|&i| c.op[i as usize].is_data())
+            .collect();
+        let meta_sel: Vec<u32> = io_sel
+            .iter()
+            .copied()
+            .filter(|&i| c.op[i as usize].is_meta())
+            .collect();
+
+        let read_bytes = c.sum_bytes(
+            &data_sel
+                .iter()
+                .copied()
+                .filter(|&i| c.op[i as usize] == OpKind::Read)
+                .collect::<Vec<_>>(),
+        );
+        let write_bytes = c.sum_bytes(
+            &data_sel
+                .iter()
+                .copied()
+                .filter(|&i| c.op[i as usize] == OpKind::Write)
+                .collect::<Vec<_>>(),
+        );
+
+        let by_rank = c.group_by_rank(&io_sel);
+        let io_time_frac = io_frac_from_rank_aggs(&by_rank, job_time);
+
+        // Histograms over data ops.
+        let mut req_sizes = Histogram::new();
+        let mut req_bandwidth = Histogram::new();
+        for &i in &data_sel {
+            let i = i as usize;
+            if c.bytes[i] == 0 {
+                continue;
+            }
+            req_sizes.record(c.bytes[i]);
+            let bw = Dur(c.end[i] - c.start[i]).bandwidth(c.bytes[i]);
+            if bw.is_finite() {
+                req_bandwidth.record(bw as u64);
+            }
+        }
+
+        let (read_timeline, write_timeline) = build_timelines(c, &data_sel, job_time);
+
+        let files = profile_files(c, &io_sel);
+        let mut sorted_io = io_sel.clone();
+        sorted_io.sort_by_key(|&i| c.start[i as usize]);
+        let phases = detect_phases_sorted(c, &sorted_io, job_time);
+        let (apps, app_deps) = profile_apps(c);
+        let mut sorted_data = data_sel.clone();
+        sorted_data.sort_by_key(|&i| c.start[i as usize]);
+        let access_pattern = scan_access_pattern(c, &sorted_data);
+
+        TraceProfile {
+            io_time_frac,
+            read_bytes,
+            write_bytes,
+            data_ops: data_sel.len() as u64,
+            meta_ops: meta_sel.len() as u64,
+            interface,
+            access_pattern,
+            req_sizes,
+            req_bandwidth,
+            read_timeline,
+            write_timeline,
+            files,
+            phases,
+            apps,
+            app_deps,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multipass profiling loops (oracle path)
+// ---------------------------------------------------------------------------
+
 fn profile_files(c: &ColumnarTrace, io_sel: &[u32]) -> Vec<FileProfile> {
     let mut map: HashMap<u32, FileProfile> = HashMap::new();
     for &i in io_sel {
         let i = i as usize;
         let Some(fid) = c.file_id(i) else { continue };
-        let p = map.entry(fid.0).or_insert_with(|| FileProfile {
-            path: c.file_paths.get(fid.0 as usize).cloned().unwrap_or_default(),
+        map.entry(fid.0)
+            .or_insert_with(|| FileProfile {
+                path: c.file_paths.get(fid.0 as usize).cloned().unwrap_or_default(),
+                ..Default::default()
+            })
+            .absorb(c, i);
+    }
+    sort_files(map.into_values().collect())
+}
+
+fn profile_apps(c: &ColumnarTrace) -> (Vec<AppProfile>, Vec<(String, String)>) {
+    let mut map: HashMap<u16, AppProfile> = HashMap::new();
+    let mut ranks: HashMap<u16, HashSet<u32>> = HashMap::new();
+    // File producers/consumers at app granularity.
+    let mut writers_of: HashMap<u32, HashSet<u16>> = HashMap::new();
+    let mut readers_of: HashMap<u32, HashSet<u16>> = HashMap::new();
+    for i in 0..c.len() {
+        if !c.op[i].is_io() {
+            continue;
+        }
+        let app = c.app[i];
+        let p = map.entry(app).or_insert_with(|| AppProfile {
+            name: app_name(c, app),
+            first: SimTime(u64::MAX),
             ..Default::default()
         });
+        ranks.entry(app).or_default().insert(c.rank[i]);
+        p.first = p.first.min(SimTime(c.start[i]));
+        p.last = p.last.max(SimTime(c.end[i]));
         match c.op[i] {
             OpKind::Read => {
-                p.readers.insert(c.rank[i]);
                 p.read_bytes += c.bytes[i];
                 p.data_ops += 1;
-                p.size = p.size.max(c.offset[i] + c.bytes[i]);
+                if let Some(f) = c.file_id(i) {
+                    readers_of.entry(f.0).or_default().insert(app);
+                }
             }
             OpKind::Write => {
-                p.writers.insert(c.rank[i]);
                 p.write_bytes += c.bytes[i];
                 p.data_ops += 1;
-                p.size = p.size.max(c.offset[i] + c.bytes[i]);
+                if let Some(f) = c.file_id(i) {
+                    writers_of.entry(f.0).or_default().insert(app);
+                }
             }
-            op if op.is_meta() => {
-                p.meta_ops += 1;
-                p.openers.insert(c.rank[i]);
-            }
-            _ => {}
+            _ => p.meta_ops += 1,
         }
-        p.time += Dur(c.end[i] - c.start[i]);
     }
-    let mut v: Vec<FileProfile> = map.into_values().collect();
-    v.sort_by(|a, b| b.read_bytes.cmp(&a.read_bytes).then(a.path.cmp(&b.path)));
-    v
+    for (app, r) in ranks {
+        if let Some(p) = map.get_mut(&app) {
+            p.processes = r.len();
+        }
+    }
+    let deps = deps_from_file_maps(c, &writers_of, &readers_of);
+    (sort_apps(map.into_values().collect()), deps)
 }
+
+// ---------------------------------------------------------------------------
+// Shared detectors (operate on pre-sorted selections)
+// ---------------------------------------------------------------------------
 
 /// Phase detection: a gap larger than `job_time / 50` between consecutive
 /// interface-layer I/O calls (aggregated across ranks) splits phases —
-/// the paper's "threshold between two I/O calls".
-fn detect_phases(c: &ColumnarTrace, io_sel: &[u32], job_time: Dur) -> Vec<PhaseInfo> {
-    if io_sel.is_empty() {
+/// the paper's "threshold between two I/O calls". `sorted_io` must be
+/// sorted by record start time.
+fn detect_phases_sorted(c: &ColumnarTrace, sorted_io: &[u32], job_time: Dur) -> Vec<PhaseInfo> {
+    if sorted_io.is_empty() {
         return Vec::new();
     }
     let threshold = Dur((job_time.as_nanos() / 50).max(1_000_000));
-    let mut idx: Vec<u32> = io_sel.to_vec();
-    idx.sort_by_key(|&i| c.start[i as usize]);
     let mut phases: Vec<PhaseInfo> = Vec::new();
     let mut cur: Option<(PhaseInfo, Histogram)> = None;
     let mut frontier = SimTime::ZERO;
-    for &i in &idx {
+    for &i in sorted_io {
         let i = i as usize;
         let start = SimTime(c.start[i]);
         let end = SimTime(c.end[i]);
@@ -459,89 +1229,64 @@ fn dominant_bucket(h: &Histogram) -> u64 {
     h.iter().max_by_key(|&(_, count)| count).map(|(b, _)| b).unwrap_or(0)
 }
 
-fn profile_apps(c: &ColumnarTrace, run: &WorkloadRun) -> (Vec<AppProfile>, Vec<(String, String)>) {
-    let mut map: HashMap<u16, AppProfile> = HashMap::new();
-    let mut ranks: HashMap<u16, HashSet<u32>> = HashMap::new();
-    // File producers/consumers at app granularity.
-    let mut writers_of: HashMap<u32, HashSet<u16>> = HashMap::new();
-    let mut readers_of: HashMap<u32, HashSet<u16>> = HashMap::new();
-    for i in 0..c.len() {
-        if !c.op[i].is_io() {
-            continue;
-        }
-        let app = c.app[i];
-        let p = map.entry(app).or_insert_with(|| AppProfile {
-            name: run.world.tracer.app_name(recorder_sim::record::AppId(app)).to_string(),
-            first: SimTime(u64::MAX),
-            ..Default::default()
-        });
-        ranks.entry(app).or_default().insert(c.rank[i]);
-        p.first = p.first.min(SimTime(c.start[i]));
-        p.last = p.last.max(SimTime(c.end[i]));
-        match c.op[i] {
-            OpKind::Read => {
-                p.read_bytes += c.bytes[i];
-                p.data_ops += 1;
-                if let Some(f) = c.file_id(i) {
-                    readers_of.entry(f.0).or_default().insert(app);
-                }
-            }
-            OpKind::Write => {
-                p.write_bytes += c.bytes[i];
-                p.data_ops += 1;
-                if let Some(f) = c.file_id(i) {
-                    writers_of.entry(f.0).or_default().insert(app);
-                }
-            }
-            _ => p.meta_ops += 1,
-        }
-    }
-    for (app, r) in ranks {
-        if let Some(p) = map.get_mut(&app) {
-            p.processes = r.len();
-        }
-    }
-    // Producer → consumer edges through files.
-    let mut deps = HashSet::new();
-    for (file, writers) in &writers_of {
-        if let Some(readers) = readers_of.get(file) {
-            for &wr in writers {
-                for &rd in readers {
-                    if wr != rd {
-                        let from = run.world.tracer.app_name(recorder_sim::record::AppId(wr));
-                        let to = run.world.tracer.app_name(recorder_sim::record::AppId(rd));
-                        deps.insert((from.to_string(), to.to_string()));
-                    }
-                }
-            }
-        }
-    }
-    let mut apps: Vec<AppProfile> = map.into_values().collect();
-    apps.sort_by(|a, b| a.first.cmp(&b.first));
-    let mut deps: Vec<_> = deps.into_iter().collect();
-    deps.sort();
-    (apps, deps)
-}
-
 /// Sequential if, per (rank, file), data-op offsets are non-decreasing for
-/// nearly all consecutive pairs.
-fn detect_access_pattern(c: &ColumnarTrace, data_sel: &[u32]) -> String {
-    let mut last: HashMap<(u32, u32), u64> = HashMap::new();
+/// nearly all consecutive pairs. `sorted_data` must be sorted by record
+/// start time.
+///
+/// The per-(rank, file) offset frontier lives in a dense `rank × file`
+/// table when that product is small enough (one array index per record
+/// instead of a hash probe — this scan is on the fused path's critical
+/// path), falling back to a `HashMap` for traces whose id-space product is
+/// too large to allocate densely. Both layouts count identically.
+fn scan_access_pattern(c: &ColumnarTrace, sorted_data: &[u32]) -> String {
+    let mut max_rank = 0usize;
+    let mut max_file = 0usize;
+    let mut any = false;
+    for &i in sorted_data {
+        let i = i as usize;
+        if let Some(f) = c.file_id(i) {
+            any = true;
+            max_rank = max_rank.max(c.rank[i] as usize);
+            max_file = max_file.max(f.0 as usize);
+        }
+    }
+    if !any {
+        return "Seq".to_string();
+    }
     let mut seq = 0u64;
     let mut total = 0u64;
-    let mut idx: Vec<u32> = data_sel.to_vec();
-    idx.sort_by_key(|&i| c.start[i as usize]);
-    for &i in &idx {
-        let i = i as usize;
-        let Some(f) = c.file_id(i) else { continue };
-        let key = (c.rank[i], f.0);
-        if let Some(&prev_end) = last.get(&key) {
-            total += 1;
-            if c.offset[i] >= prev_end {
-                seq += 1;
+    let stride = max_file + 1;
+    let cells = (max_rank + 1).saturating_mul(stride);
+    /// Largest dense frontier table worth allocating: 4M cells = 32 MiB.
+    const DENSE_LIMIT: usize = 4 << 20;
+    if cells <= DENSE_LIMIT {
+        // u64::MAX = no previous access for this (rank, file).
+        let mut last = vec![u64::MAX; cells];
+        for &i in sorted_data {
+            let i = i as usize;
+            let Some(f) = c.file_id(i) else { continue };
+            let cell = &mut last[c.rank[i] as usize * stride + f.0 as usize];
+            if *cell != u64::MAX {
+                total += 1;
+                if c.offset[i] >= *cell {
+                    seq += 1;
+                }
             }
+            *cell = c.offset[i] + c.bytes[i];
         }
-        last.insert(key, c.offset[i] + c.bytes[i]);
+    } else {
+        let mut last: HashMap<(u32, u32), u64> = HashMap::new();
+        for &i in sorted_data {
+            let i = i as usize;
+            let Some(f) = c.file_id(i) else { continue };
+            if let Some(&prev_end) = last.get(&(c.rank[i], f.0)) {
+                total += 1;
+                if c.offset[i] >= prev_end {
+                    seq += 1;
+                }
+            }
+            last.insert((c.rank[i], f.0), c.offset[i] + c.bytes[i]);
+        }
     }
     if total == 0 || seq as f64 / total as f64 >= 0.85 {
         "Seq".to_string()
@@ -686,5 +1431,13 @@ mod tests {
         // First phase writes the checkpoint: data-dominated, large xfers.
         assert!(p0.bytes > 0);
         assert!(p0.data_ops > 0);
+    }
+
+    #[test]
+    fn fused_equals_multipass_on_hacc() {
+        let run = hacc::run(0.02, 1);
+        let fused = Analysis::from_run(&run);
+        let multi = Analysis::from_run_multipass(&run);
+        assert_eq!(fused, multi);
     }
 }

@@ -156,7 +156,9 @@ impl<W> Engine<W> {
         let mut comms = HashMap::new();
         comms.insert(CommId::WORLD, world_comm);
         let states = (0..n).map(|_| RankState::Runnable).collect();
-        let mut queue = EventQueue::new();
+        // Every rank keeps at most one wake-up event pending, so the heap
+        // never outgrows the rank count.
+        let mut queue = EventQueue::with_capacity(n as usize);
         for r in 0..n {
             queue.push(SimTime::ZERO, RankId(r));
         }

@@ -11,6 +11,9 @@
 //! * [`json`] — a minimal JSON value type plus [`json::ToJson`]/
 //!   [`json::FromJson`] traits with hand-written impls at the call sites,
 //!   replacing `serde`/`serde_json`.
+//! * [`sel`] — bitmap [`Selection`]s: predicate query results as one bit
+//!   per index instead of a materialized `Vec<u32>`, with deterministic
+//!   parallel construction and folds.
 //!
 //! Design rule: nothing in this crate (or anywhere in the workspace) may
 //! depend on a registry crate, so `cargo build --offline` works from a clean
@@ -19,6 +22,8 @@
 pub mod json;
 pub mod par;
 pub mod rng;
+pub mod sel;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;
+pub use sel::Selection;

@@ -47,11 +47,36 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Inputs at or below this length are processed as a single chunk on the
+/// calling thread by the auto-chunked entry points. Spawning scoped threads
+/// costs on the order of tens of microseconds; at ~10 ns of work per item a
+/// few thousand items don't amortize it, and small unit-test traces were
+/// paying that overhead on every query. Chunk boundaries still depend only
+/// on the input length, so results stay deterministic.
+pub const SEQ_THRESHOLD: usize = 4096;
+
 /// Chunk size used for an input of `len` items: small enough to balance
 /// load across many workers, large enough to amortize dispatch. Depends
 /// only on `len`, which is what makes results thread-count-independent.
 fn chunk_size(len: usize) -> usize {
     (len / 64).clamp(256, 16_384).min(len.max(1))
+}
+
+/// [`run_chunked`] with automatic chunk sizing and the small-input
+/// sequential fast path: inputs of at most [`SEQ_THRESHOLD`] items run as
+/// one chunk on the calling thread, skipping thread spawn entirely.
+fn run_chunked_auto<R, F>(len: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    if len <= SEQ_THRESHOLD {
+        return vec![work(0, 0..len)];
+    }
+    run_chunked(len, chunk_size(len), work)
 }
 
 /// Run `work(chunk_index, start..end)` over every chunk of `csize` items
@@ -102,7 +127,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+    let per_chunk = run_chunked_auto(items.len(), |_, range| {
         items[range].iter().map(&f).collect::<Vec<R>>()
     });
     let mut out = Vec::with_capacity(items.len());
@@ -168,10 +193,42 @@ where
     F: Fn(A, &T) -> A + Sync,
     C: Fn(A, A) -> A,
 {
-    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+    let per_chunk = run_chunked_auto(items.len(), |_, range| {
         items[range].iter().fold(identity(), &fold)
     });
     per_chunk.into_iter().fold(identity(), combine)
+}
+
+/// Morsel-driven parallel fold over the index space `0..len`.
+///
+/// The index space is cut into deterministic morsels (chunks whose
+/// boundaries depend only on `len`). Each morsel is folded into a fresh
+/// shard accumulator from `identity()` by a worker, and shard accumulators
+/// are merged **in morsel order** on the calling thread. The merge tree is
+/// therefore a pure function of `len`: bit-identical results on any worker
+/// count, even when `merge` is non-commutative or accumulates floats.
+///
+/// This is the kernel behind the analyzer's fused single-pass scan: the
+/// accumulator can be an arbitrarily wide struct (histograms, hash tables,
+/// index lists), so one traversal of the trace computes everything at once
+/// instead of one scan per statistic.
+pub fn par_fold_shards<A, I, F, M>(len: usize, identity: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, std::ops::Range<usize>) + Sync,
+    M: Fn(&mut A, A),
+{
+    let shards = run_chunked_auto(len, |_, range| {
+        let mut acc = identity();
+        fold(&mut acc, range);
+        acc
+    });
+    let mut out = identity();
+    for shard in shards {
+        merge(&mut out, shard);
+    }
+    out
 }
 
 /// Parallel filter over indices `0..len`: the sorted list of indices for
@@ -181,7 +238,7 @@ pub fn par_filter_indices<P>(len: usize, pred: P) -> Vec<u32>
 where
     P: Fn(usize) -> bool + Sync,
 {
-    let per_chunk = run_chunked(len, chunk_size(len), |_, range| {
+    let per_chunk = run_chunked_auto(len, |_, range| {
         range.filter(|&i| pred(i)).map(|i| i as u32).collect::<Vec<u32>>()
     });
     let mut out = Vec::new();
@@ -204,7 +261,7 @@ where
     FF: Fn(&mut A, &T) + Sync,
     MF: Fn(&mut A, A),
 {
-    let per_chunk = run_chunked(items.len(), chunk_size(items.len()), |_, range| {
+    let per_chunk = run_chunked_auto(items.len(), |_, range| {
         let mut table: HashMap<K, A> = HashMap::new();
         for item in &items[range] {
             fold(table.entry(key(item)).or_default(), item);
@@ -310,5 +367,66 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_fold_shards_matches_sequential_fold() {
+        // Wide accumulator: (sum, count, min) folded over ranges.
+        let n = 100_000usize;
+        let run = || {
+            par_fold_shards(
+                n,
+                || (0u64, 0u64, u64::MAX),
+                |acc, range| {
+                    for i in range {
+                        acc.0 += i as u64 * 3;
+                        acc.1 += 1;
+                        acc.2 = acc.2.min(i as u64 ^ 0x5a5a);
+                    }
+                },
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                    a.2 = a.2.min(b.2);
+                },
+            )
+        };
+        let seq = with_threads(1, run);
+        let par8 = with_threads(8, run);
+        assert_eq!(seq, par8);
+        assert_eq!(seq.1, n as u64);
+        assert_eq!(seq.0, (0..n as u64).map(|i| i * 3).sum());
+    }
+
+    #[test]
+    fn par_fold_shards_merges_in_morsel_order() {
+        // Non-commutative merge (concatenation): shard order must equal
+        // morsel order, i.e. the result is exactly 0..n.
+        let n = 50_000usize;
+        let got = with_threads(8, || {
+            par_fold_shards(
+                n,
+                Vec::new,
+                |acc: &mut Vec<u32>, range| acc.extend(range.map(|i| i as u32)),
+                |a, mut b| a.append(&mut b),
+            )
+        });
+        assert_eq!(got, (0..n as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_fold_shards_empty_is_identity() {
+        let got = par_fold_shards(0, || 41u32, |acc, _| *acc += 1, |a, b| *a += b);
+        assert_eq!(got, 41); // no morsels: the identity comes back untouched
+    }
+
+    #[test]
+    fn small_inputs_run_on_calling_thread() {
+        // Below SEQ_THRESHOLD the auto-chunked entry points must not spawn:
+        // every closure call observes the caller's thread id.
+        let caller = std::thread::current().id();
+        let xs: Vec<u64> = (0..SEQ_THRESHOLD as u64).collect();
+        let ids = with_threads(8, || par_map(&xs, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|&id| id == caller));
     }
 }

@@ -1,0 +1,196 @@
+//! Predicate selections as bitmaps.
+//!
+//! Analysis queries used to materialize every selection as a `Vec<u32>` of
+//! matching indices — 4 bytes per *match*, reallocated on every query. A
+//! [`Selection`] stores the same information as one bit per *domain
+//! element* (32× smaller for dense selections), is built by a deterministic
+//! parallel scan, and supports the fold/iteration patterns the analysis
+//! kernels need without ever expanding to an index list.
+//!
+//! Determinism: the bitmap content is a pure function of the predicate, and
+//! every fold visits set bits in ascending index order with morsel
+//! boundaries that depend only on the domain length — so results are
+//! bit-identical across worker counts, matching the `par` module contract.
+
+use crate::par;
+
+/// A subset of the index space `0..len`, stored as a bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Bit `i % 64` of `words[i / 64]` is set iff index `i` is selected.
+    words: Vec<u64>,
+    /// Domain size (number of indices the predicate was evaluated on).
+    domain: usize,
+    /// Number of set bits.
+    count: usize,
+}
+
+impl Selection {
+    /// Evaluate `pred` over `0..len` in parallel and pack the results.
+    /// Each 64-bit word is produced by exactly one worker, so there are no
+    /// write conflicts and no locking on the hot path.
+    pub fn from_pred<P>(len: usize, pred: P) -> Selection
+    where
+        P: Fn(usize) -> bool + Sync,
+    {
+        let nwords = len.div_ceil(64);
+        let words = par::par_fold_shards(
+            nwords,
+            Vec::new,
+            |acc: &mut Vec<u64>, range| {
+                for w in range {
+                    let mut word = 0u64;
+                    let base = w * 64;
+                    let top = (base + 64).min(len);
+                    for i in base..top {
+                        if pred(i) {
+                            word |= 1u64 << (i - base);
+                        }
+                    }
+                    acc.push(word);
+                }
+            },
+            |a, mut b| a.append(&mut b),
+        );
+        let count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Selection { words, domain: len, count }
+    }
+
+    /// An empty selection over `0..len`.
+    pub fn empty(len: usize) -> Selection {
+        Selection { words: vec![0; len.div_ceil(64)], domain: len, count: 0 }
+    }
+
+    /// Number of selected indices.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Size of the underlying index space.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Whether no index is selected.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether index `i` is selected.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.domain && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Iterate the selected indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w * 64;
+            BitIter(word).map(move |b| base + b)
+        })
+    }
+
+    /// Expand to the sorted index list (the legacy `Vec<u32>` shape).
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count);
+        out.extend(self.iter().map(|i| i as u32));
+        out
+    }
+
+    /// Morsel-driven parallel fold over the selected indices, ascending.
+    /// Same determinism contract as [`par::par_fold_shards`]: morsels cover
+    /// whole words, shard accumulators merge in morsel order.
+    pub fn fold_shards<A, I, F, M>(&self, identity: I, fold: F, merge: M) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize) + Sync,
+        M: Fn(&mut A, A),
+    {
+        par::par_fold_shards(
+            self.words.len(),
+            identity,
+            |acc, range| {
+                for w in range {
+                    let base = w * 64;
+                    for b in BitIter(self.words[w]) {
+                        fold(acc, base + b);
+                    }
+                }
+            },
+            merge,
+        )
+    }
+}
+
+/// Iterator over the set-bit positions of one word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pred_matches_filter() {
+        let sel = Selection::from_pred(10_000, |i| i % 7 == 0);
+        let expect: Vec<u32> = (0..10_000u32).filter(|i| i % 7 == 0).collect();
+        assert_eq!(sel.to_indices(), expect);
+        assert_eq!(sel.count(), expect.len());
+        assert_eq!(sel.domain(), 10_000);
+        assert!(sel.contains(7));
+        assert!(!sel.contains(8));
+        assert!(!sel.contains(10_000)); // out of domain
+    }
+
+    #[test]
+    fn bitmap_identical_across_worker_counts() {
+        par::set_threads(1);
+        let one = Selection::from_pred(100_000, |i| i % 3 == 1);
+        par::set_threads(8);
+        let eight = Selection::from_pred(100_000, |i| i % 3 == 1);
+        par::set_threads(0);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn fold_shards_visits_in_order() {
+        let sel = Selection::from_pred(70_000, |i| i % 5 == 0);
+        let seen = sel.fold_shards(
+            Vec::new,
+            |acc: &mut Vec<usize>, i| acc.push(i),
+            |a, mut b| a.append(&mut b),
+        );
+        assert_eq!(seen, sel.iter().collect::<Vec<_>>());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(seen.len(), sel.count());
+    }
+
+    #[test]
+    fn non_multiple_of_64_domains_have_no_phantom_bits() {
+        let sel = Selection::from_pred(130, |_| true);
+        assert_eq!(sel.count(), 130);
+        assert_eq!(sel.iter().last(), Some(129));
+    }
+
+    #[test]
+    fn empty_selection() {
+        let sel = Selection::empty(100);
+        assert!(sel.is_empty());
+        assert_eq!(sel.iter().count(), 0);
+        let zero = Selection::from_pred(0, |_| true);
+        assert_eq!(zero.count(), 0);
+        assert_eq!(zero.to_indices(), Vec::<u32>::new());
+    }
+}

@@ -80,6 +80,27 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Create an empty queue with room for `cap` pending events, avoiding
+    /// the heap's incremental growth when the event count is known up front
+    /// (e.g. one wake-up event per rank in the cluster engine).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `payload` at `time`.
     ///
     /// # Panics
@@ -146,6 +167,21 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_reserve_grows() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(128);
+        assert!(q.capacity() >= 128);
+        let cap = q.capacity();
+        for i in 0..128 {
+            q.push(SimTime::from_secs(i), i as u32);
+        }
+        assert_eq!(q.capacity(), cap, "no reallocation while within capacity");
+        q.reserve(512);
+        assert!(q.capacity() >= q.len() + 512);
+        // Behavior is unchanged: still pops in time order.
+        assert_eq!(q.pop().unwrap().payload, 0);
     }
 
     #[test]

@@ -278,7 +278,7 @@ pub fn synth_bytes(dist: DistributionFit, seed: u64, n: usize) -> Vec<u8> {
 
 /// A fixed-bin time series accumulating a value (e.g. bytes moved) per bin;
 /// used to render I/O timelines.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     bin: Dur,
     bins: Vec<f64>,

@@ -1,0 +1,90 @@
+//! Integration: the fused single-pass analyzer is bit-identical to the
+//! legacy multi-pass pipeline on every exemplar workload, at every worker
+//! count — and the rendered artifacts (tables, figures, YAML) are
+//! byte-stable run to run.
+
+use vani_suite::rt::par;
+use vani_suite::vani::analyzer::Analysis;
+use vani_suite::vani::{figures, tables, yaml};
+use vani_suite::workloads as wl;
+
+fn paper_six() -> Vec<(&'static str, exemplar_workloads::WorkloadRun)> {
+    vec![
+        ("cm1", wl::cm1::run(0.01, 5)),
+        ("hacc", wl::hacc::run(0.01, 5)),
+        ("cosmoflow", wl::cosmoflow::run(0.001, 5)),
+        ("jag", wl::jag::run(0.01, 5)),
+        ("montage", wl::montage::run(0.01, 5)),
+        ("pegasus", wl::montage_pegasus::run(0.01, 5)),
+    ]
+}
+
+/// The acceptance gate for the fused scan: every field of `Analysis`
+/// (counters, f64 fractions, histograms, timelines, file/phase/app
+/// profiles, dependency edges) is exactly equal between the fused
+/// single-pass scan and the multi-pass oracle, for all six workloads of
+/// the paper, at 1, 2, and 8 workers. Worker counts share one test so the
+/// global `par::set_threads` override is never raced by a sibling test.
+#[test]
+fn fused_matches_multipass_on_all_workloads_and_worker_counts() {
+    let runs = paper_six();
+    // The oracle at the default worker count is the reference point.
+    let oracles: Vec<Analysis> = runs.iter().map(|(_, r)| Analysis::from_run_multipass(r)).collect();
+    for workers in [1u32, 2, 8] {
+        par::set_threads(workers as usize);
+        for ((name, run), oracle) in runs.iter().zip(&oracles) {
+            let fused = Analysis::from_run(run);
+            assert_eq!(
+                &fused, oracle,
+                "{name}: fused analysis diverged from the multipass oracle at {workers} workers"
+            );
+            // The oracle itself must also be worker-count invariant.
+            let oracle_again = Analysis::from_run_multipass(run);
+            assert_eq!(
+                &oracle_again, oracle,
+                "{name}: multipass analysis changed with worker count {workers}"
+            );
+        }
+    }
+    par::set_threads(0); // back to auto
+}
+
+/// Rendered artifacts are byte-stable: two independent analyses of
+/// identically-seeded runs emit the exact same tables, figures, and YAML.
+/// This pins the emission-order fixes (rank-sorted I/O fraction, files
+/// sorted by (read_bytes, path), apps sorted by (first, name), sorted
+/// dependency edges) against regressions that reintroduce HashMap order.
+#[test]
+fn rendered_artifacts_are_byte_stable() {
+    let render = || {
+        let runs = paper_six();
+        let analyses: Vec<Analysis> = runs.iter().map(|(_, r)| Analysis::from_run(r)).collect();
+        let refs: Vec<&Analysis> = analyses.iter().collect();
+        let mut out = String::new();
+        for t in [
+            tables::table1(&refs),
+            tables::table2(&refs),
+            tables::table3(&refs),
+            tables::table4(&refs),
+            tables::table5(&refs),
+            tables::table6(&refs),
+            tables::table7(&refs),
+            tables::table8(&refs),
+            tables::table9(&refs, 1.0),
+            tables::table10(&refs),
+            tables::table11(&refs),
+        ] {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for a in &analyses {
+            out.push_str(&figures::figure(a));
+            let ents = tables::entities_for(a);
+            out.push_str(&yaml::emit(&ents));
+        }
+        out
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "rendered artifacts changed between identical runs");
+}
