@@ -18,4 +18,14 @@ cargo bench -q --offline -p bench --no-run
 # every measured trace.
 cargo run --release --offline -p bench --bin bench_analyzer -- --short
 
+# Failure-injection suite, run explicitly: typed errors surface cleanly
+# through every layer and deadlocks come back as rank → gate diagnostics.
+cargo test --release --offline --test failure_injection
+
+# fault-sweep smoke: the deterministic fault plane end to end. The suite
+# asserts the CosmoFlow-vs-HACC MDS-brownout ordering (metadata-bound
+# degrades >= 2x more), the NSD-outage bandwidth cost, and that preload-
+# to-shm shields the training read path from PFS faults.
+cargo test --release --offline --test fault_sweep
+
 echo "ci: OK"

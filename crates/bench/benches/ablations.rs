@@ -26,7 +26,7 @@ fn ablation_stripe_size(c: &mut Criterion) {
                 let mut cfg = w.storage.pfs().config().clone();
                 cfg.block_size = block;
                 cfg.client_cache_bytes = 0;
-                w.storage.pfs_mut().set_config(cfg);
+                w.storage.pfs_mut().set_config(cfg).unwrap();
                 let r = RankId(0);
                 let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/s.bin", OpenFlags::write_create(), SimTime::ZERO);
                 let fd = fd.unwrap();
@@ -85,7 +85,7 @@ fn ablation_tier_small_ops(c: &mut Criterion) {
                 let mut w = IoWorld::lassen(1, 1, Dur::from_secs(600), 3);
                 let mut cfg = w.storage.pfs().config().clone();
                 cfg.client_cache_bytes = 0;
-                w.storage.pfs_mut().set_config(cfg);
+                w.storage.pfs_mut().set_config(cfg).unwrap();
                 let r = RankId(0);
                 let (fd, t) = posix::open(&mut w, r, path, OpenFlags::write_create(), SimTime::ZERO);
                 let fd = fd.unwrap();

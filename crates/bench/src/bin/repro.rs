@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin repro -- all
 //! cargo run --release -p bench --bin repro -- table1 table3 fig7
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
+//! cargo run --release -p bench --bin repro -- fault-sweep
 //! ```
 //!
 //! `VANI_SCALE` (default 0.05) sets the workload scale: 1.0 is the paper's
@@ -13,7 +14,7 @@
 
 use bench::{ior_peak, run_all_six, scale_from_env};
 use vani_core::analyzer::Analysis;
-use vani_core::{figures, reconfig, tables, yaml};
+use vani_core::{faultsweep, figures, reconfig, tables, yaml};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +22,7 @@ fn main() {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
             "table9", "table10", "table11", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "yaml",
+            "fig7", "fig8", "fault-sweep", "yaml",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -78,6 +79,14 @@ fn main() {
                         &pts
                     )
                 );
+            }
+            "fault-sweep" => {
+                eprintln!("running fault-injection sweep (MDS brownout, NSD outage, shm shielding) ...");
+                let s = scale.clamp(0.02, 1.0);
+                let brownout = faultsweep::mds_brownout_impact(s, 7, 20.0);
+                let outage = faultsweep::nsd_outage_bench(7);
+                let shield = faultsweep::shm_shield_impact(s, 7);
+                print!("{}", faultsweep::render_fault_sweep(&brownout, &outage, &shield));
             }
             "yaml" => {
                 for a in &cols {

@@ -182,6 +182,17 @@ pub struct TraceProfile {
     pub apps: Vec<AppProfile>,
     /// App-level data dependencies (producer → consumer).
     pub app_deps: Vec<(String, String)>,
+    /// Failed attempts absorbed or surfaced by the resilience middleware
+    /// (`Fault` records; counted over every layer, outside the interface
+    /// selection — fault records are neither data nor metadata ops).
+    pub fault_events: u64,
+    /// Backoff waits before re-submission (`Retry` records).
+    pub retry_events: u64,
+    /// Payload bytes re-submitted by retries (feeds retry amplification).
+    pub retried_bytes: u64,
+    /// Wall time inside fault detection and backoff waits — the trace's
+    /// "time lost to faults".
+    pub fault_time: Dur,
 }
 
 /// The complete analysis of one workload run.
@@ -229,6 +240,18 @@ pub struct Analysis {
     pub apps: Vec<AppProfile>,
     /// App-level data dependencies (producer → consumer).
     pub app_deps: Vec<(String, String)>,
+    /// Failed attempts absorbed or surfaced by the resilience middleware.
+    pub fault_events: u64,
+    /// Backoff waits before re-submission.
+    pub retry_events: u64,
+    /// Payload bytes re-submitted by retries.
+    pub retried_bytes: u64,
+    /// Wall time inside fault detection and backoff waits.
+    pub fault_time: Dur,
+    /// Bytes each *failed* NSD server's stripes rerouted onto survivors,
+    /// indexed by the home server (from the PFS service model; all zeros
+    /// when no outage was injected).
+    pub rerouted_by_server: Vec<u64>,
     /// Dataset value-distribution fit (Table VI "Data dist").
     pub data_dist: DistributionFit,
     /// The columnar trace, retained for figure rendering.
@@ -278,6 +301,11 @@ impl Analysis {
             phases: p.phases,
             apps: p.apps,
             app_deps: p.app_deps,
+            fault_events: p.fault_events,
+            retry_events: p.retry_events,
+            retried_bytes: p.retried_bytes,
+            fault_time: p.fault_time,
+            rerouted_by_server: run.world.storage.pfs().rerouted_by_server().to_vec(),
             data_dist,
             trace: c,
         }
@@ -321,6 +349,33 @@ impl Analysis {
     /// Mean per-rank I/O time in seconds.
     pub fn io_time(&self) -> f64 {
         self.io_time_frac * self.job_time.as_secs_f64()
+    }
+
+    /// Faults per interface-layer I/O op (Table VI-style "Error rate").
+    pub fn error_rate(&self) -> f64 {
+        let ops = self.data_ops + self.meta_ops;
+        if ops == 0 {
+            0.0
+        } else {
+            self.fault_events as f64 / ops as f64
+        }
+    }
+
+    /// Retried bytes over logical bytes: how much extra payload the
+    /// middleware re-moved to land the logical I/O.
+    pub fn retry_amplification(&self) -> f64 {
+        let logical = self.io_bytes();
+        if logical == 0 {
+            0.0
+        } else {
+            self.retried_bytes as f64 / logical as f64
+        }
+    }
+
+    /// Seconds of simulated wall time lost inside fault detection and
+    /// backoff waits.
+    pub fn time_lost_to_faults(&self) -> f64 {
+        self.fault_time.as_secs_f64()
     }
 
     /// The request-size range covering the bulk of data ops (granularity
@@ -687,6 +742,10 @@ struct FusedShard {
     read_bytes: u64,
     write_bytes: u64,
     meta_ops: u64,
+    fault_events: u64,
+    retry_events: u64,
+    retried_bytes: u64,
+    fault_time: Dur,
     /// Indexed by rank.
     rank_aggs: Vec<recorder_sim::columnar::GroupAgg>,
     req_sizes: Histogram,
@@ -705,6 +764,10 @@ impl FusedShard {
             read_bytes: 0,
             write_bytes: 0,
             meta_ops: 0,
+            fault_events: 0,
+            retry_events: 0,
+            retried_bytes: 0,
+            fault_time: Dur::ZERO,
             rank_aggs: vec![Default::default(); dims.n_ranks],
             req_sizes: Histogram::new(),
             req_bandwidth: Histogram::new(),
@@ -719,6 +782,10 @@ impl FusedShard {
         self.read_bytes += other.read_bytes;
         self.write_bytes += other.write_bytes;
         self.meta_ops += other.meta_ops;
+        self.fault_events += other.fault_events;
+        self.retry_events += other.retry_events;
+        self.retried_bytes += other.retried_bytes;
+        self.fault_time += other.fault_time;
         for (a, b) in self.rank_aggs.iter_mut().zip(&other.rank_aggs) {
             a.ops += b.ops;
             a.bytes += b.bytes;
@@ -822,6 +889,22 @@ impl TraceProfile {
                 acc.data_idx.reserve(range.len());
                 for i in range {
                     let op = c.op[i];
+                    // Resilience records are neither data nor metadata ops;
+                    // tally them before the is_io() skip.
+                    match op {
+                        OpKind::Fault => {
+                            acc.fault_events += 1;
+                            acc.fault_time += Dur(c.end[i] - c.start[i]);
+                            continue;
+                        }
+                        OpKind::Retry => {
+                            acc.retry_events += 1;
+                            acc.retried_bytes += c.bytes[i];
+                            acc.fault_time += Dur(c.end[i] - c.start[i]);
+                            continue;
+                        }
+                        _ => {}
+                    }
                     if !op.is_io() {
                         continue;
                     }
@@ -1001,6 +1084,10 @@ impl TraceProfile {
             phases,
             apps,
             app_deps,
+            fault_events: fused.fault_events,
+            retry_events: fused.retry_events,
+            retried_bytes: fused.retried_bytes,
+            fault_time: fused.fault_time,
         }
     }
 
@@ -1078,6 +1165,28 @@ impl TraceProfile {
         sorted_data.sort_by_key(|&i| c.start[i as usize]);
         let access_pattern = scan_access_pattern(c, &sorted_data);
 
+        // Resilience counters: a dedicated scan over every record (fault and
+        // retry records are neither data nor metadata, so no selection above
+        // ever sees them).
+        let mut fault_events = 0u64;
+        let mut retry_events = 0u64;
+        let mut retried_bytes = 0u64;
+        let mut fault_time = Dur::ZERO;
+        for i in 0..c.len() {
+            match c.op[i] {
+                OpKind::Fault => {
+                    fault_events += 1;
+                    fault_time += Dur(c.end[i] - c.start[i]);
+                }
+                OpKind::Retry => {
+                    retry_events += 1;
+                    retried_bytes += c.bytes[i];
+                    fault_time += Dur(c.end[i] - c.start[i]);
+                }
+                _ => {}
+            }
+        }
+
         TraceProfile {
             io_time_frac,
             read_bytes,
@@ -1094,6 +1203,10 @@ impl TraceProfile {
             phases,
             apps,
             app_deps,
+            fault_events,
+            retry_events,
+            retried_bytes,
+            fault_time,
         }
     }
 }

@@ -21,10 +21,14 @@
 //! * [`optimizer`] — the §IV-D attribute → optimization mapping rules,
 //! * [`reconfig`] — the two §V use cases: CosmoFlow preload-to-shm (Fig. 7)
 //!   and Montage intermediates-to-node-local (Fig. 8), as experiment
-//!   drivers that run baseline and optimized variants across node counts.
+//!   drivers that run baseline and optimized variants across node counts,
+//! * [`faultsweep`] — the fault-injection sweep: MDS-brownout sensitivity
+//!   (CosmoFlow vs HACC), single-NSD-outage bandwidth cost, and
+//!   preload-to-shm fault shielding.
 
 pub mod analyzer;
 pub mod entities;
+pub mod faultsweep;
 pub mod figures;
 pub mod optimizer;
 pub mod reconfig;

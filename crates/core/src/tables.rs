@@ -394,14 +394,32 @@ pub fn entities_for(a: &Analysis) -> Vec<Entity> {
             .with("ops_dist_data_meta", AttrValue::Split(a.data_frac(), 1.0 - a.data_frac()))
             .with("runtime", AttrValue::Seconds(a.job_time.as_secs_f64())),
     );
-    out.push(
-        Entity::new(EntityType::Application, a.kind.name())
-            .with("#processes", AttrValue::Count(a.n_ranks as u64))
-            .with("fpp_files", AttrValue::Count(a.fpp_files() as u64))
-            .with("shared_files", AttrValue::Count(a.shared_files() as u64))
-            .with("interface", AttrValue::Str(a.interface.clone()))
-            .with("io_time_frac", AttrValue::Fraction(a.io_time_frac)),
-    );
+    let mut app = Entity::new(EntityType::Application, a.kind.name())
+        .with("#processes", AttrValue::Count(a.n_ranks as u64))
+        .with("fpp_files", AttrValue::Count(a.fpp_files() as u64))
+        .with("shared_files", AttrValue::Count(a.shared_files() as u64))
+        .with("interface", AttrValue::Str(a.interface.clone()))
+        .with("io_time_frac", AttrValue::Fraction(a.io_time_frac));
+    // Resilience attributes: only present when the run saw injected faults,
+    // so fault-free emissions stay byte-identical to earlier versions.
+    if a.fault_events > 0 || a.retry_events > 0 {
+        app = app
+            .with("error_rate", AttrValue::Fraction(a.error_rate()))
+            .with("retry_amplification", AttrValue::Fraction(a.retry_amplification()))
+            .with("time_lost_to_faults", AttrValue::Seconds(a.time_lost_to_faults()));
+    }
+    out.push(app);
+    // Per-server outage impact: bytes each failed NSD server's stripes
+    // pushed onto survivors.
+    if a.rerouted_by_server.iter().any(|&b| b > 0) {
+        let mut imp = Entity::new(EntityType::Application, "nsd_outage_impact");
+        for (server, &bytes) in a.rerouted_by_server.iter().enumerate() {
+            if bytes > 0 {
+                imp = imp.with(&format!("server{server}_rerouted"), AttrValue::Bytes(bytes));
+            }
+        }
+        out.push(imp);
+    }
     if let Some(p) = a.phases.first() {
         out.push(
             Entity::new(EntityType::IoPhase, "phase0")

@@ -19,6 +19,7 @@ use io_layers::posix::{self, Fd, OpenFlags, Whence};
 use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
+use storage_sim::FaultPlan;
 
 /// CM1 parameters; `default_paper()` matches the paper's run.
 #[derive(Debug, Clone)]
@@ -43,12 +44,15 @@ pub struct Cm1Params {
     pub n_steps: u32,
     /// Compute time per step per rank.
     pub step_compute: Dur,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl Cm1Params {
     /// The paper's configuration: 32×40 ranks, 664 s job, 11 % I/O.
     pub fn paper() -> Self {
         Cm1Params {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_config_files: 737,
@@ -66,6 +70,7 @@ impl Cm1Params {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         Cm1Params {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
             n_config_files: scaled(p.n_config_files as u64, scale, 2) as u32,
@@ -286,6 +291,7 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
     stage_inputs(&mut world, &p);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cm1");
     }

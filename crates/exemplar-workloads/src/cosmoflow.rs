@@ -22,6 +22,7 @@ use io_layers::posix::{self, OpenFlags};
 use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
+use storage_sim::FaultPlan;
 
 /// CosmoFlow parameters.
 #[derive(Debug, Clone)]
@@ -55,12 +56,15 @@ pub struct CosmoflowParams {
     /// shm with a parallel copy job (MPIFileUtils-style), assign files to
     /// their home node, and read locally without MPI-IO.
     pub preload_to_shm: bool,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl CosmoflowParams {
     /// Paper configuration: 32 nodes × 4 ranks, 1.5 TiB dataset, 3567 s job.
     pub fn paper() -> Self {
         CosmoflowParams {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 4,
             n_files: 49_664,
@@ -81,6 +85,7 @@ impl CosmoflowParams {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         CosmoflowParams {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node,
             n_files: scaled(p.n_files as u64, scale, 8) as u32,
@@ -416,6 +421,7 @@ pub fn run_with(mut p: CosmoflowParams, scale: f64, seed: u64) -> WorkloadRun {
     } else if !p.local_reads {
         stage_dataset(&mut world, &p);
     }
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cosmoflow");
     }

@@ -17,6 +17,7 @@ use io_layers::posix::{self, Fd, OpenFlags, Whence};
 use io_layers::world::IoWorld;
 use sim_core::units::MIB;
 use sim_core::{Dur, SimTime};
+use storage_sim::FaultPlan;
 
 /// HACC-IO parameters.
 #[derive(Debug, Clone)]
@@ -33,12 +34,15 @@ pub struct HaccParams {
     pub xfer: u64,
     /// In-memory data generation time before the checkpoint.
     pub gen_compute: Dur,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl HaccParams {
     /// Paper configuration: 1280 ranks, 33 s job, 75 % I/O time.
     pub fn paper() -> Self {
         HaccParams {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_vars: 9,
@@ -52,6 +56,7 @@ impl HaccParams {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         HaccParams {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             n_vars: p.n_vars,
@@ -173,6 +178,7 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// Run HACC-IO with explicit parameters.
 pub fn run_with(p: HaccParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "hacc-io");
     }
@@ -244,6 +250,7 @@ mod tests {
         // Paper-sized transfers so the write-behind cache saturates and
         // writes go through the contended servers.
         let p = HaccParams {
+            faults: FaultPlan::none(),
             nodes: 2,
             ranks_per_node: 4,
             n_vars: 9,

@@ -93,7 +93,9 @@ pub fn execute(
     }
     // A generous cap that still catches runaway scripts.
     engine.set_max_steps(200_000_000);
-    let report = engine.run();
+    // A deadlock here is a bug in the workload script, not a recoverable
+    // condition — surface the rank → gate diagnostic and abort.
+    let report = engine.run().unwrap_or_else(|e| panic!("{e}"));
     WorkloadRun {
         kind,
         scale,

@@ -18,6 +18,7 @@ use io_layers::world::IoWorld;
 use sim_core::units::KIB;
 use sim_core::{Dur, SimTime};
 use storage_sim::file::Segment;
+use storage_sim::FaultPlan;
 
 /// JAG parameters.
 #[derive(Debug, Clone)]
@@ -38,12 +39,15 @@ pub struct JagParams {
     pub ckpt_bytes: u64,
     /// Samples each rank validates at the end.
     pub validation_samples: u64,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl JagParams {
     /// Paper configuration: 128 ranks, 1289 s job, 13 % I/O.
     pub fn paper() -> Self {
         JagParams {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 4,
             n_samples: 100_000,
@@ -59,6 +63,7 @@ impl JagParams {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         JagParams {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node,
             n_samples: scaled(p.n_samples, scale, 64),
@@ -225,6 +230,7 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 pub fn run_with(p: JagParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(6 * 3600), seed);
     stage_dataset(&mut world, &p);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "jag-icf");
     }

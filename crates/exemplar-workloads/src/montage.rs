@@ -21,6 +21,7 @@ use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
 use storage_sim::file::Segment;
+use storage_sim::FaultPlan;
 
 /// Montage-MPI parameters.
 #[derive(Debug, Clone)]
@@ -55,12 +56,15 @@ pub struct MontageParams {
     /// Where intermediates live: `/p/gpfs1/montage/work` (baseline) or
     /// `/dev/shm/montage` (the Figure 8 optimization).
     pub workdir: String,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl MontageParams {
     /// Paper configuration: 32 nodes, 247 s job, 12 % I/O, 53 GiB moved.
     pub fn paper() -> Self {
         MontageParams {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 40,
             inputs_per_node: 30,
@@ -82,6 +86,7 @@ impl MontageParams {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         MontageParams {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             inputs_per_node: scaled(p.inputs_per_node as u64, scale.max(0.1), 2) as u32,
@@ -449,6 +454,7 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 pub fn run_with(p: MontageParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
     stage_inputs(&mut world, &p);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "montage");
     }

@@ -22,6 +22,7 @@ use std::rc::Rc;
 use storage_sim::file::Segment;
 use workflow_engine::dag::{Dag, Task, TaskId};
 use workflow_engine::queue::WorkQueue;
+use storage_sim::FaultPlan;
 
 /// Montage-Pegasus parameters.
 #[derive(Debug, Clone)]
@@ -52,12 +53,15 @@ pub struct PegasusParams {
     pub task_compute: Dur,
     /// Where intermediates live (PFS baseline).
     pub workdir: String,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl PegasusParams {
     /// Paper configuration: 1038 s job, 21 % I/O, 138 GB moved, 6039 tasks.
     pub fn paper() -> Self {
         PegasusParams {
+            faults: FaultPlan::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_images: 800,
@@ -78,6 +82,7 @@ impl PegasusParams {
     pub fn scaled(scale: f64) -> Self {
         let p = Self::paper();
         PegasusParams {
+            faults: FaultPlan::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             // Counts and per-task sizes both scale as sqrt(scale) so every
@@ -477,6 +482,7 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 pub fn run_with(p: PegasusParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(12 * 3600), seed);
     stage_inputs(&mut world, &p);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "pegasus-mpi-cluster");
     }

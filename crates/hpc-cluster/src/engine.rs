@@ -100,13 +100,44 @@ where
 enum RankState {
     Runnable,
     /// Parked in a collective; the payload identifies it for diagnostics.
-    #[allow(dead_code)]
     InCollective(CommId),
     /// Parked on a gate; the payload identifies it for diagnostics.
-    #[allow(dead_code)]
     WaitingGate(GateId),
     Finished(SimTime),
 }
+
+/// What a deadlocked rank is stuck on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocker {
+    /// Waiting on a gate no remaining rank will open.
+    Gate(GateId),
+    /// Parked in a collective the other members never joined.
+    Collective(CommId),
+}
+
+/// The event queue drained while ranks were still blocked: a deadlock.
+/// Carries each stuck rank and the gate or communicator it waits on, so
+/// the failure names the exact synchronization object that never fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// The blocked ranks and what each is waiting on.
+    pub blocked: Vec<(RankId, Blocker)>,
+}
+
+impl std::fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadlock: queue drained with {} rank(s) still blocked:", self.blocked.len())?;
+        for (rank, b) in &self.blocked {
+            match b {
+                Blocker::Gate(g) => write!(f, " {rank} waiting on gate {};", g.0)?,
+                Blocker::Collective(c) => write!(f, " {rank} parked in collective on comm {};", c.0)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockError {}
 
 #[derive(Debug)]
 struct CollectiveState {
@@ -209,10 +240,15 @@ impl<W> Engine<W> {
 
     /// Run until every rank is done. Returns the run report.
     ///
+    /// # Errors
+    /// Returns [`DeadlockError`] when the event queue drains while some rank
+    /// is still waiting on a gate or collective that can no longer complete;
+    /// the error names each blocked rank and what it waits on.
+    ///
     /// # Panics
-    /// Panics on deadlock: the event queue drains while some rank is still
-    /// waiting on a gate or collective that can no longer complete.
-    pub fn run(&mut self) -> EngineReport {
+    /// Panics when the step cap set via [`Engine::set_max_steps`] is
+    /// exceeded (livelocked scripts).
+    pub fn run(&mut self) -> Result<EngineReport, DeadlockError> {
         while let Some(ev) = self.queue.pop() {
             let rank = ev.payload;
             let now = ev.time;
@@ -253,17 +289,25 @@ impl<W> Engine<W> {
                 }
             }
         }
-        let unfinished: Vec<RankId> = self
+        let blocked: Vec<(RankId, Blocker)> = self
             .states
             .iter()
             .enumerate()
-            .filter(|(_, s)| !matches!(s, RankState::Finished(_)))
-            .map(|(i, _)| RankId(i as u32))
+            .filter_map(|(i, s)| {
+                let rank = RankId(i as u32);
+                match s {
+                    RankState::Finished(_) => None,
+                    RankState::WaitingGate(g) => Some((rank, Blocker::Gate(*g))),
+                    RankState::InCollective(c) => Some((rank, Blocker::Collective(*c))),
+                    // A runnable rank always holds a queue event, so it
+                    // cannot outlive the queue.
+                    RankState::Runnable => unreachable!("{rank} runnable after queue drain"),
+                }
+            })
             .collect();
-        assert!(
-            unfinished.is_empty(),
-            "deadlock: queue drained with ranks still blocked: {unfinished:?}"
-        );
+        if !blocked.is_empty() {
+            return Err(DeadlockError { blocked });
+        }
         let finish_times: Vec<SimTime> = self
             .states
             .iter()
@@ -273,11 +317,11 @@ impl<W> Engine<W> {
             })
             .collect();
         let makespan = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
-        EngineReport {
+        Ok(EngineReport {
             makespan,
             finish_times,
             steps: self.steps,
-        }
+        })
     }
 
     fn open_gate(&mut self, g: GateId, now: SimTime) {
@@ -383,7 +427,7 @@ mod tests {
             .map(|_| Box::new(ComputeScript { remaining: 3 }) as Box<_>)
             .collect();
         let mut e = Engine::new(world, scripts, model());
-        let report = e.run();
+        let report = e.run().unwrap();
         // Each rank computes 3 s independently: makespan 3 s, not 12 s.
         assert_eq!(report.makespan, SimTime::from_secs(3));
         assert_eq!(e.world().work, vec![3, 3, 3, 3]);
@@ -427,7 +471,7 @@ mod tests {
             })
             .collect();
         let mut e = Engine::new(world, scripts, model());
-        let report = e.run();
+        let report = e.run().unwrap();
         // All finish at 5 s + barrier cost (2 rounds × 10 µs).
         let expect = SimTime::from_secs(5) + Dur::from_micros(20);
         assert!(report.finish_times.iter().all(|&t| t == expect));
@@ -476,7 +520,7 @@ mod tests {
             Box::new(ConsumerScript { phase: 0 }),
         ];
         let mut e = Engine::new(world, scripts, model());
-        let report = e.run();
+        let report = e.run().unwrap();
         // Consumer resumed exactly when producer opened the gate (t = 3 s).
         assert_eq!(e.world().work[1], SimTime::from_secs(3).as_nanos());
         assert_eq!(report.makespan, SimTime::from_secs(4));
@@ -515,7 +559,7 @@ mod tests {
         let scripts: Vec<Box<dyn RankScript<CounterWorld>>> =
             vec![Box::new(Opener), Box::new(Waiter { phase: 0 })];
         let mut e = Engine::new(world, scripts, model());
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.world().work[1], SimTime::from_secs(1).as_nanos());
     }
 
@@ -554,7 +598,7 @@ mod tests {
         ];
         let mut e = Engine::new(world, scripts, model());
         e.add_comm(Communicator::new(CommId(1), vec![RankId(0), RankId(1)]));
-        let r = e.run();
+        let r = e.run().unwrap();
         // Ranks 0 and 1 finished long before rank 2's 10 s compute.
         assert!(e.world().work[0] < SimTime::from_secs(1).as_nanos());
         assert!(e.world().work[1] < SimTime::from_secs(1).as_nanos());
@@ -562,8 +606,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn unopened_gate_is_a_deadlock() {
+    fn unopened_gate_is_a_typed_deadlock() {
         struct Stuck;
         impl RankScript<CounterWorld> for Stuck {
             fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, _n: SimTime) -> StepEffect {
@@ -575,7 +618,41 @@ mod tests {
         }
         let world = CounterWorld { work: vec![0; 1] };
         let mut e = Engine::new(world, vec![Box::new(Stuck) as Box<_>], model());
-        e.run();
+        let err = e.run().unwrap_err();
+        assert_eq!(err.blocked, vec![(RankId(0), Blocker::Gate(GateId(99)))]);
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "message must name the failure: {msg}");
+        assert!(msg.contains("gate 99"), "message must name the gate: {msg}");
+    }
+
+    #[test]
+    fn lone_collective_arrival_is_a_typed_deadlock() {
+        // Rank 0 barriers on WORLD; rank 1 finishes without ever joining.
+        struct Joins;
+        impl RankScript<CounterWorld> for Joins {
+            fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, _n: SimTime) -> StepEffect {
+                StepEffect {
+                    outcome: Outcome::Collective {
+                        comm: CommId::WORLD,
+                        kind: CollectiveKind::Barrier,
+                        bytes: 0,
+                    },
+                    open_gates: vec![],
+                }
+            }
+        }
+        struct Bails;
+        impl RankScript<CounterWorld> for Bails {
+            fn next_step(&mut self, _w: &mut CounterWorld, _r: RankId, _n: SimTime) -> StepEffect {
+                StepEffect::done()
+            }
+        }
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = vec![Box::new(Joins), Box::new(Bails)];
+        let mut e = Engine::new(world, scripts, model());
+        let err = e.run().unwrap_err();
+        assert_eq!(err.blocked, vec![(RankId(0), Blocker::Collective(CommId::WORLD))]);
+        assert!(err.to_string().contains("collective"), "diagnostic: {err}");
     }
 
     #[test]
@@ -590,7 +667,7 @@ mod tests {
         let world = CounterWorld { work: vec![0; 1] };
         let mut e = Engine::new(world, vec![Box::new(Spinner) as Box<_>], model());
         e.set_max_steps(1000);
-        e.run();
+        let _ = e.run();
     }
 
     #[test]
@@ -606,7 +683,7 @@ mod tests {
             }
         });
         let mut e = Engine::new(world, vec![Box::new(script) as Box<_>], model());
-        let r = e.run();
+        let r = e.run().unwrap();
         assert_eq!(r.makespan, SimTime::from_secs(2));
     }
 }

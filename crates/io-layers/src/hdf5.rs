@@ -376,9 +376,12 @@ pub fn open(
         let of = w.fd(rank, fd).expect("just opened");
         (of.handle, of.path_id)
     };
-    let (sb, t) = match w.storage.read_data(node, handle, 0, SUPERBLOCK, t) {
-        Ok(x) => x,
-        Err(e) => return (Err(e), t),
+    let (res, t_sb) = crate::resilience::with_retries(w, rank, Some(path_id), 0, SUPERBLOCK, t, |w, t| {
+        w.storage.read_data(node, handle, 0, SUPERBLOCK, t)
+    });
+    let (sb, t) = match res {
+        Ok(sb) => (sb, t_sb),
+        Err(e) => return (Err(e), t_sb),
     };
     let t = w.trace_io(rank, Layer::Posix, OpKind::Read, t0, t, Some(path_id), 0, sb.len() as u64);
     if sb.len() < 24 || &sb[..8] != MAGIC {
@@ -390,9 +393,18 @@ pub fn open(
         return (Err(IoErr::Invalid), t); // file never closed properly
     }
     // Object header.
-    let (hjson, t2) = match w.storage.read_data(node, handle, header_offset, header_len, t) {
-        Ok(x) => x,
-        Err(e) => return (Err(e), t),
+    let (res, t_hdr) = crate::resilience::with_retries(
+        w,
+        rank,
+        Some(path_id),
+        header_offset,
+        header_len,
+        t,
+        |w, t| w.storage.read_data(node, handle, header_offset, header_len, t),
+    );
+    let (hjson, t2) = match res {
+        Ok(h) => (h, t_hdr),
+        Err(e) => return (Err(e), t_hdr),
     };
     let t = w.trace_io(
         rank,

@@ -16,7 +16,9 @@
 //! * [`npy`] — the NumPy `.npy` array format over stdio,
 //! * [`fits`] — FITS (2880-byte blocks, 80-byte header cards) over stdio,
 //! * [`middleware`] — optional interceptors (node-local write buffering,
-//!   sequential prefetch, compression) used by the optimizer's ablations.
+//!   sequential prefetch, compression) used by the optimizer's ablations,
+//! * [`resilience`] — the retry/backoff interceptor that absorbs transient
+//!   storage faults and records `Fault`/`Retry` middleware trace spans.
 //!
 //! Every call takes and returns simulated time and appends multi-level
 //! trace records, so one `fwrite` may produce a `Stdio` record plus the
@@ -28,8 +30,10 @@ pub mod middleware;
 pub mod mpiio;
 pub mod npy;
 pub mod posix;
+pub mod resilience;
 pub mod stdio;
 pub mod world;
 
 pub use posix::{Fd, OpenFlags};
+pub use resilience::{Resilience, RetryPolicy};
 pub use world::IoWorld;

@@ -90,7 +90,10 @@ pub fn open(
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
     let op = if flags.create { OpKind::Create } else { OpKind::Open };
-    match w.storage.open(node, path, flags.create, flags.exclusive, now) {
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+        w.storage.open(node, path, flags.create, flags.exclusive, t)
+    });
+    match res.map(|h| (h, t_settle)) {
         Ok((handle, t_open)) => {
             let mut end = t_open;
             let mut size = match handle.tier {
@@ -134,7 +137,7 @@ pub fn open(
             (Ok(Fd(slot as u32)), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, op, now, now, Some(path_id), 0, 0);
+            let end = w.trace_io(rank, Layer::Posix, op, now, t_settle, Some(path_id), 0, 0);
             (Err(e), end)
         }
     }
@@ -231,7 +234,13 @@ fn write_seg(
         let pos = offset.unwrap_or_else(|| resolve_write_pos(of));
         (of.handle, of.path_id, pos, offset.is_none())
     };
-    match w.storage.write(node, handle, pos, seg, now) {
+    // The segment is cloned per attempt: a transiently-failed write never
+    // reaches the store, so the retry must re-submit the same payload.
+    let bytes = seg.len();
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, bytes, now, |w, t| {
+        w.storage.write(node, handle, pos, seg.clone(), t)
+    });
+    match res.map(|n| (n, t_settle)) {
         Ok((n, t)) => {
             {
                 let of = w.procs[rank.0 as usize].fds[fd.0 as usize]
@@ -246,7 +255,7 @@ fn write_seg(
             (Ok(n), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Write, now, now, Some(path_id), pos, 0);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Write, now, t_settle, Some(path_id), pos, 0);
             (Err(e), end)
         }
     }
@@ -291,7 +300,10 @@ fn read_common(
         };
         (of.handle, of.path_id, offset.unwrap_or(of.pos))
     };
-    match w.storage.read_len(node, handle, pos, len, now) {
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+        w.storage.read_len(node, handle, pos, len, t)
+    });
+    match res.map(|n| (n, t_settle)) {
         Ok((n, t)) => {
             if offset.is_none() {
                 let of = w.procs[rank.0 as usize].fds[fd.0 as usize]
@@ -303,7 +315,7 @@ fn read_common(
             (Ok(n), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, now, Some(path_id), pos, 0);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, 0);
             (Err(e), end)
         }
     }
@@ -324,7 +336,10 @@ pub fn read_data(
         };
         (of.handle, of.path_id, of.pos)
     };
-    match w.storage.read_data(node, handle, pos, len, now) {
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+        w.storage.read_data(node, handle, pos, len, t)
+    });
+    match res.map(|d| (d, t_settle)) {
         Ok((data, t)) => {
             let n = data.len() as u64;
             w.procs[rank.0 as usize].fds[fd.0 as usize]
@@ -335,7 +350,7 @@ pub fn read_data(
             (Ok(data), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, now, Some(path_id), pos, 0);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, 0);
             (Err(e), end)
         }
     }
@@ -415,13 +430,16 @@ pub fn stat(
 ) -> (Result<u64, IoErr>, SimTime) {
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
-    match w.storage.stat(node, path, now) {
-        Ok((size, t)) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t, Some(path_id), 0, 0);
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+        w.storage.stat(node, path, t)
+    });
+    match res {
+        Ok(size) => {
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t_settle, Some(path_id), 0, 0);
             (Ok(size), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, now, Some(path_id), 0, 0);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t_settle, Some(path_id), 0, 0);
             (Err(e), end)
         }
     }
@@ -436,13 +454,16 @@ pub fn unlink(
 ) -> (Result<(), IoErr>, SimTime) {
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
-    match w.storage.unlink(node, path, now) {
-        Ok(t) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, t, Some(path_id), 0, 0);
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+        w.storage.unlink(node, path, t).map(|end| ((), end))
+    });
+    match res {
+        Ok(()) => {
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, t_settle, Some(path_id), 0, 0);
             (Ok(()), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, now, Some(path_id), 0, 0);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, t_settle, Some(path_id), 0, 0);
             (Err(e), end)
         }
     }

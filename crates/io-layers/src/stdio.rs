@@ -440,13 +440,16 @@ fn read_fill_exact(
         };
         (of.handle, of.path_id)
     };
-    match w.storage.read_data(node, handle, pos, len, now) {
-        Ok((data, t)) => {
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+        w.storage.read_data(node, handle, pos, len, t)
+    });
+    match res {
+        Ok(data) => {
             let n = data.len() as u64;
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t, Some(path_id), pos, n);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, n);
             (Ok(data), end)
         }
-        Err(e) => (Err(e), now),
+        Err(e) => (Err(e), t_settle),
     }
 }
 
@@ -466,13 +469,16 @@ fn read_fill(
         };
         (of.handle, of.path_id)
     };
-    match w.storage.read_data(node, handle, pos, bufsize, now) {
-        Ok((data, t)) => {
+    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, bufsize, now, |w, t| {
+        w.storage.read_data(node, handle, pos, bufsize, t)
+    });
+    match res {
+        Ok(data) => {
             let n = data.len() as u64;
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t, Some(path_id), pos, n);
+            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, n);
             (Ok(data), end)
         }
-        Err(e) => (Err(e), now),
+        Err(e) => (Err(e), t_settle),
     }
 }
 

@@ -81,6 +81,8 @@ pub struct IoWorld {
     pub rng: DetRng,
     /// Per-rank stdio stream tables (index = rank).
     pub stdio_streams: Vec<crate::stdio::StreamTable>,
+    /// Retry/backoff interceptor the layers route storage calls through.
+    pub resilience: crate::resilience::Resilience,
 }
 
 impl IoWorld {
@@ -95,6 +97,7 @@ impl IoWorld {
             storage,
             tracer,
             rng: DetRng::for_component(seed, "workload"),
+            resilience: crate::resilience::Resilience::new(seed),
         }
     }
 

@@ -75,6 +75,13 @@ pub enum OpKind {
     MpiColl,
     /// MPI point-to-point.
     MpiP2p,
+    /// A failed I/O attempt absorbed by the resilience middleware; `bytes`
+    /// is the payload the attempt carried. Classified as neither data nor
+    /// metadata so fault records never perturb the I/O statistics.
+    Fault,
+    /// The backoff wait before re-submitting a faulted attempt; `bytes` is
+    /// the payload re-submitted (feeds retry amplification).
+    Retry,
 }
 
 impl OpKind {
@@ -121,6 +128,8 @@ impl OpKind {
             OpKind::GpuCompute => "gpu",
             OpKind::MpiColl => "mpi_coll",
             OpKind::MpiP2p => "mpi_p2p",
+            OpKind::Fault => "fault",
+            OpKind::Retry => "retry",
         }
     }
 }
@@ -222,6 +231,8 @@ impl ToJson for OpKind {
                 OpKind::GpuCompute => "GpuCompute",
                 OpKind::MpiColl => "MpiColl",
                 OpKind::MpiP2p => "MpiP2p",
+                OpKind::Fault => "Fault",
+                OpKind::Retry => "Retry",
             }
             .to_string(),
         )
@@ -245,6 +256,8 @@ impl FromJson for OpKind {
             "GpuCompute" => Ok(OpKind::GpuCompute),
             "MpiColl" => Ok(OpKind::MpiColl),
             "MpiP2p" => Ok(OpKind::MpiP2p),
+            "Fault" => Ok(OpKind::Fault),
+            "Retry" => Ok(OpKind::Retry),
             other => Err(JsonError::shape(format!("unknown OpKind variant `{other}`"))),
         }
     }
@@ -311,6 +324,9 @@ mod tests {
         assert!(!OpKind::Compute.is_io());
         assert!(!OpKind::MpiColl.is_io());
         assert!(OpKind::Unlink.is_io());
+        // Fault/retry records must never perturb the data/meta statistics.
+        assert!(!OpKind::Fault.is_io());
+        assert!(!OpKind::Retry.is_io());
     }
 
     #[test]

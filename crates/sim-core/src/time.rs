@@ -62,6 +62,11 @@ impl SimTime {
         SimTime(ms * 1_000_000)
     }
 
+    /// Construct from whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
     /// This instant as fractional seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

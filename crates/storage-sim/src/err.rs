@@ -27,6 +27,21 @@ pub enum IoErr {
     ReadOnly,
     /// `ENODEV`: path resolves to no mounted tier on this node.
     NoSuchTier,
+    /// `EIO`: a transient device/network error injected by a fault plan.
+    /// Retrying the operation may succeed.
+    TransientIo,
+    /// `EAGAIN`-like: the servers needed by this operation are unavailable
+    /// (outage window or injected metadata-service fault). Retryable.
+    ServerUnavailable,
+}
+
+impl IoErr {
+    /// Whether a retry of the same operation can be expected to succeed —
+    /// the predicate the resilience middleware uses to decide between
+    /// backing off and surfacing the error to the caller.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IoErr::TransientIo | IoErr::ServerUnavailable)
+    }
 }
 
 impl fmt::Display for IoErr {
@@ -42,6 +57,8 @@ impl fmt::Display for IoErr {
             IoErr::TooManyOpenFiles => "too many open files",
             IoErr::ReadOnly => "read-only file",
             IoErr::NoSuchTier => "no such device",
+            IoErr::TransientIo => "input/output error (transient)",
+            IoErr::ServerUnavailable => "storage server unavailable",
         };
         f.write_str(s)
     }
@@ -57,5 +74,15 @@ mod tests {
     fn errors_display_like_errno_strings() {
         assert_eq!(IoErr::NotFound.to_string(), "no such file or directory");
         assert_eq!(IoErr::NoSpace.to_string(), "no space left on device");
+        assert_eq!(IoErr::ServerUnavailable.to_string(), "storage server unavailable");
+    }
+
+    #[test]
+    fn only_fault_variants_are_transient() {
+        assert!(IoErr::TransientIo.is_transient());
+        assert!(IoErr::ServerUnavailable.is_transient());
+        assert!(!IoErr::NoSpace.is_transient());
+        assert!(!IoErr::NotFound.is_transient());
+        assert!(!IoErr::BadFd.is_transient());
     }
 }

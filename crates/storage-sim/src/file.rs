@@ -232,6 +232,19 @@ impl FileStore {
         self.capacity
     }
 
+    /// Change the capacity after construction. Shrinking below the bytes
+    /// already stored is rejected with `NoSpace` (the store never discards
+    /// data to satisfy a reconfiguration).
+    pub fn set_capacity(&mut self, capacity: Option<u64>) -> Result<(), IoErr> {
+        if let Some(c) = capacity {
+            if self.bytes_stored > c {
+                return Err(IoErr::NoSpace);
+            }
+        }
+        self.capacity = capacity;
+        Ok(())
+    }
+
     /// Number of live files (not directories).
     pub fn file_count(&self) -> usize {
         self.nodes

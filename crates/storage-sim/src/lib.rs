@@ -3,6 +3,8 @@
 //! The simulated storage substrate under every I/O interface in the suite:
 //!
 //! * [`err`] — error codes mirroring the POSIX failures the layers surface,
+//! * [`faults`] — deterministic fault-injection plans (server outages,
+//!   brownouts, stragglers, transient errors) applied by the PFS model,
 //! * [`path`] — path normalization shared by all namespaces,
 //! * [`file`] — inodes, sparse segment maps (byte-backed or synthetic
 //!   pattern-backed content), and the flat namespace [`file::FileStore`],
@@ -20,6 +22,7 @@
 //! causal.
 
 pub mod err;
+pub mod faults;
 pub mod file;
 pub mod mounts;
 pub mod node_local;
@@ -27,6 +30,7 @@ pub mod path;
 pub mod pfs;
 
 pub use err::IoErr;
+pub use faults::FaultPlan;
 pub use file::{FileKey, FileStore, Segment};
 pub use mounts::{StorageSystem, Tier};
 pub use node_local::{NodeLocalConfig, NodeLocalFs};

@@ -22,6 +22,7 @@
 //!   spreads per-rank bandwidth the way HACC's Figure 2(c) shows.
 
 use crate::err::IoErr;
+use crate::faults::FaultPlan;
 use crate::file::{FileKey, FileStore, Segment};
 use hpc_cluster::topology::NodeId;
 use sim_core::units::{GIB, MIB, TIB};
@@ -118,6 +119,14 @@ pub struct PfsStats {
     pub cache_hits: u64,
     /// Lock-token transfers performed.
     pub token_transfers: u64,
+    /// Transient errors injected by the active fault plan.
+    pub transient_errors: u64,
+    /// Stripes rerouted away from servers in an outage window.
+    pub rerouted_stripes: u64,
+    /// Bytes carried by rerouted stripes.
+    pub rerouted_bytes: u64,
+    /// Metadata operations serviced under an MDS brownout.
+    pub browned_meta_ops: u64,
 }
 
 #[derive(Debug, Default)]
@@ -182,6 +191,15 @@ pub struct GpfsSim {
     /// Completion time of the last asynchronous flush per file.
     flush_horizon: HashMap<FileKey, SimTime>,
     rng: DetRng,
+    /// Active fault schedule; `None` means the fault plane is fully inert
+    /// (no extra RNG draws, bit-identical to pre-fault behavior).
+    fault_plan: Option<FaultPlan>,
+    /// Dedicated RNG stream for transient-error draws, so activating a
+    /// plan never perturbs the service-jitter stream.
+    fault_rng: DetRng,
+    /// Bytes rerouted *away* from each server while it was down — the
+    /// per-server outage impact the analyzer reports.
+    rerouted_per_server: Vec<u64>,
     stats: PfsStats,
 }
 
@@ -204,6 +222,9 @@ impl GpfsSim {
             pending_bytes: vec![0; n_nodes],
             flush_horizon: HashMap::new(),
             rng: DetRng::for_component(seed, "gpfs"),
+            fault_plan: None,
+            fault_rng: DetRng::for_component(seed, "faults"),
+            rerouted_per_server: vec![0; cfg.n_data_servers],
             stats: PfsStats::default(),
             cfg,
         }
@@ -215,9 +236,38 @@ impl GpfsSim {
     }
 
     /// Replace the configuration (used by the optimizer's reconfiguration
-    /// passes; resource queues are preserved).
-    pub fn set_config(&mut self, cfg: GpfsConfig) {
+    /// passes). Capacity changes take effect in the store — shrinking below
+    /// the bytes already stored is rejected with `NoSpace`. Server pools
+    /// are rebuilt when their counts change; queues are preserved otherwise.
+    pub fn set_config(&mut self, cfg: GpfsConfig) -> Result<(), IoErr> {
+        self.store.set_capacity(Some(cfg.capacity))?;
+        if cfg.n_data_servers != self.cfg.n_data_servers {
+            self.data_servers = ServerPool::new(cfg.n_data_servers);
+            self.rerouted_per_server = vec![0; cfg.n_data_servers];
+        }
+        if cfg.n_meta_servers != self.cfg.n_meta_servers {
+            self.meta_servers = ServerPool::new(cfg.n_meta_servers);
+        }
         self.cfg = cfg;
+        Ok(())
+    }
+
+    /// Install (or clear, with an empty plan) the fault schedule. An empty
+    /// plan leaves the simulator bit-identical to one that never had a
+    /// plan installed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    /// The active fault plan, if one is installed.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Bytes rerouted away from each NSD server while it was in an outage
+    /// window (indexed by server; the per-server outage impact).
+    pub fn rerouted_by_server(&self) -> &[u64] {
+        &self.rerouted_per_server
     }
 
     /// Aggregate counters.
@@ -244,9 +294,35 @@ impl GpfsSim {
         }
     }
 
+    /// Draw a transient data-path fault, if the active plan injects them.
+    /// Runs before any store mutation so a retried write never lands twice.
+    fn transient_data_fault(&mut self) -> Result<(), IoErr> {
+        let rate = self.fault_plan.as_ref().map_or(0.0, |p| p.data_error_rate);
+        if rate > 0.0 && self.fault_rng.chance(rate) {
+            self.stats.transient_errors += 1;
+            return Err(IoErr::TransientIo);
+        }
+        Ok(())
+    }
+
+    /// Draw a transient metadata-path fault, if the active plan injects them.
+    fn transient_meta_fault(&mut self) -> Result<(), IoErr> {
+        let rate = self.fault_plan.as_ref().map_or(0.0, |p| p.meta_error_rate);
+        if rate > 0.0 && self.fault_rng.chance(rate) {
+            self.stats.transient_errors += 1;
+            return Err(IoErr::ServerUnavailable);
+        }
+        Ok(())
+    }
+
     fn meta_service(&mut self, now: SimTime) -> SimTime {
         self.stats.meta_ops += 1;
-        let svc = self.jittered(self.cfg.meta_op_cost);
+        let mut svc = self.jittered(self.cfg.meta_op_cost);
+        let slow = self.fault_plan.as_ref().map_or(1.0, |p| p.mds_slowdown(now));
+        if slow > 1.0 {
+            svc = Dur::from_secs_f64(svc.as_secs_f64() * slow);
+            self.stats.browned_meta_ops += 1;
+        }
         let (_, end) = self.meta_servers.serve(now, svc);
         end
     }
@@ -266,6 +342,7 @@ impl GpfsSim {
         exclusive: bool,
         now: SimTime,
     ) -> Result<(FileKey, SimTime), IoErr> {
+        self.transient_meta_fault()?;
         let t = now + self.cfg.client_overhead;
         let t = self.meta_service(t);
         let existing = self.store.lookup(path);
@@ -310,6 +387,7 @@ impl GpfsSim {
 
     /// Stat: one MDS op.
     pub fn stat(&mut self, path: &str, now: SimTime) -> Result<(u64, SimTime), IoErr> {
+        self.transient_meta_fault()?;
         let end = self.meta_service(now + self.cfg.client_overhead);
         let key = self.store.lookup(path).ok_or(IoErr::NotFound)?;
         Ok((self.store.size_of(key)?, end))
@@ -317,6 +395,7 @@ impl GpfsSim {
 
     /// Unlink: one MDS op.
     pub fn unlink(&mut self, path: &str, now: SimTime) -> Result<SimTime, IoErr> {
+        self.transient_meta_fault()?;
         let end = self.meta_service(now + self.cfg.client_overhead);
         if let Some(key) = self.store.lookup(path) {
             self.block_writer.retain(|(k, _), _| *k != key);
@@ -390,10 +469,35 @@ impl GpfsSim {
     }
 
     /// Move `bytes` through the node's NIC and stripe them over the data
-    /// servers; returns completion time.
-    fn stripe_transfer(&mut self, node: NodeId, key: FileKey, offset: u64, bytes: u64, now: SimTime) -> SimTime {
+    /// servers; returns completion time. Under a fault plan, stripes whose
+    /// home server is in an outage window are rerouted to the next
+    /// surviving server (the survivors absorb the load through queueing
+    /// contention); brownouts and straggler nodes inflate stripe service
+    /// time. Fails with `ServerUnavailable` only when every server is down.
+    fn stripe_transfer(
+        &mut self,
+        node: NodeId,
+        key: FileKey,
+        offset: u64,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IoErr> {
         let nic = &mut self.nics[node.0 as usize];
         let after_nic = nic.transfer(now, bytes);
+        let n = self.cfg.n_data_servers.max(1);
+        // Precompute the fault picture at arrival time: the outage set and
+        // the combined brownout/straggler slowdown are constant across the
+        // stripes of one transfer.
+        let (slow, down) = match &self.fault_plan {
+            Some(p) => (
+                p.data_slowdown(after_nic) * p.node_slowdown(node.0),
+                (0..n).map(|s| p.server_down(s as u32, after_nic)).collect::<Vec<bool>>(),
+            ),
+            None => (1.0, Vec::new()),
+        };
+        if !down.is_empty() && down.iter().all(|&d| d) {
+            return Err(IoErr::ServerUnavailable);
+        }
         let mut end = after_nic;
         let block = self.cfg.block_size.max(1);
         let mut off = offset;
@@ -402,13 +506,25 @@ impl GpfsSim {
             let in_block = (block - (off % block)).min(left);
             let stripe_idx = (key.0 + off / block) as usize;
             let svc = self.cfg.server_op_overhead + Dur::for_transfer(in_block, self.cfg.server_bw);
-            let svc = self.jittered(svc);
-            let (_, stripe_end) = self.data_servers.serve_on(stripe_idx, after_nic, svc);
+            let mut svc = self.jittered(svc);
+            if slow > 1.0 {
+                svc = Dur::from_secs_f64(svc.as_secs_f64() * slow);
+            }
+            let mut target = stripe_idx;
+            if !down.is_empty() && down[target % n] {
+                let home = target % n;
+                let probe = (1..n).find(|&p| !down[(target + p) % n]).expect("a live server exists");
+                target += probe;
+                self.rerouted_per_server[home] += in_block;
+                self.stats.rerouted_stripes += 1;
+                self.stats.rerouted_bytes += in_block;
+            }
+            let (_, stripe_end) = self.data_servers.serve_on(target, after_nic, svc);
             end = end.max(stripe_end);
             off += in_block;
             left -= in_block;
         }
-        end
+        Ok(end)
     }
 
     /// Write a segment. Small writes absorb into the node's write-behind
@@ -422,6 +538,7 @@ impl GpfsSim {
         seg: Segment,
         now: SimTime,
     ) -> Result<(u64, SimTime), IoErr> {
+        self.transient_data_fault()?;
         let bytes = seg.len();
         let n = self.store.write(key, offset, seg)?;
         self.stats.bytes_written += bytes;
@@ -446,7 +563,7 @@ impl GpfsSim {
         if cacheable {
             // Absorb at memory speed; schedule the drain in the background.
             let absorb_end = locked + Dur::for_transfer(bytes, self.cfg.client_mem_bw);
-            let flush_end = self.stripe_transfer(node, key, offset, bytes, absorb_end);
+            let flush_end = self.stripe_transfer(node, key, offset, bytes, absorb_end)?;
             let horizon = self.flush_horizon.entry(key).or_insert(SimTime::ZERO);
             *horizon = (*horizon).max(flush_end);
             self.pending_flush[ni].push_back((flush_end, bytes));
@@ -454,7 +571,7 @@ impl GpfsSim {
             self.caches[node.0 as usize].insert(key, bytes, self.cfg.client_cache_bytes);
             Ok((n, absorb_end))
         } else {
-            let end = self.stripe_transfer(node, key, offset, bytes, locked);
+            let end = self.stripe_transfer(node, key, offset, bytes, locked)?;
             Ok((n, end))
         }
     }
@@ -472,16 +589,23 @@ impl GpfsSim {
         self.write(node, key, offset, Segment::Pattern { seed, len }, now)
     }
 
-    fn read_timing(&mut self, node: NodeId, key: FileKey, offset: u64, got: u64, now: SimTime) -> SimTime {
+    fn read_timing(
+        &mut self,
+        node: NodeId,
+        key: FileKey,
+        offset: u64,
+        got: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IoErr> {
         self.stats.data_ops += 1;
         let t0 = now + self.cfg.client_overhead;
         if got == 0 {
-            return t0;
+            return Ok(t0);
         }
         if self.caches[node.0 as usize].holds(key, got) {
             // Client cache hit: memory speed, no server involvement.
             self.stats.cache_hits += 1;
-            return t0 + Dur::for_transfer(got, self.cfg.client_mem_bw);
+            return Ok(t0 + Dur::for_transfer(got, self.cfg.client_mem_bw));
         }
         self.stats.bytes_read += got;
         let locked = self.acquire_token(node, key, offset, got, false, t0);
@@ -497,8 +621,9 @@ impl GpfsSim {
         len: u64,
         now: SimTime,
     ) -> Result<(u64, SimTime), IoErr> {
+        self.transient_data_fault()?;
         let got = self.store.readable_len(key, offset, len)?;
-        let end = self.read_timing(node, key, offset, got, now);
+        let end = self.read_timing(node, key, offset, got, now)?;
         Ok((got, end))
     }
 
@@ -511,8 +636,9 @@ impl GpfsSim {
         len: u64,
         now: SimTime,
     ) -> Result<(Vec<u8>, SimTime), IoErr> {
+        self.transient_data_fault()?;
         let data = self.store.read(key, offset, len)?;
-        let end = self.read_timing(node, key, offset, data.len() as u64, now);
+        let end = self.read_timing(node, key, offset, data.len() as u64, now)?;
         Ok((data, end))
     }
 
@@ -718,5 +844,146 @@ mod tests {
         assert_eq!(size, 1000);
         let t4 = fs.unlink("/s", t3).unwrap();
         assert_eq!(fs.stat("/s", t4).map(|x| x.0), Err(IoErr::NotFound));
+    }
+
+    #[test]
+    fn set_config_applies_capacity() {
+        let mut fs = sim(GpfsConfig::tiny());
+        let mut cfg = fs.config().clone();
+        cfg.capacity = 10 * MIB;
+        fs.set_config(cfg).unwrap();
+        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let r = fs.write_pattern(NodeId(0), k, 0, 11 * MIB, 1, t);
+        assert_eq!(r.unwrap_err(), IoErr::NoSpace);
+    }
+
+    #[test]
+    fn set_config_rejects_shrink_below_stored() {
+        let mut fs = sim(GpfsConfig::tiny());
+        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        fs.write_pattern(NodeId(0), k, 0, 8 * MIB, 1, t).unwrap();
+        let mut cfg = fs.config().clone();
+        cfg.capacity = 1 * MIB;
+        assert_eq!(fs.set_config(cfg), Err(IoErr::NoSpace));
+    }
+
+    #[test]
+    fn nsd_outage_reroutes_to_survivors() {
+        let mut cfg = GpfsConfig::tiny();
+        cfg.client_cache_bytes = 0;
+        let mut fs = sim(cfg);
+        fs.set_fault_plan(
+            crate::faults::FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, SimTime::from_secs(1000)),
+        );
+        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        // 4 MiB over 1 MiB blocks on 4 servers: normally one stripe per
+        // server; with server 0 down its stripe lands elsewhere.
+        let (_, _end) = fs.write_pattern(NodeId(0), k, 0, 4 * MIB, 1, t).unwrap();
+        assert!(fs.stats().rerouted_stripes >= 1);
+        assert!(fs.rerouted_by_server()[0] >= 1 * MIB);
+        assert_eq!(fs.rerouted_by_server()[1], 0);
+    }
+
+    #[test]
+    fn outage_slows_aggregate_but_completes() {
+        let mut cfg = GpfsConfig::tiny();
+        cfg.client_cache_bytes = 0;
+        let mut healthy = sim(cfg.clone());
+        let mut degraded = sim(cfg);
+        degraded.set_fault_plan(
+            crate::faults::FaultPlan::none().with_nsd_outage(1, SimTime::ZERO, SimTime::from_secs(1000)),
+        );
+        let run = |fs: &mut GpfsSim| {
+            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (_, end) = fs.write_pattern(NodeId(0), k, 0, 16 * MIB, 1, t).unwrap();
+            end.since(t).as_secs_f64()
+        };
+        let t_ok = run(&mut healthy);
+        let t_deg = run(&mut degraded);
+        // One of four servers down: survivors absorb its share, so the
+        // transfer slows by roughly its share plus contention (≥ 1/4 here
+        // since the rerouted stripes serialize behind a survivor).
+        assert!(t_deg > t_ok * 1.15, "degraded {t_deg} vs healthy {t_ok}");
+    }
+
+    #[test]
+    fn all_servers_down_is_typed_unavailable() {
+        let mut cfg = GpfsConfig::tiny();
+        cfg.client_cache_bytes = 0;
+        let mut fs = sim(cfg);
+        let mut plan = crate::faults::FaultPlan::none();
+        for s in 0..4 {
+            plan = plan.with_nsd_outage(s, SimTime::ZERO, SimTime::from_secs(1000));
+        }
+        fs.set_fault_plan(plan);
+        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let r = fs.write_pattern(NodeId(0), k, 0, 1 * MIB, 1, t);
+        assert_eq!(r.unwrap_err(), IoErr::ServerUnavailable);
+    }
+
+    #[test]
+    fn mds_brownout_lengthens_metadata() {
+        let mut healthy = sim(GpfsConfig::tiny());
+        let mut browned = sim(GpfsConfig::tiny());
+        browned.set_fault_plan(
+            crate::faults::FaultPlan::none().with_mds_brownout(SimTime::ZERO, SimTime::from_secs(1000), 10.0),
+        );
+        let t_ok = healthy.open(NodeId(0), "/a", true, false, SimTime::ZERO).unwrap().1;
+        let t_slow = browned.open(NodeId(0), "/a", true, false, SimTime::ZERO).unwrap().1;
+        assert!(t_slow.as_nanos() > t_ok.as_nanos() * 5);
+        assert_eq!(browned.stats().browned_meta_ops, 2);
+    }
+
+    #[test]
+    fn transient_errors_are_seeded_and_typed() {
+        let collect = |seed: u64| {
+            let mut fs = GpfsSim::new(GpfsConfig::tiny(), 4, 1 * GIB, Dur::from_micros(2), seed);
+            fs.set_fault_plan(crate::faults::FaultPlan::none().with_error_rates(0.3, 0.3));
+            let mut outcomes = Vec::new();
+            let (k, mut t) = loop {
+                match fs.open(NodeId(0), "/f", true, false, SimTime::ZERO) {
+                    Ok(x) => break x,
+                    Err(e) => {
+                        assert_eq!(e, IoErr::ServerUnavailable);
+                        outcomes.push(false);
+                    }
+                }
+            };
+            for i in 0..32u64 {
+                match fs.write_pattern(NodeId(0), k, i * 4096, 4096, 1, t) {
+                    Ok((_, end)) => {
+                        outcomes.push(true);
+                        t = end;
+                    }
+                    Err(e) => {
+                        assert_eq!(e, IoErr::TransientIo);
+                        outcomes.push(false);
+                    }
+                }
+            }
+            (outcomes, fs.stats().transient_errors)
+        };
+        let (a, ea) = collect(42);
+        let (b, eb) = collect(42);
+        let (c, _) = collect(43);
+        assert_eq!(a, b, "same seed must fault identically");
+        assert_eq!(ea, eb);
+        assert!(ea > 0, "a 30% rate over 33 attempts should fault at least once");
+        assert_ne!(a, c, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let run = |install_empty: bool| {
+            let mut fs = sim(GpfsConfig::lassen());
+            if install_empty {
+                fs.set_fault_plan(crate::faults::FaultPlan::none());
+            }
+            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 32 * MIB, 1, t).unwrap();
+            let (_, e2) = fs.read_len(NodeId(1), k, 0, 32 * MIB, e1).unwrap();
+            (e1, e2, fs.stats().clone())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -121,7 +121,7 @@ fn main() {
         &vani_suite::cluster::topology::ClusterSpec::lassen().node,
     );
     let mut engine = vani_suite::cluster::engine::Engine::new(world, scripts, cost);
-    let report = engine.run();
+    let report = engine.run().expect("workflow must not deadlock");
     println!("workflow completed in {:.3}s simulated", report.makespan.as_secs_f64());
     let world = engine.into_world();
     println!("trace: {} records", world.tracer.len());

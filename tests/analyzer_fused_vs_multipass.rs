@@ -4,6 +4,8 @@
 //! byte-stable run to run.
 
 use vani_suite::rt::par;
+use vani_suite::sim::SimTime;
+use vani_suite::storage::FaultPlan;
 use vani_suite::vani::analyzer::Analysis;
 use vani_suite::vani::{figures, tables, yaml};
 use vani_suite::workloads as wl;
@@ -19,15 +21,65 @@ fn paper_six() -> Vec<(&'static str, exemplar_workloads::WorkloadRun)> {
     ]
 }
 
+/// A fault plan that exercises every mechanism at once: a server outage,
+/// both brownout kinds, a straggler node, and seeded transient errors —
+/// all mild enough that the retry middleware absorbs everything.
+fn stress_plan() -> FaultPlan {
+    let end = SimTime::from_secs(1_000_000);
+    FaultPlan::none()
+        .with_nsd_outage(0, SimTime::from_secs(1), end)
+        .with_mds_brownout(SimTime::ZERO, end, 3.0)
+        .with_nsd_brownout(SimTime::from_secs(2), end, 1.5)
+        .with_straggler(0, 1.2)
+        .with_error_rates(0.03, 0.01)
+}
+
+/// The six workloads again, each running under [`stress_plan`].
+fn faulted_six() -> Vec<(&'static str, exemplar_workloads::WorkloadRun)> {
+    let plan = stress_plan();
+    let mut cm1 = wl::cm1::Cm1Params::scaled(0.01);
+    cm1.faults = plan.clone();
+    let mut hacc = wl::hacc::HaccParams::scaled(0.01);
+    hacc.faults = plan.clone();
+    let mut cosmo = wl::cosmoflow::CosmoflowParams::scaled(0.001);
+    cosmo.faults = plan.clone();
+    let mut jag = wl::jag::JagParams::scaled(0.01);
+    jag.faults = plan.clone();
+    let mut montage = wl::montage::MontageParams::scaled(0.01);
+    montage.faults = plan.clone();
+    let mut pegasus = wl::montage_pegasus::PegasusParams::scaled(0.01);
+    pegasus.faults = plan;
+    vec![
+        ("cm1+faults", wl::cm1::run_with(cm1, 0.01, 5)),
+        ("hacc+faults", wl::hacc::run_with(hacc, 0.01, 5)),
+        ("cosmoflow+faults", wl::cosmoflow::run_with(cosmo, 0.001, 5)),
+        ("jag+faults", wl::jag::run_with(jag, 0.01, 5)),
+        ("montage+faults", wl::montage::run_with(montage, 0.01, 5)),
+        ("pegasus+faults", wl::montage_pegasus::run_with(pegasus, 0.01, 5)),
+    ]
+}
+
 /// The acceptance gate for the fused scan: every field of `Analysis`
 /// (counters, f64 fractions, histograms, timelines, file/phase/app
 /// profiles, dependency edges) is exactly equal between the fused
 /// single-pass scan and the multi-pass oracle, for all six workloads of
-/// the paper, at 1, 2, and 8 workers. Worker counts share one test so the
+/// the paper, at 1, 2, and 8 workers — with and without an active fault
+/// plan, since the resilience counters must be just as merge-order
+/// invariant as everything else. Worker counts share one test so the
 /// global `par::set_threads` override is never raced by a sibling test.
 #[test]
 fn fused_matches_multipass_on_all_workloads_and_worker_counts() {
-    let runs = paper_six();
+    let mut runs = paper_six();
+    runs.extend(faulted_six());
+    // The fault plan must actually fire, or the faulted half of this test
+    // degenerates into a copy of the clean half.
+    assert!(
+        runs.iter().any(|(n, r)| n.ends_with("+faults") && {
+            let a = Analysis::from_run(r);
+            a.fault_events > 0 && a.retry_events > 0
+        }),
+        "stress_plan produced no absorbed faults on any workload"
+    );
     // The oracle at the default worker count is the reference point.
     let oracles: Vec<Analysis> = runs.iter().map(|(_, r)| Analysis::from_run_multipass(r)).collect();
     for workers in [1u32, 2, 8] {

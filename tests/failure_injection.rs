@@ -12,20 +12,31 @@ fn enospc_surfaces_through_posix_and_stdio() {
     let mut w = IoWorld::lassen(1, 1, Dur::from_secs(60), 1);
     let mut cfg = w.storage.pfs().config().clone();
     cfg.capacity = 1 << 20; // 1 MiB file system
-    w.storage.pfs_mut().set_config(cfg);
-    // Rebuild the PFS with the tiny capacity by writing until it fills.
+    w.storage.pfs_mut().set_config(cfg).unwrap();
     let r = RankId(0);
+    // The reduced capacity now takes effect on the PFS itself: a 2 MiB
+    // write into the 1 MiB file system must fail with ENOSPC.
     let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/fill", OpenFlags::write_create(), SimTime::ZERO);
     let fd = fd.unwrap();
-    // Note: capacity was set after construction; the store still enforces
-    // the original 24 PiB. Use shm (128 GiB per node) via huge writes
-    // instead to observe ENOSPC deterministically.
-    let (sfd, t2) = posix::open(&mut w, r, "/dev/shm/fill", OpenFlags::write_create(), t);
-    let sfd = sfd.unwrap();
-    let (res, t3) = posix::write_pattern(&mut w, r, sfd, 200 << 30, 1, t2);
-    assert_eq!(res.unwrap_err(), IoErr::NoSpace, "200 GiB cannot fit in /dev/shm");
-    let (ok, _) = posix::write_pattern(&mut w, r, fd, 1 << 20, 1, t3);
+    let (res, t) = posix::write_pattern(&mut w, r, fd, 2 << 20, 1, t);
+    assert_eq!(res.unwrap_err(), IoErr::NoSpace, "2 MiB cannot fit in a 1 MiB PFS");
+    // A write that fits still succeeds (the failed write left no residue).
+    let (ok, t) = posix::write_pattern(&mut w, r, fd, 512 << 10, 1, t);
     ok.unwrap();
+    // The node-local tier is independent: shm still enforces its own limit.
+    let (sfd, t) = posix::open(&mut w, r, "/dev/shm/fill", OpenFlags::write_create(), t);
+    let sfd = sfd.unwrap();
+    let (res, t) = posix::write_pattern(&mut w, r, sfd, 200 << 30, 1, t);
+    assert_eq!(res.unwrap_err(), IoErr::NoSpace, "200 GiB cannot fit in /dev/shm");
+    // And stdio over the full PFS surfaces the same typed error.
+    let (sh, t) = stdio::fopen(&mut w, r, "/p/gpfs1/fill2", "w", t);
+    let sh = sh.unwrap();
+    let (res, t) = stdio::fwrite_pattern(&mut w, r, sh, 1 << 20, 1, t);
+    let flush = stdio::fclose(&mut w, r, sh, t).0;
+    assert!(
+        res.is_err() || flush.is_err(),
+        "ENOSPC must surface through stdio (write or flush-on-close)"
+    );
 }
 
 #[test]
@@ -61,7 +72,7 @@ fn missing_files_fail_cleanly_at_every_layer() {
 
 #[test]
 fn deadlock_detection_catches_missing_gate() {
-    use vani_suite::cluster::engine::{Engine, FnScript, GateId, Outcome, RankScript, StepEffect};
+    use vani_suite::cluster::engine::{Blocker, Engine, FnScript, GateId, Outcome, RankScript, StepEffect};
     use vani_suite::cluster::mpi::MpiCostModel;
     let world = ();
     let script = FnScript(|_w: &mut (), _r, _n| StepEffect {
@@ -71,6 +82,13 @@ fn deadlock_detection_catches_missing_gate() {
     let scripts: Vec<Box<dyn RankScript<()>>> = vec![Box::new(script)];
     let cost = MpiCostModel { latency: sim_core::Dur::from_micros(1), bandwidth: 1 << 30 };
     let mut e = Engine::new(world, scripts, cost);
-    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.run()));
-    assert!(res.is_err(), "deadlock must panic loudly");
+    // The engine reports the deadlock as a typed error naming the exact
+    // rank and gate — no panic, no unwinding.
+    let err = e.run().unwrap_err();
+    assert_eq!(err.blocked.len(), 1);
+    assert_eq!(err.blocked[0].1, Blocker::Gate(GateId(1)));
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "diagnostic must say deadlock: {msg}");
+    assert!(msg.contains("gate 1"), "diagnostic must name the gate: {msg}");
+    assert!(msg.contains("rank0") || msg.contains("rank 0") || msg.contains("r0"), "diagnostic must name the rank: {msg}");
 }

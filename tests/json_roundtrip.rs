@@ -72,6 +72,55 @@ fn reloaded_trace_renders_identical_attribute_tables() {
 }
 
 #[test]
+fn malformed_traces_fail_with_byte_offset_context() {
+    let dir = std::env::temp_dir().join("vani_json_roundtrip");
+    fs::create_dir_all(&dir).unwrap();
+
+    // A real trace, then sabotage it in every way a disk or a partial
+    // write can: truncation, garbage bytes, and wrong-but-valid JSON.
+    let run = wl::cm1::run(0.005, 3);
+    let path = dir.join("sabotage.trace.json");
+    persist::save_tracer(&run.world.tracer, &path).unwrap();
+    let good = fs::read_to_string(&path).unwrap();
+
+    let cases: [(&str, String); 4] = [
+        ("truncated", good[..good.len() / 2].to_string()),
+        ("garbage tail", format!("{good}garbage")),
+        ("corrupt byte", {
+            let mut s = good.clone().into_bytes();
+            let mid = s.len() / 2;
+            s[mid] = b'\\';
+            String::from_utf8_lossy(&s).into_owned()
+        }),
+        ("wrong shape", "[1, 2, 3]".to_string()),
+    ];
+    for (name, text) in cases {
+        fs::write(&path, &text).unwrap();
+        let err = persist::load_tracer(&path).expect_err(name);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("byte"),
+            "{name}: the error must carry byte-offset context, got: {msg}"
+        );
+    }
+
+    // The columnar loader surfaces the same typed context.
+    let cpath = dir.join("sabotage.columnar.json");
+    let c = ColumnarTrace::from_tracer(&run.world.tracer);
+    persist::save_columnar(&c, &cpath).unwrap();
+    let cgood = fs::read_to_string(&cpath).unwrap();
+    fs::write(&cpath, &cgood[..cgood.len() - cgood.len() / 3]).unwrap();
+    let msg = persist::load_columnar(&cpath).expect_err("truncated columnar").to_string();
+    assert!(msg.contains("byte"), "columnar error must carry byte-offset context: {msg}");
+
+    // A missing file is an io::Error, not a panic.
+    assert!(persist::load_tracer(&dir.join("never_written.json")).is_err());
+
+    fs::remove_file(&path).unwrap();
+    fs::remove_file(&cpath).unwrap();
+}
+
+#[test]
 fn columnar_persistence_is_canonical() {
     // Saving the same columnar trace twice produces byte-identical JSON,
     // and a save → load → save cycle is a fixed point.
