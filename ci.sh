@@ -18,6 +18,18 @@ cargo bench -q --offline -p bench --no-run
 # every measured trace.
 cargo run --release --offline -p bench --bin bench_analyzer -- --short
 
+# pipeline bench-smoke: the scenario-parallel sweep driver end to end in
+# short mode. Regenerates BENCH_pipeline.json and fails (inside the
+# binary) if parallel output diverges from the sequential driver at any
+# worker count, or if the direct and emulated-legacy capture paths ever
+# produce different columns.
+cargo run --release --offline -p bench --bin repro -- bench-pipeline --short
+
+# Sweep byte-identity suite: tables, YAML, and the fault report pinned
+# equal between sequential and parallel drivers at 1/2/8 workers, with and
+# without an active FaultPlan.
+cargo test --release --offline --test sweep_parallel_vs_sequential
+
 # Failure-injection suite, run explicitly: typed errors surface cleanly
 # through every layer and deadlocks come back as rank → gate diagnostics.
 cargo test --release --offline --test failure_injection

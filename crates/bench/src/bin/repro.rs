@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro -- table1 table3 fig7
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
+//! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
 //! `VANI_SCALE` (default 0.05) sets the workload scale: 1.0 is the paper's
@@ -14,10 +15,12 @@
 
 use bench::{ior_peak, run_all_six, scale_from_env};
 use vani_core::analyzer::Analysis;
-use vani_core::{faultsweep, figures, reconfig, tables, yaml};
+use vani_core::{figures, reconfig, sweep, tables, yaml};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let short = args.iter().any(|a| a == "--short");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--short").collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
@@ -83,10 +86,11 @@ fn main() {
             "fault-sweep" => {
                 eprintln!("running fault-injection sweep (MDS brownout, NSD outage, shm shielding) ...");
                 let s = scale.clamp(0.02, 1.0);
-                let brownout = faultsweep::mds_brownout_impact(s, 7, 20.0);
-                let outage = faultsweep::nsd_outage_bench(7);
-                let shield = faultsweep::shm_shield_impact(s, 7);
-                print!("{}", faultsweep::render_fault_sweep(&brownout, &outage, &shield));
+                let report = sweep::fault_sweep(s, 7, 20.0, sweep::Driver::Parallel);
+                print!("{}", report.render());
+            }
+            "bench-pipeline" => {
+                bench::pipeline::run_bench(short);
             }
             "yaml" => {
                 for a in &cols {

@@ -2,10 +2,11 @@
 //! benches: runs the six exemplar workloads once at a chosen scale and
 //! hands out their analyses.
 
-use exemplar_workloads::{cm1, cosmoflow, hacc, jag, montage, montage_pegasus};
 use vani_core::analyzer::Analysis;
+use vani_core::sweep::{self, Driver};
 
 pub mod harness;
+pub mod pipeline;
 
 /// Default scale for the reproduction harness (`VANI_SCALE` overrides).
 pub const DEFAULT_SCALE: f64 = 0.05;
@@ -21,15 +22,7 @@ pub fn scale_from_env() -> f64 {
 /// Run all six exemplar workloads (in parallel) and analyze them, in the
 /// paper's column order.
 pub fn run_all_six(scale: f64, seed: u64) -> Vec<Analysis> {
-    let runners: Vec<fn(f64, u64) -> exemplar_workloads::WorkloadRun> = vec![
-        cm1::run,
-        hacc::run,
-        cosmoflow::run,
-        jag::run,
-        montage::run,
-        montage_pegasus::run,
-    ];
-    vani_rt::par::par_map_owned(runners, |r| Analysis::from_run(&r(scale, seed)))
+    sweep::paper_six(scale, seed, Driver::Parallel)
 }
 
 /// Measured IOR peak bandwidth for Table IX.

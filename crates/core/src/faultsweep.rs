@@ -25,8 +25,69 @@ use sim_core::{Dur, SimTime};
 use storage_sim::{FaultPlan, GpfsConfig, GpfsSim};
 
 /// A brownout window long enough to cover any simulated run.
-fn whole_run() -> SimTime {
+pub(crate) fn whole_run() -> SimTime {
     SimTime::from_secs(1_000_000_000)
+}
+
+/// The experiment-1 fault plan: `slowdown`× metadata service time for the
+/// whole run.
+pub(crate) fn mds_plan(slowdown: f64) -> FaultPlan {
+    FaultPlan::none().with_mds_brownout(SimTime::ZERO, whole_run(), slowdown)
+}
+
+/// The experiment-3 fault plan: a 4× NSD brownout from `from` onward plus
+/// a 2 % transient data-error rate throughout. The rate stays low enough
+/// that the retry middleware (5 attempts) always absorbs it — no run may
+/// fail.
+pub(crate) fn shield_plan(from: SimTime) -> FaultPlan {
+    FaultPlan::none()
+        .with_nsd_brownout(from, whole_run(), 4.0)
+        .with_error_rates(0.02, 0.0)
+}
+
+/// CosmoFlow at `scale` under `faults` (baseline GPFS data path).
+pub(crate) fn run_cosmo(scale: f64, seed: u64, faults: FaultPlan) -> exemplar_workloads::WorkloadRun {
+    let mut p = cosmoflow::CosmoflowParams::scaled(scale);
+    p.faults = faults;
+    cosmoflow::run_with(p, scale, seed)
+}
+
+/// CosmoFlow preload-to-shm variant at `scale` under `faults`.
+pub(crate) fn run_cosmo_preload(
+    scale: f64,
+    seed: u64,
+    faults: FaultPlan,
+) -> exemplar_workloads::WorkloadRun {
+    let mut p = cosmoflow::CosmoflowParams::scaled(scale);
+    p.preload_to_shm = true;
+    p.faults = faults;
+    cosmoflow::run_with(p, scale, seed)
+}
+
+/// HACC at `scale` under `faults`.
+pub(crate) fn run_hacc(scale: f64, seed: u64, faults: FaultPlan) -> exemplar_workloads::WorkloadRun {
+    let mut p = hacc::HaccParams::scaled(scale);
+    p.faults = faults;
+    hacc::run_with(p, scale, seed)
+}
+
+/// The experiment-2 pool configuration (client cache disabled so the
+/// measurement sees server bandwidth, not memory speed).
+pub(crate) fn nsd_config() -> GpfsConfig {
+    let mut cfg = GpfsConfig::tiny();
+    cfg.client_cache_bytes = 0;
+    cfg
+}
+
+/// Experiment-2 measurement: aggregate bandwidth of a 64 MiB streaming
+/// write through the tiny pool under `plan`, bytes/second.
+pub(crate) fn nsd_bw(seed: u64, plan: FaultPlan) -> f64 {
+    let bytes = 64 * MIB;
+    let mut fs = GpfsSim::new(nsd_config(), 4, 1 * GIB, Dur::from_micros(2), seed);
+    fs.set_fault_plan(plan);
+    let (k, t) = fs.open(NodeId(0), "/bench", true, false, SimTime::ZERO).unwrap();
+    let (_, end) = fs.write_pattern(NodeId(0), k, 0, bytes, 1, t).unwrap();
+    bytes as f64 / end.since(t).as_secs_f64()
 }
 
 /// One workload measured healthy vs under a fault plan.
@@ -57,40 +118,36 @@ impl FaultImpact {
     }
 }
 
+/// Build a [`FaultImpact`] from already-computed analyses. The sweep
+/// driver analyzes each scenario exactly once and shares baselines across
+/// experiments, so impacts are assembled from references.
+pub fn impact_from(workload: &'static str, healthy: &Analysis, faulted: &Analysis) -> FaultImpact {
+    FaultImpact {
+        workload,
+        healthy_io: healthy.io_time(),
+        faulted_io: faulted.io_time(),
+        faults: faulted.fault_events,
+        retries: faulted.retry_events,
+        time_lost: faulted.time_lost_to_faults(),
+    }
+}
+
 fn impact_of(
     workload: &'static str,
     healthy: &exemplar_workloads::WorkloadRun,
     faulted: &exemplar_workloads::WorkloadRun,
 ) -> FaultImpact {
-    let h = Analysis::from_run(healthy);
-    let f = Analysis::from_run(faulted);
-    FaultImpact {
-        workload,
-        healthy_io: h.io_time(),
-        faulted_io: f.io_time(),
-        faults: f.fault_events,
-        retries: f.retry_events,
-        time_lost: f.time_lost_to_faults(),
-    }
+    impact_from(workload, &Analysis::from_run(healthy), &Analysis::from_run(faulted))
 }
 
 /// Experiment 1: an MDS brownout (`slowdown`× metadata service time for the
 /// whole run) applied to CosmoFlow and HACC. Returns `(cosmoflow, hacc)`.
 pub fn mds_brownout_impact(scale: f64, seed: u64, slowdown: f64) -> (FaultImpact, FaultImpact) {
-    let plan = FaultPlan::none().with_mds_brownout(SimTime::ZERO, whole_run(), slowdown);
-
-    let cp = cosmoflow::CosmoflowParams::scaled(scale);
-    let mut cpf = cp.clone();
-    cpf.faults = plan.clone();
-    let c_ok = cosmoflow::run_with(cp, scale, seed);
-    let c_bad = cosmoflow::run_with(cpf, scale, seed);
-
-    let hp = hacc::HaccParams::scaled(scale);
-    let mut hpf = hp.clone();
-    hpf.faults = plan;
-    let h_ok = hacc::run_with(hp, scale, seed);
-    let h_bad = hacc::run_with(hpf, scale, seed);
-
+    let plan = mds_plan(slowdown);
+    let c_ok = run_cosmo(scale, seed, FaultPlan::none());
+    let c_bad = run_cosmo(scale, seed, plan.clone());
+    let h_ok = run_hacc(scale, seed, FaultPlan::none());
+    let h_bad = run_hacc(scale, seed, plan);
     (
         impact_of("Cosmoflow", &c_ok, &c_bad),
         impact_of("HACC (FPP)", &h_ok, &h_bad),
@@ -129,19 +186,9 @@ impl OutageBench {
 /// with one NSD server down for the whole transfer. The client cache is
 /// disabled so the measurement sees server bandwidth, not memory speed.
 pub fn nsd_outage_bench(seed: u64) -> OutageBench {
-    let mut cfg = GpfsConfig::tiny();
-    cfg.client_cache_bytes = 0;
-    let n_servers = cfg.n_data_servers as u32;
-    let bytes = 64 * MIB;
-    let run = |plan: FaultPlan| {
-        let mut fs = GpfsSim::new(cfg.clone(), 4, 1 * GIB, Dur::from_micros(2), seed);
-        fs.set_fault_plan(plan);
-        let (k, t) = fs.open(NodeId(0), "/bench", true, false, SimTime::ZERO).unwrap();
-        let (_, end) = fs.write_pattern(NodeId(0), k, 0, bytes, 1, t).unwrap();
-        bytes as f64 / end.since(t).as_secs_f64()
-    };
-    let healthy_bw = run(FaultPlan::none());
-    let degraded_bw = run(FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run()));
+    let n_servers = nsd_config().n_data_servers as u32;
+    let healthy_bw = nsd_bw(seed, FaultPlan::none());
+    let degraded_bw = nsd_bw(seed, FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run()));
     OutageBench { n_servers, healthy_bw, degraded_bw }
 }
 
@@ -176,28 +223,14 @@ impl ShieldResult {
 /// so its training reads never touch the degraded PFS; the baseline is
 /// still streaming samples off GPFS and takes the full hit.
 pub fn shm_shield_impact(scale: f64, seed: u64) -> ShieldResult {
-    let base = cosmoflow::CosmoflowParams::scaled(scale);
-    let mut pre = base.clone();
-    pre.preload_to_shm = true;
-    let b_ok = cosmoflow::run_with(base.clone(), scale, seed);
-    let p_ok = cosmoflow::run_with(pre.clone(), scale, seed);
+    let b_ok = run_cosmo(scale, seed, FaultPlan::none());
+    let p_ok = run_cosmo_preload(scale, seed, FaultPlan::none());
 
-    // Data-path faults only: a 4x NSD brownout from a quarter of the
-    // healthy baseline makespan onward, and a 2% transient data-error rate
-    // throughout. The rate stays low enough that the retry middleware
-    // (5 attempts) always absorbs it — no run may fail.
-    let from = SimTime::from_nanos(b_ok.runtime().as_nanos() / 4);
-    let plan = FaultPlan::none()
-        .with_nsd_brownout(from, whole_run(), 4.0)
-        .with_error_rates(0.02, 0.0);
-
-    let mut base_f = base;
-    base_f.faults = plan.clone();
-    let b_bad = cosmoflow::run_with(base_f, scale, seed);
-
-    let mut pre_f = pre;
-    pre_f.faults = plan;
-    let p_bad = cosmoflow::run_with(pre_f, scale, seed);
+    // Data-path faults only, opening a quarter of the way into the healthy
+    // baseline makespan (see `shield_plan`).
+    let plan = shield_plan(SimTime::from_nanos(b_ok.runtime().as_nanos() / 4));
+    let b_bad = run_cosmo(scale, seed, plan.clone());
+    let p_bad = run_cosmo_preload(scale, seed, plan);
 
     ShieldResult {
         baseline: impact_of("Cosmoflow (GPFS)", &b_ok, &b_bad),

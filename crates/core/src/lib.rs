@@ -24,7 +24,13 @@
 //!   drivers that run baseline and optimized variants across node counts,
 //! * [`faultsweep`] — the fault-injection sweep: MDS-brownout sensitivity
 //!   (CosmoFlow vs HACC), single-NSD-outage bandwidth cost, and
-//!   preload-to-shm fault shielding.
+//!   preload-to-shm fault shielding,
+//! * [`sweep`] — the scenario-parallel simulation driver: fans independent
+//!   simulations (paper six, fault scenarios, reconfiguration search
+//!   points) across `rt::par` workers with split RNG streams and stable
+//!   scenario ids, merging results in registration order so every table,
+//!   YAML document, and figure is byte-identical to a sequential run at
+//!   any worker count.
 
 pub mod analyzer;
 pub mod entities;
@@ -32,6 +38,7 @@ pub mod faultsweep;
 pub mod figures;
 pub mod optimizer;
 pub mod reconfig;
+pub mod sweep;
 pub mod tables;
 pub mod yaml;
 

@@ -7,6 +7,7 @@
 //! recommends: repoint the data path at the node-local tier.
 
 use crate::analyzer::Analysis;
+use crate::sweep::{Driver, ScenarioSet};
 use exemplar_workloads::{cosmoflow, montage};
 
 /// One point of a Figure 7/8 sweep.
@@ -45,7 +46,15 @@ fn io_time_of(run: &exemplar_workloads::WorkloadRun) -> (f64, f64) {
 /// `node_counts`. Sweep points are independent simulations and run in
 /// parallel.
 pub fn figure7(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
-    vani_rt::par::par_map_owned(node_counts.to_vec(), |nodes| {
+    figure7_with(scale, node_counts, seed, Driver::Parallel)
+}
+
+/// [`figure7`] with an explicit scenario driver: one scenario per node
+/// count, fanned out by `vani_core::sweep`.
+pub fn figure7_with(scale: f64, node_counts: &[u32], seed: u64, driver: Driver) -> Vec<SweepPoint> {
+    let mut set = ScenarioSet::new(seed);
+    for &nodes in node_counts {
+        set.add(format!("fig7/nodes-{nodes}"), move |_| {
             let mut p = cosmoflow::CosmoflowParams::scaled(scale);
             p.nodes = nodes;
             let base = cosmoflow::run_with(p.clone(), scale, seed);
@@ -61,7 +70,9 @@ pub fn figure7(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
                 baseline_runtime: brt,
                 optimized_runtime: ort,
             }
-    })
+        });
+    }
+    set.run(driver)
 }
 
 /// Figure 8: Montage-MPI baseline (intermediates on GPFS) vs optimized
@@ -69,8 +80,16 @@ pub fn figure7(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
 /// total work fixed at the `scale`-sized workload, divided per node.
 /// Sweep points are independent simulations and run in parallel.
 pub fn figure8(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
+    figure8_with(scale, node_counts, seed, Driver::Parallel)
+}
+
+/// [`figure8`] with an explicit scenario driver.
+pub fn figure8_with(scale: f64, node_counts: &[u32], seed: u64, driver: Driver) -> Vec<SweepPoint> {
     let base_p = montage::MontageParams::scaled(scale);
-    vani_rt::par::par_map_owned(node_counts.to_vec(), |nodes| {
+    let mut set = ScenarioSet::new(seed);
+    for &nodes in node_counts {
+        let base_p = base_p.clone();
+        set.add(format!("fig8/nodes-{nodes}"), move |_| {
             let f = base_p.nodes as f64 / nodes as f64;
             let mut p = base_p.clone();
             p.nodes = nodes;
@@ -95,7 +114,9 @@ pub fn figure8(scale: f64, node_counts: &[u32], seed: u64) -> Vec<SweepPoint> {
                 baseline_runtime: brt,
                 optimized_runtime: ort,
             }
-    })
+        });
+    }
+    set.run(driver)
 }
 
 /// Render a sweep as the repro harness prints it.

@@ -1,0 +1,333 @@
+//! Scenario-parallel simulation driver.
+//!
+//! The paper's methodology is a sweep: six workloads × configurations ×
+//! fault scenarios, each an *independent* discrete-event simulation. This
+//! module fans those scenarios across `rt::par` workers while keeping the
+//! output **byte-identical to a sequential run at any worker count**:
+//!
+//! * every scenario gets a stable string id and a seed drawn from a
+//!   splittable RNG stream at *registration* time, in registration order —
+//!   so seeds depend only on the scenario list, never on which worker runs
+//!   what or in which order scenarios finish;
+//! * results are merged back in registration order (`rt::par`'s chunk
+//!   merge is already deterministic), so tables/YAML/figures rendered from
+//!   them cannot observe the worker count;
+//! * scenarios that feed other scenarios (the shield experiment's fault
+//!   plan opens a quarter of the way into the healthy baseline run) are
+//!   expressed as a second wave that consumes the first wave's results —
+//!   a barrier, not a lock.
+//!
+//! The built-in drivers ([`paper_six`], [`fault_sweep`], and the
+//! `reconfig::figure7_with`/`figure8_with` sweeps) also *de-duplicate*
+//! identical baselines: the fault sweep needs the healthy CosmoFlow run
+//! for both the MDS-brownout and the shm-shielding experiment, and now
+//! simulates and analyzes it exactly once.
+
+use crate::analyzer::Analysis;
+use crate::faultsweep::{
+    self, impact_from, mds_plan, nsd_bw, nsd_config, shield_plan, whole_run, FaultImpact,
+    OutageBench, ShieldResult,
+};
+use exemplar_workloads::{cm1, cosmoflow, hacc, jag, montage, montage_pegasus};
+use sim_core::SimTime;
+use storage_sim::FaultPlan;
+use vani_rt::rng::Rng;
+
+/// How a [`ScenarioSet`] executes its scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// One after another, on the calling thread.
+    Sequential,
+    /// Fanned across `rt::par` workers (`rt::par::set_threads` controls
+    /// the count). Results are identical to [`Driver::Sequential`].
+    Parallel,
+}
+
+/// Per-scenario context handed to the scenario closure.
+#[derive(Debug, Clone)]
+pub struct SweepCtx {
+    /// Stable scenario id (unique within the set).
+    pub id: String,
+    /// Position in registration order (= position in the result vector).
+    pub index: usize,
+    /// Seed of this scenario's private RNG stream, split from the set's
+    /// master seed at registration time. Independent across scenarios and
+    /// independent of the worker count.
+    pub seed: u64,
+}
+
+impl SweepCtx {
+    /// This scenario's private RNG stream.
+    pub fn rng(&self) -> Rng {
+        Rng::new(self.seed)
+    }
+}
+
+struct Scenario<T> {
+    ctx: SweepCtx,
+    run: Box<dyn FnOnce(&SweepCtx) -> T + Send + Sync>,
+}
+
+/// An ordered set of independent simulation scenarios.
+pub struct ScenarioSet<T> {
+    master: Rng,
+    scenarios: Vec<Scenario<T>>,
+}
+
+impl<T: Send> ScenarioSet<T> {
+    /// New empty set; scenario seeds are split from `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        ScenarioSet { master: Rng::new(master_seed), scenarios: Vec::new() }
+    }
+
+    /// Register a scenario. Its seed is drawn *now*, from the master
+    /// stream, so the schedule cannot influence it.
+    pub fn add(
+        &mut self,
+        id: impl Into<String>,
+        run: impl FnOnce(&SweepCtx) -> T + Send + Sync + 'static,
+    ) {
+        let mut child = self.master.split();
+        self.scenarios.push(Scenario {
+            ctx: SweepCtx {
+                id: id.into(),
+                index: self.scenarios.len(),
+                seed: child.next_u64(),
+            },
+            run: Box::new(run),
+        });
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Registered scenario ids, in registration order.
+    pub fn ids(&self) -> Vec<String> {
+        self.scenarios.iter().map(|s| s.ctx.id.clone()).collect()
+    }
+
+    /// Execute every scenario; results come back in registration order
+    /// regardless of the driver or worker count.
+    pub fn run(self, driver: Driver) -> Vec<T> {
+        let go = |s: Scenario<T>| (s.run)(&s.ctx);
+        match driver {
+            Driver::Sequential => self.scenarios.into_iter().map(go).collect(),
+            Driver::Parallel => vani_rt::par::par_map_owned(self.scenarios, go),
+        }
+    }
+}
+
+/// Run the six paper workloads as one scenario fan-out and analyze them,
+/// in the tables' column order. Byte-identical between drivers and at any
+/// worker count: every workload keeps its caller-supplied seed.
+pub fn paper_six(scale: f64, seed: u64, driver: Driver) -> Vec<Analysis> {
+    let mut set = ScenarioSet::new(seed);
+    let runners: [(&str, fn(f64, u64) -> exemplar_workloads::WorkloadRun); 6] = [
+        ("cm1", cm1::run),
+        ("hacc", hacc::run),
+        ("cosmoflow", cosmoflow::run),
+        ("jag", jag::run),
+        ("montage-mpi", montage::run),
+        ("montage-pegasus", montage_pegasus::run),
+    ];
+    for (id, run) in runners {
+        set.add(id, move |_| Analysis::from_run(&run(scale, seed)));
+    }
+    set.run(driver)
+}
+
+/// The complete fault sweep (experiments 1–3 of `faultsweep`), produced by
+/// one de-duplicated scenario fan-out.
+#[derive(Debug, Clone)]
+pub struct FaultSweepReport {
+    /// MDS-brownout sensitivity: `(cosmoflow, hacc)`.
+    pub brownout: (FaultImpact, FaultImpact),
+    /// Single-NSD-outage bandwidth cost.
+    pub outage: OutageBench,
+    /// Preload-to-shm fault shielding.
+    pub shield: ShieldResult,
+}
+
+impl FaultSweepReport {
+    /// Render exactly as `repro -- fault-sweep` prints it.
+    pub fn render(&self) -> String {
+        faultsweep::render_fault_sweep(&self.brownout, &self.outage, &self.shield)
+    }
+}
+
+/// Wave-1 scenario results are heterogeneous: workload analyses and raw
+/// PFS bandwidth measurements.
+enum W1 {
+    A(Box<Analysis>),
+    Bw(f64),
+}
+
+impl W1 {
+    fn analysis(self) -> Analysis {
+        match self {
+            W1::A(a) => *a,
+            W1::Bw(_) => unreachable!("scenario returned bandwidth, not an analysis"),
+        }
+    }
+    fn bw(&self) -> f64 {
+        match self {
+            W1::Bw(b) => *b,
+            W1::A(_) => unreachable!("scenario returned an analysis, not bandwidth"),
+        }
+    }
+}
+
+/// Run all three fault-sweep experiments as scenario fan-outs, sharing the
+/// distinct baselines: the healthy CosmoFlow baseline feeds both the
+/// MDS-brownout comparison and the shm-shielding experiment (previously it
+/// was simulated and analyzed twice). Two waves: the shield fault plan
+/// opens a quarter of the way into the healthy baseline makespan, so the
+/// faulted shield scenarios wait for wave 1.
+///
+/// Output is identical to calling `mds_brownout_impact` /
+/// `nsd_outage_bench` / `shm_shield_impact` back to back, at any worker
+/// count, with either driver.
+pub fn fault_sweep(scale: f64, seed: u64, slowdown: f64, driver: Driver) -> FaultSweepReport {
+    // Wave 1: everything that does not depend on another scenario.
+    let mut w1 = ScenarioSet::new(seed);
+    w1.add("cosmo/healthy", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, FaultPlan::none()))))
+    });
+    w1.add("cosmo/mds-brownout", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, mds_plan(slowdown)))))
+    });
+    w1.add("hacc/healthy", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(scale, seed, FaultPlan::none()))))
+    });
+    w1.add("hacc/mds-brownout", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(scale, seed, mds_plan(slowdown)))))
+    });
+    w1.add("cosmo-preload/healthy", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(
+            scale,
+            seed,
+            FaultPlan::none(),
+        ))))
+    });
+    w1.add("nsd/healthy-bw", move |_| W1::Bw(nsd_bw(seed, FaultPlan::none())));
+    w1.add("nsd/degraded-bw", move |_| {
+        W1::Bw(nsd_bw(seed, FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run())))
+    });
+    let mut r1 = w1.run(driver).into_iter();
+    let cosmo_ok = r1.next().unwrap().analysis();
+    let cosmo_mds = r1.next().unwrap().analysis();
+    let hacc_ok = r1.next().unwrap().analysis();
+    let hacc_mds = r1.next().unwrap().analysis();
+    let pre_ok = r1.next().unwrap().analysis();
+    let healthy_bw = r1.next().unwrap().bw();
+    let degraded_bw = r1.next().unwrap().bw();
+
+    // Wave 2: the shield scenarios, whose fault plan is anchored to the
+    // shared healthy baseline's makespan (job_time = engine makespan).
+    let plan = shield_plan(SimTime::from_nanos(cosmo_ok.job_time.as_nanos() / 4));
+    let mut w2 = ScenarioSet::new(seed ^ 1);
+    {
+        let plan = plan.clone();
+        w2.add("cosmo/shield-faulted", move |_| {
+            W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, plan))))
+        });
+    }
+    w2.add("cosmo-preload/shield-faulted", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(scale, seed, plan))))
+    });
+    let mut r2 = w2.run(driver).into_iter();
+    let base_bad = r2.next().unwrap().analysis();
+    let pre_bad = r2.next().unwrap().analysis();
+
+    FaultSweepReport {
+        brownout: (
+            impact_from("Cosmoflow", &cosmo_ok, &cosmo_mds),
+            impact_from("HACC (FPP)", &hacc_ok, &hacc_mds),
+        ),
+        outage: OutageBench {
+            n_servers: nsd_config().n_data_servers as u32,
+            healthy_bw,
+            degraded_bw,
+        },
+        shield: ShieldResult {
+            baseline: impact_from("Cosmoflow (GPFS)", &cosmo_ok, &base_bad),
+            preloaded: impact_from("Cosmoflow (preload)", &pre_ok, &pre_bad),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let mut a = ScenarioSet::<u64>::new(42);
+        a.add("x", |c| c.seed);
+        a.add("y", |c| c.seed);
+        a.add("z", |c| c.seed);
+        let mut b = ScenarioSet::<u64>::new(42);
+        b.add("x", |c| c.seed);
+        b.add("y", |c| c.seed);
+        b.add("z", |c| c.seed);
+        assert_eq!(a.ids(), vec!["x", "y", "z"]);
+        let sa = a.run(Driver::Sequential);
+        let sb = b.run(Driver::Parallel);
+        // Same master seed -> same per-scenario seeds, either driver.
+        assert_eq!(sa, sb);
+        // Streams are pairwise distinct.
+        assert_ne!(sa[0], sa[1]);
+        assert_ne!(sa[1], sa[2]);
+        // And a different master gives different streams.
+        let mut c = ScenarioSet::<u64>::new(43);
+        c.add("x", |c| c.seed);
+        assert_ne!(c.run(Driver::Sequential)[0], sa[0]);
+    }
+
+    #[test]
+    fn results_come_back_in_registration_order() {
+        let mut set = ScenarioSet::new(1);
+        for i in 0..20u64 {
+            set.add(format!("s{i}"), move |ctx| (ctx.index, i));
+        }
+        let out = set.run(Driver::Parallel);
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn scenario_rng_is_reproducible() {
+        let mut set = ScenarioSet::new(9);
+        set.add("a", |ctx| ctx.rng().next_u64());
+        set.add("b", |ctx| ctx.rng().next_u64());
+        let first = set.run(Driver::Sequential);
+        let mut again = ScenarioSet::new(9);
+        again.add("a", |ctx| ctx.rng().next_u64());
+        again.add("b", |ctx| ctx.rng().next_u64());
+        assert_eq!(first, again.run(Driver::Parallel));
+    }
+
+    #[test]
+    fn fault_sweep_matches_standalone_experiments() {
+        // The de-duplicated two-wave fan-out must reproduce the standalone
+        // experiment functions exactly (same sims, same seeds).
+        let r = fault_sweep(0.02, 7, 20.0, Driver::Sequential);
+        let (c, h) = faultsweep::mds_brownout_impact(0.02, 7, 20.0);
+        let o = faultsweep::nsd_outage_bench(7);
+        let s = faultsweep::shm_shield_impact(0.02, 7);
+        assert_eq!(
+            r.render(),
+            faultsweep::render_fault_sweep(&(c, h), &o, &s),
+            "deduped sweep diverged from standalone experiments"
+        );
+    }
+}

@@ -290,6 +290,16 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// Run CM1 with explicit parameters.
 pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
+    // Pre-size the capture columns: every rank opens/reads/closes one
+    // config file, rank 0 streams write_total in write_xfer chunks across
+    // the shared output files, plus one collective per step.
+    let ranks = (p.nodes * p.ranks_per_node) as u64;
+    world.tracer.reserve(
+        (ranks * (4 + p.config_bytes / p.config_xfer.max(1))
+            + p.write_total / p.write_xfer.max(1)
+            + p.n_shared_files as u64 * 2
+            + p.n_steps as u64) as usize,
+    );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {

@@ -411,6 +411,16 @@ pub fn run_with(mut p: CosmoflowParams, scale: f64, seed: u64) -> WorkloadRun {
         p.data_dir = "/dev/shm/cosmoflow".to_string();
     }
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(6 * 3600), seed);
+    // Pre-size the capture columns: every sample file is opened by its
+    // rank group (header + validation metadata per reader) and streamed in
+    // xfer-sized pieces; rank 0 adds periodic checkpoints. Preload runs
+    // touch each file twice (PFS copy-out + local read).
+    let per_file = p.group_size as u64 * 4 + p.file_bytes / p.xfer.max(1);
+    let preload_factor = if p.preload_to_shm { 2 } else { 1 };
+    world.tracer.reserve(
+        (p.n_files as u64 * per_file * preload_factor
+            + p.n_ckpts as u64 * (2 + p.ckpt_total / p.ckpt_xfer.max(1))) as usize,
+    );
     if p.preload_to_shm {
         // The dataset pre-exists on the PFS; the job preloads it.
         let pfs_params = CosmoflowParams {

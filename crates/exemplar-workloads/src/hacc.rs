@@ -178,6 +178,13 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// Run HACC-IO with explicit parameters.
 pub fn run_with(p: HaccParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
+    // Pre-size the capture columns: file-per-process checkpoint — each rank
+    // opens its file, streams bytes_per_rank in xfer-sized writes across
+    // n_vars variables, syncs, and closes.
+    let ranks = (p.nodes * p.ranks_per_node) as u64;
+    world
+        .tracer
+        .reserve((ranks * (4 + p.n_vars as u64 + p.bytes_per_rank / p.xfer.max(1))) as usize);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "hacc-io");

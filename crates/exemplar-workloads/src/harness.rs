@@ -72,9 +72,17 @@ impl WorkloadRun {
         self.report.makespan.since(SimTime::ZERO)
     }
 
-    /// Columnar view of the captured trace.
+    /// Owned copy of the captured columns. The tracer captures straight
+    /// into columnar storage, so this is a per-column memcpy — no row
+    /// materialization or transpose. Prefer [`Self::columnar_view`] when a
+    /// borrow suffices.
     pub fn columnar(&self) -> ColumnarTrace {
-        ColumnarTrace::from_tracer(&self.world.tracer)
+        self.world.tracer.to_columnar()
+    }
+
+    /// Zero-copy borrow of the captured columns.
+    pub fn columnar_view(&self) -> &ColumnarTrace {
+        self.world.tracer.columnar()
     }
 }
 

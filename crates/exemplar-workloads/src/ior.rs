@@ -112,6 +112,13 @@ impl RankScript<IoWorld> for IorScript {
 /// total bytes / makespan).
 pub fn run(p: IorParams, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(3600), seed);
+    // Pre-size the capture columns: each rank opens, streams bytes_per_rank
+    // in xfer-sized transfers (twice with read-back), syncs, and closes.
+    let ranks = (p.nodes * p.ranks_per_node) as u64;
+    let passes = if p.read_back { 2 } else { 1 };
+    world
+        .tracer
+        .reserve((ranks * (4 + passes * (p.bytes_per_rank / p.xfer.max(1)))) as usize);
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "ior");
     }

@@ -229,6 +229,14 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// Run JAG with explicit parameters.
 pub fn run_with(p: JagParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(6 * 3600), seed);
+    // Pre-size the capture columns: the first epoch reads every sample in
+    // sub-4 KiB stdio accesses, each epoch checkpoints per rank, and the
+    // validation pass re-reads a sample slice per rank.
+    let ranks = (p.nodes * p.ranks_per_node) as u64;
+    world.tracer.reserve(
+        (p.n_samples * 2
+            + ranks * (4 + p.epochs as u64 * 2 + p.validation_samples)) as usize,
+    );
     stage_dataset(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {

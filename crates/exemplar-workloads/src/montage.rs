@@ -453,6 +453,18 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// `workdir`).
 pub fn run_with(p: MontageParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(7200), seed);
+    // Pre-size the capture columns: projection reads the per-node inputs,
+    // intermediates stream in sub-4 KiB transfers, mAddMPI and mViewer add
+    // per-rank/per-node streams.
+    let ranks = (p.nodes * p.ranks_per_node) as u64;
+    let per_node = p.inputs_per_node as u64 * 4
+        + p.proj_bytes_per_node / p.inter_xfer.max(1)
+        + p.mviewer_read_per_node / p.mviewer_xfer.max(1);
+    world.tracer.reserve(
+        (p.nodes as u64 * per_node
+            + ranks * (4 + (p.madd_read_per_rank + p.madd_write_per_rank) / p.madd_xfer.max(1)))
+            as usize,
+    );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {

@@ -481,6 +481,14 @@ pub fn run(scale: f64, seed: u64) -> WorkloadRun {
 /// Run with explicit parameters.
 pub fn run_with(p: PegasusParams, scale: f64, seed: u64) -> WorkloadRun {
     let mut world = IoWorld::lassen(p.nodes, p.ranks_per_node, Dur::from_secs(12 * 3600), seed);
+    // Pre-size the capture columns: each DAG task opens/reads/writes/closes
+    // its staged files — mProject consumes inputs_per_image raw files,
+    // mDiff touches two projected images, mAdd/mViewer stream per tile.
+    world.tracer.reserve(
+        (p.n_images as u64 * (p.inputs_per_image as u64 + 2) * 4
+            + p.n_diffs as u64 * 8
+            + p.n_tiles as u64 * 12) as usize,
+    );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {

@@ -58,9 +58,74 @@ pub struct GroupAgg {
 }
 
 impl ColumnarTrace {
-    /// Convert a captured trace to columns.
+    /// Columnar view of a captured trace.
+    ///
+    /// Since the tracer captures straight into columns this is a plain
+    /// clone of the column vectors (one memcpy per column) — the historical
+    /// row → column transpose is gone. Kept as a compat shim; prefer
+    /// [`Tracer::columnar`] for a borrowed view that copies nothing.
     pub fn from_tracer(t: &Tracer) -> Self {
-        Self::from_records(t.records(), t.file_paths().to_vec(), t.app_names().to_vec())
+        t.to_columnar()
+    }
+
+    /// Empty trace with all ten columns pre-sized for `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        ColumnarTrace {
+            rank: Vec::with_capacity(n),
+            node: Vec::with_capacity(n),
+            app: Vec::with_capacity(n),
+            layer: Vec::with_capacity(n),
+            op: Vec::with_capacity(n),
+            start: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            file: Vec::with_capacity(n),
+            offset: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            file_paths: Vec::new(),
+            app_names: Vec::new(),
+        }
+    }
+
+    /// Reserve room for at least `additional` more records in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rank.reserve(additional);
+        self.node.reserve(additional);
+        self.app.reserve(additional);
+        self.layer.reserve(additional);
+        self.op.reserve(additional);
+        self.start.reserve(additional);
+        self.end.reserve(additional);
+        self.file.reserve(additional);
+        self.offset.reserve(additional);
+        self.bytes.reserve(additional);
+    }
+
+    /// Append one record directly to the columns (the capture hot path —
+    /// no intermediate row struct is materialized).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_row(
+        &mut self,
+        rank: u32,
+        node: u32,
+        app: AppId,
+        layer: Layer,
+        op: OpKind,
+        start: SimTime,
+        end: SimTime,
+        file: Option<FileId>,
+        offset: u64,
+        bytes: u64,
+    ) {
+        self.rank.push(rank);
+        self.node.push(node);
+        self.app.push(app.0);
+        self.layer.push(layer);
+        self.op.push(op);
+        self.start.push(start.as_nanos());
+        self.end.push(end.as_nanos());
+        self.file.push(file.map(|f| f.0).unwrap_or(NO_FILE));
+        self.offset.push(offset);
+        self.bytes.push(bytes);
     }
 
     /// Convert raw records to columns.

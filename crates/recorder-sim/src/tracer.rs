@@ -1,11 +1,20 @@
-//! The row-major capture sink.
+//! The trace capture sink.
 //!
-//! During a run, every layer appends [`TraceRecord`]s here. The tracer also
-//! interns file paths and application names, and can model Recorder's
-//! capture overhead (the paper measured 8 % of workload runtime) by charging
-//! a fixed cost per captured record, which the layers add to their completion
-//! times.
+//! During a run, every layer appends records here. Capture goes **directly
+//! into struct-of-arrays storage** (an embedded [`ColumnarTrace`]): the
+//! analyzer consumes columns, so materializing a row-major `TraceRecord`
+//! per call only to transpose the whole trace afterwards was pure overhead
+//! on the simulate → trace → analyze hot path. The row view survives as a
+//! compat shim ([`Tracer::records`]) for tests and the Darshan-style
+//! aggregator.
+//!
+//! The tracer also interns file paths and application names — lookups are
+//! borrowed (`&str`), a `String` is allocated only on the first insert —
+//! and can model Recorder's capture overhead (the paper measured 8 % of
+//! workload runtime) by charging a fixed cost per captured record, which
+//! the layers add to their completion times.
 
+use crate::columnar::ColumnarTrace;
 use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
 use sim_core::{Dur, SimTime};
 use std::collections::HashMap;
@@ -14,10 +23,10 @@ use vani_rt::{FromJson, Json, JsonError, ToJson};
 /// The trace capture sink for one workload run.
 #[derive(Debug, Default, Clone)]
 pub struct Tracer {
-    records: Vec<TraceRecord>,
-    file_paths: Vec<String>,
+    /// Column-major storage, including the interned path/name tables
+    /// (`cols.file_paths[id]` is the path of `FileId(id)`).
+    cols: ColumnarTrace,
     file_ids: HashMap<String, FileId>,
-    app_names: Vec<String>,
     app_ids: HashMap<String, AppId>,
     /// Cost charged per captured record (0 disables overhead modelling).
     pub per_record_overhead: Dur,
@@ -42,6 +51,22 @@ impl Tracer {
         }
     }
 
+    /// New enabled tracer with room for `n` records pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        Tracer {
+            cols: ColumnarTrace::with_capacity(n),
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Reserve room for at least `additional` more records. Workloads call
+    /// this with a params-derived estimate before the run so the capture
+    /// columns grow once instead of doubling through the simulation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.cols.reserve(additional);
+    }
+
     /// Enable/disable capture (a disabled tracer records nothing and costs
     /// nothing, like running without the profiler attached).
     pub fn set_enabled(&mut self, on: bool) {
@@ -53,46 +78,47 @@ impl Tracer {
         self.enabled
     }
 
-    /// Intern a file path.
+    /// Intern a file path. Known paths are found via a borrowed lookup;
+    /// only the first occurrence of a path allocates.
     pub fn file_id(&mut self, path: &str) -> FileId {
         if let Some(&id) = self.file_ids.get(path) {
             return id;
         }
-        let id = FileId(self.file_paths.len() as u32);
-        self.file_paths.push(path.to_string());
+        let id = FileId(self.cols.file_paths.len() as u32);
+        self.cols.file_paths.push(path.to_string());
         self.file_ids.insert(path.to_string(), id);
         id
     }
 
-    /// Intern an application name.
+    /// Intern an application name (borrowed lookup, see [`Self::file_id`]).
     pub fn app_id(&mut self, name: &str) -> AppId {
         if let Some(&id) = self.app_ids.get(name) {
             return id;
         }
-        let id = AppId(self.app_names.len() as u16);
-        self.app_names.push(name.to_string());
+        let id = AppId(self.cols.app_names.len() as u16);
+        self.cols.app_names.push(name.to_string());
         self.app_ids.insert(name.to_string(), id);
         id
     }
 
     /// The path of an interned file.
     pub fn path_of(&self, id: FileId) -> &str {
-        &self.file_paths[id.0 as usize]
+        &self.cols.file_paths[id.0 as usize]
     }
 
     /// The name of an interned application.
     pub fn app_name(&self, id: AppId) -> &str {
-        &self.app_names[id.0 as usize]
+        &self.cols.app_names[id.0 as usize]
     }
 
     /// All interned paths (index = `FileId`).
     pub fn file_paths(&self) -> &[String] {
-        &self.file_paths
+        &self.cols.file_paths
     }
 
     /// All interned app names (index = `AppId`).
     pub fn app_names(&self) -> &[String] {
-        &self.app_names
+        &self.cols.app_names
     }
 
     /// Capture a record; returns the capture overhead to add to the caller's
@@ -114,45 +140,54 @@ impl Tracer {
         if !self.enabled {
             return Dur::ZERO;
         }
-        self.records.push(TraceRecord {
-            rank,
-            node,
-            app,
-            layer,
-            op,
-            start,
-            end,
-            file,
-            offset,
-            bytes,
-        });
+        self.cols
+            .push_row(rank, node, app, layer, op, start, end, file, offset, bytes);
         self.per_record_overhead
     }
 
-    /// The captured records, in capture order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Borrowed columnar view of the capture sink — the zero-copy input to
+    /// the analyzer kernels.
+    pub fn columnar(&self) -> &ColumnarTrace {
+        &self.cols
+    }
+
+    /// Owned copy of the columns (one memcpy per column; no transpose).
+    pub fn to_columnar(&self) -> ColumnarTrace {
+        self.cols.clone()
+    }
+
+    /// Consume the tracer, yielding its columns without copying.
+    pub fn into_columnar(self) -> ColumnarTrace {
+        self.cols
+    }
+
+    /// Row-major view of the captured records, in capture order. Compat
+    /// shim: rows are materialized on demand from the columns.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.cols.to_records()
     }
 
     /// Number of captured records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.cols.len()
     }
 
     /// Whether nothing has been captured.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.cols.is_empty()
     }
 
     /// Rebuild the intern maps after deserialization.
     pub fn rebuild_index(&mut self) {
         self.file_ids = self
+            .cols
             .file_paths
             .iter()
             .enumerate()
             .map(|(i, p)| (p.clone(), FileId(i as u32)))
             .collect();
         self.app_ids = self
+            .cols
             .app_names
             .iter()
             .enumerate()
@@ -161,14 +196,13 @@ impl Tracer {
     }
 }
 
-// The intern maps (`file_ids`, `app_ids`) are derived state and are not
-// persisted; [`Tracer::rebuild_index`] reconstructs them after a load.
+// Serialized in the columnar layout (the capture format *is* the analysis
+// format). The intern maps (`file_ids`, `app_ids`) are derived state and are
+// not persisted; [`Tracer::rebuild_index`] reconstructs them after a load.
 impl ToJson for Tracer {
     fn to_json(&self) -> Json {
         Json::obj([
-            ("records", self.records.to_json()),
-            ("file_paths", self.file_paths.to_json()),
-            ("app_names", self.app_names.to_json()),
+            ("columns", self.cols.to_json()),
             ("per_record_overhead", self.per_record_overhead.to_json()),
             ("enabled", self.enabled.to_json()),
         ])
@@ -178,10 +212,8 @@ impl ToJson for Tracer {
 impl FromJson for Tracer {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         Ok(Tracer {
-            records: j.decode_field("records")?,
-            file_paths: j.decode_field("file_paths")?,
+            cols: j.decode_field("columns")?,
             file_ids: HashMap::new(),
-            app_names: j.decode_field("app_names")?,
             app_ids: HashMap::new(),
             per_record_overhead: j.decode_field("per_record_overhead")?,
             enabled: j.decode_field("enabled")?,
@@ -204,6 +236,60 @@ mod tests {
         let m = t.app_id("mProject");
         assert_eq!(t.app_id("mProject"), m);
         assert_eq!(t.app_name(m), "mProject");
+    }
+
+    /// Re-interning a known path or app name performs no new insertions:
+    /// the intern tables' lengths (and the path table's capacity) must not
+    /// move, proving the hot path is a borrowed lookup.
+    #[test]
+    fn repeated_interning_inserts_nothing() {
+        let mut t = Tracer::new();
+        for i in 0..16 {
+            t.file_id(&format!("/p/gpfs1/part.{i}"));
+        }
+        t.app_id("hacc");
+        let paths_len = t.file_paths().len();
+        let paths_cap = t.cols.file_paths.capacity();
+        let map_len = t.file_ids.len();
+        let apps_len = t.app_names().len();
+        for _ in 0..1000 {
+            t.file_id("/p/gpfs1/part.7");
+            t.app_id("hacc");
+        }
+        assert_eq!(t.file_paths().len(), paths_len);
+        assert_eq!(t.cols.file_paths.capacity(), paths_cap);
+        assert_eq!(t.file_ids.len(), map_len);
+        assert_eq!(t.app_names().len(), apps_len);
+        assert_eq!(t.app_ids.len(), 1);
+    }
+
+    #[test]
+    fn capture_is_columnar_with_row_shim() {
+        let mut t = Tracer::new();
+        let f = t.file_id("/f");
+        let a = t.app_id("app");
+        t.record(2, 1, a, Layer::Posix, OpKind::Write, SimTime(5), SimTime(9), Some(f), 64, 128);
+        t.record(2, 1, a, Layer::Posix, OpKind::Close, SimTime(9), SimTime(10), Some(f), 0, 0);
+        // Columns are filled directly ...
+        assert_eq!(t.columnar().bytes, vec![128, 0]);
+        assert_eq!(t.columnar().op, vec![OpKind::Write, OpKind::Close]);
+        // ... and the row shim reconstructs the exact records.
+        let rows = t.records();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].rank, 2);
+        assert_eq!(rows[0].file, Some(f));
+        assert_eq!(rows[0].bytes, 128);
+        assert_eq!(rows[1].op, OpKind::Close);
+    }
+
+    #[test]
+    fn reserve_presizes_all_columns() {
+        let mut t = Tracer::with_capacity(100);
+        assert!(t.cols.rank.capacity() >= 100);
+        assert!(t.cols.bytes.capacity() >= 100);
+        t.reserve(500);
+        assert!(t.cols.op.capacity() >= 500);
+        assert!(t.is_empty());
     }
 
     #[test]

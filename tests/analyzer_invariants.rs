@@ -80,7 +80,7 @@ fn file_profiles_partition_interface_bytes() {
 fn darshan_aggregates_agree_with_the_full_trace() {
     for run in all_runs() {
         let name = run.kind.name();
-        let profile = DarshanProfile::from_records(run.world.tracer.records());
+        let profile = DarshanProfile::from_records(&run.world.tracer.records());
         let c = run.columnar();
         // POSIX-level byte totals must match between the fold and the trace.
         let posix_reads = c.select(|i| {
