@@ -8,7 +8,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --offline --workspace
+# Warnings are errors in CI: the crash-recovery plane threads state through
+# many layers, and an unused field or import is usually a wiring mistake.
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo bench -q --offline -p bench --no-run
 
@@ -39,5 +41,15 @@ cargo test --release --offline --test failure_injection
 # degrades >= 2x more), the NSD-outage bandwidth cost, and that preload-
 # to-shm shields the training read path from PFS faults.
 cargo test --release --offline --test fault_sweep
+
+# Crash-recovery suite: checkpoint/restart byte-identity at 1/2/8 workers
+# (with and without an extra degradation plan), the crash-sweep tradeoff
+# report, and supervised sweeps isolating a panicking scenario.
+cargo test --release --offline --test crash_recovery
+
+# Trace-salvage suite: truncated and corrupted row-group captures recover
+# their longest consistent prefix, the fused and multipass analyzers agree
+# on salvaged columns, and the YAML completeness annotation appears.
+cargo test --release --offline --test trace_salvage
 
 echo "ci: OK"

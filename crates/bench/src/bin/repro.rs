@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro -- table1 table3 fig7
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
+//! cargo run --release -p bench --bin repro -- crash-sweep
 //! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
@@ -15,7 +16,7 @@
 
 use bench::{ior_peak, run_all_six, scale_from_env};
 use vani_core::analyzer::Analysis;
-use vani_core::{figures, reconfig, sweep, tables, yaml};
+use vani_core::{crashsweep, figures, reconfig, sweep, tables, yaml};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +26,7 @@ fn main() {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
             "table9", "table10", "table11", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fault-sweep", "yaml",
+            "fig7", "fig8", "fault-sweep", "crash-sweep", "yaml",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -87,6 +88,12 @@ fn main() {
                 eprintln!("running fault-injection sweep (MDS brownout, NSD outage, shm shielding) ...");
                 let s = scale.clamp(0.02, 1.0);
                 let report = sweep::fault_sweep(s, 7, 20.0, sweep::Driver::Parallel);
+                print!("{}", report.render());
+            }
+            "crash-sweep" => {
+                eprintln!("running crash-recovery sweep (checkpoint interval vs time-to-solution) ...");
+                let s = scale.clamp(0.02, 1.0);
+                let report = crashsweep::crash_sweep(s, 7, sweep::Driver::Parallel);
                 print!("{}", report.render());
             }
             "bench-pipeline" => {

@@ -193,6 +193,17 @@ pub struct TraceProfile {
     /// Wall time inside fault detection and backoff waits — the trace's
     /// "time lost to faults".
     pub fault_time: Dur,
+    /// Durable checkpoints written (`Checkpoint` records).
+    pub ckpt_events: u64,
+    /// Wall time inside checkpoint write sequences (`Checkpoint` spans).
+    pub ckpt_time: Dur,
+    /// Job restarts after fatal crashes (`RestartEpoch` records).
+    pub restart_events: u64,
+    /// Work thrown away by crashes: last durable checkpoint → instant of
+    /// death (`Crash` spans).
+    pub crash_lost_time: Dur,
+    /// Scheduler requeue + relaunch latency (`RestartEpoch` spans).
+    pub recovery_time: Dur,
 }
 
 /// The complete analysis of one workload run.
@@ -248,6 +259,16 @@ pub struct Analysis {
     pub retried_bytes: u64,
     /// Wall time inside fault detection and backoff waits.
     pub fault_time: Dur,
+    /// Durable checkpoints written.
+    pub ckpt_events: u64,
+    /// Wall time inside checkpoint write sequences.
+    pub ckpt_time: Dur,
+    /// Job restarts after fatal crashes.
+    pub restart_events: u64,
+    /// Work thrown away by crashes (re-run after restarting).
+    pub crash_lost_time: Dur,
+    /// Scheduler requeue + relaunch latency across all restarts.
+    pub recovery_time: Dur,
     /// Bytes each *failed* NSD server's stripes rerouted onto survivors,
     /// indexed by the home server (from the PFS service model; all zeros
     /// when no outage was injected).
@@ -305,6 +326,11 @@ impl Analysis {
             retry_events: p.retry_events,
             retried_bytes: p.retried_bytes,
             fault_time: p.fault_time,
+            ckpt_events: p.ckpt_events,
+            ckpt_time: p.ckpt_time,
+            restart_events: p.restart_events,
+            crash_lost_time: p.crash_lost_time,
+            recovery_time: p.recovery_time,
             rerouted_by_server: run.world.storage.pfs().rerouted_by_server().to_vec(),
             data_dist,
             trace: c,
@@ -376,6 +402,29 @@ impl Analysis {
     /// backoff waits.
     pub fn time_lost_to_faults(&self) -> f64 {
         self.fault_time.as_secs_f64()
+    }
+
+    /// Times the job restarted after a fatal crash.
+    pub fn restart_count(&self) -> u64 {
+        self.restart_events
+    }
+
+    /// Seconds of completed work thrown away by crashes (everything since
+    /// the last durable checkpoint, re-run after restarting).
+    pub fn time_lost_to_crashes(&self) -> f64 {
+        self.crash_lost_time.as_secs_f64()
+    }
+
+    /// Seconds spent writing durable checkpoints — the insurance premium
+    /// the checkpoint-interval sweep trades against work lost.
+    pub fn checkpoint_overhead(&self) -> f64 {
+        self.ckpt_time.as_secs_f64()
+    }
+
+    /// Seconds between crashes and the relaunched job's first event
+    /// (scheduler requeue + relaunch), across all restarts.
+    pub fn recovery_seconds(&self) -> f64 {
+        self.recovery_time.as_secs_f64()
     }
 
     /// The request-size range covering the bulk of data ops (granularity
@@ -746,6 +795,11 @@ struct FusedShard {
     retry_events: u64,
     retried_bytes: u64,
     fault_time: Dur,
+    ckpt_events: u64,
+    ckpt_time: Dur,
+    restart_events: u64,
+    crash_lost_time: Dur,
+    recovery_time: Dur,
     /// Indexed by rank.
     rank_aggs: Vec<recorder_sim::columnar::GroupAgg>,
     req_sizes: Histogram,
@@ -768,6 +822,11 @@ impl FusedShard {
             retry_events: 0,
             retried_bytes: 0,
             fault_time: Dur::ZERO,
+            ckpt_events: 0,
+            ckpt_time: Dur::ZERO,
+            restart_events: 0,
+            crash_lost_time: Dur::ZERO,
+            recovery_time: Dur::ZERO,
             rank_aggs: vec![Default::default(); dims.n_ranks],
             req_sizes: Histogram::new(),
             req_bandwidth: Histogram::new(),
@@ -786,6 +845,11 @@ impl FusedShard {
         self.retry_events += other.retry_events;
         self.retried_bytes += other.retried_bytes;
         self.fault_time += other.fault_time;
+        self.ckpt_events += other.ckpt_events;
+        self.ckpt_time += other.ckpt_time;
+        self.restart_events += other.restart_events;
+        self.crash_lost_time += other.crash_lost_time;
+        self.recovery_time += other.recovery_time;
         for (a, b) in self.rank_aggs.iter_mut().zip(&other.rank_aggs) {
             a.ops += b.ops;
             a.bytes += b.bytes;
@@ -901,6 +965,20 @@ impl TraceProfile {
                             acc.retry_events += 1;
                             acc.retried_bytes += c.bytes[i];
                             acc.fault_time += Dur(c.end[i] - c.start[i]);
+                            continue;
+                        }
+                        OpKind::Checkpoint => {
+                            acc.ckpt_events += 1;
+                            acc.ckpt_time += Dur(c.end[i] - c.start[i]);
+                            continue;
+                        }
+                        OpKind::Crash => {
+                            acc.crash_lost_time += Dur(c.end[i] - c.start[i]);
+                            continue;
+                        }
+                        OpKind::RestartEpoch => {
+                            acc.restart_events += 1;
+                            acc.recovery_time += Dur(c.end[i] - c.start[i]);
                             continue;
                         }
                         _ => {}
@@ -1088,6 +1166,11 @@ impl TraceProfile {
             retry_events: fused.retry_events,
             retried_bytes: fused.retried_bytes,
             fault_time: fused.fault_time,
+            ckpt_events: fused.ckpt_events,
+            ckpt_time: fused.ckpt_time,
+            restart_events: fused.restart_events,
+            crash_lost_time: fused.crash_lost_time,
+            recovery_time: fused.recovery_time,
         }
     }
 
@@ -1172,6 +1255,11 @@ impl TraceProfile {
         let mut retry_events = 0u64;
         let mut retried_bytes = 0u64;
         let mut fault_time = Dur::ZERO;
+        let mut ckpt_events = 0u64;
+        let mut ckpt_time = Dur::ZERO;
+        let mut restart_events = 0u64;
+        let mut crash_lost_time = Dur::ZERO;
+        let mut recovery_time = Dur::ZERO;
         for i in 0..c.len() {
             match c.op[i] {
                 OpKind::Fault => {
@@ -1182,6 +1270,17 @@ impl TraceProfile {
                     retry_events += 1;
                     retried_bytes += c.bytes[i];
                     fault_time += Dur(c.end[i] - c.start[i]);
+                }
+                OpKind::Checkpoint => {
+                    ckpt_events += 1;
+                    ckpt_time += Dur(c.end[i] - c.start[i]);
+                }
+                OpKind::Crash => {
+                    crash_lost_time += Dur(c.end[i] - c.start[i]);
+                }
+                OpKind::RestartEpoch => {
+                    restart_events += 1;
+                    recovery_time += Dur(c.end[i] - c.start[i]);
                 }
                 _ => {}
             }
@@ -1207,6 +1306,11 @@ impl TraceProfile {
             retry_events,
             retried_bytes,
             fault_time,
+            ckpt_events,
+            ckpt_time,
+            restart_events,
+            crash_lost_time,
+            recovery_time,
         }
     }
 }

@@ -25,6 +25,9 @@
 //! * [`faultsweep`] — the fault-injection sweep: MDS-brownout sensitivity
 //!   (CosmoFlow vs HACC), single-NSD-outage bandwidth cost, and
 //!   preload-to-shm fault shielding,
+//! * [`crashsweep`] — the crash-recovery sweep: CosmoFlow over a grid of
+//!   checkpoint counts × whole-job crashes, rendering the
+//!   checkpoint-interval vs time-to-solution tradeoff figure,
 //! * [`sweep`] — the scenario-parallel simulation driver: fans independent
 //!   simulations (paper six, fault scenarios, reconfiguration search
 //!   points) across `rt::par` workers with split RNG streams and stable
@@ -33,6 +36,7 @@
 //!   any worker count.
 
 pub mod analyzer;
+pub mod crashsweep;
 pub mod entities;
 pub mod faultsweep;
 pub mod figures;

@@ -65,7 +65,112 @@ impl SweepCtx {
 
 struct Scenario<T> {
     ctx: SweepCtx,
-    run: Box<dyn FnOnce(&SweepCtx) -> T + Send + Sync>,
+    run: Box<dyn Fn(&SweepCtx) -> T + Send + Sync>,
+}
+
+/// A scenario that failed under supervision: every attempt panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The scenario's stable id.
+    pub id: String,
+    /// Its position in registration order (= its result slot).
+    pub index: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Panic payload message of the final attempt.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario `{}` (index {}) failed after {} attempt{}: {}",
+            self.id,
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Outcome of a supervised sweep: one slot per scenario, in registration
+/// order, healthy results and failures side by side.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// Per-scenario outcomes, in registration order.
+    pub results: Vec<Result<T, ScenarioError>>,
+}
+
+impl<T> SweepReport<T> {
+    /// The healthy results, in registration order.
+    pub fn successes(&self) -> Vec<&T> {
+        self.results.iter().filter_map(|r| r.as_ref().ok()).collect()
+    }
+
+    /// The failed scenarios, in registration order.
+    pub fn failures(&self) -> Vec<&ScenarioError> {
+        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// Whether every scenario succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Human-readable failure manifest; empty string when clean.
+    pub fn manifest(&self) -> String {
+        let fails = self.failures();
+        if fails.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "{} of {} scenarios failed:\n",
+            fails.len(),
+            self.results.len()
+        );
+        for e in fails {
+            out.push_str(&format!("  - {e}\n"));
+        }
+        out
+    }
+}
+
+/// Seed of retry attempt `attempt` (0 = the registered seed). Derived
+/// deterministically so a retried scenario re-rolls its stream the same way
+/// on every machine and at every worker count.
+fn retry_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        seed
+    } else {
+        seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64)
+    }
+}
+
+/// Run one scenario under panic isolation with bounded, seeded retries.
+fn supervise<T>(s: &Scenario<T>, max_attempts: u32) -> Result<T, ScenarioError> {
+    let attempts = max_attempts.max(1);
+    let mut message = String::new();
+    for attempt in 0..attempts {
+        let ctx = SweepCtx {
+            id: s.ctx.id.clone(),
+            index: s.ctx.index,
+            seed: retry_seed(s.ctx.seed, attempt),
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (s.run)(&ctx))) {
+            Ok(v) => return Ok(v),
+            Err(payload) => message = vani_rt::par::panic_message(payload.as_ref()),
+        }
+    }
+    Err(ScenarioError {
+        id: s.ctx.id.clone(),
+        index: s.ctx.index,
+        attempts,
+        message,
+    })
 }
 
 /// An ordered set of independent simulation scenarios.
@@ -85,7 +190,7 @@ impl<T: Send> ScenarioSet<T> {
     pub fn add(
         &mut self,
         id: impl Into<String>,
-        run: impl FnOnce(&SweepCtx) -> T + Send + Sync + 'static,
+        run: impl Fn(&SweepCtx) -> T + Send + Sync + 'static,
     ) {
         let mut child = self.master.split();
         self.scenarios.push(Scenario {
@@ -121,6 +226,22 @@ impl<T: Send> ScenarioSet<T> {
             Driver::Sequential => self.scenarios.into_iter().map(go).collect(),
             Driver::Parallel => vani_rt::par::par_map_owned(self.scenarios, go),
         }
+    }
+
+    /// Execute every scenario under supervision: a panicking scenario is
+    /// caught *inside* the worker, retried up to `max_attempts` times with
+    /// deterministically derived seeds, and finally converted into a typed
+    /// [`ScenarioError`] — one bad scenario never poisons the sweep. Healthy
+    /// scenarios behave exactly as under [`Self::run`] (attempt 0 uses the
+    /// registered seed), and outcomes come back in registration order at
+    /// any worker count.
+    pub fn run_supervised(self, driver: Driver, max_attempts: u32) -> SweepReport<T> {
+        let go = move |s: Scenario<T>| supervise(&s, max_attempts);
+        let results = match driver {
+            Driver::Sequential => self.scenarios.into_iter().map(go).collect(),
+            Driver::Parallel => vani_rt::par::par_map_owned(self.scenarios, go),
+        };
+        SweepReport { results }
     }
 }
 
@@ -236,11 +357,11 @@ pub fn fault_sweep(scale: f64, seed: u64, slowdown: f64, driver: Driver) -> Faul
     {
         let plan = plan.clone();
         w2.add("cosmo/shield-faulted", move |_| {
-            W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, plan))))
+            W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, plan.clone()))))
         });
     }
     w2.add("cosmo-preload/shield-faulted", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(scale, seed, plan))))
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(scale, seed, plan.clone()))))
     });
     let mut r2 = w2.run(driver).into_iter();
     let base_bad = r2.next().unwrap().analysis();
@@ -314,6 +435,83 @@ mod tests {
         again.add("a", |ctx| ctx.rng().next_u64());
         again.add("b", |ctx| ctx.rng().next_u64());
         assert_eq!(first, again.run(Driver::Parallel));
+    }
+
+    #[test]
+    fn supervised_sweep_isolates_a_panicking_scenario() {
+        let build = || {
+            let mut set = ScenarioSet::new(11);
+            set.add("good-a", |ctx| ctx.index as u64);
+            set.add("boom", |_| -> u64 { panic!("synthetic scenario failure") });
+            set.add("good-b", |ctx| ctx.index as u64 * 10);
+            set
+        };
+        for driver in [Driver::Sequential, Driver::Parallel] {
+            let report = build().run_supervised(driver, 2);
+            assert_eq!(report.results.len(), 3);
+            assert!(!report.is_clean());
+            assert_eq!(report.successes(), vec![&0u64, &20u64]);
+            let fails = report.failures();
+            assert_eq!(fails.len(), 1);
+            assert_eq!(fails[0].id, "boom");
+            assert_eq!(fails[0].index, 1);
+            assert_eq!(fails[0].attempts, 2);
+            assert!(fails[0].message.contains("synthetic scenario failure"));
+            assert!(report.manifest().contains("1 of 3 scenarios failed"));
+            assert!(report.manifest().contains("`boom`"));
+        }
+    }
+
+    #[test]
+    fn supervised_retries_rederive_seeds_deterministically() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        // A scenario that panics on its first attempt and records the seed
+        // it saw on the second: the retry must run, and the retry seed must
+        // differ from the registered one but be reproducible.
+        let run_once = || {
+            let calls = Arc::new(AtomicU32::new(0));
+            let mut set = ScenarioSet::new(5);
+            let c = calls.clone();
+            set.add("flaky", move |ctx| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first attempt dies");
+                }
+                ctx.seed
+            });
+            set.add("solid", |ctx| ctx.seed);
+            set.run_supervised(Driver::Sequential, 3)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert!(a.is_clean());
+        let flaky_a = *a.results[0].as_ref().unwrap();
+        let flaky_b = *b.results[0].as_ref().unwrap();
+        assert_eq!(flaky_a, flaky_b, "retry seeds are machine-independent");
+        // The solid scenario saw its registered (attempt-0) seed, and the
+        // retried one saw a derived seed.
+        let mut fresh = ScenarioSet::new(5);
+        fresh.add("flaky", |ctx| ctx.seed);
+        fresh.add("solid", |ctx| ctx.seed);
+        let seeds = fresh.run(Driver::Sequential);
+        assert_eq!(*a.results[1].as_ref().unwrap(), seeds[1]);
+        assert_ne!(flaky_a, seeds[0], "retry must re-roll the seed");
+    }
+
+    #[test]
+    fn supervision_leaves_healthy_sweeps_untouched() {
+        let mut plain = ScenarioSet::new(3);
+        let mut sup = ScenarioSet::new(3);
+        for i in 0..8u64 {
+            plain.add(format!("s{i}"), move |ctx| ctx.seed ^ i);
+            sup.add(format!("s{i}"), move |ctx| ctx.seed ^ i);
+        }
+        let want = plain.run(Driver::Sequential);
+        let got = sup.run_supervised(Driver::Parallel, 3);
+        assert!(got.is_clean());
+        assert!(got.manifest().is_empty());
+        let got: Vec<u64> = got.results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

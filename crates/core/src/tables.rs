@@ -376,6 +376,17 @@ pub fn table11(analyses: &[&Analysis]) -> Table {
 
 /// Build the full entity set for one analysis (what the YAML emitter dumps).
 pub fn entities_for(a: &Analysis) -> Vec<Entity> {
+    entities_with_completeness(a, None)
+}
+
+/// Entity set with an optional trace-integrity annotation: analyses of
+/// salvaged traces carry the loaded fraction and record counts so a reader
+/// of the YAML knows the attributes were computed from a damaged capture.
+/// Passing `None` is exactly [`entities_for`] — byte-identical output.
+pub fn entities_with_completeness(
+    a: &Analysis,
+    completeness: Option<&recorder_sim::persist::TraceCompleteness>,
+) -> Vec<Entity> {
     let mut out = Vec::new();
     out.push(
         Entity::new(EntityType::JobConfiguration, a.kind.name())
@@ -407,6 +418,22 @@ pub fn entities_for(a: &Analysis) -> Vec<Entity> {
             .with("error_rate", AttrValue::Fraction(a.error_rate()))
             .with("retry_amplification", AttrValue::Fraction(a.retry_amplification()))
             .with("time_lost_to_faults", AttrValue::Seconds(a.time_lost_to_faults()));
+    }
+    // Crash-recovery attributes: only present when the job actually
+    // restarted, so crash-free emissions stay byte-identical too.
+    if a.restart_events > 0 {
+        app = app
+            .with("restart_count", AttrValue::Count(a.restart_count()))
+            .with("time_lost_to_crashes", AttrValue::Seconds(a.time_lost_to_crashes()))
+            .with("checkpoint_overhead", AttrValue::Seconds(a.checkpoint_overhead()))
+            .with("recovery_time", AttrValue::Seconds(a.recovery_seconds()));
+    }
+    // Trace-integrity annotation for analyses built from salvaged captures.
+    if let Some(tc) = completeness {
+        app = app
+            .with("trace_completeness", AttrValue::Fraction(tc.fraction()))
+            .with("trace_records_loaded", AttrValue::Count(tc.loaded_records))
+            .with("trace_records_expected", AttrValue::Count(tc.expected_records));
     }
     out.push(app);
     // Per-server outage impact: bytes each failed NSD server's stripes

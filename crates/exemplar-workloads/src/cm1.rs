@@ -11,7 +11,7 @@
 //! * heavy metadata share: each small write is paired with a seek, and the
 //!   leaders' open/close churn adds more (87.5 % of I/O time in metadata).
 
-use crate::harness::{execute, scaled, scaled_nodes, WorkloadKind, WorkloadRun};
+use crate::harness::{execute_with_recovery, scaled, scaled_nodes, WorkloadKind, WorkloadRun};
 use hpc_cluster::engine::{Outcome, RankScript, StepEffect};
 use hpc_cluster::mpi::{CollectiveKind, CommId};
 use hpc_cluster::topology::RankId;
@@ -105,6 +105,13 @@ enum Phase {
 struct Cm1Script {
     p: Cm1Params,
     phase: Phase,
+    /// First step to run: 0 on a cold start, the durable-checkpoint count
+    /// when the harness relaunches after a crash (each completed step file
+    /// is a durable checkpoint).
+    start_step: u32,
+    /// Start of the in-flight step-file write sequence (rank 0 only);
+    /// closes the `Checkpoint` span when the step file goes durable.
+    ckpt_begin: SimTime,
 }
 
 impl Cm1Script {
@@ -157,7 +164,7 @@ impl RankScript<IoWorld> for Cm1Script {
                     return StepEffect::busy_until(t);
                 }
                 Phase::Bcast => {
-                    self.phase = Phase::StepCompute { step: 0 };
+                    self.phase = Phase::StepCompute { step: self.start_step };
                     return StepEffect {
                         outcome: Outcome::Collective {
                             comm: CommId::WORLD,
@@ -180,6 +187,9 @@ impl RankScript<IoWorld> for Cm1Script {
                     if !is_leader {
                         self.phase = Phase::StepBarrier { step };
                         continue;
+                    }
+                    if is_writer {
+                        self.ckpt_begin = now;
                     }
                     let path = self.shared_path(step);
                     let (fd, t) = posix::open(
@@ -235,6 +245,12 @@ impl RankScript<IoWorld> for Cm1Script {
                 }
                 Phase::StepClose { step, fd } => {
                     let (_, t) = posix::close(w, rank, fd, now);
+                    if is_writer {
+                        // The step file is durable: mark the checkpoint the
+                        // harness restarts from (span = open → close).
+                        use recorder_sim::record::{Layer, OpKind};
+                        w.trace_io(rank, Layer::App, OpKind::Checkpoint, self.ckpt_begin, t, None, 0, 0);
+                    }
                     self.phase = Phase::StepBarrier { step };
                     return StepEffect::busy_until(t);
                 }
@@ -306,15 +322,21 @@ pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
         world.set_app(r, "cm1");
     }
     let n = world.alloc.total_ranks();
-    let scripts: Vec<Box<dyn RankScript<IoWorld>>> = (0..n)
-        .map(|_| {
-            Box::new(Cm1Script {
-                p: p.clone(),
-                phase: Phase::OpenConfig,
-            }) as Box<dyn RankScript<IoWorld>>
-        })
-        .collect();
-    execute(WorkloadKind::Cm1, scale, world, scripts, vec![])
+    let crashes = p.faults.crashes_sorted();
+    // Every launch (cold start or post-crash relaunch) re-reads the config
+    // and resumes at the first step without a durable step file.
+    execute_with_recovery(WorkloadKind::Cm1, scale, world, &crashes, move |ckpts_done, _epoch| {
+        (0..n)
+            .map(|_| {
+                Box::new(Cm1Script {
+                    p: p.clone(),
+                    phase: Phase::OpenConfig,
+                    start_step: ckpts_done as u32,
+                    ckpt_begin: SimTime::ZERO,
+                }) as Box<dyn RankScript<IoWorld>>
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -385,5 +407,51 @@ mod tests {
         let b = run(0.01, 7);
         assert_eq!(a.report.makespan, b.report.makespan);
         assert_eq!(a.world.tracer.len(), b.world.tracer.len());
+    }
+
+    #[test]
+    fn every_completed_step_marks_a_durable_checkpoint() {
+        let run = tiny();
+        let c = run.columnar();
+        let ckpts = c.select(|i| c.op[i] == OpKind::Checkpoint);
+        assert_eq!(ckpts.len() as u32, Cm1Params::scaled(0.02).n_steps);
+        assert!(ckpts.iter().all(|&i| c.rank[i as usize] == 0));
+    }
+
+    #[test]
+    fn rank_crash_restarts_from_last_step_checkpoint() {
+        let healthy = run(0.02, 42);
+        let mid = sim_core::SimTime::from_nanos(healthy.report.makespan.as_nanos() / 2);
+        let crashed = || {
+            let mut p = Cm1Params::scaled(0.02);
+            p.faults = FaultPlan::none().with_rank_crash(3, mid);
+            run_with(p, 0.02, 42)
+        };
+        let a = crashed();
+        let c = a.columnar();
+        let crash = c.select(|i| c.op[i] == OpKind::Crash);
+        let restart = c.select(|i| c.op[i] == OpKind::RestartEpoch);
+        assert_eq!(crash.len(), 1, "one crash event");
+        assert_eq!(restart.len(), 1, "one restart epoch");
+        assert_eq!(c.rank[crash[0] as usize], 3, "crash attributed to the dead rank");
+        // Lost work is re-run after a restart delay, so the job takes longer.
+        assert!(a.report.makespan > healthy.report.makespan);
+        // Every step still completed (checkpoints are cumulative; none re-run).
+        let ckpts = c.select(|i| c.op[i] == OpKind::Checkpoint);
+        assert_eq!(ckpts.len() as u32, Cm1Params::scaled(0.02).n_steps);
+        // And the recovery path is bit-deterministic.
+        let b = crashed();
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.columnar(), b.columnar());
+    }
+
+    #[test]
+    fn node_crash_kills_and_recovers_too() {
+        let mut p = Cm1Params::scaled(0.02);
+        p.faults = FaultPlan::none().with_node_crash(0, sim_core::SimTime::from_secs(2));
+        let run = run_with(p, 0.02, 42);
+        let c = run.columnar();
+        assert_eq!(c.select(|i| c.op[i] == OpKind::Crash).len(), 1);
+        assert_eq!(c.select(|i| c.op[i] == OpKind::RestartEpoch).len(), 1);
     }
 }

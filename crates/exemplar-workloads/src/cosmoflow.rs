@@ -14,7 +14,7 @@
 //! The optimized variant (Figure 7) is in `vani-core::reconfig`: preload to
 //! node-local shm and read locally.
 
-use crate::harness::{execute, scaled, scaled_nodes, WorkloadKind, WorkloadRun};
+use crate::harness::{execute_with_recovery, scaled, scaled_nodes, WorkloadKind, WorkloadRun};
 use hpc_cluster::engine::{RankScript, StepEffect};
 use hpc_cluster::topology::RankId;
 use io_layers::hdf5::{self, H5Options};
@@ -180,6 +180,9 @@ struct CfScript {
     next_ckpt_at: u32,
     resume_idx: u32,
     ckpt_fd: Option<io_layers::posix::Fd>,
+    /// Start of the in-flight checkpoint write sequence (rank 0 only);
+    /// closes the `Checkpoint` span when the model file goes durable.
+    ckpt_begin: SimTime,
     h5: Option<hdf5::H5File>,
     /// Files this rank copies PFS → shm before training (optimized mode).
     preload_files: Vec<u32>,
@@ -334,6 +337,7 @@ impl RankScript<IoWorld> for CfScript {
                 Phase::Ckpt { n, off } => {
                     let per_ckpt = (self.p.ckpt_total / self.p.n_ckpts.max(1) as u64).max(self.p.ckpt_xfer);
                     if off == 0 {
+                        self.ckpt_begin = now;
                         let path = format!("/p/gpfs1/cosmoflow/ckpt/model_{n:03}.ckpt");
                         let (fd, t) = posix::open(w, rank, &path, OpenFlags::write_create(), now);
                         let fd = fd.expect("ckpt create");
@@ -347,6 +351,10 @@ impl RankScript<IoWorld> for CfScript {
                     let written = (off - 1) * self.p.ckpt_xfer;
                     if written >= per_ckpt {
                         let (_, t) = posix::close(w, rank, fd, now);
+                        // The model file is durable: mark the checkpoint the
+                        // harness restarts from (span = open → close).
+                        use recorder_sim::record::{Layer, OpKind};
+                        w.trace_io(rank, Layer::App, OpKind::Checkpoint, self.ckpt_begin, t, None, 0, 0);
                         self.ckpt_fd = None;
                         self.phase = Phase::NextFile { idx: self.resume_idx };
                         return StepEffect::busy_until(t);
@@ -363,11 +371,15 @@ impl RankScript<IoWorld> for CfScript {
 }
 
 impl CfScript {
-    fn new(p: CosmoflowParams, total_ranks: u32, rank: u32) -> Self {
+    /// Build a script resuming from durable checkpoint `start_ckpt` (0 = cold
+    /// start). Training position rolls back to where that checkpoint fired;
+    /// everything after it is re-run. `first_launch` gates the shm preload:
+    /// relaunches skip it because node-local shm survives a job crash.
+    fn resuming(p: CosmoflowParams, total_ranks: u32, rank: u32, start_ckpt: u32, first_launch: bool) -> Self {
         let my_files: Vec<u32> = (0..p.n_files)
             .filter(|&f| group_of(&p, total_ranks, f).contains(&rank))
             .collect();
-        let preload_files: Vec<u32> = if p.preload_to_shm {
+        let preload_files: Vec<u32> = if p.preload_to_shm && first_launch {
             let nodes = (total_ranks / p.ranks_per_node).max(1);
             let node = rank / p.ranks_per_node;
             let local = rank % p.ranks_per_node;
@@ -377,10 +389,19 @@ impl CfScript {
         } else {
             Vec::new()
         };
-        let start_phase = if p.preload_to_shm {
+        // Checkpoint k fires when files_done reaches 1 + (k-1)·per (the
+        // trigger in `Phase::Gpu`); restarting from it rolls this rank's
+        // file cursor back to that point.
+        let per = (my_files.len() as u32 / p.n_ckpts.max(1)).max(1);
+        let start_idx = if start_ckpt == 0 {
+            0
+        } else {
+            (1 + (start_ckpt - 1) * per).min(my_files.len() as u32)
+        };
+        let start_phase = if p.preload_to_shm && first_launch {
             Phase::Preload { idx: 0 }
         } else {
-            Phase::NextFile { idx: 0 }
+            Phase::NextFile { idx: start_idx }
         };
         CfScript {
             p,
@@ -388,10 +409,11 @@ impl CfScript {
             my_files,
             preload_files,
             phase: start_phase,
-            files_done: 0,
-            next_ckpt_at: 1,
-            resume_idx: 0,
+            files_done: start_idx,
+            next_ckpt_at: 1 + start_ckpt * per,
+            resume_idx: start_idx,
             ckpt_fd: None,
+            ckpt_begin: SimTime::ZERO,
             h5: None,
         }
     }
@@ -436,10 +458,15 @@ pub fn run_with(mut p: CosmoflowParams, scale: f64, seed: u64) -> WorkloadRun {
         world.set_app(r, "cosmoflow");
     }
     let n = world.alloc.total_ranks();
-    let scripts: Vec<Box<dyn RankScript<IoWorld>>> = (0..n)
-        .map(|r| Box::new(CfScript::new(p.clone(), n, r)) as Box<dyn RankScript<IoWorld>>)
-        .collect();
-    execute(WorkloadKind::Cosmoflow, scale, world, scripts, vec![])
+    let crashes = p.faults.crashes_sorted();
+    execute_with_recovery(WorkloadKind::Cosmoflow, scale, world, &crashes, move |ckpts_done, epoch| {
+        (0..n)
+            .map(|r| {
+                Box::new(CfScript::resuming(p.clone(), n, r, ckpts_done as u32, epoch == 0))
+                    as Box<dyn RankScript<IoWorld>>
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -528,6 +555,31 @@ mod tests {
             "MDS ops {} should reflect the per-file metadata storm",
             s.meta_ops
         );
+    }
+
+    #[test]
+    fn crash_rolls_back_to_last_model_checkpoint() {
+        let healthy = tiny();
+        let mid = sim_core::SimTime::from_nanos(healthy.report.makespan.as_nanos() * 3 / 4);
+        let crashed = || {
+            let mut p = CosmoflowParams::scaled(0.002);
+            p.faults = FaultPlan::none().with_rank_crash(1, mid);
+            run_with(p, 0.002, 5)
+        };
+        let a = crashed();
+        let c = a.columnar();
+        assert_eq!(c.select(|i| c.op[i] == OpKind::Crash).len(), 1);
+        assert_eq!(c.select(|i| c.op[i] == OpKind::RestartEpoch).len(), 1);
+        assert!(a.report.makespan > healthy.report.makespan);
+        // Rolled-back samples are read again: total bytes read can only grow.
+        let read = |r: &WorkloadRun| {
+            let c = r.columnar();
+            c.sum_bytes(&c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read))
+        };
+        assert!(read(&a) >= read(&healthy));
+        let b = crashed();
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.columnar(), b.columnar());
     }
 
     #[test]

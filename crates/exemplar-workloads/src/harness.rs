@@ -1,11 +1,15 @@
-//! Shared machinery for running workload skeletons through the engine.
+//! Shared machinery for running workload skeletons through the engine,
+//! including the crash-recovery supervisor that relaunches a killed job
+//! from its last durable checkpoint.
 
-use hpc_cluster::engine::{Engine, EngineReport, RankScript};
+use hpc_cluster::engine::{Engine, EngineReport, RankScript, RunHalt};
 use hpc_cluster::mpi::MpiCostModel;
-use hpc_cluster::topology::ClusterSpec;
+use hpc_cluster::topology::{ClusterSpec, RankId};
 use io_layers::world::IoWorld;
+use recorder_sim::record::{Layer, OpKind};
 use recorder_sim::ColumnarTrace;
 use sim_core::{Dur, SimTime};
+use storage_sim::faults::{CrashEvent, CrashScope};
 
 /// The six exemplar workloads (plus the IOR calibrator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +113,133 @@ pub fn execute(
         scale,
         report,
         world: engine.into_world(),
+    }
+}
+
+/// Wall-clock charged between a crash and the relaunched job's first event:
+/// scheduler requeue plus application relaunch. Fixed so recovery latency is
+/// deterministic.
+pub fn restart_delay() -> Dur {
+    Dur::from_secs(30)
+}
+
+/// Resolve a crash scope to the rank whose death kills the job (MPI
+/// semantics: one fatal rank aborts every rank). `None` means the event
+/// does not land inside this job's allocation and is a no-op.
+fn crash_victim(world: &IoWorld, scope: CrashScope) -> Option<RankId> {
+    let n = world.alloc.total_ranks();
+    match scope {
+        CrashScope::Rank(r) if r < n => Some(RankId(r)),
+        CrashScope::Rank(_) => None,
+        CrashScope::Node(nd) => (0..n).map(RankId).find(|&r| world.node_of(r).0 == nd),
+    }
+}
+
+/// Count of durable checkpoints in the captured trace plus the instant the
+/// most recent one became durable. A crashed epoch's in-flight checkpoint
+/// never appears here: its `Checkpoint` marker is only recorded at close.
+fn checkpoint_state(world: &IoWorld) -> (u64, Option<SimTime>) {
+    let c = world.tracer.columnar();
+    let mut count = 0u64;
+    let mut last_end = None;
+    for i in 0..c.op.len() {
+        if c.op[i] == OpKind::Checkpoint {
+            count += 1;
+            last_end = Some(SimTime::from_nanos(c.end[i]));
+        }
+    }
+    (count, last_end)
+}
+
+/// Drive a workload to completion under a crash plan, restarting the job
+/// from its last durable checkpoint after every kill.
+///
+/// `make_scripts(ckpts_done, epoch)` builds the rank scripts for one launch:
+/// `ckpts_done` is the number of durable checkpoints visible in the trace
+/// (the resume point) and `epoch` the zero-based launch attempt. Each crash
+/// appends a `Crash` record spanning the work lost (last durable checkpoint
+/// → instant of death) and a `RestartEpoch` record spanning the recovery
+/// latency, then relaunches on the surviving world: the parallel file
+/// system — and the trace — persist across job launches, while every
+/// per-process descriptor and stdio stream table is torn down with the
+/// dead processes.
+///
+/// With no crash events this is exactly [`execute`]: one launch at
+/// `SimTime::ZERO`, bit-identical output.
+pub fn execute_with_recovery(
+    kind: WorkloadKind,
+    scale: f64,
+    world: IoWorld,
+    crashes: &[CrashEvent],
+    make_scripts: impl Fn(u64, u32) -> Vec<Box<dyn RankScript<IoWorld>>>,
+) -> WorkloadRun {
+    let mut events = crashes.to_vec();
+    events.sort_by_key(|e| (e.at, e.scope.order_key()));
+    let mut world = world;
+    let mut next_event = 0usize;
+    let mut epoch: u32 = 0;
+    let mut launch_at = SimTime::ZERO;
+    loop {
+        // Arm the earliest crash that can still hit this launch. Events in
+        // the past (inside a dead epoch or a recovery window) and events
+        // outside the allocation are consumed without effect.
+        let mut armed: Option<(RankId, SimTime)> = None;
+        while next_event < events.len() {
+            let ev = events[next_event];
+            if ev.at < launch_at {
+                next_event += 1;
+                continue;
+            }
+            match crash_victim(&world, ev.scope) {
+                Some(victim) => {
+                    armed = Some((victim, ev.at));
+                    break;
+                }
+                None => next_event += 1,
+            }
+        }
+        let (ckpts_done, _) = checkpoint_state(&world);
+        let scripts = make_scripts(ckpts_done, epoch);
+        let cost = MpiCostModel::from_node(&ClusterSpec::lassen().node);
+        let mut engine = Engine::new_at(world, scripts, cost, launch_at);
+        engine.set_max_steps(200_000_000);
+        if let Some((victim, at)) = armed {
+            engine.set_crash(victim, at);
+        }
+        match engine.run_checked() {
+            Ok(report) => {
+                return WorkloadRun {
+                    kind,
+                    scale,
+                    report,
+                    world: engine.into_world(),
+                }
+            }
+            Err(RunHalt::Deadlock(d)) => panic!("{d}"),
+            Err(RunHalt::Crashed { rank, at }) => {
+                next_event += 1;
+                world = engine.into_world();
+                // Work lost: everything since the last durable checkpoint,
+                // *including* checkpoints the crashed epoch itself made
+                // durable, clamped to this launch (earlier epochs' work is
+                // already checkpointed or already counted lost).
+                let (_, last_ckpt_end) = checkpoint_state(&world);
+                let lost_from = last_ckpt_end.map_or(launch_at, |c| c.max(launch_at)).min(at);
+                world.trace_io(rank, Layer::App, OpKind::Crash, lost_from, at, None, 0, 0);
+                let relaunch = at + restart_delay();
+                world.trace_io(rank, Layer::App, OpKind::RestartEpoch, at, relaunch, None, 0, 0);
+                // The processes died with the job; open descriptors and
+                // buffered stdio streams do not survive into the next epoch.
+                for p in &mut world.procs {
+                    p.fds.clear();
+                }
+                for s in &mut world.stdio_streams {
+                    *s = io_layers::stdio::StreamTable::default();
+                }
+                launch_at = relaunch;
+                epoch += 1;
+            }
+        }
     }
 }
 

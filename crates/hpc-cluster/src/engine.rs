@@ -139,6 +139,35 @@ impl std::fmt::Display for DeadlockError {
 
 impl std::error::Error for DeadlockError {}
 
+/// Why a checked run ([`Engine::run_checked`]) stopped before completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunHalt {
+    /// The event queue drained with ranks still blocked.
+    Deadlock(DeadlockError),
+    /// A scheduled crash fired: `rank` died at `at`. MPI semantics — one
+    /// rank dying kills the whole job; the caller decides whether to
+    /// restart from a checkpoint.
+    Crashed {
+        /// The rank whose death killed the job.
+        rank: RankId,
+        /// The instant of death.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for RunHalt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunHalt::Deadlock(d) => write!(f, "{d}"),
+            RunHalt::Crashed { rank, at } => {
+                write!(f, "job killed: {rank} crashed at {:.3}s", at.as_secs_f64())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunHalt {}
+
 #[derive(Debug)]
 struct CollectiveState {
     kind: CollectiveKind,
@@ -176,12 +205,28 @@ pub struct Engine<W> {
     cost: MpiCostModel,
     steps: u64,
     max_steps: u64,
+    /// Earliest scheduled crash, as `(instant, victim)`; checked by
+    /// [`Engine::run_checked`] before each dispatch.
+    kill: Option<(SimTime, RankId)>,
 }
 
 impl<W> Engine<W> {
     /// Build an engine over `world` with one script per rank. A WORLD
     /// communicator spanning all ranks is created automatically.
     pub fn new(world: W, scripts: Vec<Box<dyn RankScript<W>>>, cost: MpiCostModel) -> Self {
+        Engine::new_at(world, scripts, cost, SimTime::ZERO)
+    }
+
+    /// [`Engine::new`] with an explicit launch instant: every rank's first
+    /// step fires at `start` instead of time zero. Restart epochs use this
+    /// so a relaunched job continues on the same simulated clock (and the
+    /// same world) as the crashed epoch it replaces.
+    pub fn new_at(
+        world: W,
+        scripts: Vec<Box<dyn RankScript<W>>>,
+        cost: MpiCostModel,
+        start: SimTime,
+    ) -> Self {
         let n = scripts.len() as u32;
         let world_comm = Communicator::new(CommId::WORLD, (0..n).map(RankId).collect());
         let mut comms = HashMap::new();
@@ -191,7 +236,7 @@ impl<W> Engine<W> {
         // never outgrows the rank count.
         let mut queue = EventQueue::with_capacity(n as usize);
         for r in 0..n {
-            queue.push(SimTime::ZERO, RankId(r));
+            queue.push(start, RankId(r));
         }
         Engine {
             world,
@@ -204,7 +249,20 @@ impl<W> Engine<W> {
             cost,
             steps: 0,
             max_steps: u64::MAX,
+            kill: None,
         }
+    }
+
+    /// Schedule a fatal crash: `rank` dies at `at`, killing the job (the
+    /// run halts with [`RunHalt::Crashed`] at the first dispatch at or after
+    /// `at`). When called repeatedly the earliest crash wins, ties broken by
+    /// rank, so the halt is a pure function of the schedule.
+    pub fn set_crash(&mut self, rank: RankId, at: SimTime) {
+        let cand = (at, rank);
+        self.kill = Some(match self.kill {
+            Some(prev) if (prev.0, prev.1 .0) <= (cand.0, cand.1 .0) => prev,
+            _ => cand,
+        });
     }
 
     /// Register an additional communicator (sub-groups such as per-node
@@ -247,9 +305,30 @@ impl<W> Engine<W> {
     ///
     /// # Panics
     /// Panics when the step cap set via [`Engine::set_max_steps`] is
-    /// exceeded (livelocked scripts).
+    /// exceeded (livelocked scripts), or when a crash scheduled via
+    /// [`Engine::set_crash`] fires (use [`Engine::run_checked`] to handle
+    /// crashes as values).
     pub fn run(&mut self) -> Result<EngineReport, DeadlockError> {
+        self.run_checked().map_err(|halt| match halt {
+            RunHalt::Deadlock(d) => d,
+            RunHalt::Crashed { .. } => {
+                panic!("{halt}; use run_checked() to recover from crash events")
+            }
+        })
+    }
+
+    /// [`Engine::run`] with crash events surfaced as values: a scheduled
+    /// crash halts the run with [`RunHalt::Crashed`] instead of panicking,
+    /// leaving the world (traces, durable storage) intact for a restart.
+    pub fn run_checked(&mut self) -> Result<EngineReport, RunHalt> {
         while let Some(ev) = self.queue.pop() {
+            if let Some((t_kill, victim)) = self.kill {
+                if ev.time >= t_kill {
+                    // The job dies at t_kill: nothing dispatched at or past
+                    // that instant runs. World state up to the crash stays.
+                    return Err(RunHalt::Crashed { rank: victim, at: t_kill });
+                }
+            }
             let rank = ev.payload;
             let now = ev.time;
             debug_assert!(
@@ -306,7 +385,7 @@ impl<W> Engine<W> {
             })
             .collect();
         if !blocked.is_empty() {
-            return Err(DeadlockError { blocked });
+            return Err(RunHalt::Deadlock(DeadlockError { blocked }));
         }
         let finish_times: Vec<SimTime> = self
             .states
@@ -432,6 +511,49 @@ mod tests {
         assert_eq!(report.makespan, SimTime::from_secs(3));
         assert_eq!(e.world().work, vec![3, 3, 3, 3]);
         assert_eq!(report.steps, 4 * 4); // 3 computes + 1 done per rank
+    }
+
+    #[test]
+    fn scheduled_crash_halts_with_typed_info() {
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = (0..2)
+            .map(|_| Box::new(ComputeScript { remaining: 10 }) as Box<_>)
+            .collect();
+        let mut e = Engine::new(world, scripts, model());
+        e.set_crash(RankId(1), SimTime::from_secs(4));
+        let halt = e.run_checked().unwrap_err();
+        assert_eq!(halt, RunHalt::Crashed { rank: RankId(1), at: SimTime::from_secs(4) });
+        // Work completed strictly before the crash instant survives in the
+        // world: dispatches at 0–3 s ran, the 4 s dispatch was killed.
+        assert_eq!(e.world().work, vec![4, 4]);
+    }
+
+    #[test]
+    fn earliest_crash_wins_regardless_of_registration_order() {
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = (0..2)
+            .map(|_| Box::new(ComputeScript { remaining: 10 }) as Box<_>)
+            .collect();
+        let mut e = Engine::new(world, scripts, model());
+        e.set_crash(RankId(0), SimTime::from_secs(9));
+        e.set_crash(RankId(1), SimTime::from_secs(2));
+        e.set_crash(RankId(0), SimTime::from_secs(5));
+        let halt = e.run_checked().unwrap_err();
+        assert_eq!(halt, RunHalt::Crashed { rank: RankId(1), at: SimTime::from_secs(2) });
+    }
+
+    #[test]
+    fn launch_offset_shifts_the_whole_run() {
+        // A restart epoch launches mid-clock: everything, including the
+        // makespan, continues from the offset.
+        let world = CounterWorld { work: vec![0; 2] };
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = (0..2)
+            .map(|_| Box::new(ComputeScript { remaining: 3 }) as Box<_>)
+            .collect();
+        let mut e = Engine::new_at(world, scripts, model(), SimTime::from_secs(10));
+        let report = e.run().unwrap();
+        assert_eq!(report.makespan, SimTime::from_secs(13));
+        assert_eq!(e.world().work, vec![3, 3]);
     }
 
     /// Script: compute `my_time`, barrier, then finish.

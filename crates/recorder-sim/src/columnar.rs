@@ -86,6 +86,30 @@ impl ColumnarTrace {
         }
     }
 
+    /// Check that all ten data columns agree on the record count (the
+    /// `rank` column is authoritative). Returns the first offending column
+    /// as `(name, its_len, expected_len)` — loaders reject such traces
+    /// instead of silently zipping short columns against long ones.
+    pub fn validate(&self) -> Result<(), (String, usize, usize)> {
+        let n = self.rank.len();
+        for (name, len) in [
+            ("node", self.node.len()),
+            ("app", self.app.len()),
+            ("layer", self.layer.len()),
+            ("op", self.op.len()),
+            ("start", self.start.len()),
+            ("end", self.end.len()),
+            ("file", self.file.len()),
+            ("offset", self.offset.len()),
+            ("bytes", self.bytes.len()),
+        ] {
+            if len != n {
+                return Err((name.to_string(), len, n));
+            }
+        }
+        Ok(())
+    }
+
     /// Reserve room for at least `additional` more records in every column.
     pub fn reserve(&mut self, additional: usize) {
         self.rank.reserve(additional);

@@ -4,35 +4,429 @@
 //! and the parquet conversion). Round-tripping through disk lets experiments
 //! separate capture from analysis, exactly like the paper's two-phase
 //! JobUtility/Analyzer pipeline.
+//!
+//! Columnar traces persist in a *row-group* layout built for integrity
+//! salvage: line 1 is a header (format tag, record/group counts, intern
+//! tables), every following line is one self-verifying row group carrying
+//! its row count and a per-column checksum. A truncated or corrupted file
+//! therefore loses only its damaged tail: [`load_columnar`] rejects it with
+//! a typed [`TraceLoadError`], while [`load_columnar_salvaged`] recovers
+//! the longest consistent prefix and reports a [`TraceCompleteness`]
+//! diagnostic — the same engineering stance Recorder takes toward
+//! incomplete multi-level traces.
 
 use crate::columnar::ColumnarTrace;
 use crate::tracer::Tracer;
 use std::fs;
 use std::io;
 use std::path::Path;
+use vani_rt::{Json, JsonError, ToJson};
+
+/// Format tag in the row-group header line.
+pub const ROWGROUP_FORMAT: &str = "vani-trace-rowgroups";
+/// Current row-group format version.
+pub const ROWGROUP_VERSION: u64 = 1;
+/// Default rows per group: granular enough that a torn tail loses little,
+/// coarse enough that per-group overhead stays negligible.
+pub const GROUP_ROWS: usize = 4096;
+
+/// The ten data columns, in their fixed on-disk order.
+const COLUMNS: [&str; 10] = [
+    "rank", "node", "app", "layer", "op", "start", "end", "file", "offset", "bytes",
+];
+
+/// Why a persisted trace failed to load.
+#[derive(Debug)]
+pub enum TraceLoadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// A line was not valid JSON or decoded to the wrong shape; the cause
+    /// carries the byte offset within that line.
+    Malformed {
+        /// Which part of the file was being parsed.
+        context: String,
+        /// The underlying JSON error (with byte-offset context).
+        cause: JsonError,
+    },
+    /// The header line is valid JSON but not a trace we understand.
+    Header(String),
+    /// A row group's column disagrees with its promised row count.
+    ColumnMismatch {
+        /// Zero-based row-group index (0 for row-major tracer files).
+        group: u64,
+        /// Offending column name.
+        column: String,
+        /// Entries actually present.
+        len: usize,
+        /// Rows the group promised.
+        rows: usize,
+    },
+    /// A row group's column fails its stored checksum.
+    BadChecksum {
+        /// Zero-based row-group index.
+        group: u64,
+        /// Offending column name.
+        column: String,
+    },
+    /// The file ends before all promised row groups arrive.
+    Truncated {
+        /// Byte offset at which the data ran out.
+        at_byte: usize,
+        /// Records the header promised.
+        expected_records: u64,
+        /// Records actually present.
+        loaded_records: u64,
+    },
+}
+
+impl std::fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceLoadError::Io(e) => write!(f, "{e}"),
+            TraceLoadError::Malformed { context, cause } => {
+                write!(f, "malformed trace ({context}): {cause}")
+            }
+            TraceLoadError::Header(msg) => write!(f, "unrecognized trace header: {msg}"),
+            TraceLoadError::ColumnMismatch { group, column, len, rows } => write!(
+                f,
+                "row group {group}: column `{column}` carries {len} values for {rows} rows"
+            ),
+            TraceLoadError::BadChecksum { group, column } => {
+                write!(f, "row group {group}: column `{column}` fails its checksum")
+            }
+            TraceLoadError::Truncated { at_byte, expected_records, loaded_records } => write!(
+                f,
+                "trace truncated at byte {at_byte}: {loaded_records} of {expected_records} records present"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceLoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceLoadError {
+    fn from(e: io::Error) -> Self {
+        TraceLoadError::Io(e)
+    }
+}
+
+/// How much of a persisted trace survived loading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCompleteness {
+    /// Records the header promised.
+    pub expected_records: u64,
+    /// Records actually loaded.
+    pub loaded_records: u64,
+    /// Row groups the header promised.
+    pub expected_groups: u64,
+    /// Row groups that verified and loaded.
+    pub loaded_groups: u64,
+}
+
+impl TraceCompleteness {
+    /// Loaded fraction in [0, 1]; an empty-but-complete trace is 1.
+    pub fn fraction(&self) -> f64 {
+        if self.expected_records == 0 {
+            1.0
+        } else {
+            self.loaded_records as f64 / self.expected_records as f64
+        }
+    }
+
+    /// Whether every promised record loaded.
+    pub fn is_complete(&self) -> bool {
+        self.loaded_records == self.expected_records && self.loaded_groups == self.expected_groups
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the per-column integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn col_json<T: ToJson>(v: &[T]) -> Json {
+    Json::Arr(v.iter().map(|x| x.to_json()).collect())
+}
 
 /// Save a row-major trace as JSON.
 pub fn save_tracer(t: &Tracer, path: &Path) -> io::Result<()> {
     fs::write(path, vani_rt::json::to_string(t))
 }
 
-/// Load a row-major trace from JSON (intern maps rebuilt).
-pub fn load_tracer(path: &Path) -> io::Result<Tracer> {
+/// Load a row-major trace from JSON (intern maps rebuilt). Files whose
+/// per-column lengths disagree are rejected: silent column zipping would
+/// mis-attribute every field after the divergence point.
+pub fn load_tracer(path: &Path) -> Result<Tracer, TraceLoadError> {
     let json = fs::read_to_string(path)?;
-    let mut t: Tracer = vani_rt::json::from_str(&json).map_err(io::Error::other)?;
+    let mut t: Tracer = vani_rt::json::from_str(&json).map_err(|cause| TraceLoadError::Malformed {
+        context: "row-major trace".to_string(),
+        cause,
+    })?;
+    if let Err((column, len, rows)) = t.columnar().validate() {
+        return Err(TraceLoadError::ColumnMismatch { group: 0, column, len, rows });
+    }
     t.rebuild_index();
     Ok(t)
 }
 
-/// Save a columnar trace as JSON.
-pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
-    fs::write(path, vani_rt::json::to_string(c))
+/// Render a columnar trace in the row-group layout with an explicit group
+/// size (exposed so tests can exercise multi-group files cheaply).
+pub fn render_rowgroups(c: &ColumnarTrace, group_rows: usize) -> String {
+    let group_rows = group_rows.max(1);
+    let n = c.rank.len();
+    let n_groups = n.div_ceil(group_rows);
+    let mut out = Json::obj([
+        ("format", Json::Str(ROWGROUP_FORMAT.to_string())),
+        ("version", ROWGROUP_VERSION.to_json()),
+        ("records", (n as u64).to_json()),
+        ("group_rows", (group_rows as u64).to_json()),
+        ("groups", (n_groups as u64).to_json()),
+        ("file_paths", c.file_paths.to_json()),
+        ("app_names", c.app_names.to_json()),
+    ])
+    .render();
+    out.push('\n');
+    for g in 0..n_groups {
+        let lo = g * group_rows;
+        let hi = n.min(lo + group_rows);
+        let cols: Vec<(&str, Json)> = vec![
+            ("rank", col_json(&c.rank[lo..hi])),
+            ("node", col_json(&c.node[lo..hi])),
+            ("app", col_json(&c.app[lo..hi])),
+            ("layer", col_json(&c.layer[lo..hi])),
+            ("op", col_json(&c.op[lo..hi])),
+            ("start", col_json(&c.start[lo..hi])),
+            ("end", col_json(&c.end[lo..hi])),
+            ("file", col_json(&c.file[lo..hi])),
+            ("offset", col_json(&c.offset[lo..hi])),
+            ("bytes", col_json(&c.bytes[lo..hi])),
+        ];
+        let checksums: Vec<u64> = cols.iter().map(|(_, j)| fnv1a(j.render().as_bytes())).collect();
+        let line = Json::obj([
+            ("rows", ((hi - lo) as u64).to_json()),
+            ("checksums", checksums.to_json()),
+            ("columns", Json::obj(cols.into_iter())),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
 }
 
-/// Load a columnar trace from JSON.
-pub fn load_columnar(path: &Path) -> io::Result<ColumnarTrace> {
-    let json = fs::read_to_string(path)?;
-    vani_rt::json::from_str(&json).map_err(io::Error::other)
+/// Save a columnar trace in the self-verifying row-group layout.
+pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
+    fs::write(path, render_rowgroups(c, GROUP_ROWS))
+}
+
+/// One verified row group appended into the output trace, or the error
+/// that stopped it.
+fn load_group(j: &Json, g: u64, out: &mut ColumnarTrace) -> Result<u64, TraceLoadError> {
+    let malformed = |cause: JsonError| TraceLoadError::Malformed {
+        context: format!("row group {g}"),
+        cause,
+    };
+    let rows: u64 = j.decode_field("rows").map_err(malformed)?;
+    let checksums: Vec<u64> = j.decode_field("checksums").map_err(malformed)?;
+    let columns = j.field("columns").map_err(malformed)?;
+    if checksums.len() != COLUMNS.len() {
+        return Err(TraceLoadError::Malformed {
+            context: format!("row group {g}"),
+            cause: JsonError::shape(format!(
+                "expected {} checksums, found {}",
+                COLUMNS.len(),
+                checksums.len()
+            )),
+        });
+    }
+    // Verify integrity over the canonical rendering before decoding.
+    for (ci, name) in COLUMNS.iter().enumerate() {
+        let col = columns.field(name).map_err(malformed)?;
+        if fnv1a(col.render().as_bytes()) != checksums[ci] {
+            return Err(TraceLoadError::BadChecksum { group: g, column: name.to_string() });
+        }
+    }
+    let mut part = ColumnarTrace {
+        rank: columns.decode_field("rank").map_err(malformed)?,
+        node: columns.decode_field("node").map_err(malformed)?,
+        app: columns.decode_field("app").map_err(malformed)?,
+        layer: columns.decode_field("layer").map_err(malformed)?,
+        op: columns.decode_field("op").map_err(malformed)?,
+        start: columns.decode_field("start").map_err(malformed)?,
+        end: columns.decode_field("end").map_err(malformed)?,
+        file: columns.decode_field("file").map_err(malformed)?,
+        offset: columns.decode_field("offset").map_err(malformed)?,
+        bytes: columns.decode_field("bytes").map_err(malformed)?,
+        file_paths: Vec::new(),
+        app_names: Vec::new(),
+    };
+    for (name, len) in [
+        ("rank", part.rank.len()),
+        ("node", part.node.len()),
+        ("app", part.app.len()),
+        ("layer", part.layer.len()),
+        ("op", part.op.len()),
+        ("start", part.start.len()),
+        ("end", part.end.len()),
+        ("file", part.file.len()),
+        ("offset", part.offset.len()),
+        ("bytes", part.bytes.len()),
+    ] {
+        if len != rows as usize {
+            return Err(TraceLoadError::ColumnMismatch {
+                group: g,
+                column: name.to_string(),
+                len,
+                rows: rows as usize,
+            });
+        }
+    }
+    out.rank.append(&mut part.rank);
+    out.node.append(&mut part.node);
+    out.app.append(&mut part.app);
+    out.layer.append(&mut part.layer);
+    out.op.append(&mut part.op);
+    out.start.append(&mut part.start);
+    out.end.append(&mut part.end);
+    out.file.append(&mut part.file);
+    out.offset.append(&mut part.offset);
+    out.bytes.append(&mut part.bytes);
+    Ok(rows)
+}
+
+/// Parse a row-group file. Header problems are always fatal; with
+/// `salvage`, the first bad row group stops consumption and the verified
+/// prefix is returned, otherwise any bad group is an error.
+fn parse_rowgroups(
+    text: &str,
+    salvage: bool,
+) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
+    let mut offset = 0usize;
+    let mut lines = text.split_inclusive('\n');
+    let header_line = lines.next().unwrap_or("");
+    let header = Json::parse(header_line.trim_end()).map_err(|cause| TraceLoadError::Malformed {
+        context: "header".to_string(),
+        cause,
+    })?;
+    let format: String = header.decode_field("format").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    if format != ROWGROUP_FORMAT {
+        return Err(TraceLoadError::Header(format!("format `{format}`")));
+    }
+    let version: u64 = header.decode_field("version").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    if version != ROWGROUP_VERSION {
+        return Err(TraceLoadError::Header(format!("version {version}")));
+    }
+    let expected_records: u64 = header.decode_field("records").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    let expected_groups: u64 = header.decode_field("groups").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    let mut out = ColumnarTrace::with_capacity(expected_records as usize);
+    out.file_paths = header.decode_field("file_paths").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    out.app_names = header.decode_field("app_names").map_err(|cause| {
+        TraceLoadError::Malformed { context: "header".to_string(), cause }
+    })?;
+    offset += header_line.len();
+
+    let mut loaded_groups = 0u64;
+    let mut loaded_records = 0u64;
+    for g in 0..expected_groups {
+        let line = match lines.next() {
+            Some(l) if !l.trim_end().is_empty() => l,
+            _ => {
+                let err = TraceLoadError::Truncated {
+                    at_byte: offset,
+                    expected_records,
+                    loaded_records,
+                };
+                if salvage {
+                    break;
+                }
+                return Err(err);
+            }
+        };
+        let parsed = Json::parse(line.trim_end())
+            .map_err(|cause| TraceLoadError::Malformed {
+                context: format!("row group {g}"),
+                cause,
+            })
+            .and_then(|j| load_group(&j, g, &mut out));
+        match parsed {
+            Ok(rows) => {
+                loaded_groups += 1;
+                loaded_records += rows;
+                offset += line.len();
+            }
+            Err(e) => {
+                if salvage {
+                    break;
+                }
+                return Err(e);
+            }
+        }
+    }
+    if !salvage && loaded_records != expected_records {
+        return Err(TraceLoadError::Truncated {
+            at_byte: offset,
+            expected_records,
+            loaded_records,
+        });
+    }
+    Ok((
+        out,
+        TraceCompleteness {
+            expected_records,
+            loaded_records,
+            expected_groups,
+            loaded_groups,
+        },
+    ))
+}
+
+/// Load a columnar trace, requiring every row group to verify. Truncated,
+/// corrupt, length-mismatched, or checksum-failing files are rejected with
+/// the precise reason; use [`load_columnar_salvaged`] to recover a prefix
+/// instead.
+pub fn load_columnar(path: &Path) -> Result<ColumnarTrace, TraceLoadError> {
+    let text = fs::read_to_string(path)?;
+    parse_rowgroups(&text, false).map(|(c, _)| c)
+}
+
+/// Load as much of a columnar trace as verifies: the longest consistent
+/// row-group prefix, plus a completeness diagnostic the analyzer threads
+/// through to the entity YAML. Only an unreadable or headerless file is an
+/// error — a damaged tail is data loss, not failure.
+pub fn load_columnar_salvaged(
+    path: &Path,
+) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
+    let text = fs::read_to_string(path)?;
+    parse_rowgroups(&text, true)
+}
+
+/// [`load_columnar_salvaged`] over already-read text — for captures that
+/// arrive through something other than a file (a stream, a test vector).
+pub fn parse_rowgroups_salvaged(
+    text: &str,
+) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
+    parse_rowgroups(text, true)
 }
 
 #[cfg(test)]
@@ -41,15 +435,40 @@ mod tests {
     use crate::record::{Layer, OpKind};
     use sim_core::SimTime;
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vani_persist_test");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample(n: u32) -> ColumnarTrace {
+        let mut t = Tracer::new();
+        let f = t.file_id("/y");
+        let a = t.app_id("a");
+        for i in 0..n {
+            t.record(
+                i % 4,
+                i % 2,
+                a,
+                Layer::Stdio,
+                OpKind::Read,
+                SimTime(i as u64),
+                SimTime(i as u64 + 9),
+                Some(f),
+                4,
+                8 + i as u64,
+            );
+        }
+        ColumnarTrace::from_tracer(&t)
+    }
+
     #[test]
     fn tracer_round_trips_through_disk() {
         let mut t = Tracer::new();
         let f = t.file_id("/p/gpfs1/x");
         let a = t.app_id("hacc");
         t.record(3, 1, a, Layer::Posix, OpKind::Write, SimTime(5), SimTime(10), Some(f), 0, 42);
-        let dir = std::env::temp_dir().join("vani_persist_test");
-        fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("trace.json");
+        let p = tmp("trace.json");
         save_tracer(&t, &p).unwrap();
         let back = load_tracer(&p).unwrap();
         assert_eq!(back.records(), t.records());
@@ -59,17 +478,154 @@ mod tests {
 
     #[test]
     fn columnar_round_trips_through_disk() {
-        let mut t = Tracer::new();
-        let f = t.file_id("/y");
-        let a = t.app_id("a");
-        t.record(0, 0, a, Layer::Stdio, OpKind::Read, SimTime(0), SimTime(9), Some(f), 4, 8);
-        let c = ColumnarTrace::from_tracer(&t);
-        let dir = std::env::temp_dir().join("vani_persist_test");
-        fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("columnar.json");
+        let c = sample(1);
+        let p = tmp("columnar.json");
         save_columnar(&c, &p).unwrap();
         let back = load_columnar(&p).unwrap();
         assert_eq!(back.to_records(), c.to_records());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn multi_group_files_round_trip() {
+        let c = sample(25);
+        let p = tmp("multigroup.json");
+        fs::write(&p, render_rowgroups(&c, 4)).unwrap();
+        let back = load_columnar(&p).unwrap();
+        assert_eq!(back, c);
+        let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
+        assert_eq!(salvaged, c);
+        assert!(comp.is_complete());
+        assert_eq!(comp.fraction(), 1.0);
+        assert_eq!(comp.expected_groups, 7);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncation_mid_record_is_rejected_and_salvaged() {
+        let c = sample(25);
+        let text = render_rowgroups(&c, 4);
+        // Cut inside the penultimate group line.
+        let cut = text.len() - text.lines().last().unwrap().len() - 10;
+        let p = tmp("truncated.json");
+        fs::write(&p, &text[..cut]).unwrap();
+        let err = load_columnar(&p).expect_err("truncated file must be rejected");
+        assert!(
+            matches!(err, TraceLoadError::Malformed { .. } | TraceLoadError::Truncated { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("byte"), "error carries byte context: {err}");
+        let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
+        assert!(!comp.is_complete());
+        assert_eq!(comp.expected_records, 25);
+        assert_eq!(comp.loaded_records, salvaged.rank.len() as u64);
+        assert!(comp.loaded_records >= 16, "all intact groups salvage");
+        assert!(comp.fraction() < 1.0);
+        // The salvaged prefix is exactly the original's first records.
+        let want = c.to_records();
+        assert_eq!(salvaged.to_records(), want[..salvaged.rank.len()].to_vec());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn mismatched_column_lengths_are_rejected() {
+        let c = sample(6);
+        let text = render_rowgroups(&c, 8);
+        // Rebuild the single group with a shortened `node` column whose
+        // checksum is *valid* for the short data: only the length check can
+        // catch the disagreement (this is the silent-zip regression).
+        let mut lines: Vec<&str> = text.lines().collect();
+        let group = Json::parse(lines[1]).unwrap();
+        let rows: u64 = group.decode_field("rows").unwrap();
+        let mut checksums: Vec<u64> = group.decode_field("checksums").unwrap();
+        let mut node: Vec<u32> = group.field("columns").unwrap().decode_field("node").unwrap();
+        node.pop();
+        checksums[1] = fnv1a(col_json(&node).render().as_bytes());
+        let columns = group.field("columns").unwrap();
+        let rebuilt = Json::obj([
+            ("rows", rows.to_json()),
+            ("checksums", checksums.to_json()),
+            (
+                "columns",
+                Json::obj(COLUMNS.iter().map(|&name| {
+                    if name == "node" {
+                        (name, col_json(&node))
+                    } else {
+                        (name, columns.field(name).unwrap().clone())
+                    }
+                })),
+            ),
+        ])
+        .render();
+        lines[1] = &rebuilt;
+        let p = tmp("mismatched.json");
+        fs::write(&p, lines.join("\n")).unwrap();
+        let err = load_columnar(&p).expect_err("mismatched columns must be rejected");
+        match err {
+            TraceLoadError::ColumnMismatch { column, len, rows, .. } => {
+                assert_eq!(column, "node");
+                assert_eq!(len, 5);
+                assert_eq!(rows, 6);
+            }
+            other => panic!("expected ColumnMismatch, got: {other}"),
+        }
+        // Salvage drops the bad group but keeps the file loadable.
+        let (_, comp) = load_columnar_salvaged(&p).unwrap();
+        assert_eq!(comp.loaded_groups, 0);
+        assert!(!comp.is_complete());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn bad_checksum_is_rejected_and_salvage_stops_there() {
+        let c = sample(25);
+        let text = render_rowgroups(&c, 4);
+        // Corrupt one byte inside the *last* group's column data without
+        // breaking JSON: flip a digit in the bytes column payload.
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len() - 1;
+        let corrupted = lines[last].replacen("\"bytes\":[", "\"bytes\":[9", 1);
+        let mut doctored: Vec<&str> = lines[..last].to_vec();
+        doctored.push(&corrupted);
+        let p = tmp("badsum.json");
+        fs::write(&p, doctored.join("\n")).unwrap();
+        let err = load_columnar(&p).expect_err("corrupt payload must be rejected");
+        assert!(
+            matches!(err, TraceLoadError::BadChecksum { .. } | TraceLoadError::ColumnMismatch { .. }),
+            "unexpected error: {err}"
+        );
+        let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
+        assert_eq!(comp.loaded_groups, 6, "all groups before the corrupt one salvage");
+        assert_eq!(comp.loaded_records, 24);
+        assert_eq!(salvaged.rank.len(), 24);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn tracer_loads_reject_mismatched_columns() {
+        let mut t = Tracer::new();
+        let f = t.file_id("/z");
+        let a = t.app_id("w");
+        for i in 0..4 {
+            t.record(i, 0, a, Layer::Posix, OpKind::Write, SimTime(0), SimTime(1), Some(f), 0, 1);
+        }
+        let p = tmp("zip.trace.json");
+        save_tracer(&t, &p).unwrap();
+        // Drop one entry from the node column only: still perfectly valid
+        // JSON, but the columns no longer agree.
+        let text = fs::read_to_string(&p).unwrap();
+        let doctored = text.replacen("\"node\":[0,0,0,0]", "\"node\":[0,0,0]", 1);
+        assert_ne!(text, doctored, "fixture must actually change the node column");
+        fs::write(&p, doctored).unwrap();
+        let err = load_tracer(&p).expect_err("zipped columns must be rejected");
+        match err {
+            TraceLoadError::ColumnMismatch { column, len, rows, .. } => {
+                assert_eq!(column, "node");
+                assert_eq!(len, 3);
+                assert_eq!(rows, 4);
+            }
+            other => panic!("expected ColumnMismatch, got: {other}"),
+        }
         fs::remove_file(&p).unwrap();
     }
 }

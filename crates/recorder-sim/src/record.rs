@@ -82,6 +82,17 @@ pub enum OpKind {
     /// The backoff wait before re-submitting a faulted attempt; `bytes` is
     /// the payload re-submitted (feeds retry amplification).
     Retry,
+    /// A durable checkpoint: the span covers the whole checkpoint write
+    /// sequence (open → writes → close) on the emitting rank. The bytes
+    /// moved are already accounted by the underlying write records, so the
+    /// marker is neither data nor metadata.
+    Checkpoint,
+    /// A fatal job crash; the span covers the work lost (last durable
+    /// checkpoint → instant of death).
+    Crash,
+    /// A job restart after a crash; the span covers the recovery latency
+    /// (scheduler requeue + relaunch). One per restart epoch.
+    RestartEpoch,
 }
 
 impl OpKind {
@@ -130,6 +141,9 @@ impl OpKind {
             OpKind::MpiP2p => "mpi_p2p",
             OpKind::Fault => "fault",
             OpKind::Retry => "retry",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Crash => "crash",
+            OpKind::RestartEpoch => "restart",
         }
     }
 }
@@ -233,6 +247,9 @@ impl ToJson for OpKind {
                 OpKind::MpiP2p => "MpiP2p",
                 OpKind::Fault => "Fault",
                 OpKind::Retry => "Retry",
+                OpKind::Checkpoint => "Checkpoint",
+                OpKind::Crash => "Crash",
+                OpKind::RestartEpoch => "RestartEpoch",
             }
             .to_string(),
         )
@@ -258,6 +275,9 @@ impl FromJson for OpKind {
             "MpiP2p" => Ok(OpKind::MpiP2p),
             "Fault" => Ok(OpKind::Fault),
             "Retry" => Ok(OpKind::Retry),
+            "Checkpoint" => Ok(OpKind::Checkpoint),
+            "Crash" => Ok(OpKind::Crash),
+            "RestartEpoch" => Ok(OpKind::RestartEpoch),
             other => Err(JsonError::shape(format!("unknown OpKind variant `{other}`"))),
         }
     }
@@ -327,6 +347,11 @@ mod tests {
         // Fault/retry records must never perturb the data/meta statistics.
         assert!(!OpKind::Fault.is_io());
         assert!(!OpKind::Retry.is_io());
+        // Same for the crash-recovery markers: durable-checkpoint spans,
+        // crash (work lost) spans, and restart-epoch (recovery) spans.
+        assert!(!OpKind::Checkpoint.is_io());
+        assert!(!OpKind::Crash.is_io());
+        assert!(!OpKind::RestartEpoch.is_io());
     }
 
     #[test]

@@ -51,6 +51,19 @@ impl Tracer {
         }
     }
 
+    /// Rebuild a tracer around already-captured columns — the loaders and
+    /// the trace-salvage path turn a (possibly partial) [`ColumnarTrace`]
+    /// back into a live capture sink this way.
+    pub fn from_columnar(cols: ColumnarTrace) -> Self {
+        let mut t = Tracer {
+            cols,
+            enabled: true,
+            ..Default::default()
+        };
+        t.rebuild_index();
+        t
+    }
+
     /// New enabled tracer with room for `n` records pre-allocated.
     pub fn with_capacity(n: usize) -> Self {
         Tracer {

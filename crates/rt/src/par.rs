@@ -16,8 +16,50 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A panic raised inside a parallel worker, caught by the executor and
+/// re-thrown with its origin attached. Every entry point in this module
+/// unwinds with a `Box<WorkerPanic>` payload when a task panics, so callers
+/// that `catch_unwind` (or use [`try_par_map_owned`]) see *which* worker and
+/// chunk failed and the original panic message — instead of a bare unwind
+/// from an anonymous scoped thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the worker thread the panic fired on (0 on the sequential
+    /// and small-input paths, which run on the calling thread).
+    pub worker: usize,
+    /// Index of the chunk whose task panicked. When several chunks panic in
+    /// one run, the lowest-indexed one observed is reported.
+    pub chunk: usize,
+    /// The panic payload's message (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked in chunk {}: {}", self.worker, self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extract a human-readable message from a panic payload: `&str` and
+/// `String` payloads verbatim, a nested [`WorkerPanic`] by its display
+/// form, anything else as a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(wp) = payload.downcast_ref::<WorkerPanic>() {
+        wp.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Process-wide worker-count override (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -74,9 +116,24 @@ where
         return Vec::new();
     }
     if len <= SEQ_THRESHOLD {
-        return vec![work(0, 0..len)];
+        return vec![run_caught(0, 0, 0..len, &work)];
     }
     run_chunked(len, chunk_size(len), work)
+}
+
+/// Run one chunk's task, converting a panic into a [`WorkerPanic`] unwind
+/// so the origin (worker, chunk, message) survives to the caller.
+fn run_caught<R, F>(worker: usize, chunk: usize, range: std::ops::Range<usize>, work: &F) -> R
+where
+    F: Fn(usize, std::ops::Range<usize>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| work(chunk, range))).unwrap_or_else(|payload| {
+        resume_unwind(Box::new(WorkerPanic {
+            worker,
+            chunk,
+            message: panic_message(&*payload),
+        }))
+    })
 }
 
 /// Run `work(chunk_index, start..end)` over every chunk of `csize` items
@@ -95,23 +152,46 @@ where
     let workers = num_threads().min(nchunks);
     if workers <= 1 {
         return (0..nchunks)
-            .map(|c| work(c, c * csize..((c + 1) * csize).min(len)))
+            .map(|c| run_caught(0, c, c * csize..((c + 1) * csize).min(len), &work))
             .collect();
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..nchunks).map(|_| None).collect());
+    // First worker panic observed, lowest chunk index winning: a panicking
+    // worker stops claiming chunks, the rest drain the queue, and the run
+    // re-raises the failure as a typed payload after the scope joins.
+    let failure: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let next = &next;
+            let results = &results;
+            let failure = &failure;
+            let work = &work;
+            scope.spawn(move || loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= nchunks {
                     break;
                 }
-                let out = work(c, c * csize..((c + 1) * csize).min(len));
-                results.lock().expect("no panics hold the results lock")[c] = Some(out);
+                let range = c * csize..((c + 1) * csize).min(len);
+                match catch_unwind(AssertUnwindSafe(|| work(c, range))) {
+                    Ok(out) => {
+                        results.lock().expect("no panics hold the results lock")[c] = Some(out);
+                    }
+                    Err(payload) => {
+                        let wp = WorkerPanic { worker: w, chunk: c, message: panic_message(&*payload) };
+                        let mut slot = failure.lock().expect("no panics hold the failure lock");
+                        if slot.as_ref().map_or(true, |prev| wp.chunk < prev.chunk) {
+                            *slot = Some(wp);
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(wp) = failure.into_inner().expect("scope joined all workers") {
+        resume_unwind(Box::new(wp));
+    }
     results
         .into_inner()
         .expect("scope joined all workers")
@@ -165,6 +245,27 @@ where
         out.extend(chunk);
     }
     out
+}
+
+/// [`par_map_owned`] with panic isolation: a panicking task comes back as
+/// `Err(WorkerPanic)` instead of unwinding through the caller. Only the
+/// first failure (lowest chunk index observed) is reported; the remaining
+/// tasks still run to completion on their workers.
+pub fn try_par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| par_map_owned(items, f))) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<WorkerPanic>() {
+            Ok(wp) => Err(*wp),
+            // Every executor path raises WorkerPanic; anything else came
+            // from outside the worker loop and keeps unwinding.
+            Err(other) => resume_unwind(other),
+        },
+    }
 }
 
 /// Parallel map over fixed-size chunks of the input: `f(chunk_index,
@@ -418,6 +519,58 @@ mod tests {
     fn par_fold_shards_empty_is_identity() {
         let got = par_fold_shards(0, || 41u32, |acc, _| *acc += 1, |a, b| *a += b);
         assert_eq!(got, 41); // no morsels: the identity comes back untouched
+    }
+
+    #[test]
+    fn deliberate_panic_surfaces_as_typed_error() {
+        // One task out of ten panics: the typed error names the chunk
+        // (item index, csize = 1), a worker in range, and the payload text.
+        let err = with_threads(4, || {
+            let xs: Vec<u32> = (0..10).collect();
+            try_par_map_owned(xs, |x| if x == 7 { panic!("boom at {x}") } else { x }).unwrap_err()
+        });
+        assert_eq!(err.chunk, 7);
+        assert!(err.worker < 4, "worker index out of range: {}", err.worker);
+        assert!(err.message.contains("boom at 7"), "payload lost: {}", err.message);
+        let shown = err.to_string();
+        assert!(shown.contains("worker") && shown.contains("chunk 7"), "{shown}");
+    }
+
+    #[test]
+    fn healthy_tasks_still_complete_via_try_entry_point() {
+        let got = with_threads(3, || try_par_map_owned((0..100u64).collect(), |x| x * 2)).unwrap();
+        assert_eq!(got, (0..100u64).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn threaded_kernels_unwind_with_worker_panic_payload() {
+        // A panic inside a large par_map (threaded path) must carry the
+        // typed payload, not a bare unwind.
+        let payload = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                par_map(&(0..10_000u64).collect::<Vec<u64>>(), |&x| {
+                    if x == 9_999 {
+                        panic!("late failure")
+                    }
+                    x
+                })
+            }))
+            .unwrap_err()
+        });
+        let wp = payload.downcast::<WorkerPanic>().expect("typed WorkerPanic payload");
+        assert!(wp.message.contains("late failure"), "{}", wp.message);
+    }
+
+    #[test]
+    fn sequential_paths_also_type_their_panics() {
+        // Small input → calling-thread fast path; worker is 0 by definition.
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&[1u32, 2, 3], |&x| if x == 2 { panic!("tiny") } else { x })
+        }))
+        .unwrap_err();
+        let wp = payload.downcast::<WorkerPanic>().expect("typed payload on fast path");
+        assert_eq!(wp.worker, 0);
+        assert!(wp.message.contains("tiny"));
     }
 
     #[test]

@@ -69,6 +69,39 @@ pub struct Straggler {
     pub slowdown: f64,
 }
 
+/// What a [`CrashEvent`] takes out: a single rank's process, or a whole
+/// client node (every rank it hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashScope {
+    /// One rank dies (OOM kill, segfault, corrupted process image).
+    Rank(u32),
+    /// A whole node dies (kernel panic, power loss); the harness resolves
+    /// the node index to its hosted ranks.
+    Node(u32),
+}
+
+impl CrashScope {
+    /// Deterministic tie-break key for events at the same instant:
+    /// rank crashes before node crashes, then by index.
+    pub fn order_key(&self) -> (u8, u32) {
+        match *self {
+            CrashScope::Rank(r) => (0, r),
+            CrashScope::Node(n) => (1, n),
+        }
+    }
+}
+
+/// A fatal crash at a simulated instant. MPI semantics apply: any rank
+/// dying kills the whole job, and the harness restarts it from the last
+/// durable checkpoint (the scope only attributes the failure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    /// What dies.
+    pub scope: CrashScope,
+    /// When it dies.
+    pub at: SimTime,
+}
+
 /// The complete fault schedule for one run. Pure data; see the module docs
 /// for the determinism contract.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -87,6 +120,9 @@ pub struct FaultPlan {
     /// Probability that one metadata operation attempt fails with
     /// [`crate::IoErr::ServerUnavailable`] before touching the store.
     pub meta_error_rate: f64,
+    /// Fatal rank/node crashes (each kills the job once; the harness
+    /// restarts from the last durable checkpoint).
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl FaultPlan {
@@ -103,6 +139,7 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.data_error_rate <= 0.0
             && self.meta_error_rate <= 0.0
+            && self.crashes.is_empty()
     }
 
     /// Builder: add an NSD server outage window.
@@ -134,6 +171,27 @@ impl FaultPlan {
         self.data_error_rate = data;
         self.meta_error_rate = meta;
         self
+    }
+
+    /// Builder: schedule a single-rank crash at `at`.
+    pub fn with_rank_crash(mut self, rank: u32, at: SimTime) -> Self {
+        self.crashes.push(CrashEvent { scope: CrashScope::Rank(rank), at });
+        self
+    }
+
+    /// Builder: schedule a whole-node crash at `at`.
+    pub fn with_node_crash(mut self, node: u32, at: SimTime) -> Self {
+        self.crashes.push(CrashEvent { scope: CrashScope::Node(node), at });
+        self
+    }
+
+    /// Crash events in deterministic firing order: by instant, ties broken
+    /// rank-before-node then by index. The order is a pure function of the
+    /// plan, so restart sequences cannot depend on registration order.
+    pub fn crashes_sorted(&self) -> Vec<CrashEvent> {
+        let mut c = self.crashes.clone();
+        c.sort_by_key(|e| (e.at, e.scope.order_key()));
+        c
     }
 
     /// Whether NSD server `server` (already reduced modulo the pool size)
@@ -226,6 +284,33 @@ impl FromJson for Straggler {
     }
 }
 
+impl ToJson for CrashEvent {
+    fn to_json(&self) -> Json {
+        let (kind, index) = match self.scope {
+            CrashScope::Rank(r) => ("rank", r),
+            CrashScope::Node(n) => ("node", n),
+        };
+        Json::obj([
+            ("kind", kind.to_json()),
+            ("index", index.to_json()),
+            ("at", self.at.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CrashEvent {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let kind: String = j.decode_field("kind")?;
+        let index: u32 = j.decode_field("index")?;
+        let scope = match kind.as_str() {
+            "rank" => CrashScope::Rank(index),
+            "node" => CrashScope::Node(index),
+            other => return Err(JsonError::shape(format!("unknown crash scope `{other}`"))),
+        };
+        Ok(CrashEvent { scope, at: j.decode_field("at")? })
+    }
+}
+
 impl ToJson for FaultPlan {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -235,6 +320,7 @@ impl ToJson for FaultPlan {
             ("stragglers", self.stragglers.to_json()),
             ("data_error_rate", self.data_error_rate.to_json()),
             ("meta_error_rate", self.meta_error_rate.to_json()),
+            ("crashes", self.crashes.to_json()),
         ])
     }
 }
@@ -248,6 +334,7 @@ impl FromJson for FaultPlan {
             stragglers: j.decode_field("stragglers")?,
             data_error_rate: j.decode_field("data_error_rate")?,
             meta_error_rate: j.decode_field("meta_error_rate")?,
+            crashes: j.decode_field("crashes")?,
         })
     }
 }
@@ -299,12 +386,33 @@ mod tests {
     }
 
     #[test]
+    fn crash_events_fire_in_deterministic_order() {
+        let p = FaultPlan::none()
+            .with_node_crash(3, t(10))
+            .with_rank_crash(9, t(10))
+            .with_rank_crash(2, t(5));
+        assert!(!p.is_empty());
+        let order = p.crashes_sorted();
+        assert_eq!(order[0].scope, CrashScope::Rank(2));
+        assert_eq!(order[1].scope, CrashScope::Rank(9), "rank crash sorts before node crash");
+        assert_eq!(order[2].scope, CrashScope::Node(3));
+        // Registration order must not leak into firing order.
+        let q = FaultPlan::none()
+            .with_rank_crash(2, t(5))
+            .with_rank_crash(9, t(10))
+            .with_node_crash(3, t(10));
+        assert_eq!(q.crashes_sorted(), order);
+    }
+
+    #[test]
     fn plan_round_trips_through_json() {
         let p = FaultPlan::none()
             .with_nsd_outage(7, t(1), t(9))
             .with_nsd_brownout(t(2), t(3), 1.5)
             .with_mds_brownout(t(4), t(8), 16.0)
             .with_straggler(5, 3.0)
+            .with_rank_crash(11, t(6))
+            .with_node_crash(2, t(7))
             .with_error_rates(0.01, 0.002);
         let text = p.to_json().render();
         let back = FaultPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -348,6 +456,14 @@ mod tests {
             }
             for _ in 0..r.uniform_u64(0, 3) {
                 p = p.with_straggler(r.uniform_u64(0, 32) as u32, r.uniform_f64(1.0, 8.0));
+            }
+            for _ in 0..r.uniform_u64(0, 3) {
+                let at = SimTime::from_nanos(r.uniform_u64(0, 1_000_000));
+                p = if r.uniform_u64(0, 2) == 0 {
+                    p.with_rank_crash(r.uniform_u64(0, 512) as u32, at)
+                } else {
+                    p.with_node_crash(r.uniform_u64(0, 64) as u32, at)
+                };
             }
             if r.uniform_u64(0, 2) == 1 {
                 p = p.with_error_rates(r.uniform_f64(0.0, 0.2), r.uniform_f64(0.0, 0.2));

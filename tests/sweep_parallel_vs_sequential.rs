@@ -44,13 +44,13 @@ fn faulted_pair(driver: Driver) -> String {
         let plan = plan.clone();
         set.add("cm1/faulted", move |_| {
             let mut p = wl::cm1::Cm1Params::scaled(SCALE);
-            p.faults = plan;
+            p.faults = plan.clone();
             Analysis::from_run(&wl::cm1::run_with(p, SCALE, SEED))
         });
     }
     set.add("cosmoflow/faulted", move |_| {
         let mut p = wl::cosmoflow::CosmoflowParams::scaled(FAULT_SCALE);
-        p.faults = plan;
+        p.faults = plan.clone();
         Analysis::from_run(&wl::cosmoflow::run_with(p, FAULT_SCALE, SEED))
     });
     set.run(driver)

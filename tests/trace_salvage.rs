@@ -1,0 +1,124 @@
+//! Integration: trace-integrity salvage, end to end.
+//!
+//! A row-group capture that loses its tail (truncation) or takes
+//! mid-file corruption still yields the longest consistent prefix, with
+//! a typed completeness diagnostic; the fused and multipass analyzers
+//! agree bit-for-bit on the salvaged columns, and the entity YAML carries
+//! the completeness annotation. A crashed-and-recovered run's trace —
+//! including its `Crash`/`RestartEpoch`/`Checkpoint` records — survives
+//! the disk round-trip losslessly.
+
+use std::fs;
+use std::path::PathBuf;
+use sim_core::SimTime;
+use storage_sim::FaultPlan;
+use vani_suite::recorder::persist;
+use vani_suite::recorder::tracer::Tracer;
+use vani_suite::vani::analyzer::Analysis;
+use vani_suite::vani::{tables, yaml};
+use vani_suite::workloads as wl;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("vani_trace_salvage");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn truncated_capture_salvages_a_consistent_prefix() {
+    let run = wl::cm1::run(0.01, 11);
+    let path = temp_path("cm1.truncated.rg.json");
+    // Small row groups so truncation can land between group boundaries
+    // even at test scale.
+    fs::write(&path, persist::render_rowgroups(run.world.tracer.columnar(), 64)).unwrap();
+
+    // The writer died mid-record: chop the capture two thirds in.
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() * 2 / 3]).unwrap();
+
+    // Strict loading refuses, pointing at the damage.
+    let err = persist::load_columnar(&path).expect_err("strict load must fail");
+    assert!(err.to_string().contains("byte"), "{err}");
+
+    // Salvage recovers the longest consistent prefix and says how much.
+    let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    assert!(tc.loaded_records > 0, "two thirds of a capture must salvage something");
+    assert!(!tc.is_complete());
+    assert!(tc.fraction() < 1.0);
+    assert_eq!(tc.loaded_records as usize, salvaged.len());
+    let original = run.world.tracer.columnar().to_records();
+    assert_eq!(
+        salvaged.to_records(),
+        original[..salvaged.len()],
+        "salvaged rows must be a prefix of the original capture"
+    );
+
+    // The fused analyzer and the multipass oracle agree on the salvaged
+    // columns, and the YAML carries the completeness diagnostic.
+    let mut partial = wl::cm1::run(0.01, 11);
+    partial.world.tracer = Tracer::from_columnar(salvaged);
+    let fused = Analysis::from_run(&partial);
+    let multi = Analysis::from_run_multipass(&partial);
+    assert_eq!(fused, multi, "fused and multipass must agree on salvaged traces");
+
+    let annotated = yaml::emit(&tables::entities_with_completeness(&fused, Some(&tc)));
+    assert!(annotated.contains("trace_completeness"), "{annotated}");
+    assert!(annotated.contains("trace_records_loaded"));
+    assert!(annotated.contains("trace_records_expected"));
+    // Without a diagnostic the emission is unchanged from the healthy path.
+    let plain = yaml::emit(&tables::entities_for(&fused));
+    assert!(!plain.contains("trace_completeness"));
+}
+
+#[test]
+fn corrupted_group_stops_salvage_at_the_last_verified_group() {
+    let run = wl::cosmoflow::run(0.01, 11);
+    let path = temp_path("cosmo.corrupt.rg.json");
+    let c = run.world.tracer.columnar();
+    fs::write(&path, persist::render_rowgroups(c, 64)).unwrap();
+
+    // Flip one byte inside the last row-group's column data.
+    let mut text = fs::read_to_string(&path).unwrap();
+    let hit = text.rfind("\"bytes\":[").unwrap() + "\"bytes\":[".len();
+    let orig = text.as_bytes()[hit];
+    let flip = if orig == b'1' { '2' } else { '1' };
+    text.replace_range(hit..hit + 1, &flip.to_string());
+    fs::write(&path, &text).unwrap();
+
+    let err = persist::load_columnar(&path).expect_err("strict load must fail");
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    assert!(tc.loaded_groups < tc.expected_groups);
+    assert!(salvaged.len() < c.len());
+    assert_eq!(salvaged.to_records(), c.to_records()[..salvaged.len()]);
+}
+
+#[test]
+fn crashed_run_trace_round_trips_with_resilience_attributes() {
+    // A CM1 run killed halfway and recovered from its step checkpoints.
+    let healthy = wl::cm1::run(0.01, 11);
+    let at = SimTime::from_nanos(healthy.runtime().as_nanos() / 2);
+    let mut p = wl::cm1::Cm1Params::scaled(0.01);
+    p.faults = FaultPlan::none().with_rank_crash(0, at);
+    let mut run = wl::cm1::run_with(p, 0.01, 11);
+
+    let path = temp_path("cm1.crashed.rg.json");
+    persist::save_columnar(run.world.tracer.columnar(), &path).unwrap();
+    let reloaded = persist::load_columnar(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    assert_eq!(&reloaded, run.world.tracer.columnar());
+
+    // The analysis of the reloaded trace still carries the resilience
+    // attributes the crash left behind.
+    let direct = Analysis::from_run(&run);
+    run.world.tracer = Tracer::from_columnar(reloaded);
+    let roundtripped = Analysis::from_run(&run);
+    assert_eq!(direct, roundtripped);
+    assert!(direct.restart_count() > 0);
+    let y = yaml::emit(&tables::entities_for(&roundtripped));
+    assert!(y.contains("restart_count"));
+    assert!(y.contains("recovery_time"));
+}
