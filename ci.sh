@@ -52,4 +52,15 @@ cargo test --release --offline --test crash_recovery
 # on salvaged columns, and the YAML completeness annotation appears.
 cargo test --release --offline --test trace_salvage
 
+# fleet-sweep smoke: the multi-tenant datacenter mode end to end in short
+# mode (64 jobs). Regenerates BENCH_fleet.json and fails (inside the
+# binary) if the rendered fleet report diverges from the sequential driver
+# at any worker count; invalid mixes exit 2 with a typed FleetError.
+cargo run --release --offline -p bench --bin repro -- fleet-sweep --short
+
+# Fleet suite: manifest/admission/report byte-identity at 1/2/8 workers
+# with and without active FaultPlans, single-tenant fleet byte-equal to
+# the dedicated run, and typed errors for bad fleet configurations.
+cargo test --release --offline --test fleet_sweep
+
 echo "ci: OK"

@@ -7,6 +7,7 @@
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
 //! cargo run --release -p bench --bin repro -- crash-sweep
+//! cargo run --release -p bench --bin repro -- fleet-sweep [--short]
 //! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
@@ -95,6 +96,16 @@ fn main() {
                 let s = scale.clamp(0.02, 1.0);
                 let report = crashsweep::crash_sweep(s, 7, sweep::Driver::Parallel);
                 print!("{}", report.render());
+            }
+            "fleet-sweep" => {
+                eprintln!("running fleet sweep (multi-tenant shared-PFS characterization) ...");
+                match bench::fleet::run_fleet(short, scale) {
+                    Ok(render) => print!("{render}"),
+                    Err(e) => {
+                        eprintln!("fleet-sweep failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "bench-pipeline" => {
                 bench::pipeline::run_bench(short);

@@ -1,0 +1,114 @@
+//! Fleet sweep driver: the multi-tenant datacenter mode, invoked as
+//! `repro -- fleet-sweep [--short]`; writes `BENCH_fleet.json` at the
+//! repository root.
+//!
+//! The full run admits 1000 heterogeneous jobs (the short run 64) onto
+//! the shared cluster and renders the fleet's statistical
+//! characterization. The same fleet is executed with the sequential
+//! driver and the parallel driver at 1, 2, and 8 workers; every rendered
+//! report is asserted **byte-identical** to the sequential reference
+//! before anything is written — ci.sh relies on this, and a divergence
+//! aborts with the offending worker count.
+//!
+//! Invalid fleet configurations (an unknown workload id in the mix, a
+//! variant a workload cannot run, a job wider than the cluster) surface
+//! as a typed [`FleetError`] so the binary can fail fast with a message
+//! instead of a panic.
+
+use std::time::Instant;
+
+use vani_core::sweep::Driver;
+use vani_core::tenancy::{fleet_sweep, FleetConfig, FleetError, FleetReport};
+use vani_rt::json::Json;
+use vani_rt::par;
+
+/// Jobs in the full fleet (`--short` uses [`SHORT_JOBS`]).
+pub const FULL_JOBS: usize = 1000;
+/// Jobs in the short (CI) fleet.
+pub const SHORT_JOBS: usize = 64;
+
+/// The fleet configuration the benchmark runs: the standard heterogeneous
+/// mix at a fleet-friendly scale (hundreds of concurrent-ish jobs stay
+/// tractable well below the interactive default scale).
+pub fn bench_config(short: bool, scale: f64) -> FleetConfig {
+    let n_jobs = if short { SHORT_JOBS } else { FULL_JOBS };
+    FleetConfig::standard(n_jobs, scale, 7)
+}
+
+/// Run the fleet at every driver configuration, assert byte-identity,
+/// write `BENCH_fleet.json`, and return the rendered report for stdout.
+pub fn run_fleet(short: bool, scale: f64) -> Result<String, FleetError> {
+    let scale = scale.clamp(0.005, 0.05);
+    let cfg = bench_config(short, scale);
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "fleet sweep: {} jobs at scale {scale}, cluster {} nodes, host has {host_cores} core(s)",
+        cfg.n_jobs, cfg.cluster_nodes
+    );
+
+    let t0 = Instant::now();
+    let reference: FleetReport = fleet_sweep(&cfg, Driver::Sequential)?;
+    let sequential_ns = t0.elapsed().as_nanos() as u64;
+    let ref_render = reference.render();
+    eprintln!("  sequential            : {:>9.2} ms", sequential_ns as f64 / 1e6);
+
+    let mut timings: Vec<(String, usize, u64)> =
+        vec![("sequential".to_string(), 1, sequential_ns)];
+    for workers in [1usize, 2, 8] {
+        par::set_threads(workers);
+        let t = Instant::now();
+        let report = fleet_sweep(&cfg, Driver::Parallel)?;
+        let ns = t.elapsed().as_nanos() as u64;
+        par::set_threads(0);
+        assert_eq!(
+            report.render(),
+            ref_render,
+            "fleet report diverged from sequential at {workers} workers"
+        );
+        eprintln!("  parallel-{workers} ({workers} workers): {:>9.2} ms", ns as f64 / 1e6);
+        timings.push((format!("parallel-{workers}"), workers, ns));
+    }
+    eprintln!(
+        "  8-worker speedup vs sequential: {:.2}x (reports byte-identical across all configs)",
+        sequential_ns as f64 / timings.last().map(|(_, _, ns)| *ns).unwrap_or(1).max(1) as f64
+    );
+
+    let json = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("mode", Json::Str(if short { "short" } else { "full" }.into())),
+                ("n_jobs", Json::Int(cfg.n_jobs as i128)),
+                ("scale", Json::Float(scale)),
+                ("host_cores", Json::Int(host_cores as i128)),
+            ]),
+        ),
+        (
+            "drivers",
+            Json::Arr(
+                timings
+                    .iter()
+                    .map(|(name, workers, ns)| {
+                        Json::obj([
+                            ("config", Json::Str(name.clone())),
+                            ("workers", Json::Int(*workers as i128)),
+                            ("total_ns", Json::Int(*ns as i128)),
+                            (
+                                "speedup_vs_sequential",
+                                Json::Float(sequential_ns as f64 / (*ns).max(1) as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("byte_identical_across_configs", Json::Bool(true)),
+        ("report", reference.to_json()),
+    ]);
+    let out = format!("{}\n", json.render());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, out).expect("write BENCH_fleet.json");
+    eprintln!("wrote {path}");
+
+    Ok(ref_render)
+}

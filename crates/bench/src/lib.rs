@@ -5,6 +5,7 @@
 use vani_core::analyzer::Analysis;
 use vani_core::sweep::{self, Driver};
 
+pub mod fleet;
 pub mod harness;
 pub mod pipeline;
 
@@ -33,6 +34,7 @@ pub fn ior_peak() -> f64 {
         bytes_per_rank: 64 << 20,
         xfer: 16 << 20,
         read_back: false,
+        ..exemplar_workloads::ior::IorParams::paper()
     };
     let run = exemplar_workloads::ior::run(p, 1);
     exemplar_workloads::ior::aggregate_bw(&run)

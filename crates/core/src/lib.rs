@@ -28,6 +28,11 @@
 //! * [`crashsweep`] — the crash-recovery sweep: CosmoFlow over a grid of
 //!   checkpoint counts × whole-job crashes, rendering the
 //!   checkpoint-interval vs time-to-solution tradeoff figure,
+//! * [`tenancy`] — the multi-tenant datacenter mode: seeded open/closed
+//!   job arrivals, a deterministic FCFS scheduler over a shared cluster,
+//!   a mean-field shared-PFS contention model, and the fleet sweep that
+//!   renders IO500-style distribution/correlation/noisy-neighbor
+//!   statistics over thousands of jobs (`repro -- fleet-sweep`),
 //! * [`sweep`] — the scenario-parallel simulation driver: fans independent
 //!   simulations (paper six, fault scenarios, reconfiguration search
 //!   points) across `rt::par` workers with split RNG streams and stable
@@ -44,6 +49,7 @@ pub mod optimizer;
 pub mod reconfig;
 pub mod sweep;
 pub mod tables;
+pub mod tenancy;
 pub mod yaml;
 
 pub use analyzer::Analysis;

@@ -1,0 +1,152 @@
+//! Mean-field contention: turn a fleet schedule into per-job
+//! [`InterferenceSchedule`]s.
+//!
+//! Simulating thousands of concurrent jobs inside one engine timeline is
+//! infeasible (and unnecessary for fleet statistics). Instead each job is
+//! simulated alone, with its neighbors summarized as *competing load* on
+//! the shared servers — the mean-field approximation queueing theory uses
+//! for large shared systems:
+//!
+//! 1. every job's dedicated profile run yields its mean data-bandwidth
+//!    demand and metadata-op rate, expressed as fractions of the shared
+//!    PFS's aggregate capacities ([`TenantDemand`]);
+//! 2. for job J, every other job whose placement overlaps J's contributes
+//!    its demand fractions over the overlap window;
+//! 3. the overlap windows are swept breakpoint-by-breakpoint into a
+//!    piecewise-constant schedule, shifted to J's own timeline (J's
+//!    simulation starts at t = 0), and installed into J's PFS.
+//!
+//! A job with no overlapping neighbors gets an *empty* schedule, which the
+//! PFS treats as bit-identical to never installing one — the single-tenant
+//! fleet therefore reproduces dedicated-run results exactly. The windows
+//! are built by a sequential sweep in job-id order, so schedules are
+//! deterministic at any worker count.
+
+use super::scheduler::Placement;
+use sim_core::SimTime;
+use storage_sim::InterferenceSchedule;
+
+/// One tenant's demand on the shared servers, as capacity fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantDemand {
+    /// Mean data-path demand / aggregate NSD bandwidth.
+    pub data_frac: f64,
+    /// Mean metadata-op rate / aggregate MDS service rate.
+    pub meta_frac: f64,
+}
+
+impl TenantDemand {
+    /// No demand (an idle tenant).
+    pub fn zero() -> Self {
+        TenantDemand { data_frac: 0.0, meta_frac: 0.0 }
+    }
+}
+
+/// Build job `job`'s interference schedule from the fleet placements and
+/// per-job demands. Window times are relative to the job's own start.
+pub fn interference_for(
+    job: usize,
+    placements: &[Placement],
+    demands: &[TenantDemand],
+) -> InterferenceSchedule {
+    let me = &placements[job];
+    if me.end <= me.start {
+        return InterferenceSchedule::none();
+    }
+    // Neighbors overlapping my window, in job-id order.
+    let mut overlapping: Vec<usize> = Vec::new();
+    for (j, p) in placements.iter().enumerate() {
+        if j != job && p.start < me.end && p.end > me.start {
+            overlapping.push(j);
+        }
+    }
+    if overlapping.is_empty() {
+        return InterferenceSchedule::none();
+    }
+    // Breakpoints: my bounds plus every neighbor edge clamped into them.
+    let mut cuts: Vec<f64> = vec![me.start, me.end];
+    for &j in &overlapping {
+        let p = &placements[j];
+        if p.start > me.start && p.start < me.end {
+            cuts.push(p.start);
+        }
+        if p.end > me.start && p.end < me.end {
+            cuts.push(p.end);
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut schedule = InterferenceSchedule::none();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mid = lo + (hi - lo) / 2.0;
+        let (mut data, mut meta) = (0.0f64, 0.0f64);
+        for &j in &overlapping {
+            let p = &placements[j];
+            if p.start <= mid && mid < p.end {
+                data += demands[j].data_frac;
+                meta += demands[j].meta_frac;
+            }
+        }
+        if data > 0.0 || meta > 0.0 {
+            schedule = schedule.with_window(
+                SimTime::from_secs_f64(lo - me.start),
+                SimTime::from_secs_f64(hi - me.start),
+                data,
+                meta,
+            );
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(id: usize, start: f64, end: f64) -> Placement {
+        Placement { id, submit: start, start, end }
+    }
+
+    #[test]
+    fn lonely_job_gets_empty_schedule() {
+        let placements = [pl(0, 0.0, 10.0), pl(1, 20.0, 30.0)];
+        let demands = [TenantDemand { data_frac: 0.5, meta_frac: 0.5 }; 2];
+        assert!(interference_for(0, &placements, &demands).is_empty());
+        assert!(interference_for(1, &placements, &demands).is_empty());
+    }
+
+    #[test]
+    fn overlap_becomes_a_job_relative_window() {
+        // Job 1 runs [5, 15); job 0 runs [0, 10): they overlap on [5, 10).
+        let placements = [pl(0, 0.0, 10.0), pl(1, 5.0, 15.0)];
+        let demands = [
+            TenantDemand { data_frac: 0.4, meta_frac: 0.1 },
+            TenantDemand { data_frac: 0.2, meta_frac: 0.3 },
+        ];
+        let s0 = interference_for(0, &placements, &demands);
+        // On job 0's own timeline the neighbor covers [5, 10).
+        assert_eq!(s0.data_factor(SimTime::from_secs_f64(2.0)), 1.0);
+        assert!((s0.data_factor(SimTime::from_secs_f64(7.0)) - 1.2).abs() < 1e-12);
+        assert!((s0.meta_factor(SimTime::from_secs_f64(7.0)) - 1.3).abs() < 1e-12);
+        // On job 1's timeline job 0 covers [0, 5).
+        let s1 = interference_for(1, &placements, &demands);
+        assert!((s1.data_factor(SimTime::from_secs_f64(1.0)) - 1.4).abs() < 1e-12);
+        assert_eq!(s1.data_factor(SimTime::from_secs_f64(8.0)), 1.0);
+    }
+
+    #[test]
+    fn concurrent_neighbors_add_loads() {
+        let placements = [pl(0, 0.0, 10.0), pl(1, 0.0, 10.0), pl(2, 0.0, 10.0)];
+        let demands = [TenantDemand { data_frac: 0.25, meta_frac: 0.0 }; 3];
+        let s = interference_for(0, &placements, &demands);
+        assert!((s.data_factor(SimTime::from_secs_f64(5.0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_neighbors_leave_the_schedule_empty() {
+        let placements = [pl(0, 0.0, 10.0), pl(1, 0.0, 10.0)];
+        let demands = [TenantDemand::zero(); 2];
+        assert!(interference_for(0, &placements, &demands).is_empty());
+    }
+}

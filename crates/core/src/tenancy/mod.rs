@@ -1,0 +1,97 @@
+//! Multi-tenant datacenter mode: a shared-PFS job scheduler plus
+//! fleet-scale statistical characterization.
+//!
+//! The paper characterizes each exemplar workload on a *dedicated* machine.
+//! Production clusters are nothing like that: many heterogeneous jobs run
+//! concurrently and contend for the same NSD data servers and MDS metadata
+//! servers. This module adds that missing regime:
+//!
+//! * [`arrival`] — seeded open (exponential / lognormal inter-arrival) and
+//!   closed (fixed concurrency + think time) arrival processes;
+//! * [`scheduler`] — a deterministic FCFS scheduler placing jobs onto a
+//!   fixed pool of cluster nodes, in strict admission order;
+//! * [`contention`] — the mean-field contention model: each job's
+//!   neighbors become a piecewise-constant
+//!   [`storage_sim::InterferenceSchedule`] of competing data/metadata load
+//!   installed into the job's own PFS simulation;
+//! * [`fleet`] — the fleet sweep: manifest generation (workload mix,
+//!   variants, seeds, arrivals), dedicated profile runs, scheduling,
+//!   interference construction, and the job fan-out through the
+//!   scenario-parallel [`crate::sweep`] driver;
+//! * [`stats`] — IO500-style fleet reports: per-attribute p50/p90/p99
+//!   distributions, cross-attribute Pearson correlations, and the
+//!   noisy-neighbor slowdown-vs-dedicated table.
+//!
+//! # Determinism contract
+//!
+//! The fleet manifest is generated sequentially from the fleet seed before
+//! any simulation starts; profile and job fan-outs go through
+//! [`crate::sweep::ScenarioSet`], which merges results in registration
+//! order; and every post-processing reduction (scheduling, interference
+//! windows, quantiles, correlations) is a sequential pass in job-id order.
+//! The rendered report is therefore **byte-identical at any worker
+//! count**, and a fleet whose schedule produces no overlap (a single
+//! tenant) installs empty interference schedules, which the PFS treats as
+//! bit-identical to a dedicated run.
+
+pub mod arrival;
+pub mod contention;
+pub mod fleet;
+pub mod scheduler;
+pub mod stats;
+
+pub use arrival::{ArrivalProcess, InterArrival};
+pub use contention::TenantDemand;
+pub use fleet::{
+    build_manifest, fleet_sweep, parse_workload, FleetConfig, FleetManifest, JobRecord,
+    JobTemplate, JobVariant, ManifestJob, KNOWN_WORKLOADS,
+};
+pub use scheduler::{fcfs_schedule, JobDemand, Placement, ScheduleArrivals};
+pub use stats::{FleetReport, ProfileSummary};
+
+/// A fleet configuration that cannot be run. Surfaced as a typed error —
+/// never a panic — so `repro -- fleet-sweep` can fail fast with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A job template references a workload id the suite does not know.
+    UnknownWorkload(String),
+    /// A job template asks for a variant the workload cannot run (crashy
+    /// variants need checkpoint/restart support).
+    UnsupportedVariant {
+        /// The workload id.
+        workload: String,
+        /// The unsupported variant name.
+        variant: String,
+    },
+    /// The workload mix is empty or has zero total weight.
+    EmptyMix,
+    /// A job needs more nodes than the shared cluster has.
+    JobTooLarge {
+        /// The workload id.
+        workload: String,
+        /// Nodes the job needs at the configured scale.
+        nodes: u32,
+        /// Nodes the shared cluster has.
+        cluster_nodes: u32,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownWorkload(w) => {
+                write!(f, "unknown workload `{w}` (known: {})", fleet::KNOWN_WORKLOADS.join(", "))
+            }
+            FleetError::UnsupportedVariant { workload, variant } => {
+                write!(f, "workload `{workload}` does not support the `{variant}` variant")
+            }
+            FleetError::EmptyMix => write!(f, "fleet mix is empty (or has zero total weight)"),
+            FleetError::JobTooLarge { workload, nodes, cluster_nodes } => write!(
+                f,
+                "job `{workload}` needs {nodes} nodes but the cluster has {cluster_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

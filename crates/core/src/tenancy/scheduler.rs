@@ -1,0 +1,226 @@
+//! Deterministic FCFS job scheduler for the shared cluster.
+//!
+//! Jobs are admitted in strict submission (job-id) order onto a fixed pool
+//! of nodes: a job starts at the earliest instant at or after its submit
+//! time when (a) every earlier job has already started — no backfill, so
+//! admission order equals job order — and (b) enough nodes are free.
+//! Runtimes are *estimates* from the dedicated profile runs; the scheduler
+//! is a placement model, not a second simulator, and its arithmetic is a
+//! sequential fold over job ids so placements are identical on every
+//! machine and at every worker count.
+
+use super::arrival::ArrivalProcess;
+
+/// What one job asks of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobDemand {
+    /// Nodes the job occupies while running.
+    pub nodes: u32,
+    /// Estimated runtime, seconds (from the dedicated profile run).
+    pub est_runtime: f64,
+}
+
+/// Where the scheduler put one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Job id (index into the manifest).
+    pub id: usize,
+    /// When the job was submitted.
+    pub submit: f64,
+    /// When it started (placement instant).
+    pub start: f64,
+    /// Estimated completion (`start + est_runtime`).
+    pub end: f64,
+}
+
+impl Placement {
+    /// Queueing delay between submission and start.
+    pub fn wait(&self) -> f64 {
+        self.start - self.submit
+    }
+}
+
+/// Submission times handed to the scheduler.
+pub enum ScheduleArrivals<'a> {
+    /// Open process: pre-drawn submit times, one per job, non-decreasing.
+    Open(&'a [f64]),
+    /// Closed process: the first `concurrency` jobs submit at t = 0; job
+    /// `i` (i ≥ concurrency) submits when job `i - concurrency` completes
+    /// plus the think time.
+    Closed {
+        /// Jobs in flight.
+        concurrency: usize,
+        /// Seconds between a completion and the next submission.
+        think_time: f64,
+    },
+}
+
+impl<'a> ScheduleArrivals<'a> {
+    /// Build from an [`ArrivalProcess`] plus the pre-drawn open submits.
+    pub fn from_process(p: &ArrivalProcess, open_submits: &'a [f64]) -> Self {
+        match p {
+            ArrivalProcess::Open { .. } => ScheduleArrivals::Open(open_submits),
+            ArrivalProcess::Closed { concurrency, think_time } => {
+                ScheduleArrivals::Closed { concurrency: (*concurrency).max(1), think_time: *think_time }
+            }
+        }
+    }
+}
+
+/// Place every job FCFS onto `cluster_nodes` nodes. Panics if a job wants
+/// more nodes than the cluster has — callers validate that with a typed
+/// [`super::FleetError::JobTooLarge`] before scheduling.
+pub fn fcfs_schedule(
+    cluster_nodes: u32,
+    demands: &[JobDemand],
+    arrivals: &ScheduleArrivals<'_>,
+) -> Vec<Placement> {
+    let mut placements: Vec<Placement> = Vec::with_capacity(demands.len());
+    // Running set: (estimated end, nodes). Small (bounded by concurrent
+    // jobs), so linear scans beat a heap and keep tie-breaking explicit:
+    // the earliest end wins, and among equal ends the lowest index (the
+    // earliest-admitted job) releases first.
+    let mut running: Vec<(f64, u32)> = Vec::new();
+    let mut free = cluster_nodes;
+    let mut prev_start = 0.0f64;
+    for (i, d) in demands.iter().enumerate() {
+        assert!(
+            d.nodes <= cluster_nodes,
+            "job {i} wants {} nodes on a {cluster_nodes}-node cluster",
+            d.nodes
+        );
+        let submit = match arrivals {
+            ScheduleArrivals::Open(ts) => ts[i],
+            ScheduleArrivals::Closed { concurrency, think_time } => {
+                if i < *concurrency {
+                    0.0
+                } else {
+                    placements[i - concurrency].end + think_time
+                }
+            }
+        };
+        // No backfill: a job never starts before its predecessor.
+        let mut t = if submit > prev_start { submit } else { prev_start };
+        loop {
+            // Release everything that has finished by `t`.
+            let mut k = 0;
+            while k < running.len() {
+                if running[k].0 <= t {
+                    free += running[k].1;
+                    running.swap_remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+            if free >= d.nodes {
+                break;
+            }
+            // Advance to the earliest outstanding completion.
+            let mut next = f64::INFINITY;
+            for &(end, _) in &running {
+                if end < next {
+                    next = end;
+                }
+            }
+            assert!(next.is_finite(), "deadlock: nothing running but not enough nodes");
+            t = next;
+        }
+        free -= d.nodes;
+        let end = t + d.est_runtime.max(0.0);
+        running.push((end, d.nodes));
+        placements.push(Placement { id: i, submit, start: t, end });
+        prev_start = t;
+    }
+    placements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(nodes: u32, rt: f64) -> JobDemand {
+        JobDemand { nodes, est_runtime: rt }
+    }
+
+    #[test]
+    fn uncontended_jobs_start_at_submission() {
+        let demands = [d(2, 10.0), d(2, 10.0), d(2, 10.0)];
+        let submits = [0.0, 1.0, 2.0];
+        let p = fcfs_schedule(16, &demands, &ScheduleArrivals::Open(&submits));
+        assert_eq!(p[0].start, 0.0);
+        assert_eq!(p[1].start, 1.0);
+        assert_eq!(p[2].start, 2.0);
+    }
+
+    #[test]
+    fn saturated_cluster_queues_fcfs() {
+        // 4 nodes; each job takes all of them: strict serialization.
+        let demands = [d(4, 5.0), d(4, 5.0), d(4, 5.0)];
+        let submits = [0.0, 0.0, 0.0];
+        let p = fcfs_schedule(4, &demands, &ScheduleArrivals::Open(&submits));
+        assert_eq!(p[0].start, 0.0);
+        assert_eq!(p[1].start, 5.0);
+        assert_eq!(p[2].start, 10.0);
+        assert!(p.windows(2).all(|w| w[1].start >= w[0].start), "admission order");
+    }
+
+    #[test]
+    fn no_backfill_small_job_waits_for_big_head() {
+        // Job 1 wants the whole cluster and queues; job 2 would fit in the
+        // leftover nodes but must not overtake it.
+        let demands = [d(2, 10.0), d(4, 5.0), d(1, 1.0)];
+        let submits = [0.0, 0.0, 0.0];
+        let p = fcfs_schedule(4, &demands, &ScheduleArrivals::Open(&submits));
+        assert_eq!(p[1].start, 10.0);
+        assert!(p[2].start >= p[1].start, "no backfill past the queue head");
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let demands: Vec<JobDemand> = (0..40).map(|i| d(1 + (i % 3), 3.0 + i as f64 * 0.1)).collect();
+        let submits: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        let cluster = 6u32;
+        let p = fcfs_schedule(cluster, &demands, &ScheduleArrivals::Open(&submits));
+        // Check occupancy at every start instant.
+        for probe in &p {
+            let t = probe.start;
+            let used: u32 = p
+                .iter()
+                .zip(&demands)
+                .filter(|(pl, _)| pl.start <= t && t < pl.end)
+                .map(|(_, dm)| dm.nodes)
+                .sum();
+            assert!(used <= cluster, "{used} nodes used at t={t}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_keeps_concurrency_bounded() {
+        let demands: Vec<JobDemand> = (0..12).map(|_| d(1, 10.0)).collect();
+        let p = fcfs_schedule(
+            64,
+            &demands,
+            &ScheduleArrivals::Closed { concurrency: 3, think_time: 1.0 },
+        );
+        // First three at t=0; job 3 submits when job 0 ends (+1s think).
+        assert_eq!(p[0].start, 0.0);
+        assert_eq!(p[2].start, 0.0);
+        assert_eq!(p[3].submit, 11.0);
+        assert_eq!(p[3].start, 11.0);
+        // At any start instant at most `concurrency` jobs are in flight.
+        for probe in &p {
+            let t = probe.start;
+            let inflight = p.iter().filter(|pl| pl.start <= t && t < pl.end).count();
+            assert!(inflight <= 3, "{inflight} jobs in flight at t={t}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let demands: Vec<JobDemand> = (0..30).map(|i| d(1 + (i % 4), 2.0 + i as f64 * 0.3)).collect();
+        let submits: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7) % 11.0 + i as f64 * 0.2).collect();
+        let a = fcfs_schedule(8, &demands, &ScheduleArrivals::Open(&submits));
+        let b = fcfs_schedule(8, &demands, &ScheduleArrivals::Open(&submits));
+        assert_eq!(a, b);
+    }
+}

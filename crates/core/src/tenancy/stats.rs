@@ -1,0 +1,340 @@
+//! Fleet-scale statistical characterization, IO500-submission-study
+//! style: per-attribute distributions, cross-attribute correlations, and
+//! the noisy-neighbor impact table.
+//!
+//! Every number is formatted with a fixed precision and every aggregation
+//! is a sequential pass over job-id-ordered records, so the rendered
+//! report (and its digest) is byte-identical at any worker count.
+
+use super::fleet::{FleetManifest, JobRecord};
+use super::scheduler::Placement;
+use crate::tables::Table;
+use sim_core::units::MIB;
+use vani_rt::stats::{pearson, Quantiles};
+use vani_rt::Json;
+
+/// One dedicated profile run, as the report presents it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Workload id.
+    pub workload: String,
+    /// Variant name.
+    pub variant: String,
+    /// Dedicated-machine runtime, seconds.
+    pub runtime_s: f64,
+    /// Data demand as a fraction of the (scaled) shared PFS bandwidth.
+    pub data_frac: f64,
+    /// Metadata demand as a fraction of the (scaled) MDS service rate.
+    pub meta_frac: f64,
+}
+
+/// Everything a fleet sweep produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scale the fleet ran at.
+    pub scale: f64,
+    /// The fleet seed.
+    pub seed: u64,
+    /// The job manifest, as drawn.
+    pub manifest: FleetManifest,
+    /// FCFS placements, in admission order.
+    pub placements: Vec<Placement>,
+    /// Dedicated profile runs, in profile-wave order.
+    pub profiles: Vec<ProfileSummary>,
+    /// Per-job outcomes, in admission order.
+    pub records: Vec<JobRecord>,
+}
+
+/// FNV-1a 64-bit digest; stable, dependency-free, good enough to pin a
+/// report's identity across worker counts in tests and benches.
+pub(crate) fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fixed-precision cell; NaN (empty sample / degenerate correlation)
+/// renders as "-".
+fn cell(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// The attributes the distribution table and correlation matrix cover.
+/// Kept as one list so the two stay in sync.
+fn attributes() -> Vec<(&'static str, fn(&JobRecord) -> f64)> {
+    vec![
+        ("runtime (s)", |r: &JobRecord| r.runtime),
+        ("queue wait (s)", |r: &JobRecord| r.start - r.submit),
+        ("io time frac", |r: &JobRecord| r.io_time_frac),
+        ("agg bw (MiB/s)", |r: &JobRecord| r.agg_bw / MIB as f64),
+        ("meta ops", |r: &JobRecord| r.meta_ops as f64),
+        ("neighbor load", |r: &JobRecord| r.mean_neighbor_load),
+        ("tenant delay (s)", |r: &JobRecord| r.tenant_delay_secs),
+        ("slowdown", |r: &JobRecord| r.slowdown),
+    ]
+}
+
+/// Subset of [`attributes`] used for the correlation matrix (queue wait
+/// and tenant delay are near-duplicates of neighbor load by construction;
+/// the matrix keeps the interesting axes readable).
+const CORR_ATTRS: [&str; 6] =
+    ["runtime (s)", "io time frac", "agg bw (MiB/s)", "meta ops", "neighbor load", "slowdown"];
+
+impl FleetReport {
+    /// Digest of the manifest plus the admission schedule — what the
+    /// byte-identity tests pin across worker counts.
+    pub fn admission_digest(&self) -> u64 {
+        let mut text = self.manifest.render();
+        for p in &self.placements {
+            text.push_str(&format!(
+                "{:>5} submit {:.6} start {:.6} end {:.6}\n",
+                p.id, p.submit, p.start, p.end
+            ));
+        }
+        fnv1a64(&text)
+    }
+
+    /// Mean queueing delay across the fleet, seconds.
+    pub fn mean_wait(&self) -> f64 {
+        if self.placements.is_empty() {
+            return 0.0;
+        }
+        self.placements.iter().map(Placement::wait).sum::<f64>() / self.placements.len() as f64
+    }
+
+    fn profile_table(&self) -> Table {
+        Table {
+            title: "Dedicated profiles (wave 1)".to_string(),
+            header: ["workload", "variant", "runtime (s)", "data demand", "meta demand"]
+                .map(String::from)
+                .to_vec(),
+            rows: self
+                .profiles
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.workload.clone(),
+                        p.variant.clone(),
+                        format!("{:.3}", p.runtime_s),
+                        cell(p.data_frac),
+                        cell(p.meta_frac),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn distribution_table(&self) -> Table {
+        Table {
+            title: "Fleet attribute distributions".to_string(),
+            header: ["attribute", "n", "min", "p50", "p90", "p99", "max", "mean"]
+                .map(String::from)
+                .to_vec(),
+            rows: attributes()
+                .iter()
+                .map(|(name, f)| {
+                    let xs: Vec<f64> = self.records.iter().map(|r| f(r)).collect();
+                    let q = Quantiles::of(&xs);
+                    vec![
+                        name.to_string(),
+                        q.n.to_string(),
+                        cell(q.min),
+                        cell(q.p50),
+                        cell(q.p90),
+                        cell(q.p99),
+                        cell(q.max),
+                        cell(q.mean),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn correlation_table(&self) -> Table {
+        let attrs: Vec<(&str, fn(&JobRecord) -> f64)> = attributes()
+            .into_iter()
+            .filter(|(n, _)| CORR_ATTRS.contains(n))
+            .collect();
+        let samples: Vec<Vec<f64>> = attrs
+            .iter()
+            .map(|(_, f)| self.records.iter().map(|r| f(r)).collect())
+            .collect();
+        let mut header = vec!["pearson r".to_string()];
+        header.extend(attrs.iter().map(|(n, _)| n.to_string()));
+        Table {
+            title: "Cross-attribute correlation".to_string(),
+            header,
+            rows: attrs
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _))| {
+                    let mut row = vec![name.to_string()];
+                    row.extend((0..attrs.len()).map(|j| cell(pearson(&samples[i], &samples[j]))));
+                    row
+                })
+                .collect(),
+        }
+    }
+
+    fn noisy_neighbor_table(&self) -> Table {
+        let mut rows = Vec::new();
+        for p in &self.profiles {
+            let group: Vec<&JobRecord> = self
+                .records
+                .iter()
+                .filter(|r| r.workload == p.workload && r.variant.name() == p.variant)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let runtimes: Vec<f64> = group.iter().map(|r| r.runtime).collect();
+            let slowdowns: Vec<f64> = group.iter().map(|r| r.slowdown).collect();
+            let loads: Vec<f64> = group.iter().map(|r| r.mean_neighbor_load).collect();
+            let qr = Quantiles::of(&runtimes);
+            let qs = Quantiles::of(&slowdowns);
+            rows.push(vec![
+                p.workload.clone(),
+                p.variant.clone(),
+                group.len().to_string(),
+                format!("{:.3}", p.runtime_s),
+                format!("{:.3}", qr.p50),
+                format!("{:.3}", qr.p99),
+                cell(qs.p50),
+                cell(qs.p99),
+                cell(loads.iter().sum::<f64>() / loads.len() as f64),
+            ]);
+        }
+        Table {
+            title: "Noisy neighbor impact (fleet vs dedicated)".to_string(),
+            header: [
+                "workload",
+                "variant",
+                "jobs",
+                "dedicated (s)",
+                "fleet p50 (s)",
+                "fleet p99 (s)",
+                "slowdown p50",
+                "slowdown p99",
+                "mean load",
+            ]
+            .map(String::from)
+            .to_vec(),
+            rows,
+        }
+    }
+
+    /// Render the full report as `repro -- fleet-sweep` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Fleet sweep: multi-tenant shared-PFS characterization\n");
+        out.push_str(&format!(
+            "jobs {} | scale {:.4} | seed {} | cluster {} nodes | arrival {}\n",
+            self.records.len(),
+            self.scale,
+            self.seed,
+            self.manifest.cluster_nodes,
+            self.manifest.arrival
+        ));
+        let makespan = self.placements.iter().map(|p| p.end).fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "admission digest {:016x} | schedule makespan {:.3} s | mean queue wait {:.3} s\n\n",
+            self.admission_digest(),
+            makespan,
+            self.mean_wait()
+        ));
+        out.push_str(&self.profile_table().render());
+        out.push('\n');
+        out.push_str(&self.distribution_table().render());
+        out.push('\n');
+        out.push_str(&self.correlation_table().render());
+        out.push('\n');
+        out.push_str(&self.noisy_neighbor_table().render());
+        out
+    }
+
+    /// JSON summary for `BENCH_fleet.json`. Carries digests plus the
+    /// aggregated tables, not the per-job records (the render has those in
+    /// aggregate; the manifest digest pins the raw identity).
+    pub fn to_json(&self) -> Json {
+        let jnum = |x: f64| if x.is_finite() { Json::Float(x) } else { Json::Null };
+        let quantiles = attributes()
+            .iter()
+            .map(|(name, f)| {
+                let xs: Vec<f64> = self.records.iter().map(|r| f(r)).collect();
+                let q = Quantiles::of(&xs);
+                (
+                    *name,
+                    Json::obj([
+                        ("n", Json::Int(q.n as i128)),
+                        ("min", jnum(q.min)),
+                        ("p50", jnum(q.p50)),
+                        ("p90", jnum(q.p90)),
+                        ("p99", jnum(q.p99)),
+                        ("max", jnum(q.max)),
+                        ("mean", jnum(q.mean)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        let profiles = self
+            .profiles
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("workload", Json::Str(p.workload.clone())),
+                    ("variant", Json::Str(p.variant.clone())),
+                    ("runtime_s", jnum(p.runtime_s)),
+                    ("data_frac", jnum(p.data_frac)),
+                    ("meta_frac", jnum(p.meta_frac)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("n_jobs", Json::Int(self.records.len() as i128)),
+            ("scale", Json::Float(self.scale)),
+            ("seed", Json::Int(self.seed as i128)),
+            ("cluster_nodes", Json::Int(self.manifest.cluster_nodes as i128)),
+            ("arrival", Json::Str(self.manifest.arrival.clone())),
+            ("admission_digest", Json::Str(format!("{:016x}", self.admission_digest()))),
+            ("report_digest", Json::Str(format!("{:016x}", fnv1a64(&self.render())))),
+            ("mean_queue_wait_s", jnum(self.mean_wait())),
+            ("quantiles", Json::Obj(
+                quantiles.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            )),
+            ("profiles", Json::Arr(profiles)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_digest_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("fleet"), fnv1a64("fleet"));
+        assert_ne!(fnv1a64("fleet"), fnv1a64("fleer"));
+    }
+
+    #[test]
+    fn nan_cells_render_as_dashes() {
+        assert_eq!(cell(f64::NAN), "-");
+        assert_eq!(cell(f64::INFINITY), "-");
+        assert_eq!(cell(1.25), "1.2500");
+    }
+
+    #[test]
+    fn correlation_attrs_are_a_subset_of_the_attribute_list() {
+        let names: Vec<&str> = attributes().iter().map(|(n, _)| *n).collect();
+        for a in CORR_ATTRS {
+            assert!(names.contains(&a), "{a} missing from attributes()");
+        }
+    }
+}

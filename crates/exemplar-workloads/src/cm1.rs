@@ -19,7 +19,7 @@ use io_layers::posix::{self, Fd, OpenFlags, Whence};
 use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// CM1 parameters; `default_paper()` matches the paper's run.
 #[derive(Debug, Clone)]
@@ -46,6 +46,8 @@ pub struct Cm1Params {
     pub step_compute: Dur,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl Cm1Params {
@@ -53,6 +55,7 @@ impl Cm1Params {
     pub fn paper() -> Self {
         Cm1Params {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_config_files: 737,
@@ -71,6 +74,7 @@ impl Cm1Params {
         let p = Self::paper();
         Cm1Params {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
             n_config_files: scaled(p.n_config_files as u64, scale, 2) as u32,
@@ -318,6 +322,7 @@ pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cm1");
     }

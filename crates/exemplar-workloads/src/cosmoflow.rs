@@ -22,7 +22,7 @@ use io_layers::posix::{self, OpenFlags};
 use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// CosmoFlow parameters.
 #[derive(Debug, Clone)]
@@ -58,6 +58,8 @@ pub struct CosmoflowParams {
     pub preload_to_shm: bool,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl CosmoflowParams {
@@ -65,6 +67,7 @@ impl CosmoflowParams {
     pub fn paper() -> Self {
         CosmoflowParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 4,
             n_files: 49_664,
@@ -86,6 +89,7 @@ impl CosmoflowParams {
         let p = Self::paper();
         CosmoflowParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node,
             n_files: scaled(p.n_files as u64, scale, 8) as u32,
@@ -454,6 +458,7 @@ pub fn run_with(mut p: CosmoflowParams, scale: f64, seed: u64) -> WorkloadRun {
         stage_dataset(&mut world, &p);
     }
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cosmoflow");
     }

@@ -17,7 +17,7 @@ use io_layers::posix::{self, Fd, OpenFlags, Whence};
 use io_layers::world::IoWorld;
 use sim_core::units::MIB;
 use sim_core::{Dur, SimTime};
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// HACC-IO parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +36,8 @@ pub struct HaccParams {
     pub gen_compute: Dur,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl HaccParams {
@@ -43,6 +45,7 @@ impl HaccParams {
     pub fn paper() -> Self {
         HaccParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_vars: 9,
@@ -57,6 +60,7 @@ impl HaccParams {
         let p = Self::paper();
         HaccParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             n_vars: p.n_vars,
@@ -186,6 +190,7 @@ pub fn run_with(p: HaccParams, scale: f64, seed: u64) -> WorkloadRun {
         .tracer
         .reserve((ranks * (4 + p.n_vars as u64 + p.bytes_per_rank / p.xfer.max(1))) as usize);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "hacc-io");
     }
@@ -257,13 +262,13 @@ mod tests {
         // Paper-sized transfers so the write-behind cache saturates and
         // writes go through the contended servers.
         let p = HaccParams {
-            faults: FaultPlan::none(),
             nodes: 2,
             ranks_per_node: 4,
             n_vars: 9,
             bytes_per_rank: 632 * MIB,
             xfer: 16 * MIB,
             gen_compute: Dur::from_secs_f64(0.1),
+            ..HaccParams::paper()
         };
         let run = run_with(p, 1.0, 3);
         let c = run.columnar();

@@ -4,13 +4,14 @@
 //! sequential transfers to its own file and the aggregate bandwidth is
 //! measured at the job level.
 
-use crate::harness::{execute, WorkloadKind, WorkloadRun};
+use crate::harness::{execute, scaled, scaled_nodes, WorkloadKind, WorkloadRun};
 use hpc_cluster::engine::{RankScript, StepEffect};
 use hpc_cluster::topology::RankId;
 use io_layers::posix::{self, Fd, OpenFlags};
 use io_layers::world::IoWorld;
 use sim_core::units::MIB;
 use sim_core::{Dur, SimTime};
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// IOR parameters.
 #[derive(Debug, Clone)]
@@ -25,17 +26,39 @@ pub struct IorParams {
     pub xfer: u64,
     /// Whether to read the data back after writing.
     pub read_back: bool,
+    /// Fault-injection plan applied to the PFS for this run (empty = none).
+    pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl IorParams {
     /// The Table IX measurement configuration.
     pub fn paper() -> Self {
         IorParams {
+            faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 8,
             bytes_per_rank: 512 * MIB,
             xfer: 16 * MIB,
             read_back: false,
+        }
+    }
+
+    /// Scaled-down variant for fast runs; scale 1.0 = paper. Lets the
+    /// benchmark join the fleet's workload mix at the same scale as the
+    /// exemplar applications.
+    pub fn scaled(scale: f64) -> Self {
+        let p = Self::paper();
+        IorParams {
+            faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
+            nodes: scaled_nodes(p.nodes, scale),
+            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
+            bytes_per_rank: scaled(p.bytes_per_rank, scale, 2 * MIB),
+            xfer: p.xfer.min(scaled(p.bytes_per_rank, scale, 2 * MIB)),
+            read_back: p.read_back,
         }
     }
 }
@@ -119,6 +142,8 @@ pub fn run(p: IorParams, seed: u64) -> WorkloadRun {
     world
         .tracer
         .reserve((ranks * (4 + passes * (p.bytes_per_rank / p.xfer.max(1)))) as usize);
+    world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "ior");
     }
@@ -154,6 +179,7 @@ mod tests {
             bytes_per_rank: 64 * MIB,
             xfer: 16 * MIB,
             read_back: false,
+            ..IorParams::paper()
         };
         let run = run(p, 1);
         let bw = aggregate_bw(&run);
@@ -174,6 +200,7 @@ mod tests {
             bytes_per_rank: 64 * MIB,
             xfer: 16 * MIB,
             read_back: false,
+            ..IorParams::paper()
         };
         let run = run(p, 1);
         let bw = aggregate_bw(&run);

@@ -18,7 +18,7 @@ use io_layers::world::IoWorld;
 use sim_core::units::KIB;
 use sim_core::{Dur, SimTime};
 use storage_sim::file::Segment;
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// JAG parameters.
 #[derive(Debug, Clone)]
@@ -41,6 +41,8 @@ pub struct JagParams {
     pub validation_samples: u64,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl JagParams {
@@ -48,6 +50,7 @@ impl JagParams {
     pub fn paper() -> Self {
         JagParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 4,
             n_samples: 100_000,
@@ -64,6 +67,7 @@ impl JagParams {
         let p = Self::paper();
         JagParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node,
             n_samples: scaled(p.n_samples, scale, 64),
@@ -239,6 +243,7 @@ pub fn run_with(p: JagParams, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_dataset(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "jag-icf");
     }

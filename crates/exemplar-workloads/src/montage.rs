@@ -21,7 +21,7 @@ use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
 use storage_sim::file::Segment;
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// Montage-MPI parameters.
 #[derive(Debug, Clone)]
@@ -58,6 +58,8 @@ pub struct MontageParams {
     pub workdir: String,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl MontageParams {
@@ -65,6 +67,7 @@ impl MontageParams {
     pub fn paper() -> Self {
         MontageParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 40,
             inputs_per_node: 30,
@@ -87,6 +90,7 @@ impl MontageParams {
         let p = Self::paper();
         MontageParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             inputs_per_node: scaled(p.inputs_per_node as u64, scale.max(0.1), 2) as u32,
@@ -467,6 +471,7 @@ pub fn run_with(p: MontageParams, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "montage");
     }

@@ -22,7 +22,7 @@ use std::rc::Rc;
 use storage_sim::file::Segment;
 use workflow_engine::dag::{Dag, Task, TaskId};
 use workflow_engine::queue::WorkQueue;
-use storage_sim::FaultPlan;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// Montage-Pegasus parameters.
 #[derive(Debug, Clone)]
@@ -55,6 +55,8 @@ pub struct PegasusParams {
     pub workdir: String,
     /// Fault-injection plan applied to the PFS for this run (empty = none).
     pub faults: FaultPlan,
+    /// Competing-tenant load on the shared PFS (empty = dedicated machine).
+    pub interference: InterferenceSchedule,
 }
 
 impl PegasusParams {
@@ -62,6 +64,7 @@ impl PegasusParams {
     pub fn paper() -> Self {
         PegasusParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: 32,
             ranks_per_node: 40,
             n_images: 800,
@@ -83,6 +86,7 @@ impl PegasusParams {
         let p = Self::paper();
         PegasusParams {
             faults: FaultPlan::none(),
+            interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
             ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             // Counts and per-task sizes both scale as sqrt(scale) so every
@@ -491,6 +495,7 @@ pub fn run_with(p: PegasusParams, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
+    world.storage.pfs_mut().set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "pegasus-mpi-cluster");
     }

@@ -14,6 +14,9 @@
 //! * [`sel`] — bitmap [`Selection`]s: predicate query results as one bit
 //!   per index instead of a materialized `Vec<u32>`, with deterministic
 //!   parallel construction and folds.
+//! * [`stats`] — order statistics (interpolated percentiles, five-point
+//!   [`stats::Quantiles`]) and Pearson correlation for the fleet-scale
+//!   characterization reports.
 //!
 //! Design rule: nothing in this crate (or anywhere in the workspace) may
 //! depend on a registry crate, so `cargo build --offline` works from a clean
@@ -23,6 +26,7 @@ pub mod json;
 pub mod par;
 pub mod rng;
 pub mod sel;
+pub mod stats;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;

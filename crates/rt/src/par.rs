@@ -161,33 +161,38 @@ where
     // worker stops claiming chunks, the rest drain the queue, and the run
     // re-raises the failure as a typed payload after the scope joins.
     let failure: Mutex<Option<WorkerPanic>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let next = &next;
-            let results = &results;
-            let failure = &failure;
-            let work = &work;
-            scope.spawn(move || loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= nchunks {
-                    break;
-                }
-                let range = c * csize..((c + 1) * csize).min(len);
-                match catch_unwind(AssertUnwindSafe(|| work(c, range))) {
-                    Ok(out) => {
-                        results.lock().expect("no panics hold the results lock")[c] = Some(out);
-                    }
-                    Err(payload) => {
-                        let wp = WorkerPanic { worker: w, chunk: c, message: panic_message(&*payload) };
-                        let mut slot = failure.lock().expect("no panics hold the failure lock");
-                        if slot.as_ref().map_or(true, |prev| wp.chunk < prev.chunk) {
-                            *slot = Some(wp);
-                        }
-                        break;
-                    }
-                }
-            });
+    let worker_loop = |w: usize| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            break;
         }
+        let range = c * csize..((c + 1) * csize).min(len);
+        match catch_unwind(AssertUnwindSafe(|| work(c, range))) {
+            Ok(out) => {
+                results.lock().expect("no panics hold the results lock")[c] = Some(out);
+            }
+            Err(payload) => {
+                let wp = WorkerPanic { worker: w, chunk: c, message: panic_message(&*payload) };
+                let mut slot = failure.lock().expect("no panics hold the failure lock");
+                if slot.as_ref().map_or(true, |prev| wp.chunk < prev.chunk) {
+                    *slot = Some(wp);
+                }
+                break;
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        // The calling thread participates as worker 0 instead of parking in
+        // the scope join, so a run at `workers` parallelism spawns only
+        // `workers - 1` threads. Scenario sweeps dispatch a handful of
+        // expensive tasks at a time; batching one worker onto the caller
+        // removes a spawn/join round trip from every dispatch (the 2-worker
+        // fan-out previously paid two spawns to use at most one extra core).
+        for w in 1..workers {
+            let worker_loop = &worker_loop;
+            scope.spawn(move || worker_loop(w));
+        }
+        worker_loop(0);
     });
     if let Some(wp) = failure.into_inner().expect("scope joined all workers") {
         resume_unwind(Box::new(wp));

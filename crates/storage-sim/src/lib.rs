@@ -11,6 +11,9 @@
 //! * [`pfs`] — a GPFS-like parallel file system: striped data servers,
 //!   metadata servers with queueing contention, per-file byte-range lock
 //!   queues, and a per-node client write-behind cache,
+//! * [`tenancy`] — competing-tenant load schedules the multi-tenant fleet
+//!   plane installs so concurrent jobs contend for the shared NSD/MDS
+//!   servers,
 //! * [`node_local`] — node-local tiers (tmpfs `/dev/shm`, burst buffers),
 //! * [`mounts`] — the [`mounts::StorageSystem`] that routes paths to tiers
 //!   exactly as a compute node's mount table would.
@@ -28,9 +31,11 @@ pub mod mounts;
 pub mod node_local;
 pub mod path;
 pub mod pfs;
+pub mod tenancy;
 
 pub use err::IoErr;
 pub use faults::FaultPlan;
+pub use tenancy::{InterferenceSchedule, LoadWindow};
 pub use file::{FileKey, FileStore, Segment};
 pub use mounts::{StorageSystem, Tier};
 pub use node_local::{NodeLocalConfig, NodeLocalFs};

@@ -24,6 +24,7 @@
 use crate::err::IoErr;
 use crate::faults::FaultPlan;
 use crate::file::{FileKey, FileStore, Segment};
+use crate::tenancy::InterferenceSchedule;
 use hpc_cluster::topology::NodeId;
 use sim_core::units::{GIB, MIB, TIB};
 use sim_core::{BandwidthChannel, DetRng, Dur, ServerPool, ServerQueue, SimTime};
@@ -127,6 +128,13 @@ pub struct PfsStats {
     pub rerouted_bytes: u64,
     /// Metadata operations serviced under an MDS brownout.
     pub browned_meta_ops: u64,
+    /// Data transfers whose stripes were stretched by competing tenants.
+    pub contended_data_ops: u64,
+    /// Metadata operations stretched by competing tenants.
+    pub contended_meta_ops: u64,
+    /// Total extra service time attributable to tenant contention, in
+    /// nanoseconds (the "noisy neighbor tax" the fleet reports surface).
+    pub tenant_delay_nanos: u64,
 }
 
 #[derive(Debug, Default)]
@@ -197,6 +205,9 @@ pub struct GpfsSim {
     /// Dedicated RNG stream for transient-error draws, so activating a
     /// plan never perturbs the service-jitter stream.
     fault_rng: DetRng,
+    /// Competing-tenant load schedule; `None` means a dedicated machine
+    /// (no extra draws, bit-identical to pre-tenancy behavior).
+    interference: Option<InterferenceSchedule>,
     /// Bytes rerouted *away* from each server while it was down — the
     /// per-server outage impact the analyzer reports.
     rerouted_per_server: Vec<u64>,
@@ -224,6 +235,7 @@ impl GpfsSim {
             rng: DetRng::for_component(seed, "gpfs"),
             fault_plan: None,
             fault_rng: DetRng::for_component(seed, "faults"),
+            interference: None,
             rerouted_per_server: vec![0; cfg.n_data_servers],
             stats: PfsStats::default(),
             cfg,
@@ -262,6 +274,19 @@ impl GpfsSim {
     /// The active fault plan, if one is installed.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Install (or clear, with an empty schedule) the competing-tenant
+    /// load schedule. An empty schedule leaves the simulator bit-identical
+    /// to one that never had a schedule installed — this is what lets a
+    /// single-tenant fleet reproduce dedicated-run results exactly.
+    pub fn set_interference(&mut self, schedule: InterferenceSchedule) {
+        self.interference = if schedule.is_empty() { None } else { Some(schedule) };
+    }
+
+    /// The active interference schedule, if one is installed.
+    pub fn interference(&self) -> Option<&InterferenceSchedule> {
+        self.interference.as_ref()
     }
 
     /// Bytes rerouted away from each NSD server while it was in an outage
@@ -322,6 +347,13 @@ impl GpfsSim {
         if slow > 1.0 {
             svc = Dur::from_secs_f64(svc.as_secs_f64() * slow);
             self.stats.browned_meta_ops += 1;
+        }
+        let tenant = self.interference.as_ref().map_or(1.0, |i| i.meta_factor(now));
+        if tenant > 1.0 {
+            let base = svc.as_secs_f64();
+            svc = Dur::from_secs_f64(base * tenant);
+            self.stats.contended_meta_ops += 1;
+            self.stats.tenant_delay_nanos += (base * (tenant - 1.0) * 1e9) as u64;
         }
         let (_, end) = self.meta_servers.serve(now, svc);
         end
@@ -498,6 +530,12 @@ impl GpfsSim {
         if !down.is_empty() && down.iter().all(|&d| d) {
             return Err(IoErr::ServerUnavailable);
         }
+        // Competing-tenant stretch, like the fault picture constant across
+        // the stripes of one transfer (evaluated at arrival time).
+        let tenant = self.interference.as_ref().map_or(1.0, |i| i.data_factor(after_nic));
+        if tenant > 1.0 {
+            self.stats.contended_data_ops += 1;
+        }
         let mut end = after_nic;
         let block = self.cfg.block_size.max(1);
         let mut off = offset;
@@ -509,6 +547,11 @@ impl GpfsSim {
             let mut svc = self.jittered(svc);
             if slow > 1.0 {
                 svc = Dur::from_secs_f64(svc.as_secs_f64() * slow);
+            }
+            if tenant > 1.0 {
+                let base = svc.as_secs_f64();
+                svc = Dur::from_secs_f64(base * tenant);
+                self.stats.tenant_delay_nanos += (base * (tenant - 1.0) * 1e9) as u64;
             }
             let mut target = stripe_idx;
             if !down.is_empty() && down[target % n] {
@@ -970,6 +1013,86 @@ mod tests {
         assert_eq!(ea, eb);
         assert!(ea > 0, "a 30% rate over 33 attempts should fault at least once");
         assert_ne!(a, c, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn empty_interference_is_bit_identical_to_none() {
+        let run = |install_empty: bool| {
+            let mut fs = sim(GpfsConfig::lassen());
+            if install_empty {
+                fs.set_interference(InterferenceSchedule::none());
+            }
+            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 32 * MIB, 1, t).unwrap();
+            let (_, e2) = fs.read_len(NodeId(1), k, 0, 32 * MIB, e1).unwrap();
+            (e1, e2, fs.stats().clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn zero_load_windows_clear_the_schedule() {
+        let mut fs = sim(GpfsConfig::tiny());
+        fs.set_interference(InterferenceSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            0.0,
+            0.0,
+        ));
+        assert!(fs.interference().is_none());
+    }
+
+    #[test]
+    fn tenant_load_slows_data_and_meta_paths() {
+        let mut cfg = GpfsConfig::tiny();
+        cfg.client_cache_bytes = 0;
+        let run = |schedule: Option<InterferenceSchedule>| {
+            let mut fs = sim(cfg.clone());
+            if let Some(s) = schedule {
+                fs.set_interference(s);
+            }
+            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (_, end) = fs.write_pattern(NodeId(0), k, 0, 8 * MIB, 1, t).unwrap();
+            (end.since(SimTime::ZERO).as_secs_f64(), fs.stats().clone())
+        };
+        let (t_alone, s_alone) = run(None);
+        let loaded = InterferenceSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+            1.0,
+            1.0,
+        );
+        let (t_shared, s_shared) = run(Some(loaded));
+        // Doubled competing demand halves the effective rate, so the
+        // server-dominated transfer takes noticeably longer.
+        assert!(t_shared > t_alone * 1.5, "shared {t_shared} vs alone {t_alone}");
+        assert_eq!(s_alone.contended_data_ops, 0);
+        assert_eq!(s_alone.tenant_delay_nanos, 0);
+        assert!(s_shared.contended_data_ops >= 1);
+        assert!(s_shared.contended_meta_ops >= 2); // open lookup + create
+        assert!(s_shared.tenant_delay_nanos > 0);
+    }
+
+    #[test]
+    fn interference_outside_its_window_is_inert() {
+        let cfg = GpfsConfig::tiny();
+        let run = |schedule: Option<InterferenceSchedule>| {
+            let mut fs = sim(cfg.clone());
+            if let Some(s) = schedule {
+                fs.set_interference(s);
+            }
+            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 2 * MIB, 1, t).unwrap();
+            (e1, fs.stats().clone())
+        };
+        // A window far in the future never covers any op of this short run.
+        let future = InterferenceSchedule::none().with_window(
+            SimTime::from_secs(1_000_000),
+            SimTime::from_secs(2_000_000),
+            4.0,
+            4.0,
+        );
+        assert_eq!(run(None), run(Some(future)));
     }
 
     #[test]

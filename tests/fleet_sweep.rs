@@ -1,0 +1,157 @@
+//! Integration: the multi-tenant fleet sweep is deterministic, reduces to
+//! dedicated runs for a single tenant, and fails fast on bad configs.
+//!
+//! * The fleet manifest, FCFS admission order, and the fully rendered
+//!   statistics report must be **byte-identical** between the sequential
+//!   driver and the parallel driver at 1, 2, and 8 workers — both for an
+//!   all-baseline mix and for a mix with active fault plans (faulted and
+//!   crashy variants).
+//! * A fleet containing exactly one job must reproduce the dedicated run
+//!   of that workload **byte-equal** on every extracted attribute: empty
+//!   interference schedules are bit-identical to never installing one.
+//! * A mix referencing an unknown workload or an unsupported variant must
+//!   surface a typed `FleetError`, not a panic.
+//!
+//! One worker-sweep `#[test]` on purpose: `rt::par::set_threads` is
+//! process-global, so the sweep must not interleave with itself.
+
+use vani_suite::vani::analyzer::Analysis;
+use vani_suite::vani::sweep::Driver;
+use vani_suite::vani::tenancy::{
+    build_manifest, fleet_sweep, ArrivalProcess, FleetConfig, FleetError, InterArrival,
+    JobTemplate, JobVariant,
+};
+use vani_suite::workloads as wl;
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 11;
+
+/// A small heterogeneous fleet; `with_faults` adds brownout-degraded and
+/// crashy tenants to the mix (the "active FaultPlan" half of the matrix).
+fn small_cfg(with_faults: bool) -> FleetConfig {
+    let mut mix = vec![
+        JobTemplate::new("cm1", JobVariant::Baseline, 3),
+        JobTemplate::new("hacc", JobVariant::Baseline, 2),
+        JobTemplate::new("ior", JobVariant::Baseline, 2),
+    ];
+    if with_faults {
+        mix.push(JobTemplate::new("hacc", JobVariant::Faulted, 2));
+        mix.push(JobTemplate::new("cm1", JobVariant::Crashy, 1));
+    }
+    let mut cfg = FleetConfig::standard(8, SCALE, SEED);
+    cfg.mix = mix;
+    cfg
+}
+
+#[test]
+fn fleet_report_is_byte_identical_at_any_worker_count() {
+    for with_faults in [false, true] {
+        let cfg = small_cfg(with_faults);
+        let manifest_ref = build_manifest(&cfg).expect("valid config").render();
+        let report_ref = fleet_sweep(&cfg, Driver::Sequential).expect("valid config");
+        let render_ref = report_ref.render();
+        assert!(render_ref.contains("Fleet attribute distributions"));
+        assert!(render_ref.contains("Noisy neighbor impact"));
+        if with_faults {
+            assert!(render_ref.contains("crashy"), "crashy tenants must appear in the report");
+        }
+
+        for workers in [1usize, 2, 8] {
+            vani_suite::rt::par::set_threads(workers);
+            let report = fleet_sweep(&cfg, Driver::Parallel).expect("valid config");
+            assert_eq!(
+                report.manifest.render(),
+                manifest_ref,
+                "manifest diverged at {workers} workers (faults: {with_faults})"
+            );
+            assert_eq!(
+                report.admission_digest(),
+                report_ref.admission_digest(),
+                "admission order diverged at {workers} workers (faults: {with_faults})"
+            );
+            assert_eq!(
+                report.render(),
+                render_ref,
+                "fleet report diverged at {workers} workers (faults: {with_faults})"
+            );
+            vani_suite::rt::par::set_threads(0);
+        }
+    }
+}
+
+#[test]
+fn single_tenant_fleet_reproduces_the_dedicated_run_byte_equal() {
+    // One job, a cluster far wider than it needs: its interference
+    // schedule is empty, so the fleet job must be bit-identical to the
+    // dedicated run with the same (manifest-assigned) seed.
+    let cfg = FleetConfig {
+        n_jobs: 1,
+        scale: SCALE,
+        seed: SEED,
+        cluster_nodes: 512,
+        pfs_capacity_scale: SCALE,
+        arrival: ArrivalProcess::Open {
+            mean_interarrival: 10.0,
+            dist: InterArrival::Exponential,
+        },
+        mix: vec![JobTemplate::new("cm1", JobVariant::Baseline, 1)],
+    };
+    let manifest = build_manifest(&cfg).expect("valid config");
+    let job_seed = manifest.jobs[0].seed;
+
+    let report = fleet_sweep(&cfg, Driver::Sequential).expect("valid config");
+    assert_eq!(report.records.len(), 1);
+    let r = &report.records[0];
+    assert_eq!(r.mean_neighbor_load, 0.0, "a lonely tenant has no neighbors");
+    assert_eq!(r.tenant_delay_secs, 0.0);
+    assert_eq!(r.contended_ops, 0);
+
+    let dedicated = Analysis::from_run(&wl::cm1::run(SCALE, job_seed));
+    assert_eq!(r.runtime, dedicated.job_time.as_secs_f64(), "runtime must be byte-equal");
+    assert_eq!(r.io_time_frac, dedicated.io_time_frac);
+    assert_eq!(r.read_bytes, dedicated.read_bytes);
+    assert_eq!(r.write_bytes, dedicated.write_bytes);
+    assert_eq!(r.data_ops, dedicated.data_ops);
+    assert_eq!(r.meta_ops, dedicated.meta_ops);
+    assert_eq!(r.nodes, dedicated.nodes);
+    assert_eq!(r.n_ranks, dedicated.n_ranks);
+}
+
+#[test]
+fn unknown_workload_is_a_typed_error_not_a_panic() {
+    let mut cfg = small_cfg(false);
+    cfg.mix.push(JobTemplate::new("lammps", JobVariant::Baseline, 1));
+    let err = fleet_sweep(&cfg, Driver::Sequential).unwrap_err();
+    assert_eq!(err, FleetError::UnknownWorkload("lammps".to_string()));
+    let msg = err.to_string();
+    assert!(msg.contains("lammps") && msg.contains("cm1"), "message lists known ids: {msg}");
+}
+
+#[test]
+fn unsupported_variant_and_oversized_jobs_are_typed_errors() {
+    // HACC has no checkpoint/restart recovery: crashy must be rejected.
+    let mut cfg = small_cfg(false);
+    cfg.mix.push(JobTemplate::new("hacc", JobVariant::Crashy, 1));
+    match fleet_sweep(&cfg, Driver::Sequential).unwrap_err() {
+        FleetError::UnsupportedVariant { workload, variant } => {
+            assert_eq!(workload, "hacc");
+            assert_eq!(variant, "crashy");
+        }
+        other => panic!("expected UnsupportedVariant, got {other:?}"),
+    }
+
+    // A zero-node cluster cannot hold any job.
+    let mut cfg = small_cfg(false);
+    cfg.cluster_nodes = 0;
+    match fleet_sweep(&cfg, Driver::Sequential).unwrap_err() {
+        FleetError::JobTooLarge { cluster_nodes, .. } => assert_eq!(cluster_nodes, 0),
+        other => panic!("expected JobTooLarge, got {other:?}"),
+    }
+
+    // An all-zero-weight mix is empty.
+    let mut cfg = small_cfg(false);
+    for t in &mut cfg.mix {
+        t.weight = 0;
+    }
+    assert_eq!(fleet_sweep(&cfg, Driver::Sequential).unwrap_err(), FleetError::EmptyMix);
+}
