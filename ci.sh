@@ -16,9 +16,27 @@ cargo bench -q --offline -p bench --no-run
 
 # bench-smoke: exercise the analyzer old-vs-new harness end to end in its
 # short mode. Regenerates BENCH_analyzer.json at the repo root and asserts
-# (inside the binary) that the fused and multipass profiles stay equal on
-# every measured trace.
+# (inside the binary) that the fused, multipass, and streaming profiles
+# stay equal on every measured trace, and that the streaming analyzer's
+# peak resident trace bytes never exceed the chunk-ring budget
+# (resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS)). A regression in either
+# invariant fails this step.
 cargo run --release --offline -p bench --bin bench_analyzer -- --short
+
+# Codec property suite: seeded adversarial column shapes (random, constant,
+# runs, ramps, width-boundary extremes) round-trip bit-exactly through the
+# delta/RLE/raw codec, the recycled-buffer decoder, hex transport, sealed
+# chunks, and chunked traces at every chunk size; corrupt buffers surface
+# typed errors instead of decoding.
+cargo test --release --offline --test codec_roundtrip
+
+# Streaming-vs-fused suite: the bounded-memory streaming analyzer is
+# byte-identical to the fused single-pass profile on all seven exemplar
+# workloads, clean and faulted, at 1/2/8 workers and several chunk sizes;
+# live chunked capture equals batch conversion; peak resident trace bytes
+# stay under the ring bound; the adaptive sampler is off by default and
+# deterministic when budgeted.
+cargo test --release --offline --test streaming_vs_fused
 
 # pipeline bench-smoke: the scenario-parallel sweep driver end to end in
 # short mode. Regenerates BENCH_pipeline.json and fails (inside the

@@ -1,7 +1,12 @@
-//! Old-vs-new analyzer throughput: the fused single-pass scan
-//! ([`TraceProfile::fused`]) against the legacy one-scan-per-statistic
-//! pipeline ([`TraceProfile::multipass`]), on synthetic traces from 10^4 to
-//! 10^7 records and on all six exemplar workloads of the paper.
+//! Analyzer throughput, three generations: the legacy one-scan-per-statistic
+//! pipeline ([`TraceProfile::multipass`]), the fused single-pass scan
+//! ([`TraceProfile::fused`]), and the streaming bounded-memory path
+//! ([`TraceProfile::streaming`] over compressed chunks), on synthetic traces
+//! from 10^4 to 10^7 records and on all six exemplar workloads of the paper.
+//! Streaming rows also report compressed bytes per record and the peak
+//! resident decoded-trace bytes (which must stay flat across trace sizes and
+//! under the chunk-ring bound — asserted here, so the CI smoke run fails if
+//! the streaming path ever holds more than its ring).
 //!
 //! Writes `BENCH_analyzer.json` at the repository root and prints a summary
 //! table. Run with:
@@ -20,6 +25,7 @@
 use std::time::Instant;
 
 use exemplar_workloads::{cm1, cosmoflow, hacc, jag, montage, montage_pegasus};
+use recorder_sim::chunk::{resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS};
 use recorder_sim::record::{Layer, OpKind};
 use recorder_sim::ColumnarTrace;
 use sim_core::Dur;
@@ -35,6 +41,9 @@ struct SizeResult {
     records: usize,
     multipass_ns: u64,
     fused_ns: u64,
+    streaming_ns: u64,
+    compressed_bytes: usize,
+    peak_resident_bytes: u64,
 }
 
 /// One exemplar workload measurement.
@@ -43,6 +52,7 @@ struct WorkloadResult {
     records: usize,
     multipass_ns: u64,
     fused_ns: u64,
+    streaming_ns: u64,
 }
 
 fn speedup(multipass_ns: u64, fused_ns: u64) -> f64 {
@@ -141,12 +151,27 @@ fn time_path<F: Fn() -> TraceProfile>(samples: usize, f: F) -> (TraceProfile, u6
     (reference, best)
 }
 
-/// Measure both paths on one trace and cross-check them for equality.
-fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> (u64, u64) {
+/// Measure all three paths on one trace and cross-check them for equality.
+/// Streaming is timed on a pre-sealed [`ChunkedTrace`] (seal cost belongs to
+/// capture, not analysis) and its gauge peak is asserted under the ring
+/// bound. Returns `(multipass_ns, fused_ns, streaming_ns, compressed_bytes,
+/// peak_resident_bytes)`.
+fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> (u64, u64, u64, usize, u64) {
     let (multi, multipass_ns) = time_path(samples, || TraceProfile::multipass(c, job_time));
     let (fused, fused_ns) = time_path(samples, || TraceProfile::fused(c, job_time));
     assert_eq!(fused, multi, "fused profile diverged from multipass");
-    (multipass_ns, fused_ns)
+
+    let t = ChunkedTrace::from_columnar(c, DEFAULT_CHUNK_ROWS);
+    trace_gauge().reset();
+    let (streamed, streaming_ns) = time_path(samples, || TraceProfile::streaming(&t, job_time));
+    let peak = trace_gauge().peak();
+    assert_eq!(streamed, fused, "streaming profile diverged from fused");
+    assert!(
+        peak <= resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS),
+        "streaming peak {peak} B exceeds resident_bound({DEFAULT_CHUNK_ROWS}, {RING_SLOTS}) = {} B",
+        resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS)
+    );
+    (multipass_ns, fused_ns, streaming_ns, t.compressed_bytes(), peak)
 }
 
 fn main() {
@@ -164,16 +189,27 @@ fn main() {
     let mut synthetic = Vec::new();
     for &n in sizes {
         let (c, job_time) = synthetic_trace(n, 0x5eed_0001 + n as u64);
-        let (multipass_ns, fused_ns) = measure(&c, job_time, samples);
+        let (multipass_ns, fused_ns, streaming_ns, compressed_bytes, peak_resident_bytes) =
+            measure(&c, job_time, samples);
         eprintln!(
-            "  synthetic {:>9} records: multipass {:>9.3} ms, fused {:>9.3} ms, speedup {:>5.2}x, {:>6.1} Mrec/s",
+            "  synthetic {:>9} records: multipass {:>9.3} ms, fused {:>9.3} ms ({:>6.1} Mrec/s), streaming {:>9.3} ms ({:>6.1} Mrec/s), {:>5.2} B/rec, peak {:>9} B",
             n,
             multipass_ns as f64 / 1e6,
             fused_ns as f64 / 1e6,
-            speedup(multipass_ns, fused_ns),
             records_per_sec(n, fused_ns) / 1e6,
+            streaming_ns as f64 / 1e6,
+            records_per_sec(n, streaming_ns) / 1e6,
+            compressed_bytes as f64 / n.max(1) as f64,
+            peak_resident_bytes,
         );
-        synthetic.push(SizeResult { records: n, multipass_ns, fused_ns });
+        synthetic.push(SizeResult {
+            records: n,
+            multipass_ns,
+            fused_ns,
+            streaming_ns,
+            compressed_bytes,
+            peak_resident_bytes,
+        });
     }
 
     let scale = if short { 0.01 } else { 0.05 };
@@ -188,15 +224,16 @@ fn main() {
     let mut workloads = Vec::new();
     for (name, run) in &runs {
         let c = run.columnar();
-        let (multipass_ns, fused_ns) = measure(&c, run.runtime(), samples);
+        let (multipass_ns, fused_ns, streaming_ns, _, _) = measure(&c, run.runtime(), samples);
         eprintln!(
-            "  workload {name:>16} ({:>7} records): multipass {:>8.3} ms, fused {:>8.3} ms, speedup {:>5.2}x",
+            "  workload {name:>16} ({:>7} records): multipass {:>8.3} ms, fused {:>8.3} ms, streaming {:>8.3} ms, speedup {:>5.2}x",
             c.len(),
             multipass_ns as f64 / 1e6,
             fused_ns as f64 / 1e6,
+            streaming_ns as f64 / 1e6,
             speedup(multipass_ns, fused_ns),
         );
-        workloads.push(WorkloadResult { name, records: c.len(), multipass_ns, fused_ns });
+        workloads.push(WorkloadResult { name, records: c.len(), multipass_ns, fused_ns, streaming_ns });
     }
     par::set_threads(0);
 
@@ -220,11 +257,21 @@ fn main() {
                             ("records", Json::Int(r.records as i128)),
                             ("multipass_ns", Json::Int(r.multipass_ns as i128)),
                             ("fused_ns", Json::Int(r.fused_ns as i128)),
+                            ("streaming_ns", Json::Int(r.streaming_ns as i128)),
                             ("speedup", Json::Float(speedup(r.multipass_ns, r.fused_ns))),
                             (
                                 "fused_records_per_sec",
                                 Json::Float(records_per_sec(r.records, r.fused_ns)),
                             ),
+                            (
+                                "streaming_records_per_sec",
+                                Json::Float(records_per_sec(r.records, r.streaming_ns)),
+                            ),
+                            (
+                                "compressed_bytes_per_record",
+                                Json::Float(r.compressed_bytes as f64 / r.records.max(1) as f64),
+                            ),
+                            ("peak_resident_bytes", Json::Int(r.peak_resident_bytes as i128)),
                         ])
                     })
                     .collect(),
@@ -241,6 +288,7 @@ fn main() {
                             ("records", Json::Int(r.records as i128)),
                             ("multipass_ns", Json::Int(r.multipass_ns as i128)),
                             ("fused_ns", Json::Int(r.fused_ns as i128)),
+                            ("streaming_ns", Json::Int(r.streaming_ns as i128)),
                             ("speedup", Json::Float(speedup(r.multipass_ns, r.fused_ns))),
                         ])
                     })

@@ -7,7 +7,7 @@
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
 //! cargo run --release -p bench --bin repro -- crash-sweep
-//! cargo run --release -p bench --bin repro -- fleet-sweep [--short]
+//! cargo run --release -p bench --bin repro -- fleet-sweep [--short] [--jobs N]
 //! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
@@ -23,6 +23,33 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let short = args.iter().any(|a| a == "--short");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--short").collect();
+    // `--jobs N` overrides the fleet size (fleet-sweep only); consume the
+    // flag and its value so neither is mistaken for an artifact name.
+    let mut jobs: Option<usize> = None;
+    let mut args_out: Vec<String> = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            match it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0) {
+                Some(n) => jobs = Some(n),
+                None => {
+                    eprintln!("--jobs requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse::<usize>().ok().filter(|&n| n > 0) {
+                Some(n) => jobs = Some(n),
+                None => {
+                    eprintln!("--jobs requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args_out.push(a);
+        }
+    }
+    let args = args_out;
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
@@ -99,7 +126,7 @@ fn main() {
             }
             "fleet-sweep" => {
                 eprintln!("running fleet sweep (multi-tenant shared-PFS characterization) ...");
-                match bench::fleet::run_fleet(short, scale) {
+                match bench::fleet::run_fleet(short, scale, jobs) {
                     Ok(render) => print!("{render}"),
                     Err(e) => {
                         eprintln!("fleet-sweep failed: {e}");

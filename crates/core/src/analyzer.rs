@@ -298,7 +298,7 @@ impl Analysis {
     }
 
     /// Combine a trace profile with the run-level attributes.
-    fn assemble(run: &WorkloadRun, c: ColumnarTrace, p: TraceProfile) -> Analysis {
+    pub(crate) fn assemble(run: &WorkloadRun, c: ColumnarTrace, p: TraceProfile) -> Analysis {
         let data_dist = fit_data_distribution(run, &p.files);
         Analysis {
             kind: run.kind,
@@ -452,7 +452,7 @@ impl Analysis {
 }
 
 /// Dense index for a [`Layer`] (array-backed lookup tables in the scans).
-fn layer_idx(l: Layer) -> usize {
+pub(crate) fn layer_idx(l: Layer) -> usize {
     match l {
         Layer::App => 0,
         Layer::HighLevel => 1,
@@ -464,7 +464,7 @@ fn layer_idx(l: Layer) -> usize {
 }
 
 /// Layers counted as "the interface" for op statistics.
-fn interface_layers(interface: &str) -> Vec<Layer> {
+pub(crate) fn interface_layers(interface: &str) -> Vec<Layer> {
     match interface {
         "HDF5-MPI-IO" => vec![Layer::HighLevel, Layer::MpiIo],
         "STDIO" => vec![Layer::Stdio],
@@ -482,7 +482,7 @@ fn detect_interface(c: &ColumnarTrace) -> String {
 }
 
 /// [`detect_interface`] from a precomputed layer-presence table.
-fn interface_from_presence(present: &[bool; 6]) -> String {
+pub(crate) fn interface_from_presence(present: &[bool; 6]) -> String {
     if present[layer_idx(Layer::MpiIo)] && present[layer_idx(Layer::HighLevel)] {
         "HDF5-MPI-IO".to_string()
     } else if present[layer_idx(Layer::Stdio)] {
@@ -494,7 +494,13 @@ fn interface_from_presence(present: &[bool; 6]) -> String {
 
 /// Workflow-step name for an app id, from the trace's interned name table.
 fn app_name(c: &ColumnarTrace, app: u16) -> String {
-    c.app_names
+    app_name_from(&c.app_names, app)
+}
+
+/// [`app_name`] from a bare interned-name table (the streaming path holds a
+/// [`recorder_sim::ChunkedTrace`], not a `ColumnarTrace`).
+pub(crate) fn app_name_from(names: &[String], app: u16) -> String {
+    names
         .get(app as usize)
         .cloned()
         .unwrap_or_else(|| format!("app{app}"))
@@ -527,12 +533,19 @@ fn io_frac_from_rank_aggs(
     io_frac_sorted(ranks.iter().map(|r| by_rank[r].time), job_time)
 }
 
+/// Timeline bin width: 128 bins over the run. Every analyzer path (fused,
+/// multipass, streaming) must derive its bin from this so the series stay
+/// comparable bit-for-bit.
+pub(crate) fn timeline_bin(job_time: Dur) -> Dur {
+    Dur((job_time.as_nanos() / 128).max(1))
+}
+
 /// Build the read/write timelines (128 bins over the run) from the
 /// interface-layer data-op selection. Shared by the fused and multipass
 /// paths — f64 bin accumulation is non-associative, so both must add
 /// record contributions in the same (index) order to stay bit-identical.
 fn build_timelines(c: &ColumnarTrace, data_sel: &[u32], job_time: Dur) -> (TimeSeries, TimeSeries) {
-    let bin = Dur((job_time.as_nanos() / 128).max(1));
+    let bin = timeline_bin(job_time);
     let mut read_timeline = TimeSeries::new(bin);
     let mut write_timeline = TimeSeries::new(bin);
     for &i in data_sel {
@@ -549,7 +562,7 @@ fn build_timelines(c: &ColumnarTrace, data_sel: &[u32], job_time: Dur) -> (TimeS
 
 /// Sort file profiles for emission: most-read first, path as the tiebreak
 /// (paths are unique per file id, so the order is total and byte-stable).
-fn sort_files(mut v: Vec<FileProfile>) -> Vec<FileProfile> {
+pub(crate) fn sort_files(mut v: Vec<FileProfile>) -> Vec<FileProfile> {
     v.sort_by(|a, b| b.read_bytes.cmp(&a.read_bytes).then(a.path.cmp(&b.path)));
     v
 }
@@ -557,7 +570,7 @@ fn sort_files(mut v: Vec<FileProfile>) -> Vec<FileProfile> {
 /// Sort app profiles for emission by (first record, name) — the name
 /// tiebreak keeps the order byte-stable when two workflow steps start at
 /// the same instant (HashMap drain order is not deterministic).
-fn sort_apps(mut v: Vec<AppProfile>) -> Vec<AppProfile> {
+pub(crate) fn sort_apps(mut v: Vec<AppProfile>) -> Vec<AppProfile> {
     v.sort_by(|a, b| a.first.cmp(&b.first).then_with(|| a.name.cmp(&b.name)));
     v
 }
@@ -723,12 +736,13 @@ impl AppAcc {
     }
 }
 
-/// Id-space dimensions for the dense shard accumulators, from the prescan.
+/// Id-space dimensions for the dense shard accumulators, from the prescan
+/// (fused path) or the merged chunk metadata (streaming path).
 #[derive(Debug, Clone, Copy)]
-struct Dims {
-    n_files: usize,
-    n_apps: usize,
-    n_ranks: usize,
+pub(crate) struct Dims {
+    pub(crate) n_files: usize,
+    pub(crate) n_apps: usize,
+    pub(crate) n_ranks: usize,
 }
 
 /// Per-file accumulators with slot indirection: a flat `file id → slot`
@@ -782,12 +796,16 @@ impl FileTable {
 /// The fused scan's shard accumulator: one morsel's worth of every
 /// statistic the analyzer needs, in dense array-indexed form. Merged in
 /// morsel order.
+///
+/// The streaming path reuses it per chunk: the index lists are chunk-local
+/// (consumed by the online detectors, then cleared before the shard merges
+/// into the run-global accumulator).
 #[derive(Debug)]
-struct FusedShard {
+pub(crate) struct FusedShard {
     /// Interface-selection indices, ascending (morsel concat keeps order).
-    io_idx: Vec<u32>,
+    pub(crate) io_idx: Vec<u32>,
     /// Data-op subset of `io_idx`, ascending.
-    data_idx: Vec<u32>,
+    pub(crate) data_idx: Vec<u32>,
     read_bytes: u64,
     write_bytes: u64,
     meta_ops: u64,
@@ -811,7 +829,7 @@ struct FusedShard {
 }
 
 impl FusedShard {
-    fn new(dims: Dims) -> FusedShard {
+    pub(crate) fn new(dims: Dims) -> FusedShard {
         FusedShard {
             io_idx: Vec::new(),
             data_idx: Vec::new(),
@@ -835,7 +853,7 @@ impl FusedShard {
         }
     }
 
-    fn merge(&mut self, other: FusedShard) {
+    pub(crate) fn merge(&mut self, other: FusedShard) {
         self.io_idx.extend(other.io_idx);
         self.data_idx.extend(other.data_idx);
         self.read_bytes += other.read_bytes;
@@ -863,6 +881,258 @@ impl FusedShard {
                 a.merge(b);
             }
         }
+    }
+}
+
+/// Interface-selection context for the fused per-record fold: which layers
+/// are "the interface", which files those layers touch, and whether POSIX
+/// ops on other files fall through into the selection.
+pub(crate) struct SelCtx<'a> {
+    pub(crate) iface_mask: [bool; 6],
+    pub(crate) iface_file: &'a [bool],
+    pub(crate) posix_fallback: bool,
+}
+
+impl SelCtx<'_> {
+    /// The interface-selection predicate (shared verbatim by the fused and
+    /// streaming paths so the two selections can never diverge).
+    #[inline]
+    pub(crate) fn in_sel(&self, c: &ColumnarTrace, i: usize) -> bool {
+        self.iface_mask[layer_idx(c.layer[i])]
+            || (self.posix_fallback
+                && c.layer[i] == Layer::Posix
+                && c.file_id(i).is_some_and(|f| !self.iface_file[f.0 as usize]))
+    }
+}
+
+/// Fold record `i` of `c` into a [`FusedShard`]. This is the fused scan's
+/// entire inner loop, extracted so the streaming path folds *decoded chunk*
+/// records through byte-for-byte the same statistics code. Index pushes use
+/// `i` relative to `c` — chunk-local when `c` is a decoded chunk buffer.
+#[inline]
+pub(crate) fn fold_fused_record(acc: &mut FusedShard, c: &ColumnarTrace, i: usize, ctx: &SelCtx) {
+    let op = c.op[i];
+    // Resilience records are neither data nor metadata ops; tally them
+    // before the is_io() skip.
+    match op {
+        OpKind::Fault => {
+            acc.fault_events += 1;
+            acc.fault_time += Dur(c.end[i] - c.start[i]);
+            return;
+        }
+        OpKind::Retry => {
+            acc.retry_events += 1;
+            acc.retried_bytes += c.bytes[i];
+            acc.fault_time += Dur(c.end[i] - c.start[i]);
+            return;
+        }
+        OpKind::Checkpoint => {
+            acc.ckpt_events += 1;
+            acc.ckpt_time += Dur(c.end[i] - c.start[i]);
+            return;
+        }
+        OpKind::Crash => {
+            acc.crash_lost_time += Dur(c.end[i] - c.start[i]);
+            return;
+        }
+        OpKind::RestartEpoch => {
+            acc.restart_events += 1;
+            acc.recovery_time += Dur(c.end[i] - c.start[i]);
+            return;
+        }
+        _ => {}
+    }
+    if !op.is_io() {
+        return;
+    }
+    let rank = c.rank[i] as usize;
+    let file = c.file_id(i).map(|f| f.0 as usize);
+    let dur = Dur(c.end[i] - c.start[i]);
+
+    // App profiles cover I/O at *every* layer.
+    let app = &mut acc.apps[c.app[i] as usize];
+    app.seen = true;
+    app.ranks.insert(rank);
+    app.first = app.first.min(c.start[i]);
+    app.last = app.last.max(c.end[i]);
+    match op {
+        OpKind::Read => {
+            app.read_bytes += c.bytes[i];
+            app.data_ops += 1;
+            if let Some(f) = file {
+                acc.files.get(f).reader_apps.insert(c.app[i] as usize);
+            }
+        }
+        OpKind::Write => {
+            app.write_bytes += c.bytes[i];
+            app.data_ops += 1;
+            if let Some(f) = file {
+                acc.files.get(f).writer_apps.insert(c.app[i] as usize);
+            }
+        }
+        _ => app.meta_ops += 1,
+    }
+
+    // Everything else covers the interface selection only.
+    if !ctx.in_sel(c, i) {
+        return;
+    }
+    acc.io_idx.push(i as u32);
+
+    let agg = &mut acc.rank_aggs[rank];
+    agg.ops += 1;
+    agg.bytes += c.bytes[i];
+    agg.time += dur;
+
+    if let Some(f) = file {
+        let fa = acc.files.get(f);
+        fa.profiled = true;
+        fa.time += dur;
+        match op {
+            OpKind::Read => {
+                fa.readers.insert(rank);
+                fa.read_bytes += c.bytes[i];
+                fa.data_ops += 1;
+                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
+            }
+            OpKind::Write => {
+                fa.writers.insert(rank);
+                fa.write_bytes += c.bytes[i];
+                fa.data_ops += 1;
+                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
+            }
+            _ => {
+                fa.meta_ops += 1;
+                fa.openers.insert(rank);
+            }
+        }
+    }
+
+    if op.is_data() {
+        acc.data_idx.push(i as u32);
+        match op {
+            OpKind::Read => acc.read_bytes += c.bytes[i],
+            OpKind::Write => acc.write_bytes += c.bytes[i],
+            _ => {}
+        }
+        if c.bytes[i] > 0 {
+            acc.req_sizes.record(c.bytes[i]);
+            let bw = dur.bandwidth(c.bytes[i]);
+            if bw.is_finite() {
+                acc.req_bandwidth.record(bw as u64);
+            }
+        }
+    } else {
+        acc.meta_ops += 1;
+    }
+}
+
+/// Emit a [`TraceProfile`] from the run-global fused accumulator plus the
+/// detector outputs. Shared by the fused and streaming paths: per-file and
+/// per-app emission order, the dependency-edge set, and the per-rank f64
+/// reduction all live here once, so the two paths cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_profile(
+    fused: FusedShard,
+    file_paths: &[String],
+    app_names: &[String],
+    job_time: Dur,
+    interface: String,
+    access_pattern: String,
+    phases: Vec<PhaseInfo>,
+    read_timeline: TimeSeries,
+    write_timeline: TimeSeries,
+    data_ops: u64,
+) -> TraceProfile {
+    let io_time_frac = io_frac_sorted(
+        fused.rank_aggs.iter().filter(|g| g.ops > 0).map(|g| g.time),
+        job_time,
+    );
+
+    let files = sort_files(
+        fused
+            .files
+            .iter()
+            .filter(|(_, fa)| fa.profiled)
+            .map(|(fid, fa)| FileProfile {
+                path: file_paths.get(fid as usize).cloned().unwrap_or_default(),
+                readers: fa.readers.to_hashset_u32(),
+                writers: fa.writers.to_hashset_u32(),
+                openers: fa.openers.to_hashset_u32(),
+                read_bytes: fa.read_bytes,
+                write_bytes: fa.write_bytes,
+                data_ops: fa.data_ops,
+                meta_ops: fa.meta_ops,
+                time: fa.time,
+                size: fa.size,
+            })
+            .collect(),
+    );
+
+    let apps = sort_apps(
+        fused
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.seen)
+            .map(|(id, a)| AppProfile {
+                name: app_name_from(app_names, id as u16),
+                processes: a.ranks.count(),
+                read_bytes: a.read_bytes,
+                write_bytes: a.write_bytes,
+                data_ops: a.data_ops,
+                meta_ops: a.meta_ops,
+                first: SimTime(a.first),
+                last: SimTime(a.last),
+            })
+            .collect(),
+    );
+
+    // Producer → consumer edges through each file's app bitsets.
+    let mut dep_set = HashSet::new();
+    for (_, fa) in fused.files.iter() {
+        if fa.writer_apps.is_empty() || fa.reader_apps.is_empty() {
+            continue;
+        }
+        for wr in fa.writer_apps.iter() {
+            for rd in fa.reader_apps.iter() {
+                if wr != rd {
+                    dep_set.insert((
+                        app_name_from(app_names, wr as u16),
+                        app_name_from(app_names, rd as u16),
+                    ));
+                }
+            }
+        }
+    }
+    let mut app_deps: Vec<_> = dep_set.into_iter().collect();
+    app_deps.sort();
+
+    TraceProfile {
+        io_time_frac,
+        read_bytes: fused.read_bytes,
+        write_bytes: fused.write_bytes,
+        data_ops,
+        meta_ops: fused.meta_ops,
+        interface,
+        access_pattern,
+        req_sizes: fused.req_sizes,
+        req_bandwidth: fused.req_bandwidth,
+        read_timeline,
+        write_timeline,
+        files,
+        phases,
+        apps,
+        app_deps,
+        fault_events: fused.fault_events,
+        retry_events: fused.retry_events,
+        retried_bytes: fused.retried_bytes,
+        fault_time: fused.fault_time,
+        ckpt_events: fused.ckpt_events,
+        ckpt_time: fused.ckpt_time,
+        restart_events: fused.restart_events,
+        crash_lost_time: fused.crash_lost_time,
+        recovery_time: fused.recovery_time,
     }
 }
 
@@ -940,10 +1210,14 @@ impl TraceProfile {
                 }
             }
         }
-        let posix_fallback = !iface_mask[layer_idx(Layer::Posix)];
+        let ctx = SelCtx {
+            iface_mask,
+            iface_file: &iface_file,
+            posix_fallback: !iface_mask[layer_idx(Layer::Posix)],
+        };
 
         // The fused scan: one traversal computes every per-record statistic.
-        let fused = par::par_fold_shards(
+        let mut fused = par::par_fold_shards(
             n,
             || FusedShard::new(dims),
             |acc: &mut FusedShard, range| {
@@ -952,124 +1226,7 @@ impl TraceProfile {
                 acc.io_idx.reserve(range.len());
                 acc.data_idx.reserve(range.len());
                 for i in range {
-                    let op = c.op[i];
-                    // Resilience records are neither data nor metadata ops;
-                    // tally them before the is_io() skip.
-                    match op {
-                        OpKind::Fault => {
-                            acc.fault_events += 1;
-                            acc.fault_time += Dur(c.end[i] - c.start[i]);
-                            continue;
-                        }
-                        OpKind::Retry => {
-                            acc.retry_events += 1;
-                            acc.retried_bytes += c.bytes[i];
-                            acc.fault_time += Dur(c.end[i] - c.start[i]);
-                            continue;
-                        }
-                        OpKind::Checkpoint => {
-                            acc.ckpt_events += 1;
-                            acc.ckpt_time += Dur(c.end[i] - c.start[i]);
-                            continue;
-                        }
-                        OpKind::Crash => {
-                            acc.crash_lost_time += Dur(c.end[i] - c.start[i]);
-                            continue;
-                        }
-                        OpKind::RestartEpoch => {
-                            acc.restart_events += 1;
-                            acc.recovery_time += Dur(c.end[i] - c.start[i]);
-                            continue;
-                        }
-                        _ => {}
-                    }
-                    if !op.is_io() {
-                        continue;
-                    }
-                    let rank = c.rank[i] as usize;
-                    let file = c.file_id(i).map(|f| f.0 as usize);
-                    let dur = Dur(c.end[i] - c.start[i]);
-
-                    // App profiles cover I/O at *every* layer.
-                    let app = &mut acc.apps[c.app[i] as usize];
-                    app.seen = true;
-                    app.ranks.insert(rank);
-                    app.first = app.first.min(c.start[i]);
-                    app.last = app.last.max(c.end[i]);
-                    match op {
-                        OpKind::Read => {
-                            app.read_bytes += c.bytes[i];
-                            app.data_ops += 1;
-                            if let Some(f) = file {
-                                acc.files.get(f).reader_apps.insert(c.app[i] as usize);
-                            }
-                        }
-                        OpKind::Write => {
-                            app.write_bytes += c.bytes[i];
-                            app.data_ops += 1;
-                            if let Some(f) = file {
-                                acc.files.get(f).writer_apps.insert(c.app[i] as usize);
-                            }
-                        }
-                        _ => app.meta_ops += 1,
-                    }
-
-                    // Everything else covers the interface selection only.
-                    let in_sel = iface_mask[layer_idx(c.layer[i])]
-                        || (posix_fallback
-                            && c.layer[i] == Layer::Posix
-                            && file.is_some_and(|f| !iface_file[f]));
-                    if !in_sel {
-                        continue;
-                    }
-                    acc.io_idx.push(i as u32);
-
-                    let agg = &mut acc.rank_aggs[rank];
-                    agg.ops += 1;
-                    agg.bytes += c.bytes[i];
-                    agg.time += dur;
-
-                    if let Some(f) = file {
-                        let fa = acc.files.get(f);
-                        fa.profiled = true;
-                        fa.time += dur;
-                        match op {
-                            OpKind::Read => {
-                                fa.readers.insert(rank);
-                                fa.read_bytes += c.bytes[i];
-                                fa.data_ops += 1;
-                                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
-                            }
-                            OpKind::Write => {
-                                fa.writers.insert(rank);
-                                fa.write_bytes += c.bytes[i];
-                                fa.data_ops += 1;
-                                fa.size = fa.size.max(c.offset[i] + c.bytes[i]);
-                            }
-                            _ => {
-                                fa.meta_ops += 1;
-                                fa.openers.insert(rank);
-                            }
-                        }
-                    }
-
-                    if op.is_data() {
-                        acc.data_idx.push(i as u32);
-                        match op {
-                            OpKind::Read => acc.read_bytes += c.bytes[i],
-                            OpKind::Write => acc.write_bytes += c.bytes[i],
-                            _ => {}
-                        }
-                        if c.bytes[i] > 0 {
-                            acc.req_sizes.record(c.bytes[i]);
-                            let bw = dur.bandwidth(c.bytes[i]);
-                            if bw.is_finite() {
-                                acc.req_bandwidth.record(bw as u64);
-                            }
-                        }
-                    } else {
-                        acc.meta_ops += 1;
-                    }
+                    fold_fused_record(acc, c, i, &ctx);
                 }
             },
             FusedShard::merge,
@@ -1078,100 +1235,27 @@ impl TraceProfile {
         // One time-sort of the interface selection feeds both phase
         // detection and the access-pattern scan (the multipass path sorts
         // twice). Stable sort: ties in start keep ascending index order.
-        let mut sorted_io = fused.io_idx;
+        let mut sorted_io = std::mem::take(&mut fused.io_idx);
         sorted_io.sort_by_key(|&i| c.start[i as usize]);
         let phases = detect_phases_sorted(c, &sorted_io, job_time);
         let sorted_data: Vec<u32> =
             sorted_io.iter().copied().filter(|&i| c.op[i as usize].is_data()).collect();
         let access_pattern = scan_access_pattern(c, &sorted_data);
         let (read_timeline, write_timeline) = build_timelines(c, &fused.data_idx, job_time);
-        let io_time_frac = io_frac_sorted(
-            fused.rank_aggs.iter().filter(|g| g.ops > 0).map(|g| g.time),
+        let data_ops = fused.data_idx.len() as u64;
+
+        emit_profile(
+            fused,
+            &c.file_paths,
+            &c.app_names,
             job_time,
-        );
-
-        let files = sort_files(
-            fused
-                .files
-                .iter()
-                .filter(|(_, fa)| fa.profiled)
-                .map(|(fid, fa)| FileProfile {
-                    path: c.file_paths.get(fid as usize).cloned().unwrap_or_default(),
-                    readers: fa.readers.to_hashset_u32(),
-                    writers: fa.writers.to_hashset_u32(),
-                    openers: fa.openers.to_hashset_u32(),
-                    read_bytes: fa.read_bytes,
-                    write_bytes: fa.write_bytes,
-                    data_ops: fa.data_ops,
-                    meta_ops: fa.meta_ops,
-                    time: fa.time,
-                    size: fa.size,
-                })
-                .collect(),
-        );
-
-        let apps = sort_apps(
-            fused
-                .apps
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.seen)
-                .map(|(id, a)| AppProfile {
-                    name: app_name(c, id as u16),
-                    processes: a.ranks.count(),
-                    read_bytes: a.read_bytes,
-                    write_bytes: a.write_bytes,
-                    data_ops: a.data_ops,
-                    meta_ops: a.meta_ops,
-                    first: SimTime(a.first),
-                    last: SimTime(a.last),
-                })
-                .collect(),
-        );
-
-        // Producer → consumer edges through each file's app bitsets.
-        let mut dep_set = HashSet::new();
-        for (_, fa) in fused.files.iter() {
-            if fa.writer_apps.is_empty() || fa.reader_apps.is_empty() {
-                continue;
-            }
-            for wr in fa.writer_apps.iter() {
-                for rd in fa.reader_apps.iter() {
-                    if wr != rd {
-                        dep_set.insert((app_name(c, wr as u16), app_name(c, rd as u16)));
-                    }
-                }
-            }
-        }
-        let mut app_deps: Vec<_> = dep_set.into_iter().collect();
-        app_deps.sort();
-
-        TraceProfile {
-            io_time_frac,
-            read_bytes: fused.read_bytes,
-            write_bytes: fused.write_bytes,
-            data_ops: fused.data_idx.len() as u64,
-            meta_ops: fused.meta_ops,
             interface,
             access_pattern,
-            req_sizes: fused.req_sizes,
-            req_bandwidth: fused.req_bandwidth,
+            phases,
             read_timeline,
             write_timeline,
-            files,
-            phases,
-            apps,
-            app_deps,
-            fault_events: fused.fault_events,
-            retry_events: fused.retry_events,
-            retried_bytes: fused.retried_bytes,
-            fault_time: fused.fault_time,
-            ckpt_events: fused.ckpt_events,
-            ckpt_time: fused.ckpt_time,
-            restart_events: fused.restart_events,
-            crash_lost_time: fused.crash_lost_time,
-            recovery_time: fused.recovery_time,
-        }
+            data_ops,
+        )
     }
 
     /// The pre-fusion pipeline: one scan (or sequential loop) per
@@ -1388,11 +1472,15 @@ fn profile_apps(c: &ColumnarTrace) -> (Vec<AppProfile>, Vec<(String, String)>) {
 /// interface-layer I/O calls (aggregated across ranks) splits phases —
 /// the paper's "threshold between two I/O calls". `sorted_io` must be
 /// sorted by record start time.
-fn detect_phases_sorted(c: &ColumnarTrace, sorted_io: &[u32], job_time: Dur) -> Vec<PhaseInfo> {
+pub(crate) fn detect_phases_sorted(
+    c: &ColumnarTrace,
+    sorted_io: &[u32],
+    job_time: Dur,
+) -> Vec<PhaseInfo> {
     if sorted_io.is_empty() {
         return Vec::new();
     }
-    let threshold = Dur((job_time.as_nanos() / 50).max(1_000_000));
+    let threshold = phase_threshold(job_time);
     let mut phases: Vec<PhaseInfo> = Vec::new();
     let mut cur: Option<(PhaseInfo, Histogram)> = None;
     let mut frontier = SimTime::ZERO;
@@ -1442,7 +1530,13 @@ fn detect_phases_sorted(c: &ColumnarTrace, sorted_io: &[u32], job_time: Dur) -> 
     phases
 }
 
-fn dominant_bucket(h: &Histogram) -> u64 {
+/// The phase-splitting gap: `job_time / 50`, floored at 1 ms. Every
+/// analyzer path must derive its threshold from this.
+pub(crate) fn phase_threshold(job_time: Dur) -> Dur {
+    Dur((job_time.as_nanos() / 50).max(1_000_000))
+}
+
+pub(crate) fn dominant_bucket(h: &Histogram) -> u64 {
     h.iter().max_by_key(|&(_, count)| count).map(|(b, _)| b).unwrap_or(0)
 }
 
@@ -1455,7 +1549,7 @@ fn dominant_bucket(h: &Histogram) -> u64 {
 /// instead of a hash probe — this scan is on the fused path's critical
 /// path), falling back to a `HashMap` for traces whose id-space product is
 /// too large to allocate densely. Both layouts count identically.
-fn scan_access_pattern(c: &ColumnarTrace, sorted_data: &[u32]) -> String {
+pub(crate) fn scan_access_pattern(c: &ColumnarTrace, sorted_data: &[u32]) -> String {
     let mut max_rank = 0usize;
     let mut max_file = 0usize;
     let mut any = false;

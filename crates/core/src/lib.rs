@@ -42,6 +42,7 @@
 
 pub mod analyzer;
 pub mod crashsweep;
+pub mod streaming;
 pub mod entities;
 pub mod faultsweep;
 pub mod figures;

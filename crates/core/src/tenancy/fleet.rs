@@ -564,7 +564,13 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
         let scale = cfg.scale;
         w2.add(format!("job/{:05}/{}/{}", j.id, j.workload, j.variant.name()), move |_| {
             let run = run_job(kind, scale, job.seed, plan.clone(), schedule.clone());
-            let a = Analysis::from_run(&run);
+            // Streaming analysis: the job's trace is sealed into compressed
+            // chunks and profiled chunk-at-a-time, never retained — a
+            // 10⁴-job fleet holds at most one decoded chunk per worker.
+            // Every JobRecord field is profile-level, and the streaming
+            // profile is bit-identical to the fused one, so the rendered
+            // report is byte-for-byte unchanged.
+            let a = Analysis::from_run_streaming(&run);
             let s = run.world.storage.pfs().stats();
             let rt = run.runtime().as_secs_f64();
             JobRecord {

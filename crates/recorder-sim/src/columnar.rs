@@ -15,7 +15,7 @@ use vani_rt::Selection;
 use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Sentinel for "no file" in the file column.
-const NO_FILE: u32 = u32::MAX;
+pub(crate) const NO_FILE: u32 = u32::MAX;
 
 /// A struct-of-arrays view of a whole trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -122,6 +122,22 @@ impl ColumnarTrace {
         self.file.reserve(additional);
         self.offset.reserve(additional);
         self.bytes.reserve(additional);
+    }
+
+    /// Drop every record while keeping column capacity and the intern
+    /// tables. The chunked capture path seals a full buffer and recycles it
+    /// for the next chunk without reallocating.
+    pub fn clear_rows(&mut self) {
+        self.rank.clear();
+        self.node.clear();
+        self.app.clear();
+        self.layer.clear();
+        self.op.clear();
+        self.start.clear();
+        self.end.clear();
+        self.file.clear();
+        self.offset.clear();
+        self.bytes.clear();
     }
 
     /// Append one record directly to the columns (the capture hot path —

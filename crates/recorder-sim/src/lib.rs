@@ -16,17 +16,25 @@
 //! * [`columnar`] — the row-major → column-major conversion that mirrors the
 //!   paper's Recorder-log → parquet step, with the filter/group-by kernels
 //!   the Vani analyzer runs over the columns (parallel via `vani_rt::par`),
+//! * [`codec`] — delta/RLE/raw column codecs for sealed row groups,
+//! * [`chunk`] — chunked capture: fixed-size row groups sealed and
+//!   compressed as the run emits records, so peak uncompressed trace bytes
+//!   stay bounded regardless of trace length (tracked by a process-wide
+//!   peak gauge),
 //! * [`persist`] — JSON save/load of whole traces,
 //! * [`darshan`] — a Darshan-style aggregate-counter profiler, implemented
 //!   as a fold over the full trace to demonstrate (as the paper argues in
 //!   §III-C) which analyses aggregation destroys.
 
+pub mod chunk;
+pub mod codec;
 pub mod columnar;
 pub mod darshan;
 pub mod persist;
 pub mod record;
 pub mod tracer;
 
+pub use chunk::{ChunkMeta, ChunkedTrace, CompressedChunk, DEFAULT_CHUNK_ROWS, RING_SLOTS};
 pub use columnar::ColumnarTrace;
 pub use record::{AppId, FileId, Layer, OpKind, TraceRecord};
-pub use tracer::Tracer;
+pub use tracer::{AdaptiveSampler, Tracer};

@@ -14,7 +14,21 @@
 //! the longest consistent prefix and reports a [`TraceCompleteness`]
 //! diagnostic — the same engineering stance Recorder takes toward
 //! incomplete multi-level traces.
+//!
+//! Two row-group versions coexist:
+//!
+//! * **v1** — each group stores its columns as JSON arrays, checksummed
+//!   over their canonical rendering. Still loaded; no longer written.
+//! * **v2** (current) — each group is a sealed [`CompressedChunk`]: the ten
+//!   delta/RLE/raw-encoded column buffers hex-encoded, checksummed over the
+//!   *encoded bytes*. Groups map 1:1 onto capture chunks, so a trace
+//!   streams to disk and back without ever materializing whole columns.
+//!
+//! Both loaders dispatch on the header's `version`; salvage semantics are
+//! identical (longest consistent group prefix).
 
+use crate::chunk::{ChunkedTrace, CompressedChunk};
+use crate::codec;
 use crate::columnar::ColumnarTrace;
 use crate::tracer::Tracer;
 use std::fs;
@@ -24,8 +38,10 @@ use vani_rt::{Json, JsonError, ToJson};
 
 /// Format tag in the row-group header line.
 pub const ROWGROUP_FORMAT: &str = "vani-trace-rowgroups";
-/// Current row-group format version.
-pub const ROWGROUP_VERSION: u64 = 1;
+/// Current row-group format version (compressed chunk groups).
+pub const ROWGROUP_VERSION: u64 = 2;
+/// The legacy JSON-array row-group version (still loadable).
+pub const ROWGROUP_VERSION_V1: u64 = 1;
 /// Default rows per group: granular enough that a torn tail loses little,
 /// coarse enough that per-group overhead stays negligible.
 pub const GROUP_ROWS: usize = 4096;
@@ -68,6 +84,14 @@ pub enum TraceLoadError {
         /// Offending column name.
         column: String,
     },
+    /// A v2 row group's encoded column bytes fail to decode (bad hex or a
+    /// codec-layer rejection).
+    Codec {
+        /// Zero-based row-group index.
+        group: u64,
+        /// What the codec layer objected to.
+        detail: String,
+    },
     /// The file ends before all promised row groups arrive.
     Truncated {
         /// Byte offset at which the data ran out.
@@ -93,6 +117,9 @@ impl std::fmt::Display for TraceLoadError {
             ),
             TraceLoadError::BadChecksum { group, column } => {
                 write!(f, "row group {group}: column `{column}` fails its checksum")
+            }
+            TraceLoadError::Codec { group, detail } => {
+                write!(f, "row group {group}: {detail}")
             }
             TraceLoadError::Truncated { at_byte, expected_records, loaded_records } => write!(
                 f,
@@ -181,15 +208,16 @@ pub fn load_tracer(path: &Path) -> Result<Tracer, TraceLoadError> {
     Ok(t)
 }
 
-/// Render a columnar trace in the row-group layout with an explicit group
-/// size (exposed so tests can exercise multi-group files cheaply).
+/// Render a columnar trace in the *legacy* v1 row-group layout (JSON-array
+/// columns). Kept so the loader's backward-compatibility path stays
+/// exercised by tests; new files are written by [`render_chunked`].
 pub fn render_rowgroups(c: &ColumnarTrace, group_rows: usize) -> String {
     let group_rows = group_rows.max(1);
     let n = c.rank.len();
     let n_groups = n.div_ceil(group_rows);
     let mut out = Json::obj([
         ("format", Json::Str(ROWGROUP_FORMAT.to_string())),
-        ("version", ROWGROUP_VERSION.to_json()),
+        ("version", ROWGROUP_VERSION_V1.to_json()),
         ("records", (n as u64).to_json()),
         ("group_rows", (group_rows as u64).to_json()),
         ("groups", (n_groups as u64).to_json()),
@@ -225,9 +253,46 @@ pub fn render_rowgroups(c: &ColumnarTrace, group_rows: usize) -> String {
     out
 }
 
-/// Save a columnar trace in the self-verifying row-group layout.
+/// Render a chunked trace in the current (v2) compressed row-group layout:
+/// one line per sealed chunk, the ten encoded column buffers hex-encoded
+/// and checksummed over the encoded bytes.
+pub fn render_chunked(t: &ChunkedTrace) -> String {
+    let mut out = Json::obj([
+        ("format", Json::Str(ROWGROUP_FORMAT.to_string())),
+        ("version", ROWGROUP_VERSION.to_json()),
+        ("records", (t.len() as u64).to_json()),
+        ("group_rows", (t.chunk_rows.max(1) as u64).to_json()),
+        ("groups", (t.chunks.len() as u64).to_json()),
+        ("file_paths", t.file_paths.to_json()),
+        ("app_names", t.app_names.to_json()),
+    ])
+    .render();
+    out.push('\n');
+    for chunk in &t.chunks {
+        let checksums: Vec<u64> = (0..COLUMNS.len()).map(|i| fnv1a(chunk.column(i))).collect();
+        let cols: Vec<Json> =
+            (0..COLUMNS.len()).map(|i| Json::Str(codec::to_hex(chunk.column(i)))).collect();
+        let line = Json::obj([
+            ("rows", (chunk.rows as u64).to_json()),
+            ("checksums", checksums.to_json()),
+            ("columns", Json::Arr(cols)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Save a columnar trace in the self-verifying row-group layout (v2:
+/// sealed into [`GROUP_ROWS`]-row compressed chunks first).
 pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
-    fs::write(path, render_rowgroups(c, GROUP_ROWS))
+    fs::write(path, render_chunked(&ChunkedTrace::from_columnar(c, GROUP_ROWS)))
+}
+
+/// Save an already-chunked trace verbatim (capture chunks map 1:1 onto
+/// on-disk row groups — nothing is re-sealed).
+pub fn save_chunked(t: &ChunkedTrace, path: &Path) -> io::Result<()> {
+    fs::write(path, render_chunked(t))
 }
 
 /// One verified row group appended into the output trace, or the error
@@ -305,56 +370,94 @@ fn load_group(j: &Json, g: u64, out: &mut ColumnarTrace) -> Result<u64, TraceLoa
     Ok(rows)
 }
 
-/// Parse a row-group file. Header problems are always fatal; with
-/// `salvage`, the first bad row group stops consumption and the verified
-/// prefix is returned, otherwise any bad group is an error.
-fn parse_rowgroups(
-    text: &str,
-    salvage: bool,
-) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
-    let mut offset = 0usize;
-    let mut lines = text.split_inclusive('\n');
-    let header_line = lines.next().unwrap_or("");
-    let header = Json::parse(header_line.trim_end()).map_err(|cause| TraceLoadError::Malformed {
-        context: "header".to_string(),
-        cause,
-    })?;
-    let format: String = header.decode_field("format").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
+/// Parsed row-group header line.
+struct RgHeader {
+    version: u64,
+    expected_records: u64,
+    expected_groups: u64,
+    group_rows: u64,
+    file_paths: Vec<String>,
+    app_names: Vec<String>,
+}
+
+fn parse_header(header_line: &str) -> Result<RgHeader, TraceLoadError> {
+    let malformed =
+        |cause: JsonError| TraceLoadError::Malformed { context: "header".to_string(), cause };
+    let header = Json::parse(header_line.trim_end()).map_err(malformed)?;
+    let format: String = header.decode_field("format").map_err(malformed)?;
     if format != ROWGROUP_FORMAT {
         return Err(TraceLoadError::Header(format!("format `{format}`")));
     }
-    let version: u64 = header.decode_field("version").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
-    if version != ROWGROUP_VERSION {
+    let version: u64 = header.decode_field("version").map_err(malformed)?;
+    if version != ROWGROUP_VERSION_V1 && version != ROWGROUP_VERSION {
         return Err(TraceLoadError::Header(format!("version {version}")));
     }
-    let expected_records: u64 = header.decode_field("records").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
-    let expected_groups: u64 = header.decode_field("groups").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
-    let mut out = ColumnarTrace::with_capacity(expected_records as usize);
-    out.file_paths = header.decode_field("file_paths").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
-    out.app_names = header.decode_field("app_names").map_err(|cause| {
-        TraceLoadError::Malformed { context: "header".to_string(), cause }
-    })?;
-    offset += header_line.len();
+    Ok(RgHeader {
+        version,
+        expected_records: header.decode_field("records").map_err(malformed)?,
+        expected_groups: header.decode_field("groups").map_err(malformed)?,
+        group_rows: header.decode_field("group_rows").map_err(malformed)?,
+        file_paths: header.decode_field("file_paths").map_err(malformed)?,
+        app_names: header.decode_field("app_names").map_err(malformed)?,
+    })
+}
 
+/// One verified v2 row group: hex-decode the ten encoded column buffers,
+/// check their checksums, and rebuild the [`CompressedChunk`] (which
+/// re-validates by decoding).
+fn load_group_v2(j: &Json, g: u64) -> Result<CompressedChunk, TraceLoadError> {
+    let malformed = |cause: JsonError| TraceLoadError::Malformed {
+        context: format!("row group {g}"),
+        cause,
+    };
+    let rows: u64 = j.decode_field("rows").map_err(malformed)?;
+    let checksums: Vec<u64> = j.decode_field("checksums").map_err(malformed)?;
+    let cols_hex: Vec<String> = j.decode_field("columns").map_err(malformed)?;
+    if checksums.len() != COLUMNS.len() || cols_hex.len() != COLUMNS.len() {
+        return Err(malformed(JsonError::shape(format!(
+            "expected {} checksums and columns, found {} and {}",
+            COLUMNS.len(),
+            checksums.len(),
+            cols_hex.len()
+        ))));
+    }
+    let mut cols: [Vec<u8>; 10] = Default::default();
+    for (ci, hex) in cols_hex.iter().enumerate() {
+        let bytes = codec::from_hex(hex).ok_or_else(|| TraceLoadError::Codec {
+            group: g,
+            detail: format!("column `{}` is not valid hex", COLUMNS[ci]),
+        })?;
+        if fnv1a(&bytes) != checksums[ci] {
+            return Err(TraceLoadError::BadChecksum { group: g, column: COLUMNS[ci].to_string() });
+        }
+        cols[ci] = bytes;
+    }
+    CompressedChunk::from_encoded(cols, rows as usize).map_err(|e| TraceLoadError::Codec {
+        group: g,
+        detail: e.to_string(),
+    })
+}
+
+/// Drive the per-group loop shared by every loader: fetch each promised
+/// line, hand it to `consume`, and keep the completeness tally. With
+/// `salvage`, the first bad group stops consumption; otherwise it is
+/// an error.
+fn parse_groups<'a>(
+    mut lines: std::str::SplitInclusive<'a, char>,
+    mut offset: usize,
+    h: &RgHeader,
+    salvage: bool,
+    mut consume: impl FnMut(&Json, u64) -> Result<u64, TraceLoadError>,
+) -> Result<TraceCompleteness, TraceLoadError> {
     let mut loaded_groups = 0u64;
     let mut loaded_records = 0u64;
-    for g in 0..expected_groups {
+    for g in 0..h.expected_groups {
         let line = match lines.next() {
             Some(l) if !l.trim_end().is_empty() => l,
             _ => {
                 let err = TraceLoadError::Truncated {
                     at_byte: offset,
-                    expected_records,
+                    expected_records: h.expected_records,
                     loaded_records,
                 };
                 if salvage {
@@ -368,7 +471,7 @@ fn parse_rowgroups(
                 context: format!("row group {g}"),
                 cause,
             })
-            .and_then(|j| load_group(&j, g, &mut out));
+            .and_then(|j| consume(&j, g));
         match parsed {
             Ok(rows) => {
                 loaded_groups += 1;
@@ -383,22 +486,117 @@ fn parse_rowgroups(
             }
         }
     }
-    if !salvage && loaded_records != expected_records {
+    if !salvage && loaded_records != h.expected_records {
         return Err(TraceLoadError::Truncated {
             at_byte: offset,
-            expected_records,
+            expected_records: h.expected_records,
             loaded_records,
         });
     }
+    Ok(TraceCompleteness {
+        expected_records: h.expected_records,
+        loaded_records,
+        expected_groups: h.expected_groups,
+        loaded_groups,
+    })
+}
+
+/// Parse a row-group file into a materialized columnar trace, dispatching
+/// on the header's version. Header problems are always fatal; with
+/// `salvage`, the first bad row group stops consumption and the verified
+/// prefix is returned, otherwise any bad group is an error.
+fn parse_rowgroups(
+    text: &str,
+    salvage: bool,
+) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
+    let mut lines = text.split_inclusive('\n');
+    let header_line = lines.next().unwrap_or("");
+    let h = parse_header(header_line)?;
+    let mut out = ColumnarTrace::with_capacity(h.expected_records as usize);
+    out.file_paths = h.file_paths.clone();
+    out.app_names = h.app_names.clone();
+
+    let completeness = {
+        let out = &mut out;
+        parse_groups(lines, header_line.len(), &h, salvage, move |j, g| {
+            if h.version == ROWGROUP_VERSION_V1 {
+                load_group(j, g, out)
+            } else {
+                let chunk = load_group_v2(j, g)?;
+                // Decode into a staging trace first: a failure must not
+                // leave `out` with ragged columns.
+                let mut part = ColumnarTrace::default();
+                chunk.decode_into(&mut part, true).map_err(|e| {
+                    TraceLoadError::Codec { group: g, detail: e.to_string() }
+                })?;
+                out.rank.append(&mut part.rank);
+                out.node.append(&mut part.node);
+                out.app.append(&mut part.app);
+                out.layer.append(&mut part.layer);
+                out.op.append(&mut part.op);
+                out.start.append(&mut part.start);
+                out.end.append(&mut part.end);
+                out.file.append(&mut part.file);
+                out.offset.append(&mut part.offset);
+                out.bytes.append(&mut part.bytes);
+                Ok(chunk.rows as u64)
+            }
+        })?
+    };
+    Ok((out, completeness))
+}
+
+/// Parse a row-group file into a [`ChunkedTrace`] *without* materializing
+/// whole columns — the streaming analyzer's loader. v2 groups become
+/// chunks verbatim; v1 files load through the legacy path and are
+/// re-sealed at their on-disk group size.
+fn parse_chunked(
+    text: &str,
+    salvage: bool,
+) -> Result<(ChunkedTrace, TraceCompleteness), TraceLoadError> {
+    let mut lines = text.split_inclusive('\n');
+    let header_line = lines.next().unwrap_or("");
+    let h = parse_header(header_line)?;
+    if h.version == ROWGROUP_VERSION_V1 {
+        let (c, completeness) = parse_rowgroups(text, salvage)?;
+        let t = ChunkedTrace::from_columnar(&c, (h.group_rows as usize).max(1));
+        return Ok((t, completeness));
+    }
+    let mut chunks = Vec::with_capacity(h.expected_groups as usize);
+    let completeness = {
+        let chunks = &mut chunks;
+        parse_groups(lines, header_line.len(), &h, salvage, move |j, g| {
+            let chunk = load_group_v2(j, g)?;
+            let rows = chunk.rows as u64;
+            chunks.push(chunk);
+            Ok(rows)
+        })?
+    };
     Ok((
-        out,
-        TraceCompleteness {
-            expected_records,
-            loaded_records,
-            expected_groups,
-            loaded_groups,
+        ChunkedTrace {
+            chunk_rows: (h.group_rows as usize).max(1),
+            chunks,
+            file_paths: h.file_paths,
+            app_names: h.app_names,
         },
+        completeness,
     ))
+}
+
+/// Load a chunked trace, requiring every row group to verify.
+pub fn load_chunked(path: &Path) -> Result<ChunkedTrace, TraceLoadError> {
+    let text = fs::read_to_string(path)?;
+    parse_chunked(&text, false).map(|(t, _)| t)
+}
+
+/// Load as much of a chunked trace as verifies — the streaming analyzer's
+/// salvage entry: the longest consistent prefix of compressed row groups,
+/// without ever materializing whole columns.
+pub fn load_chunked_salvaged(
+    path: &Path,
+) -> Result<(ChunkedTrace, TraceCompleteness), TraceLoadError> {
+    let text = fs::read_to_string(path)?;
+    parse_chunked(&text, true)
 }
 
 /// Load a columnar trace, requiring every row group to verify. Truncated,
@@ -598,6 +796,70 @@ mod tests {
         assert_eq!(comp.loaded_groups, 6, "all groups before the corrupt one salvage");
         assert_eq!(comp.loaded_records, 24);
         assert_eq!(salvaged.rank.len(), 24);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn v2_round_trips_and_preserves_chunk_boundaries() {
+        let c = sample(25);
+        let t = ChunkedTrace::from_columnar(&c, 4);
+        let p = tmp("v2roundtrip.json");
+        save_chunked(&t, &p).unwrap();
+        let back = load_chunked(&p).unwrap();
+        assert_eq!(back.chunk_rows, 4);
+        assert_eq!(back.chunks.len(), 7, "chunk boundaries survive the disk trip");
+        assert_eq!(back, t);
+        // The materializing loader agrees with the original columns.
+        assert_eq!(load_columnar(&p).unwrap(), c);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn v2_corruption_is_rejected_and_salvages_the_prefix() {
+        let c = sample(25);
+        let text = render_chunked(&ChunkedTrace::from_columnar(&c, 4));
+        // Flip one hex digit inside the last group's encoded payload
+        // without breaking JSON: the checksum must catch it.
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len() - 1;
+        let pos = lines[last].rfind('"').unwrap() - 2;
+        let mut doctored_last = lines[last].to_string();
+        let old = doctored_last.as_bytes()[pos];
+        let new = if old == b'0' { b'1' } else { b'0' };
+        doctored_last.replace_range(pos..pos + 1, std::str::from_utf8(&[new]).unwrap());
+        let mut doctored: Vec<&str> = lines[..last].to_vec();
+        doctored.push(&doctored_last);
+        let p = tmp("v2badsum.json");
+        fs::write(&p, doctored.join("\n")).unwrap();
+        let err = load_columnar(&p).expect_err("corrupt v2 payload must be rejected");
+        assert!(
+            matches!(err, TraceLoadError::BadChecksum { .. } | TraceLoadError::Codec { .. }),
+            "unexpected error: {err}"
+        );
+        // Both salvage entries recover exactly the intact prefix groups.
+        let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
+        assert_eq!(comp.loaded_groups, 6);
+        assert_eq!(comp.loaded_records, 24);
+        assert_eq!(salvaged.to_records(), c.to_records()[..24].to_vec());
+        let (chunked, comp2) = load_chunked_salvaged(&p).unwrap();
+        assert_eq!(comp2, comp);
+        assert_eq!(chunked.chunks.len(), 6);
+        assert_eq!(chunked.to_columnar().unwrap().to_records(), c.to_records()[..24].to_vec());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn v1_files_still_load_and_stream() {
+        // A legacy v1 file (JSON-array groups) loads through both the
+        // materializing and the chunked loader.
+        let c = sample(25);
+        let p = tmp("v1legacy.json");
+        fs::write(&p, render_rowgroups(&c, 4)).unwrap();
+        assert_eq!(load_columnar(&p).unwrap(), c);
+        let (t, comp) = load_chunked_salvaged(&p).unwrap();
+        assert!(comp.is_complete());
+        assert_eq!(t.chunk_rows, 4);
+        assert_eq!(t.to_columnar().unwrap().to_records(), c.to_records());
         fs::remove_file(&p).unwrap();
     }
 

@@ -31,6 +31,34 @@ pub enum Layer {
 }
 
 impl Layer {
+    /// Dense integer code used by the columnar codec and the analyzer's
+    /// per-layer presence tables. The numbering is part of the on-disk
+    /// row-group format (version 2+): never reorder it.
+    pub fn code(&self) -> u8 {
+        match self {
+            Layer::App => 0,
+            Layer::HighLevel => 1,
+            Layer::MpiIo => 2,
+            Layer::Stdio => 3,
+            Layer::Posix => 4,
+            Layer::Middleware => 5,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for out-of-range codes (a
+    /// corrupt compressed column).
+    pub fn from_code(code: u8) -> Option<Layer> {
+        Some(match code {
+            0 => Layer::App,
+            1 => Layer::HighLevel,
+            2 => Layer::MpiIo,
+            3 => Layer::Stdio,
+            4 => Layer::Posix,
+            5 => Layer::Middleware,
+            _ => return None,
+        })
+    }
+
     /// Short label for table output.
     pub fn label(&self) -> &'static str {
         match self {
@@ -96,6 +124,58 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Dense integer code (declaration order) used by the columnar codec.
+    /// Part of the on-disk row-group format (version 2+): append-only.
+    pub fn code(&self) -> u8 {
+        match self {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+            OpKind::Open => 2,
+            OpKind::Create => 3,
+            OpKind::Close => 4,
+            OpKind::Stat => 5,
+            OpKind::Seek => 6,
+            OpKind::Sync => 7,
+            OpKind::Unlink => 8,
+            OpKind::Mkdir => 9,
+            OpKind::Compute => 10,
+            OpKind::GpuCompute => 11,
+            OpKind::MpiColl => 12,
+            OpKind::MpiP2p => 13,
+            OpKind::Fault => 14,
+            OpKind::Retry => 15,
+            OpKind::Checkpoint => 16,
+            OpKind::Crash => 17,
+            OpKind::RestartEpoch => 18,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for out-of-range codes.
+    pub fn from_code(code: u8) -> Option<OpKind> {
+        Some(match code {
+            0 => OpKind::Read,
+            1 => OpKind::Write,
+            2 => OpKind::Open,
+            3 => OpKind::Create,
+            4 => OpKind::Close,
+            5 => OpKind::Stat,
+            6 => OpKind::Seek,
+            7 => OpKind::Sync,
+            8 => OpKind::Unlink,
+            9 => OpKind::Mkdir,
+            10 => OpKind::Compute,
+            11 => OpKind::GpuCompute,
+            12 => OpKind::MpiColl,
+            13 => OpKind::MpiP2p,
+            14 => OpKind::Fault,
+            15 => OpKind::Retry,
+            16 => OpKind::Checkpoint,
+            17 => OpKind::Crash,
+            18 => OpKind::RestartEpoch,
+            _ => return None,
+        })
+    }
+
     /// Whether this is a data operation (moves file bytes).
     pub fn is_data(&self) -> bool {
         matches!(self, OpKind::Read | OpKind::Write)
@@ -352,6 +432,27 @@ mod tests {
         assert!(!OpKind::Checkpoint.is_io());
         assert!(!OpKind::Crash.is_io());
         assert!(!OpKind::RestartEpoch.is_io());
+    }
+
+    #[test]
+    fn layer_and_op_codes_round_trip_and_stay_dense() {
+        let layers = [Layer::App, Layer::HighLevel, Layer::MpiIo, Layer::Stdio, Layer::Posix, Layer::Middleware];
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.code() as usize, i, "layer codes are declaration-dense");
+            assert_eq!(Layer::from_code(l.code()), Some(*l));
+        }
+        assert_eq!(Layer::from_code(6), None);
+        let ops = [
+            OpKind::Read, OpKind::Write, OpKind::Open, OpKind::Create, OpKind::Close,
+            OpKind::Stat, OpKind::Seek, OpKind::Sync, OpKind::Unlink, OpKind::Mkdir,
+            OpKind::Compute, OpKind::GpuCompute, OpKind::MpiColl, OpKind::MpiP2p,
+            OpKind::Fault, OpKind::Retry, OpKind::Checkpoint, OpKind::Crash, OpKind::RestartEpoch,
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.code() as usize, i, "op codes are declaration-dense");
+            assert_eq!(OpKind::from_code(op.code()), Some(*op));
+        }
+        assert_eq!(OpKind::from_code(19), None);
     }
 
     #[test]

@@ -14,11 +14,89 @@
 //! workload runtime) by charging a fixed cost per captured record, which
 //! the layers add to their completion times.
 
+use crate::chunk::{columnar_capacity_bytes, ChunkedTrace, CompressedChunk, GaugeCharge};
 use crate::columnar::ColumnarTrace;
 use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
 use sim_core::{Dur, SimTime};
 use std::collections::HashMap;
 use vani_rt::{FromJson, Json, JsonError, ToJson};
+
+/// Records per adaptive-sampler feedback window.
+const SAMPLER_WINDOW: u64 = 1024;
+
+/// Largest admission stride the sampler will back off to.
+const SAMPLER_MAX_STRIDE: u64 = 65536;
+
+/// Overhead-budget admission control for capture (Recorder's "keep tracing
+/// under X% of runtime" knob, here deterministic by construction).
+///
+/// Records are admitted every `stride`-th call. After each window of
+/// [`SAMPLER_WINDOW`] offered records the sampler compares the capture
+/// overhead it charged (`admitted × per_record_overhead`) against the
+/// simulated time the window spanned: above budget the stride doubles
+/// (up to [`SAMPLER_MAX_STRIDE`]), below half budget it halves (down to 1,
+/// i.e. capture everything). All state advances on offered-record counts
+/// and simulated timestamps only — never wall clock — so a given record
+/// stream always samples identically.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSampler {
+    /// Target capture overhead as a fraction of simulated time.
+    budget: f64,
+    stride: u64,
+    seen: u64,
+    admitted_in_window: u64,
+    window_start: SimTime,
+}
+
+impl AdaptiveSampler {
+    /// Sampler targeting `budget` (fraction of simulated time, e.g. 0.08
+    /// for the paper's 8%). Starts at stride 1 (admit everything) and
+    /// backs off only if the stream proves too hot.
+    pub fn new(budget: f64) -> AdaptiveSampler {
+        assert!(budget > 0.0, "sampler budget must be positive");
+        AdaptiveSampler { budget, stride: 1, seen: 0, admitted_in_window: 0, window_start: SimTime::ZERO }
+    }
+
+    /// Admission decision for the next offered record starting at `start`.
+    fn admit(&mut self, start: SimTime, per_record_overhead: Dur) -> bool {
+        if self.seen == 0 {
+            self.window_start = start;
+        }
+        let admit = self.seen % self.stride == 0;
+        self.seen += 1;
+        if admit {
+            self.admitted_in_window += 1;
+        }
+        if self.seen % SAMPLER_WINDOW == 0 {
+            let span = start.since(self.window_start).as_secs_f64();
+            let spent = self.admitted_in_window as f64 * per_record_overhead.as_secs_f64();
+            let frac = if span > 0.0 { spent / span } else if spent > 0.0 { f64::INFINITY } else { 0.0 };
+            if frac > self.budget {
+                self.stride = (self.stride * 2).min(SAMPLER_MAX_STRIDE);
+            } else if frac < self.budget / 2.0 {
+                self.stride = (self.stride / 2).max(1);
+            }
+            self.admitted_in_window = 0;
+            self.window_start = start;
+        }
+        admit
+    }
+
+    /// Current admission stride (1 = capturing everything).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
+/// Chunked-capture state: sealed chunks so far, the recycled codec scratch,
+/// and the gauge charge covering the live buffer + scratch.
+#[derive(Debug, Clone)]
+struct ChunkState {
+    chunk_rows: usize,
+    chunks: Vec<CompressedChunk>,
+    scratch: Vec<u64>,
+    charge: GaugeCharge,
+}
 
 /// The trace capture sink for one workload run.
 #[derive(Debug, Default, Clone)]
@@ -31,6 +109,12 @@ pub struct Tracer {
     /// Cost charged per captured record (0 disables overhead modelling).
     pub per_record_overhead: Dur,
     enabled: bool,
+    /// `Some` once chunked capture is on: `cols` then holds only the
+    /// unsealed tail, bounded by the chunk size.
+    chunked: Option<ChunkState>,
+    /// Overhead-budget admission control; `None` (the default) captures
+    /// every record — required for the streaming == fused identity.
+    sampler: Option<AdaptiveSampler>,
 }
 
 impl Tracer {
@@ -73,11 +157,97 @@ impl Tracer {
         }
     }
 
+    /// Switch this tracer to chunked capture: from now on, whenever the
+    /// live columns reach `chunk_rows` records they are sealed into a
+    /// compressed chunk (see [`crate::chunk`]) and recycled. Must be called
+    /// before any record is captured — the live buffer is the first chunk.
+    ///
+    /// In chunked mode [`columnar`](Self::columnar), [`records`] and
+    /// friends expose only the unsealed tail; consume the full trace with
+    /// [`into_chunked`](Self::into_chunked).
+    ///
+    /// [`records`]: Self::records
+    pub fn enable_chunked(&mut self, chunk_rows: usize) {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        assert!(self.cols.is_empty(), "enable_chunked before capturing records");
+        if self.chunked.is_some() {
+            return;
+        }
+        self.cols.reserve(chunk_rows);
+        let scratch = Vec::with_capacity(chunk_rows);
+        let bytes = columnar_capacity_bytes(&self.cols) + (scratch.capacity() * 8) as u64;
+        self.chunked = Some(ChunkState {
+            chunk_rows,
+            chunks: Vec::new(),
+            scratch,
+            charge: GaugeCharge::new(bytes),
+        });
+    }
+
+    /// New chunked tracer (see [`enable_chunked`](Self::enable_chunked)).
+    pub fn with_chunked(chunk_rows: usize) -> Self {
+        let mut t = Tracer::new();
+        t.enable_chunked(chunk_rows);
+        t
+    }
+
+    /// Attach an [`AdaptiveSampler`] with the given overhead budget
+    /// (fraction of simulated time). Sampling drops records, so profiles of
+    /// a sampled trace are estimates — leave it off (the default) wherever
+    /// the streaming == fused bit-identity contract applies.
+    pub fn set_sampler_budget(&mut self, budget: Option<f64>) {
+        self.sampler = budget.map(AdaptiveSampler::new);
+    }
+
+    /// The active sampler, if any (tests inspect the adapted stride).
+    pub fn sampler(&self) -> Option<&AdaptiveSampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Whether chunked capture is on.
+    pub fn is_chunked(&self) -> bool {
+        self.chunked.is_some()
+    }
+
+    /// Chunks sealed so far (excludes the live tail in the capture buffer).
+    pub fn sealed_chunks(&self) -> usize {
+        self.chunked.as_ref().map_or(0, |cs| cs.chunks.len())
+    }
+
+    /// Finish chunked capture: seal the tail and yield the compressed
+    /// trace. Panics if [`enable_chunked`](Self::enable_chunked) was never
+    /// called — a batch tracer's columns convert via
+    /// [`crate::chunk::ChunkedTrace::from_columnar`] instead.
+    pub fn into_chunked(mut self) -> ChunkedTrace {
+        let mut cs = self.chunked.take().expect("into_chunked requires enable_chunked");
+        if !self.cols.is_empty() {
+            cs.chunks.push(CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch));
+        }
+        ChunkedTrace {
+            chunk_rows: cs.chunk_rows,
+            chunks: std::mem::take(&mut cs.chunks),
+            file_paths: std::mem::take(&mut self.cols.file_paths),
+            app_names: std::mem::take(&mut self.cols.app_names),
+        }
+    }
+
     /// Reserve room for at least `additional` more records. Workloads call
     /// this with a params-derived estimate before the run so the capture
     /// columns grow once instead of doubling through the simulation.
+    ///
+    /// In chunked mode the hint is clamped to one chunk: the live buffer
+    /// never holds more than `chunk_rows` records, so a million-record
+    /// workload hint must not balloon the first-chunk allocation.
     pub fn reserve(&mut self, additional: usize) {
+        let additional = match &self.chunked {
+            Some(cs) => additional.min(cs.chunk_rows),
+            None => additional,
+        };
         self.cols.reserve(additional);
+        if let Some(cs) = &mut self.chunked {
+            let bytes = columnar_capacity_bytes(&self.cols) + (cs.scratch.capacity() * 8) as u64;
+            cs.charge.resync(bytes);
+        }
     }
 
     /// Enable/disable capture (a disabled tracer records nothing and costs
@@ -153,8 +323,19 @@ impl Tracer {
         if !self.enabled {
             return Dur::ZERO;
         }
+        if let Some(s) = &mut self.sampler {
+            if !s.admit(start, self.per_record_overhead) {
+                return Dur::ZERO;
+            }
+        }
         self.cols
             .push_row(rank, node, app, layer, op, start, end, file, offset, bytes);
+        if let Some(cs) = &mut self.chunked {
+            if self.cols.len() >= cs.chunk_rows {
+                cs.chunks.push(CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch));
+                self.cols.clear_rows();
+            }
+        }
         self.per_record_overhead
     }
 
@@ -230,6 +411,8 @@ impl FromJson for Tracer {
             app_ids: HashMap::new(),
             per_record_overhead: j.decode_field("per_record_overhead")?,
             enabled: j.decode_field("enabled")?,
+            chunked: None,
+            sampler: None,
         })
     }
 }
@@ -344,6 +527,109 @@ mod tests {
         assert_eq!(ov, Dur::from_micros(2));
         assert_eq!(t.len(), 1);
         assert_eq!(t.records()[0].rank, 1);
+    }
+
+    /// Drive `n` records through a tracer via the shared synthetic stream.
+    fn feed(t: &mut Tracer, n: u64) {
+        let f = t.file_id("/f");
+        let g = t.file_id("/g");
+        let a = t.app_id("app");
+        for i in 0..n {
+            t.record(
+                (i % 4) as u32,
+                0,
+                a,
+                if i % 3 == 0 { Layer::Stdio } else { Layer::Posix },
+                if i % 5 == 0 { OpKind::Open } else { OpKind::Write },
+                SimTime(i * 1000),
+                SimTime(i * 1000 + 400),
+                Some(if i % 2 == 0 { f } else { g }),
+                i * 512,
+                if i % 5 == 0 { 0 } else { 512 },
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_capture_equals_batch_capture() {
+        let mut batch = Tracer::new();
+        feed(&mut batch, 10_000);
+        for chunk_rows in [64usize, 1024, 65536] {
+            let mut chunked = Tracer::with_chunked(chunk_rows);
+            feed(&mut chunked, 10_000);
+            assert!(chunked.sealed_chunks() >= 10_000 / chunk_rows);
+            let ct = chunked.into_chunked();
+            assert_eq!(ct.len(), 10_000);
+            assert_eq!(ct.to_columnar().expect("decodes"), batch.to_columnar(), "chunk_rows={chunk_rows}");
+        }
+    }
+
+    /// The satellite fix: in chunked mode, workload record-count hints are
+    /// clamped to one chunk, so a huge hint cannot balloon the first-chunk
+    /// allocation (capacity micro-assertion, as in the interning test).
+    #[test]
+    fn chunked_reserve_clamps_to_one_chunk() {
+        let mut t = Tracer::with_chunked(1024);
+        t.reserve(1_000_000);
+        assert!(t.cols.rank.capacity() <= 2 * 1024, "capacity {}", t.cols.rank.capacity());
+        assert!(t.cols.bytes.capacity() <= 2 * 1024, "capacity {}", t.cols.bytes.capacity());
+        // Batch mode keeps honoring the full hint.
+        let mut b = Tracer::new();
+        b.reserve(100_000);
+        assert!(b.cols.rank.capacity() >= 100_000);
+    }
+
+    #[test]
+    fn chunked_capture_keeps_live_buffer_bounded() {
+        let mut t = Tracer::with_chunked(256);
+        feed(&mut t, 5_000);
+        assert!(t.cols.len() < 256, "live tail only: {}", t.cols.len());
+        assert!(t.cols.rank.capacity() <= 512, "buffer recycled, not regrown");
+        assert_eq!(t.sealed_chunks(), 5_000 / 256);
+    }
+
+    #[test]
+    fn sampler_off_is_exhaustive_and_deterministic() {
+        let mut a = Tracer::new();
+        let mut b = Tracer::new();
+        feed(&mut a, 3_000);
+        feed(&mut b, 3_000);
+        assert_eq!(a.to_columnar(), b.to_columnar());
+        assert_eq!(a.len(), 3_000);
+    }
+
+    #[test]
+    fn sampler_throttles_hot_streams_and_stays_deterministic() {
+        // 1 µs overhead per record, records 1 ns apart: overhead vastly
+        // exceeds any budget, so the stride must back off hard.
+        let run = || {
+            let mut t = Tracer::with_overhead(Dur::from_micros(1));
+            t.set_sampler_budget(Some(0.08));
+            let a = t.app_id("app");
+            for i in 0..100_000u64 {
+                t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(i), SimTime(i + 1), None, 0, 64);
+            }
+            (t.len(), t.sampler().unwrap().stride())
+        };
+        let (len1, stride1) = run();
+        let (len2, stride2) = run();
+        assert_eq!((len1, stride1), (len2, stride2), "sampling is deterministic");
+        assert!(stride1 > 1, "hot stream must raise the stride");
+        assert!(len1 < 100_000 / 4, "most records dropped: {len1}");
+    }
+
+    #[test]
+    fn sampler_relaxes_on_cool_streams() {
+        // Records 1 s apart with 1 µs overhead: far under budget, so the
+        // stride stays at 1 and everything is captured.
+        let mut t = Tracer::with_overhead(Dur::from_micros(1));
+        t.set_sampler_budget(Some(0.08));
+        let a = t.app_id("app");
+        for i in 0..5_000u64 {
+            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime::from_secs(i), SimTime::from_secs(i) + Dur::from_millis(1), None, 0, 64);
+        }
+        assert_eq!(t.sampler().unwrap().stride(), 1);
+        assert_eq!(t.len(), 5_000);
     }
 
     #[test]

@@ -337,6 +337,34 @@ where
     out
 }
 
+/// [`par_fold_shards`] with a caller-chosen morsel size. The streaming
+/// analyzer folds each decoded chunk with a morsel that divides the chunk's
+/// row-group size, so the *global* sequence of (morsel, merge) operations is
+/// the same whether records arrive as one giant trace or as a stream of
+/// chunks — the keystone of the streaming == fused bit-identity contract.
+/// Morsel boundaries depend only on `len` and `morsel`, and shard
+/// accumulators merge in morsel order on the calling thread, exactly as in
+/// [`par_fold_shards`].
+pub fn par_fold_shards_sized<A, I, F, M>(len: usize, morsel: usize, identity: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, std::ops::Range<usize>) + Sync,
+    M: Fn(&mut A, A),
+{
+    assert!(morsel > 0, "par_fold_shards_sized: morsel size must be positive");
+    let shards = run_chunked(len, morsel, |_, range| {
+        let mut acc = identity();
+        fold(&mut acc, range);
+        acc
+    });
+    let mut out = identity();
+    for shard in shards {
+        merge(&mut out, shard);
+    }
+    out
+}
+
 /// Parallel filter over indices `0..len`: the sorted list of indices for
 /// which `pred` holds. Output order equals sequential order because chunks
 /// are concatenated in chunk order.
@@ -518,6 +546,24 @@ mod tests {
             )
         });
         assert_eq!(got, (0..n as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_fold_shards_sized_merges_in_morsel_order() {
+        // Explicit morsel size, non-commutative merge: the concatenation must
+        // equal 0..n for every worker count and any morsel size.
+        for &(n, morsel) in &[(10_000usize, 256usize), (10_000, 8192), (5, 2), (4096, 4096)] {
+            let got = with_threads(8, || {
+                par_fold_shards_sized(
+                    n,
+                    morsel,
+                    Vec::new,
+                    |acc: &mut Vec<u32>, range| acc.extend(range.map(|i| i as u32)),
+                    |a, mut b| a.append(&mut b),
+                )
+            });
+            assert_eq!(got, (0..n as u32).collect::<Vec<u32>>(), "n={n} morsel={morsel}");
+        }
     }
 
     #[test]

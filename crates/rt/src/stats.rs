@@ -9,6 +9,67 @@
 //! rendered percentile and correlation bit-stable regardless of worker
 //! count (callers sort once, then index — no data-dependent reductions).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A high-water-mark byte gauge: threads `add` what they allocate and `sub`
+/// what they release, and the gauge remembers the largest concurrent total it
+/// ever saw. The streaming analyzer charges its chunk scratch buffers against
+/// a process-wide instance of this so benches (and CI) can assert that peak
+/// resident trace bytes stay bounded regardless of trace length.
+///
+/// All operations are lock-free atomics. `peak` is maintained with a
+/// fetch-max loop on every `add`, so it is exact under concurrency (never an
+/// under-count of the true simultaneous maximum of the tracked total).
+#[derive(Debug, Default)]
+pub struct PeakGauge {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl PeakGauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> PeakGauge {
+        PeakGauge { cur: AtomicU64::new(0), peak: AtomicU64::new(0) }
+    }
+
+    /// Charge `bytes` against the gauge, raising the peak if the new total
+    /// exceeds it.
+    pub fn add(&self, bytes: u64) {
+        let now = self.cur.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` previously charged with [`add`](Self::add). Saturates
+    /// at zero so a mismatched release can't wrap the counter.
+    pub fn sub(&self, bytes: u64) {
+        let mut cur = self.cur.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.cur.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> u64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Largest concurrent total observed since construction or the last
+    /// [`reset`](Self::reset).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restart peak tracking from the current level (live charges persist;
+    /// the high-water mark collapses onto them).
+    pub fn reset(&self) {
+        self.peak.store(self.cur.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
 /// Linearly interpolated percentile of an **ascending-sorted** slice.
 /// `p` is in `[0, 100]`; out-of-range values clamp. Empty input returns
 /// `f64::NAN`. Interpolation follows the common "linear between closest
@@ -102,6 +163,24 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_gauge_tracks_high_water_mark() {
+        let g = PeakGauge::new();
+        g.add(100);
+        g.add(50);
+        assert_eq!(g.current(), 150);
+        assert_eq!(g.peak(), 150);
+        g.sub(120);
+        assert_eq!(g.current(), 30);
+        assert_eq!(g.peak(), 150); // peak survives release
+        g.add(40);
+        assert_eq!(g.peak(), 150); // 70 < 150: no new high-water mark
+        g.reset();
+        assert_eq!(g.peak(), 70); // reset collapses peak onto live charges
+        g.sub(1_000_000);
+        assert_eq!(g.current(), 0); // saturating release
+    }
 
     #[test]
     fn percentile_interpolates_between_ranks() {
