@@ -8,6 +8,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Formatting is a gate, not a suggestion: the whole tree is rustfmt-clean
+# as of the failure-domain PR, and drift compounds fast in a repo this
+# cross-cutting.
+cargo fmt --check
+
 # Warnings are errors in CI: the crash-recovery plane threads state through
 # many layers, and an unused field or import is usually a wiring mistake.
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
@@ -80,5 +85,13 @@ cargo run --release --offline -p bench --bin repro -- fleet-sweep --short
 # with and without active FaultPlans, single-tenant fleet byte-equal to
 # the dedicated run, and typed errors for bad fleet configurations.
 cargo test --release --offline --test fleet_sweep
+
+# Fleet failure-domain suite: with an active NodeFaultPlan the degraded
+# report (outage timeline, goodput accounting, retry outcomes) is
+# byte-identical at 1/2/8 workers; with an empty plan the render and JSON
+# are FNV-pinned bit-identical to the pre-failure-domain fleet; a killed
+# job completes after requeue with its lost work charged, and a job past
+# its retry budget is abandoned without being simulated.
+cargo test --release --offline --test fleet_resilience
 
 echo "ci: OK"

@@ -4,10 +4,10 @@
 
 // Built-in wall-clock harness by default; the `external-bench` feature
 // switches to real criterion (requires vendoring it — see DESIGN.md).
-#[cfg(feature = "external-bench")]
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 #[cfg(not(feature = "external-bench"))]
 use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[cfg(feature = "external-bench")]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpc_cluster::topology::RankId;
 use io_layers::hdf5::{self, H5Options};
 use io_layers::posix::{self, OpenFlags};
@@ -20,24 +20,34 @@ use sim_core::{Dur, SimTime};
 fn ablation_stripe_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_stripe_size");
     for block in [1u64 * MIB, 4 * MIB, 8 * MIB, 16 * MIB] {
-        g.bench_with_input(BenchmarkId::from_parameter(block / MIB), &block, |b, &block| {
-            b.iter(|| {
-                let mut w = IoWorld::lassen(2, 2, Dur::from_secs(600), 3);
-                let mut cfg = w.storage.pfs().config().clone();
-                cfg.block_size = block;
-                cfg.client_cache_bytes = 0;
-                w.storage.pfs_mut().set_config(cfg).unwrap();
-                let r = RankId(0);
-                let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/s.bin", OpenFlags::write_create(), SimTime::ZERO);
-                let fd = fd.unwrap();
-                let mut t = t;
-                for _ in 0..4 {
-                    let (_, t2) = posix::write_pattern(&mut w, r, fd, 16 * MIB, 1, t);
-                    t = t2;
-                }
-                t.as_secs_f64()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(block / MIB),
+            &block,
+            |b, &block| {
+                b.iter(|| {
+                    let mut w = IoWorld::lassen(2, 2, Dur::from_secs(600), 3);
+                    let mut cfg = w.storage.pfs().config().clone();
+                    cfg.block_size = block;
+                    cfg.client_cache_bytes = 0;
+                    w.storage.pfs_mut().set_config(cfg).unwrap();
+                    let r = RankId(0);
+                    let (fd, t) = posix::open(
+                        &mut w,
+                        r,
+                        "/p/gpfs1/s.bin",
+                        OpenFlags::write_create(),
+                        SimTime::ZERO,
+                    );
+                    let fd = fd.unwrap();
+                    let mut t = t;
+                    for _ in 0..4 {
+                        let (_, t2) = posix::write_pattern(&mut w, r, fd, 16 * MIB, 1, t);
+                        t = t2;
+                    }
+                    t.as_secs_f64()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -47,31 +57,38 @@ fn ablation_stripe_size(c: &mut Criterion) {
 fn ablation_chunk_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_chunk_cache");
     for cache in [4u64 * KIB, 256 * KIB, 4 * MIB] {
-        g.bench_with_input(BenchmarkId::from_parameter(cache / KIB), &cache, |b, &cache| {
-            b.iter(|| {
-                let mut w = IoWorld::lassen(1, 1, Dur::from_secs(600), 3);
-                hdf5::materialize(
-                    w.storage.pfs_mut().store_mut(),
-                    "/p/gpfs1/c.h5",
-                    &[("d", &[1 << 20, 1, 1], 2, Some(64 * KIB))],
-                    9,
-                )
-                .unwrap();
-                let r = RankId(0);
-                let opts = H5Options { use_mpiio: false, chunk_cache_bytes: cache };
-                let (f, t) = hdf5::open(&mut w, r, "/p/gpfs1/c.h5", opts, SimTime::ZERO);
-                let mut f = f.unwrap();
-                let mut t = t;
-                // Two sweeps: the second hits (or misses) the cache.
-                for _ in 0..2 {
-                    for i in 0..16u64 {
-                        let (_, t2) = f.read(&mut w, r, "d", i * 64 * KIB, 64 * KIB, t);
-                        t = t2;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cache / KIB),
+            &cache,
+            |b, &cache| {
+                b.iter(|| {
+                    let mut w = IoWorld::lassen(1, 1, Dur::from_secs(600), 3);
+                    hdf5::materialize(
+                        w.storage.pfs_mut().store_mut(),
+                        "/p/gpfs1/c.h5",
+                        &[("d", &[1 << 20, 1, 1], 2, Some(64 * KIB))],
+                        9,
+                    )
+                    .unwrap();
+                    let r = RankId(0);
+                    let opts = H5Options {
+                        use_mpiio: false,
+                        chunk_cache_bytes: cache,
+                    };
+                    let (f, t) = hdf5::open(&mut w, r, "/p/gpfs1/c.h5", opts, SimTime::ZERO);
+                    let mut f = f.unwrap();
+                    let mut t = t;
+                    // Two sweeps: the second hits (or misses) the cache.
+                    for _ in 0..2 {
+                        for i in 0..16u64 {
+                            let (_, t2) = f.read(&mut w, r, "d", i * 64 * KIB, 64 * KIB, t);
+                            t = t2;
+                        }
                     }
-                }
-                t.as_secs_f64()
-            })
-        });
+                    t.as_secs_f64()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -87,7 +104,8 @@ fn ablation_tier_small_ops(c: &mut Criterion) {
                 cfg.client_cache_bytes = 0;
                 w.storage.pfs_mut().set_config(cfg).unwrap();
                 let r = RankId(0);
-                let (fd, t) = posix::open(&mut w, r, path, OpenFlags::write_create(), SimTime::ZERO);
+                let (fd, t) =
+                    posix::open(&mut w, r, path, OpenFlags::write_create(), SimTime::ZERO);
                 let fd = fd.unwrap();
                 let mut t = t;
                 for _ in 0..256 {
@@ -111,16 +129,33 @@ fn ablation_cb_nodes(c: &mut Criterion) {
             b.iter(|| {
                 let mut w = IoWorld::lassen(4, 4, Dur::from_secs(600), 3);
                 let r = RankId(0);
-                let (fd, t) = mpiio::open(&mut w, r, "/p/gpfs1/cb.bin", OpenFlags::write_create(), SimTime::ZERO);
+                let (fd, t) = mpiio::open(
+                    &mut w,
+                    r,
+                    "/p/gpfs1/cb.bin",
+                    OpenFlags::write_create(),
+                    SimTime::ZERO,
+                );
                 let fd = fd.unwrap();
                 let (_, t) = mpiio::write_at(&mut w, r, fd, 0, 64 * MIB, 1, t);
-                let hints = MpiIoHints { cb_nodes: Some(cb), cb_buffer_size: 4 * MIB };
+                let hints = MpiIoHints {
+                    cb_nodes: Some(cb),
+                    cb_buffer_size: 4 * MIB,
+                };
                 let mut end = t;
                 for rank_idx in 0..16u32 {
                     let role = mpiio::plan_collective(rank_idx, 16, 4, (0, 64 * MIB), &hints);
                     let rr = RankId(rank_idx);
-                    let (fd_r, t_open) = mpiio::open(&mut w, rr, "/p/gpfs1/cb.bin", OpenFlags::read_only(), t);
-                    let (_, t_done) = mpiio::collective_read_part(&mut w, rr, fd_r.unwrap(), &role, &hints, t_open);
+                    let (fd_r, t_open) =
+                        mpiio::open(&mut w, rr, "/p/gpfs1/cb.bin", OpenFlags::read_only(), t);
+                    let (_, t_done) = mpiio::collective_read_part(
+                        &mut w,
+                        rr,
+                        fd_r.unwrap(),
+                        &role,
+                        &hints,
+                        t_open,
+                    );
                     end = end.max(t_done);
                 }
                 end.as_secs_f64()

@@ -7,10 +7,10 @@
 //! benches build offline; enable the `external-bench` feature (after
 //! vendoring criterion) for statistical timing.
 
-#[cfg(feature = "external-bench")]
-use criterion::{criterion_group, criterion_main, Criterion};
 #[cfg(not(feature = "external-bench"))]
 use bench::harness::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "external-bench")]
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vani_core::analyzer::Analysis;
 use vani_core::{reconfig, tables};
@@ -52,12 +52,24 @@ fn bench_tables(c: &mut Criterion) {
     ];
     let cols: Vec<&Analysis> = analyses.iter().collect();
     let mut g = c.benchmark_group("tables_1_to_11_render");
-    g.bench_function("table1", |b| b.iter(|| tables::table1(black_box(&cols)).render()));
-    g.bench_function("table3", |b| b.iter(|| tables::table3(black_box(&cols)).render()));
-    g.bench_function("table5_phases", |b| b.iter(|| tables::table5(black_box(&cols)).render()));
-    g.bench_function("table6_highlevel", |b| b.iter(|| tables::table6(black_box(&cols)).render()));
-    g.bench_function("table10_dataset", |b| b.iter(|| tables::table10(black_box(&cols)).render()));
-    g.bench_function("table11_file", |b| b.iter(|| tables::table11(black_box(&cols)).render()));
+    g.bench_function("table1", |b| {
+        b.iter(|| tables::table1(black_box(&cols)).render())
+    });
+    g.bench_function("table3", |b| {
+        b.iter(|| tables::table3(black_box(&cols)).render())
+    });
+    g.bench_function("table5_phases", |b| {
+        b.iter(|| tables::table5(black_box(&cols)).render())
+    });
+    g.bench_function("table6_highlevel", |b| {
+        b.iter(|| tables::table6(black_box(&cols)).render())
+    });
+    g.bench_function("table10_dataset", |b| {
+        b.iter(|| tables::table10(black_box(&cols)).render())
+    });
+    g.bench_function("table11_file", |b| {
+        b.iter(|| tables::table11(black_box(&cols)).render())
+    });
     g.finish();
 }
 
@@ -73,5 +85,10 @@ fn bench_use_cases(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_workload_characterization, bench_tables, bench_use_cases);
+criterion_group!(
+    benches,
+    bench_workload_characterization,
+    bench_tables,
+    bench_use_cases
+);
 criterion_main!(benches);

@@ -25,7 +25,9 @@
 use std::time::Instant;
 
 use exemplar_workloads::{cm1, cosmoflow, hacc, jag, montage, montage_pegasus};
-use recorder_sim::chunk::{resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS};
+use recorder_sim::chunk::{
+    resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS,
+};
 use recorder_sim::record::{Layer, OpKind};
 use recorder_sim::ColumnarTrace;
 use sim_core::Dur;
@@ -103,7 +105,14 @@ fn synthetic_trace(n: usize, seed: u64) -> (ColumnarTrace, Dur) {
         };
         let (op, bytes) = if roll < 80 {
             let sz = 1u64 << rng.uniform_u64(12, 21); // 4 KiB .. 1 MiB
-            (if roll < 40 { OpKind::Write } else { OpKind::Read }, sz)
+            (
+                if roll < 40 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+                sz,
+            )
         } else if roll < 90 {
             (OpKind::Open, 0)
         } else {
@@ -171,7 +180,13 @@ fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> (u64, u64, u64, 
         "streaming peak {peak} B exceeds resident_bound({DEFAULT_CHUNK_ROWS}, {RING_SLOTS}) = {} B",
         resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS)
     );
-    (multipass_ns, fused_ns, streaming_ns, t.compressed_bytes(), peak)
+    (
+        multipass_ns,
+        fused_ns,
+        streaming_ns,
+        t.compressed_bytes(),
+        peak,
+    )
 }
 
 fn main() {
@@ -185,7 +200,10 @@ fn main() {
         &[10_000, 100_000, 1_000_000, 10_000_000]
     };
 
-    eprintln!("analyzer bench: fused vs multipass ({} workers, {} samples, best-of)", WORKERS, samples);
+    eprintln!(
+        "analyzer bench: fused vs multipass ({} workers, {} samples, best-of)",
+        WORKERS, samples
+    );
     let mut synthetic = Vec::new();
     for &n in sizes {
         let (c, job_time) = synthetic_trace(n, 0x5eed_0001 + n as u64);
@@ -233,7 +251,13 @@ fn main() {
             streaming_ns as f64 / 1e6,
             speedup(multipass_ns, fused_ns),
         );
-        workloads.push(WorkloadResult { name, records: c.len(), multipass_ns, fused_ns, streaming_ns });
+        workloads.push(WorkloadResult {
+            name,
+            records: c.len(),
+            multipass_ns,
+            fused_ns,
+            streaming_ns,
+        });
     }
     par::set_threads(0);
 
@@ -241,7 +265,10 @@ fn main() {
         (
             "config",
             Json::obj([
-                ("mode", Json::Str(if short { "short" } else { "full" }.into())),
+                (
+                    "mode",
+                    Json::Str(if short { "short" } else { "full" }.into()),
+                ),
                 ("workers", Json::Int(WORKERS as i128)),
                 ("samples", Json::Int(samples as i128)),
                 ("timing", Json::Str("best-of wall clock, 1 warm-up".into())),
@@ -271,7 +298,10 @@ fn main() {
                                 "compressed_bytes_per_record",
                                 Json::Float(r.compressed_bytes as f64 / r.records.max(1) as f64),
                             ),
-                            ("peak_resident_bytes", Json::Int(r.peak_resident_bytes as i128)),
+                            (
+                                "peak_resident_bytes",
+                                Json::Int(r.peak_resident_bytes as i128),
+                            ),
                         ])
                     })
                     .collect(),

@@ -7,7 +7,7 @@
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
 //! cargo run --release -p bench --bin repro -- crash-sweep
-//! cargo run --release -p bench --bin repro -- fleet-sweep [--short] [--jobs N]
+//! cargo run --release -p bench --bin repro -- fleet-sweep [--short] [--jobs N] [--node-faults]
 //! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
@@ -22,45 +22,73 @@ use vani_core::{crashsweep, figures, reconfig, sweep, tables, yaml};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let short = args.iter().any(|a| a == "--short");
-    let args: Vec<String> = args.into_iter().filter(|a| a != "--short").collect();
+    let node_faults = args.iter().any(|a| a == "--node-faults");
+    let args: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--short" && a != "--node-faults")
+        .collect();
     // `--jobs N` overrides the fleet size (fleet-sweep only); consume the
     // flag and its value so neither is mistaken for an artifact name.
+    // Validation goes through the typed `FleetError::InvalidJobs` — `0` or
+    // a non-numeric value exits 2 with a usage message, never a panic.
     let mut jobs: Option<usize> = None;
     let mut args_out: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
-            match it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0) {
-                Some(n) => jobs = Some(n),
-                None => {
-                    eprintln!("--jobs requires a positive integer argument");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            match v.parse::<usize>().ok().filter(|&n| n > 0) {
-                Some(n) => jobs = Some(n),
-                None => {
-                    eprintln!("--jobs requires a positive integer argument");
-                    std::process::exit(2);
-                }
-            }
+        let value = if a == "--jobs" {
+            Some(it.next().unwrap_or_default())
         } else {
-            args_out.push(a);
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        match value {
+            Some(v) => match bench::fleet::parse_jobs(&v) {
+                Ok(n) => jobs = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("usage: repro -- fleet-sweep [--short] [--jobs N] [--node-faults]");
+                    std::process::exit(2);
+                }
+            },
+            None => args_out.push(a),
         }
     }
     let args = args_out;
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-            "table9", "table10", "table11", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fault-sweep", "crash-sweep", "yaml",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fault-sweep",
+            "crash-sweep",
+            "yaml",
         ]
     } else {
         args.iter().map(String::as_str).collect()
     };
     let scale = scale_from_env();
-    let needs_six = wanted.iter().any(|w| w.starts_with("table") || matches!(*w, "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "yaml"));
+    let needs_six = wanted.iter().any(|w| {
+        w.starts_with("table")
+            || matches!(
+                *w,
+                "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "yaml"
+            )
+    });
     let analyses: Vec<Analysis> = if needs_six {
         eprintln!("running the six exemplar workloads at scale {scale} ...");
         run_all_six(scale, 7)
@@ -87,7 +115,11 @@ fn main() {
             "table11" => print!("{}", tables::table11(&cols).render()),
             f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6") => {
                 let idx = f[3..].parse::<usize>().expect("figure index") - 1;
-                println!("== Figure {}: I/O behavior of {}", idx + 1, cols[idx].kind.name());
+                println!(
+                    "== Figure {}: I/O behavior of {}",
+                    idx + 1,
+                    cols[idx].kind.name()
+                );
                 print!("{}", figures::figure(cols[idx]));
             }
             "fig7" => {
@@ -113,20 +145,24 @@ fn main() {
                 );
             }
             "fault-sweep" => {
-                eprintln!("running fault-injection sweep (MDS brownout, NSD outage, shm shielding) ...");
+                eprintln!(
+                    "running fault-injection sweep (MDS brownout, NSD outage, shm shielding) ..."
+                );
                 let s = scale.clamp(0.02, 1.0);
                 let report = sweep::fault_sweep(s, 7, 20.0, sweep::Driver::Parallel);
                 print!("{}", report.render());
             }
             "crash-sweep" => {
-                eprintln!("running crash-recovery sweep (checkpoint interval vs time-to-solution) ...");
+                eprintln!(
+                    "running crash-recovery sweep (checkpoint interval vs time-to-solution) ..."
+                );
                 let s = scale.clamp(0.02, 1.0);
                 let report = crashsweep::crash_sweep(s, 7, sweep::Driver::Parallel);
                 print!("{}", report.render());
             }
             "fleet-sweep" => {
                 eprintln!("running fleet sweep (multi-tenant shared-PFS characterization) ...");
-                match bench::fleet::run_fleet(short, scale, jobs) {
+                match bench::fleet::run_fleet(short, scale, jobs, node_faults) {
                     Ok(render) => print!("{render}"),
                     Err(e) => {
                         eprintln!("fleet-sweep failed: {e}");

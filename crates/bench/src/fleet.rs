@@ -1,6 +1,6 @@
 //! Fleet sweep driver: the multi-tenant datacenter mode, invoked as
-//! `repro -- fleet-sweep [--short] [--jobs N]`; writes `BENCH_fleet.json`
-//! at the repository root.
+//! `repro -- fleet-sweep [--short] [--jobs N] [--node-faults]`; writes
+//! `BENCH_fleet.json` at the repository root.
 //!
 //! The full run admits 1000 heterogeneous jobs (the short run 64; `--jobs`
 //! overrides either, e.g. `--jobs 10000` for the bounded-memory fleet
@@ -31,20 +31,48 @@ pub const FULL_JOBS: usize = 1000;
 /// Jobs in the short (CI) fleet.
 pub const SHORT_JOBS: usize = 64;
 
+/// Parse a `--jobs` argument: a positive integer, or a typed
+/// [`FleetError::InvalidJobs`] — never a panic or a silent unwrap.
+pub fn parse_jobs(arg: &str) -> Result<usize, FleetError> {
+    match arg.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(FleetError::InvalidJobs {
+            arg: arg.to_string(),
+        }),
+    }
+}
+
 /// The fleet configuration the benchmark runs: the standard heterogeneous
 /// mix at a fleet-friendly scale (hundreds of concurrent-ish jobs stay
-/// tractable well below the interactive default scale).
-pub fn bench_config(short: bool, scale: f64, jobs: Option<usize>) -> FleetConfig {
+/// tractable well below the interactive default scale). `node_faults`
+/// arms the standard seeded outage profile — the degraded-mode fleet.
+pub fn bench_config(
+    short: bool,
+    scale: f64,
+    jobs: Option<usize>,
+    node_faults: bool,
+) -> FleetConfig {
     let n_jobs = jobs.unwrap_or(if short { SHORT_JOBS } else { FULL_JOBS });
-    FleetConfig::standard(n_jobs, scale, 7)
+    if node_faults {
+        FleetConfig::standard_with_node_faults(n_jobs, scale, 7)
+    } else {
+        FleetConfig::standard(n_jobs, scale, 7)
+    }
 }
 
 /// Run the fleet at every driver configuration, assert byte-identity,
 /// write `BENCH_fleet.json`, and return the rendered report for stdout.
-pub fn run_fleet(short: bool, scale: f64, jobs: Option<usize>) -> Result<String, FleetError> {
+pub fn run_fleet(
+    short: bool,
+    scale: f64,
+    jobs: Option<usize>,
+    node_faults: bool,
+) -> Result<String, FleetError> {
     let scale = scale.clamp(0.005, 0.05);
-    let cfg = bench_config(short, scale, jobs);
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cfg = bench_config(short, scale, jobs, node_faults);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     eprintln!(
         "fleet sweep: {} jobs at scale {scale}, cluster {} nodes, host has {host_cores} core(s)",
         cfg.n_jobs, cfg.cluster_nodes
@@ -55,10 +83,12 @@ pub fn run_fleet(short: bool, scale: f64, jobs: Option<usize>) -> Result<String,
     let reference: FleetReport = fleet_sweep(&cfg, Driver::Sequential)?;
     let sequential_ns = t0.elapsed().as_nanos() as u64;
     let ref_render = reference.render();
-    eprintln!("  sequential            : {:>9.2} ms", sequential_ns as f64 / 1e6);
+    eprintln!(
+        "  sequential            : {:>9.2} ms",
+        sequential_ns as f64 / 1e6
+    );
 
-    let mut timings: Vec<(String, usize, u64)> =
-        vec![("sequential".to_string(), 1, sequential_ns)];
+    let mut timings: Vec<(String, usize, u64)> = vec![("sequential".to_string(), 1, sequential_ns)];
     for workers in [1usize, 2, 8] {
         par::set_threads(workers);
         let t = Instant::now();
@@ -70,7 +100,10 @@ pub fn run_fleet(short: bool, scale: f64, jobs: Option<usize>) -> Result<String,
             ref_render,
             "fleet report diverged from sequential at {workers} workers"
         );
-        eprintln!("  parallel-{workers} ({workers} workers): {:>9.2} ms", ns as f64 / 1e6);
+        eprintln!(
+            "  parallel-{workers} ({workers} workers): {:>9.2} ms",
+            ns as f64 / 1e6
+        );
         timings.push((format!("parallel-{workers}"), workers, ns));
     }
     eprintln!(
@@ -88,16 +121,23 @@ pub fn run_fleet(short: bool, scale: f64, jobs: Option<usize>) -> Result<String,
         peak_trace as f64 / 1024.0 / host_cores.max(1) as f64
     );
 
-    let json = Json::obj([
+    // The `node_faults` config key appears only when the flag is armed,
+    // keeping the healthy BENCH_fleet.json bit-identical to the
+    // pre-failure-domain output (asserted by tests/fleet_resilience.rs).
+    let mut config_members = vec![
         (
-            "config",
-            Json::obj([
-                ("mode", Json::Str(if short { "short" } else { "full" }.into())),
-                ("n_jobs", Json::Int(cfg.n_jobs as i128)),
-                ("scale", Json::Float(scale)),
-                ("host_cores", Json::Int(host_cores as i128)),
-            ]),
+            "mode",
+            Json::Str(if short { "short" } else { "full" }.into()),
         ),
+        ("n_jobs", Json::Int(cfg.n_jobs as i128)),
+        ("scale", Json::Float(scale)),
+        ("host_cores", Json::Int(host_cores as i128)),
+    ];
+    if node_faults {
+        config_members.push(("node_faults", Json::Bool(true)));
+    }
+    let json = Json::obj([
+        ("config", Json::obj(config_members)),
         (
             "drivers",
             Json::Arr(
@@ -127,4 +167,44 @@ pub fn run_fleet(short: bool, scale: f64, jobs: Option<usize>) -> Result<String,
     eprintln!("wrote {path}");
 
     Ok(ref_render)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("10000"), Ok(10000));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_and_garbage_with_typed_errors() {
+        for bad in ["0", "-3", "ten", "", "1.5", "1e3", "+ 4"] {
+            match parse_jobs(bad) {
+                Err(FleetError::InvalidJobs { arg }) => {
+                    assert_eq!(arg, bad);
+                    let msg = FleetError::InvalidJobs { arg }.to_string();
+                    assert!(
+                        msg.contains("--jobs"),
+                        "usage message names the flag: {msg}"
+                    );
+                }
+                other => panic!("`{bad}` must be InvalidJobs, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_faults_flag_arms_an_active_plan_without_touching_the_mix() {
+        let healthy = bench_config(true, 0.02, None, false);
+        let degraded = bench_config(true, 0.02, None, true);
+        assert_eq!(healthy.mix, degraded.mix);
+        assert_eq!(healthy.node_faults, vani_core::tenancy::NodeFaultSpec::None);
+        assert!(matches!(
+            degraded.node_faults,
+            vani_core::tenancy::NodeFaultSpec::Profile(_)
+        ));
+    }
 }

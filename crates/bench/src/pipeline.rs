@@ -83,15 +83,26 @@ fn measure_config(
             six_render = six;
             sweep_render = sw;
         } else {
-            assert_eq!(six, six_render, "{name}: paper-six output changed between samples");
-            assert_eq!(sw, sweep_render, "{name}: fault-sweep output changed between samples");
+            assert_eq!(
+                six, six_render,
+                "{name}: paper-six output changed between samples"
+            );
+            assert_eq!(
+                sw, sweep_render,
+                "{name}: fault-sweep output changed between samples"
+            );
         }
         best_six = best_six.min(six_ns);
         best_sweep = best_sweep.min(sweep_ns);
     }
     par::set_threads(0);
     (
-        ConfigResult { name, workers, paper_six_ns: best_six, fault_sweep_ns: best_sweep },
+        ConfigResult {
+            name,
+            workers,
+            paper_six_ns: best_six,
+            fault_sweep_ns: best_sweep,
+        },
         six_render,
         sweep_render,
     )
@@ -139,7 +150,10 @@ fn measure_capture(
     let direct = || t.to_columnar();
     let (c_legacy, legacy_ns) = time_best(samples, legacy);
     let (c_direct, direct_ns) = time_best(samples, direct);
-    assert_eq!(c_legacy, c_direct, "{name}: legacy and direct capture paths diverged");
+    assert_eq!(
+        c_legacy, c_direct,
+        "{name}: legacy and direct capture paths diverged"
+    );
     let rt = run.runtime();
     let (_, legacy_analyze_ns) = time_best(samples, || TraceProfile::fused(&legacy(), rt));
     let (_, direct_analyze_ns) = time_best(samples, || TraceProfile::fused(&direct(), rt));
@@ -162,7 +176,9 @@ pub fn run_bench(short: bool) {
     let samples = if short { 1 } else { 2 };
     let scale = if short { 0.01 } else { 0.05 };
     let fault_scale = 0.02;
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     eprintln!(
         "pipeline bench: paper-six + fault sweep, scale {scale}/{fault_scale}, \
@@ -186,8 +202,14 @@ pub fn run_bench(short: bool) {
             ref_six = six;
             ref_sweep = sw;
         } else {
-            assert_eq!(six, ref_six, "{name}: paper-six output diverged from sequential");
-            assert_eq!(sw, ref_sweep, "{name}: fault-sweep output diverged from sequential");
+            assert_eq!(
+                six, ref_six,
+                "{name}: paper-six output diverged from sequential"
+            );
+            assert_eq!(
+                sw, ref_sweep,
+                "{name}: fault-sweep output diverged from sequential"
+            );
         }
         eprintln!(
             "  {:<11} ({} workers): paper-six {:>8.2} ms, fault-sweep {:>8.2} ms, total {:>8.2} ms",
@@ -213,10 +235,16 @@ pub fn run_bench(short: bool) {
     let runs: Vec<(&'static str, exemplar_workloads::WorkloadRun)> = vec![
         ("cm1", exemplar_workloads::cm1::run(scale, 7)),
         ("hacc", exemplar_workloads::hacc::run(scale, 7)),
-        ("cosmoflow", exemplar_workloads::cosmoflow::run(scale / 10.0, 7)),
+        (
+            "cosmoflow",
+            exemplar_workloads::cosmoflow::run(scale / 10.0, 7),
+        ),
         ("jag", exemplar_workloads::jag::run(scale, 7)),
         ("montage", exemplar_workloads::montage::run(scale, 7)),
-        ("montage_pegasus", exemplar_workloads::montage_pegasus::run(scale, 7)),
+        (
+            "montage_pegasus",
+            exemplar_workloads::montage_pegasus::run(scale, 7),
+        ),
     ];
     let mut captures = Vec::new();
     for (name, run) in &runs {
@@ -247,7 +275,10 @@ pub fn run_bench(short: bool) {
         (
             "config",
             Json::obj([
-                ("mode", Json::Str(if short { "short" } else { "full" }.into())),
+                (
+                    "mode",
+                    Json::Str(if short { "short" } else { "full" }.into()),
+                ),
                 ("scale", Json::Float(scale)),
                 ("fault_scale", Json::Float(fault_scale)),
                 ("samples", Json::Int(samples as i128)),
@@ -268,7 +299,10 @@ pub fn run_bench(short: bool) {
                             ("paper_six_ns", Json::Int(r.paper_six_ns as i128)),
                             ("fault_sweep_ns", Json::Int(r.fault_sweep_ns as i128)),
                             ("total_ns", Json::Int(r.total_ns() as i128)),
-                            ("speedup_vs_sequential", Json::Float(ratio(seq_total, r.total_ns()))),
+                            (
+                                "speedup_vs_sequential",
+                                Json::Float(ratio(seq_total, r.total_ns())),
+                            ),
                         ])
                     })
                     .collect(),
@@ -294,7 +328,10 @@ pub fn run_bench(short: bool) {
                                     ("direct_analyze_ns", Json::Int(c.direct_analyze_ns as i128)),
                                     (
                                         "analyze_speedup",
-                                        Json::Float(ratio(c.legacy_analyze_ns, c.direct_analyze_ns)),
+                                        Json::Float(ratio(
+                                            c.legacy_analyze_ns,
+                                            c.direct_analyze_ns,
+                                        )),
                                     ),
                                 ])
                             })
@@ -303,7 +340,10 @@ pub fn run_bench(short: bool) {
                 ),
                 ("total_legacy_ns", Json::Int(legacy_total as i128)),
                 ("total_direct_ns", Json::Int(direct_total as i128)),
-                ("materialization_speedup", Json::Float(ratio(legacy_total, direct_total))),
+                (
+                    "materialization_speedup",
+                    Json::Float(ratio(legacy_total, direct_total)),
+                ),
                 (
                     "capture_plus_analysis_speedup",
                     Json::Float(ratio(legacy_an_total, direct_an_total)),

@@ -640,13 +640,10 @@ impl IdSet {
     /// Set members in ascending order.
     fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            std::iter::successors(
-                (w != 0).then_some(w),
-                |&rest| {
-                    let rest = rest & (rest - 1);
-                    (rest != 0).then_some(rest)
-                },
-            )
+            std::iter::successors((w != 0).then_some(w), |&rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
             .map(move |bits| wi * 64 + bits.trailing_zeros() as usize)
         })
     }
@@ -1238,8 +1235,11 @@ impl TraceProfile {
         let mut sorted_io = std::mem::take(&mut fused.io_idx);
         sorted_io.sort_by_key(|&i| c.start[i as usize]);
         let phases = detect_phases_sorted(c, &sorted_io, job_time);
-        let sorted_data: Vec<u32> =
-            sorted_io.iter().copied().filter(|&i| c.op[i as usize].is_data()).collect();
+        let sorted_data: Vec<u32> = sorted_io
+            .iter()
+            .copied()
+            .filter(|&i| c.op[i as usize].is_data())
+            .collect();
         let access_pattern = scan_access_pattern(c, &sorted_data);
         let (read_timeline, write_timeline) = build_timelines(c, &fused.data_idx, job_time);
         let data_ops = fused.data_idx.len() as u64;
@@ -1410,7 +1410,11 @@ fn profile_files(c: &ColumnarTrace, io_sel: &[u32]) -> Vec<FileProfile> {
         let Some(fid) = c.file_id(i) else { continue };
         map.entry(fid.0)
             .or_insert_with(|| FileProfile {
-                path: c.file_paths.get(fid.0 as usize).cloned().unwrap_or_default(),
+                path: c
+                    .file_paths
+                    .get(fid.0 as usize)
+                    .cloned()
+                    .unwrap_or_default(),
                 ..Default::default()
             })
             .absorb(c, i);
@@ -1537,7 +1541,10 @@ pub(crate) fn phase_threshold(job_time: Dur) -> Dur {
 }
 
 pub(crate) fn dominant_bucket(h: &Histogram) -> u64 {
-    h.iter().max_by_key(|&(_, count)| count).map(|(b, _)| b).unwrap_or(0)
+    h.iter()
+        .max_by_key(|&(_, count)| count)
+        .map(|(b, _)| b)
+        .unwrap_or(0)
 }
 
 /// Sequential if, per (rank, file), data-op offsets are non-decreasing for
@@ -1710,7 +1717,11 @@ mod tests {
         let run = montage::run(0.02, 2);
         let a = Analysis::from_run(&run);
         assert_eq!(a.interface, "STDIO");
-        assert!(a.apps.len() >= 5, "apps: {:?}", a.apps.iter().map(|x| &x.name).collect::<Vec<_>>());
+        assert!(
+            a.apps.len() >= 5,
+            "apps: {:?}",
+            a.apps.iter().map(|x| &x.name).collect::<Vec<_>>()
+        );
         // mProject produces what mAddMPI consumes.
         assert!(
             a.app_deps

@@ -96,7 +96,9 @@ pub struct CrashSweepReport {
 impl CrashSweepReport {
     /// The cell for `(n_ckpts, crashes)`, if it survived supervision.
     pub fn cell(&self, n_ckpts: u32, crashes: u32) -> Option<&CrashPoint> {
-        self.points.iter().find(|p| p.n_ckpts == n_ckpts && p.crashes == crashes)
+        self.points
+            .iter()
+            .find(|p| p.n_ckpts == n_ckpts && p.crashes == crashes)
     }
 
     /// Render the tradeoff figure as `repro -- crash-sweep` prints it.
@@ -120,8 +122,10 @@ impl CrashSweepReport {
         // crash load, one bar per checkpoint count. Sparse checkpoints
         // pay in rolled-back work, dense checkpoints in overhead.
         let worst = *CRASH_COUNTS.iter().max().unwrap();
-        let bars: Vec<&CrashPoint> =
-            CKPT_COUNTS.iter().filter_map(|&n| self.cell(n, worst)).collect();
+        let bars: Vec<&CrashPoint> = CKPT_COUNTS
+            .iter()
+            .filter_map(|&n| self.cell(n, worst))
+            .collect();
         let max = bars.iter().map(|p| p.makespan).fold(0.0_f64, f64::max);
         if max > 0.0 {
             out.push_str(&format!("\ntime to solution with {worst} crash(es):\n"));
@@ -181,7 +185,11 @@ pub fn crash_sweep(scale: f64, seed: u64, driver: Driver) -> CrashSweepReport {
             }
         }
     }
-    let manifest = if report.is_clean() { None } else { Some(report.manifest()) };
+    let manifest = if report.is_clean() {
+        None
+    } else {
+        Some(report.manifest())
+    };
     CrashSweepReport { points, manifest }
 }
 

@@ -46,7 +46,11 @@ pub(crate) fn shield_plan(from: SimTime) -> FaultPlan {
 }
 
 /// CosmoFlow at `scale` under `faults` (baseline GPFS data path).
-pub(crate) fn run_cosmo(scale: f64, seed: u64, faults: FaultPlan) -> exemplar_workloads::WorkloadRun {
+pub(crate) fn run_cosmo(
+    scale: f64,
+    seed: u64,
+    faults: FaultPlan,
+) -> exemplar_workloads::WorkloadRun {
     let mut p = cosmoflow::CosmoflowParams::scaled(scale);
     p.faults = faults;
     cosmoflow::run_with(p, scale, seed)
@@ -65,7 +69,11 @@ pub(crate) fn run_cosmo_preload(
 }
 
 /// HACC at `scale` under `faults`.
-pub(crate) fn run_hacc(scale: f64, seed: u64, faults: FaultPlan) -> exemplar_workloads::WorkloadRun {
+pub(crate) fn run_hacc(
+    scale: f64,
+    seed: u64,
+    faults: FaultPlan,
+) -> exemplar_workloads::WorkloadRun {
     let mut p = hacc::HaccParams::scaled(scale);
     p.faults = faults;
     hacc::run_with(p, scale, seed)
@@ -85,7 +93,9 @@ pub(crate) fn nsd_bw(seed: u64, plan: FaultPlan) -> f64 {
     let bytes = 64 * MIB;
     let mut fs = GpfsSim::new(nsd_config(), 4, 1 * GIB, Dur::from_micros(2), seed);
     fs.set_fault_plan(plan);
-    let (k, t) = fs.open(NodeId(0), "/bench", true, false, SimTime::ZERO).unwrap();
+    let (k, t) = fs
+        .open(NodeId(0), "/bench", true, false, SimTime::ZERO)
+        .unwrap();
     let (_, end) = fs.write_pattern(NodeId(0), k, 0, bytes, 1, t).unwrap();
     bytes as f64 / end.since(t).as_secs_f64()
 }
@@ -137,7 +147,11 @@ fn impact_of(
     healthy: &exemplar_workloads::WorkloadRun,
     faulted: &exemplar_workloads::WorkloadRun,
 ) -> FaultImpact {
-    impact_from(workload, &Analysis::from_run(healthy), &Analysis::from_run(faulted))
+    impact_from(
+        workload,
+        &Analysis::from_run(healthy),
+        &Analysis::from_run(faulted),
+    )
 }
 
 /// Experiment 1: an MDS brownout (`slowdown`× metadata service time for the
@@ -188,8 +202,15 @@ impl OutageBench {
 pub fn nsd_outage_bench(seed: u64) -> OutageBench {
     let n_servers = nsd_config().n_data_servers as u32;
     let healthy_bw = nsd_bw(seed, FaultPlan::none());
-    let degraded_bw = nsd_bw(seed, FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run()));
-    OutageBench { n_servers, healthy_bw, degraded_bw }
+    let degraded_bw = nsd_bw(
+        seed,
+        FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run()),
+    );
+    OutageBench {
+        n_servers,
+        healthy_bw,
+        degraded_bw,
+    }
 }
 
 /// Experiment 3 result: the same PFS fault plan hitting the baseline and
@@ -347,7 +368,10 @@ mod tests {
             s.preloaded.degradation(),
             s.baseline.degradation()
         );
-        assert!(s.baseline.faults > 0, "the 2% error rate must trigger retries");
+        assert!(
+            s.baseline.faults > 0,
+            "the 2% error rate must trigger retries"
+        );
     }
 
     #[test]
@@ -362,8 +386,15 @@ mod tests {
         };
         let r = render_fault_sweep(
             &(imp("Cosmoflow"), imp("HACC (FPP)")),
-            &OutageBench { n_servers: 4, healthy_bw: 4e8, degraded_bw: 3e8 },
-            &ShieldResult { baseline: imp("base"), preloaded: imp("pre") },
+            &OutageBench {
+                n_servers: 4,
+                healthy_bw: 4e8,
+                degraded_bw: 3e8,
+            },
+            &ShieldResult {
+                baseline: imp("base"),
+                preloaded: imp("pre"),
+            },
         );
         assert!(r.contains("MDS brownout"));
         assert!(r.contains("NSD outage"));

@@ -38,7 +38,10 @@ fn hist_text(h: &sim_core::Histogram, label: impl Fn(u64) -> String) -> String {
 /// rank counts, plus app-level producer → consumer edges for workflows.
 pub fn panel_b(a: &Analysis) -> String {
     let mut out = String::new();
-    out.push_str(&format!("(b) {} — process/data dependency:\n", a.kind.name()));
+    out.push_str(&format!(
+        "(b) {} — process/data dependency:\n",
+        a.kind.name()
+    ));
     for f in a.files.iter().take(6) {
         out.push_str(&format!(
             "    {:50} size={:>10} readers={:>5} writers={:>4} {}\n",
@@ -67,15 +70,18 @@ pub fn panel_c(a: &Analysis) -> String {
     out.push_str(&format!(
         "(c) {} — I/O timeline ({} bins over {:.1}s):\n",
         a.kind.name(),
-        a.read_timeline.bins().len().max(a.write_timeline.bins().len()),
+        a.read_timeline
+            .bins()
+            .len()
+            .max(a.write_timeline.bins().len()),
         a.job_time.as_secs_f64()
     ));
-    let peak = a
+    let peak = a.read_timeline.peak().max(a.write_timeline.peak()).max(1.0);
+    let bins = a
         .read_timeline
-        .peak()
-        .max(a.write_timeline.peak())
-        .max(1.0);
-    let bins = a.read_timeline.bins().len().max(a.write_timeline.bins().len());
+        .bins()
+        .len()
+        .max(a.write_timeline.bins().len());
     // Downsample to at most 32 printed rows.
     let step = (bins / 32).max(1);
     for b in (0..bins).step_by(step) {

@@ -42,12 +42,12 @@
 
 pub mod analyzer;
 pub mod crashsweep;
-pub mod streaming;
 pub mod entities;
 pub mod faultsweep;
 pub mod figures;
 pub mod optimizer;
 pub mod reconfig;
+pub mod streaming;
 pub mod sweep;
 pub mod tables;
 pub mod tenancy;

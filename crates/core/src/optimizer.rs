@@ -231,7 +231,10 @@ mod tests {
         assert!(
             has(&advice, "preload-dataset-to-shm"),
             "advice: {:?}",
-            advice.iter().map(|x| x.recommendation.name()).collect::<Vec<_>>()
+            advice
+                .iter()
+                .map(|x| x.recommendation.name())
+                .collect::<Vec<_>>()
         );
         assert!(has(&advice, "collective-buffering"));
         assert!(has(&advice, "enable-chunking"));
@@ -247,7 +250,10 @@ mod tests {
         assert!(
             has(&advice, "intermediates-to-node-local"),
             "advice: {:?}",
-            advice.iter().map(|x| x.recommendation.name()).collect::<Vec<_>>()
+            advice
+                .iter()
+                .map(|x| x.recommendation.name())
+                .collect::<Vec<_>>()
         );
         // Montage is not a preload candidate: data-op dominated.
         assert!(!has(&advice, "preload-dataset-to-shm"));

@@ -94,8 +94,7 @@ pub fn figure8_with(scale: f64, node_counts: &[u32], seed: u64, driver: Driver) 
             let mut p = base_p.clone();
             p.nodes = nodes;
             p.inputs_per_node = ((base_p.inputs_per_node as f64 * f).round() as u32).max(1);
-            p.proj_bytes_per_node =
-                (((base_p.proj_bytes_per_node as f64) * f) as u64).max(1 << 20);
+            p.proj_bytes_per_node = (((base_p.proj_bytes_per_node as f64) * f) as u64).max(1 << 20);
             p.madd_read_per_rank = (((base_p.madd_read_per_rank as f64) * f) as u64).max(64 << 10);
             p.madd_write_per_rank =
                 (((base_p.madd_write_per_rank as f64) * f) as u64).max(128 << 10);

@@ -91,7 +91,10 @@ pub(crate) struct PhaseBuilder {
 
 impl PhaseBuilder {
     pub(crate) fn new(threshold: Dur) -> PhaseBuilder {
-        PhaseBuilder { threshold, clusters: Vec::new() }
+        PhaseBuilder {
+            threshold,
+            clusters: Vec::new(),
+        }
     }
 
     /// Insert interface-selection record `i` of `c`.
@@ -168,7 +171,11 @@ impl PhaseBuilder {
 /// otherwise. Each cell holds `(last end offset, last start time)`.
 #[derive(Debug)]
 enum Cells {
-    Dense { stride: usize, last_end: Vec<u64>, last_start: Vec<u64> },
+    Dense {
+        stride: usize,
+        last_end: Vec<u64>,
+        last_start: Vec<u64>,
+    },
     Sparse(HashMap<(u32, u32), (u64, u64)>),
 }
 
@@ -199,7 +206,13 @@ impl PatternTracker {
         } else {
             Cells::Sparse(HashMap::new())
         };
-        PatternTracker { cells, seq: 0, total: 0, any: false, violated: false }
+        PatternTracker {
+            cells,
+            seq: 0,
+            total: 0,
+            any: false,
+            violated: false,
+        }
     }
 
     /// Observe selected data record `i` of `c` (capture order).
@@ -208,7 +221,11 @@ impl PatternTracker {
         self.any = true;
         let new_end = c.offset[i] + c.bytes[i];
         match &mut self.cells {
-            Cells::Dense { stride, last_end, last_start } => {
+            Cells::Dense {
+                stride,
+                last_end,
+                last_start,
+            } => {
                 let cell = c.rank[i] as usize * *stride + f.0 as usize;
                 if last_end[cell] != u64::MAX {
                     if c.start[i] < last_start[cell] {
@@ -244,7 +261,11 @@ impl PatternTracker {
         if !self.any {
             return "Seq".to_string();
         }
-        let (seq, total) = if self.violated { replay_sorted(t, ctx) } else { (self.seq, self.total) };
+        let (seq, total) = if self.violated {
+            replay_sorted(t, ctx)
+        } else {
+            (self.seq, self.total)
+        };
         if total == 0 || seq as f64 / total as f64 >= 0.85 {
             "Seq".to_string()
         } else {
@@ -370,7 +391,11 @@ impl TraceProfile {
                     recorder_sim::record::OpKind::Write => &mut write_timeline,
                     _ => continue,
                 };
-                ts.add(SimTime(buf.start[i]), SimTime(buf.end[i]), buf.bytes[i] as f64);
+                ts.add(
+                    SimTime(buf.start[i]),
+                    SimTime(buf.end[i]),
+                    buf.bytes[i] as f64,
+                );
             }
             data_ops += shard.data_idx.len() as u64;
             shard.io_idx.clear();
@@ -446,7 +471,11 @@ mod tests {
         for i in 0..n {
             let r = xorshift(&mut s);
             // Long gap every ~200 records → phase boundaries.
-            t += if r % 199 == 0 { 3_000_000_000 } else { r % 5_000 };
+            t += if r % 199 == 0 {
+                3_000_000_000
+            } else {
+                r % 5_000
+            };
             let rank = (r >> 8) % 6;
             let file = (r >> 16) % 8;
             let op = match (r >> 24) % 10 {
@@ -462,7 +491,11 @@ mod tests {
                     }
                 }
             };
-            let layer = if (r >> 32) % 3 == 0 { Layer::Stdio } else { Layer::Posix };
+            let layer = if (r >> 32) % 3 == 0 {
+                Layer::Stdio
+            } else {
+                Layer::Posix
+            };
             let bytes = (r >> 40) % 65536;
             c.push_row(
                 rank as u32,
@@ -501,8 +534,10 @@ mod tests {
         // Offline oracle: sorted scan over every record.
         let mut sorted: Vec<u32> = (0..c.len() as u32).collect();
         sorted.sort_by_key(|&i| c.start[i as usize]);
-        let sorted: Vec<u32> =
-            sorted.into_iter().filter(|&i| c.op[i as usize].is_io()).collect();
+        let sorted: Vec<u32> = sorted
+            .into_iter()
+            .filter(|&i| c.op[i as usize].is_io())
+            .collect();
         let oracle = detect_phases_sorted(&c, &sorted, job);
         // Online builder fed in three interleaved passes (worst-case
         // out-of-order arrival).

@@ -108,12 +108,18 @@ pub struct SweepReport<T> {
 impl<T> SweepReport<T> {
     /// The healthy results, in registration order.
     pub fn successes(&self) -> Vec<&T> {
-        self.results.iter().filter_map(|r| r.as_ref().ok()).collect()
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .collect()
     }
 
     /// The failed scenarios, in registration order.
     pub fn failures(&self) -> Vec<&ScenarioError> {
-        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
     }
 
     /// Whether every scenario succeeded.
@@ -141,8 +147,9 @@ impl<T> SweepReport<T> {
 
 /// Seed of retry attempt `attempt` (0 = the registered seed). Derived
 /// deterministically so a retried scenario re-rolls its stream the same way
-/// on every machine and at every worker count.
-fn retry_seed(seed: u64, attempt: u32) -> u64 {
+/// on every machine and at every worker count. Public because the fleet's
+/// self-healing scheduler re-derives seeds for requeued jobs the same way.
+pub fn retry_seed(seed: u64, attempt: u32) -> u64 {
     if attempt == 0 {
         seed
     } else {
@@ -182,7 +189,10 @@ pub struct ScenarioSet<T> {
 impl<T: Send> ScenarioSet<T> {
     /// New empty set; scenario seeds are split from `master_seed`.
     pub fn new(master_seed: u64) -> Self {
-        ScenarioSet { master: Rng::new(master_seed), scenarios: Vec::new() }
+        ScenarioSet {
+            master: Rng::new(master_seed),
+            scenarios: Vec::new(),
+        }
     }
 
     /// Register a scenario. Its seed is drawn *now*, from the master
@@ -319,27 +329,46 @@ pub fn fault_sweep(scale: f64, seed: u64, slowdown: f64, driver: Driver) -> Faul
     // Wave 1: everything that does not depend on another scenario.
     let mut w1 = ScenarioSet::new(seed);
     w1.add("cosmo/healthy", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, FaultPlan::none()))))
-    });
-    w1.add("cosmo/mds-brownout", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, mds_plan(slowdown)))))
-    });
-    w1.add("hacc/healthy", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(scale, seed, FaultPlan::none()))))
-    });
-    w1.add("hacc/mds-brownout", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(scale, seed, mds_plan(slowdown)))))
-    });
-    w1.add("cosmo-preload/healthy", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(
             scale,
             seed,
             FaultPlan::none(),
         ))))
     });
-    w1.add("nsd/healthy-bw", move |_| W1::Bw(nsd_bw(seed, FaultPlan::none())));
+    w1.add("cosmo/mds-brownout", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(
+            scale,
+            seed,
+            mds_plan(slowdown),
+        ))))
+    });
+    w1.add("hacc/healthy", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(
+            scale,
+            seed,
+            FaultPlan::none(),
+        ))))
+    });
+    w1.add("hacc/mds-brownout", move |_| {
+        W1::A(Box::new(Analysis::from_run(&faultsweep::run_hacc(
+            scale,
+            seed,
+            mds_plan(slowdown),
+        ))))
+    });
+    w1.add("cosmo-preload/healthy", move |_| {
+        W1::A(Box::new(Analysis::from_run(
+            &faultsweep::run_cosmo_preload(scale, seed, FaultPlan::none()),
+        )))
+    });
+    w1.add("nsd/healthy-bw", move |_| {
+        W1::Bw(nsd_bw(seed, FaultPlan::none()))
+    });
     w1.add("nsd/degraded-bw", move |_| {
-        W1::Bw(nsd_bw(seed, FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run())))
+        W1::Bw(nsd_bw(
+            seed,
+            FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, whole_run()),
+        ))
     });
     let mut r1 = w1.run(driver).into_iter();
     let cosmo_ok = r1.next().unwrap().analysis();
@@ -357,11 +386,17 @@ pub fn fault_sweep(scale: f64, seed: u64, slowdown: f64, driver: Driver) -> Faul
     {
         let plan = plan.clone();
         w2.add("cosmo/shield-faulted", move |_| {
-            W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(scale, seed, plan.clone()))))
+            W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo(
+                scale,
+                seed,
+                plan.clone(),
+            ))))
         });
     }
     w2.add("cosmo-preload/shield-faulted", move |_| {
-        W1::A(Box::new(Analysis::from_run(&faultsweep::run_cosmo_preload(scale, seed, plan.clone()))))
+        W1::A(Box::new(Analysis::from_run(
+            &faultsweep::run_cosmo_preload(scale, seed, plan.clone()),
+        )))
     });
     let mut r2 = w2.run(driver).into_iter();
     let base_bad = r2.next().unwrap().analysis();

@@ -77,36 +77,69 @@ fn col<F: Fn(&Analysis) -> String>(analyses: &[&Analysis], f: F) -> Vec<String> 
 /// Table I: high-level I/O behavior.
 pub fn table1(analyses: &[&Analysis]) -> Table {
     let mut t = Table::new("Table I: High-Level I/O behavior of applications", analyses);
-    t.row("job time (sec)", col(analyses, |a| format!("{:.0}", a.job_time.as_secs_f64())));
-    t.row("% of I/O time", col(analyses, |a| format!("{:.0}%", a.io_time_frac * 100.0)));
+    t.row(
+        "job time (sec)",
+        col(analyses, |a| format!("{:.0}", a.job_time.as_secs_f64())),
+    );
+    t.row(
+        "% of I/O time",
+        col(analyses, |a| format!("{:.0}%", a.io_time_frac * 100.0)),
+    );
     t.row("Write I/O", col(analyses, |a| fmt_bytes(a.write_bytes)));
     t.row("Read I/O", col(analyses, |a| fmt_bytes(a.read_bytes)));
-    t.row("CPU Cores/node", col(analyses, |a| a.ranks_per_node.to_string()));
-    t.row("# files used", col(analyses, |a| fmt_count(a.n_files() as u64)));
-    t.row("Shared File access", col(analyses, |a| fmt_count(a.shared_files() as u64)));
-    t.row("File per process (FPP) access", col(analyses, |a| fmt_count(a.fpp_files() as u64)));
-    t.row("Access Pattern", col(analyses, |a| a.access_pattern.clone()));
+    t.row(
+        "CPU Cores/node",
+        col(analyses, |a| a.ranks_per_node.to_string()),
+    );
+    t.row(
+        "# files used",
+        col(analyses, |a| fmt_count(a.n_files() as u64)),
+    );
+    t.row(
+        "Shared File access",
+        col(analyses, |a| fmt_count(a.shared_files() as u64)),
+    );
+    t.row(
+        "File per process (FPP) access",
+        col(analyses, |a| fmt_count(a.fpp_files() as u64)),
+    );
+    t.row(
+        "Access Pattern",
+        col(analyses, |a| a.access_pattern.clone()),
+    );
     t.row("I/O Interface", col(analyses, |a| a.interface.clone()));
     t
 }
 
 /// Table II: job-configuration entity.
 pub fn table2(analyses: &[&Analysis]) -> Table {
-    let mut t = Table::new("Table II: Attributes for Job Configuration Entity Type", analyses);
+    let mut t = Table::new(
+        "Table II: Attributes for Job Configuration Entity Type",
+        analyses,
+    );
     t.row("# nodes", col(analyses, |a| a.nodes.to_string()));
     t.row("# cpu cores per node", col(analyses, |_| "40".to_string()));
     t.row("# gpu/node", col(analyses, |_| "4".to_string()));
-    t.row("Node-local BB dir", col(analyses, |_| "/dev/shm".to_string()));
+    t.row(
+        "Node-local BB dir",
+        col(analyses, |_| "/dev/shm".to_string()),
+    );
     t.row("Shared BB dir", col(analyses, |_| "NA".to_string()));
     t.row("PFS dir", col(analyses, |_| "/p/gpfs1".to_string()));
-    t.row("Job time", col(analyses, |a| format!("{:.0}s", a.job_time.as_secs_f64())));
+    t.row(
+        "Job time",
+        col(analyses, |a| format!("{:.0}s", a.job_time.as_secs_f64())),
+    );
     t
 }
 
 /// Table III: workflow entity.
 pub fn table3(analyses: &[&Analysis]) -> Table {
     let mut t = Table::new("Table III: Attributes for Workflow Entity Type", analyses);
-    t.row("# CPU cores used/node", col(analyses, |a| a.ranks_per_node.to_string()));
+    t.row(
+        "# CPU cores used/node",
+        col(analyses, |a| a.ranks_per_node.to_string()),
+    );
     t.row(
         "# GPUs used/node",
         col(analyses, |a| match a.kind {
@@ -127,23 +160,35 @@ pub fn table3(analyses: &[&Analysis]) -> Table {
     );
     t.row(
         "FPP/shared file access",
-        col(analyses, |a| format!("{}/{}", a.fpp_files(), a.shared_files())),
+        col(analyses, |a| {
+            format!("{}/{}", a.fpp_files(), a.shared_files())
+        }),
     );
     t.row("I/O amount", col(analyses, |a| fmt_bytes(a.io_bytes())));
     t.row(
         "I/O ops dist (data, meta)",
         col(analyses, |a| {
-            format!("{:.0}%, {:.0}%", a.data_frac() * 100.0, (1.0 - a.data_frac()) * 100.0)
+            format!(
+                "{:.0}%, {:.0}%",
+                a.data_frac() * 100.0,
+                (1.0 - a.data_frac()) * 100.0
+            )
         }),
     );
-    t.row("Runtime (sec)", col(analyses, |a| format!("{:.0}", a.job_time.as_secs_f64())));
+    t.row(
+        "Runtime (sec)",
+        col(analyses, |a| format!("{:.0}", a.job_time.as_secs_f64())),
+    );
     t
 }
 
 /// Table IV: application entity.
 pub fn table4(analyses: &[&Analysis]) -> Table {
     let mut t = Table::new("Table IV: Attributes for Application Entity Type", analyses);
-    t.row("# processes", col(analyses, |a| fmt_count(a.n_ranks as u64)));
+    t.row(
+        "# processes",
+        col(analyses, |a| fmt_count(a.n_ranks as u64)),
+    );
     t.row(
         "Process data dependency",
         col(analyses, |a| {
@@ -157,27 +202,42 @@ pub fn table4(analyses: &[&Analysis]) -> Table {
     );
     t.row(
         "FPP/shared file access",
-        col(analyses, |a| format!("{}/{}", a.fpp_files(), a.shared_files())),
+        col(analyses, |a| {
+            format!("{}/{}", a.fpp_files(), a.shared_files())
+        }),
     );
     t.row("I/O amount", col(analyses, |a| fmt_bytes(a.io_bytes())));
     t.row(
         "I/O ops dist (data, meta)",
         col(analyses, |a| {
-            format!("{:.0}%, {:.0}%", a.data_frac() * 100.0, (1.0 - a.data_frac()) * 100.0)
+            format!(
+                "{:.0}%, {:.0}%",
+                a.data_frac() * 100.0,
+                (1.0 - a.data_frac()) * 100.0
+            )
         }),
     );
     t.row("Interface", col(analyses, |a| a.interface.clone()));
-    t.row("Runtime", col(analyses, |a| format!("{:.0}sec", a.job_time.as_secs_f64())));
+    t.row(
+        "Runtime",
+        col(analyses, |a| format!("{:.0}sec", a.job_time.as_secs_f64())),
+    );
     t
 }
 
 /// Table V: first I/O phase entity.
 pub fn table5(analyses: &[&Analysis]) -> Table {
-    let mut t = Table::new("Table V: Attributes for I/O Phase Entity Type (first phase)", analyses);
+    let mut t = Table::new(
+        "Table V: Attributes for I/O Phase Entity Type (first phase)",
+        analyses,
+    );
     t.row(
         "I/O amount",
         col(analyses, |a| {
-            a.phases.first().map(|p| fmt_bytes(p.bytes)).unwrap_or_else(|| "NA".into())
+            a.phases
+                .first()
+                .map(|p| fmt_bytes(p.bytes))
+                .unwrap_or_else(|| "NA".into())
         }),
     );
     t.row(
@@ -201,7 +261,13 @@ pub fn table5(analyses: &[&Analysis]) -> Table {
         col(analyses, |a| {
             a.phases
                 .first()
-                .map(|p| format!("{} ops ({})", fmt_count(p.data_ops), fmt_bytes(p.dominant_xfer)))
+                .map(|p| {
+                    format!(
+                        "{} ops ({})",
+                        fmt_count(p.data_ops),
+                        fmt_bytes(p.dominant_xfer)
+                    )
+                })
                 .unwrap_or_else(|| "NA".into())
         }),
     );
@@ -219,7 +285,10 @@ pub fn table5(analyses: &[&Analysis]) -> Table {
 
 /// Table VI: high-level I/O entity.
 pub fn table6(analyses: &[&Analysis]) -> Table {
-    let mut t = Table::new("Table VI: Attributes for High-Level I/O Entity Type", analyses);
+    let mut t = Table::new(
+        "Table VI: Attributes for High-Level I/O Entity Type",
+        analyses,
+    );
     t.row(
         "Data repr",
         col(analyses, |a| match a.kind {
@@ -239,8 +308,14 @@ pub fn table6(analyses: &[&Analysis]) -> Table {
             }
         }),
     );
-    t.row("Access pattern", col(analyses, |a| a.access_pattern.clone()));
-    t.row("Data dist", col(analyses, |a| a.data_dist.label().to_string()));
+    t.row(
+        "Access pattern",
+        col(analyses, |a| a.access_pattern.clone()),
+    );
+    t.row(
+        "Data dist",
+        col(analyses, |a| a.data_dist.label().to_string()),
+    );
     t
 }
 
@@ -252,7 +327,9 @@ pub fn table7(analyses: &[&Analysis]) -> Table {
     );
     t.row(
         "# extra cores for I/O/node",
-        col(analyses, |a| (40u32.saturating_sub(a.ranks_per_node)).to_string()),
+        col(analyses, |a| {
+            (40u32.saturating_sub(a.ranks_per_node)).to_string()
+        }),
     );
     t.row(
         "Granularity (data)",
@@ -266,14 +343,23 @@ pub fn table7(analyses: &[&Analysis]) -> Table {
         }),
     );
     t.row("Memory/node", col(analyses, |_| "256GiB".to_string()));
-    t.row("Access pattern", col(analyses, |a| a.access_pattern.clone()));
+    t.row(
+        "Access pattern",
+        col(analyses, |a| a.access_pattern.clone()),
+    );
     t
 }
 
 /// Table VIII: node-local storage entity (system attributes from JobUtility).
 pub fn table8(analyses: &[&Analysis]) -> Table {
-    let mut t = Table::new("Table VIII: Attributes for Node-Local Storage Entity Type", analyses);
-    t.row("# parallel ops (controller)", col(analyses, |_| "64".to_string()));
+    let mut t = Table::new(
+        "Table VIII: Attributes for Node-Local Storage Entity Type",
+        analyses,
+    );
+    t.row(
+        "# parallel ops (controller)",
+        col(analyses, |_| "64".to_string()),
+    );
     t.row("Capacity/node", col(analyses, |_| "128GiB".to_string()));
     t.row("Max I/O bw/node", col(analyses, |_| "32GiB/s".to_string()));
     t.row("Dir", col(analyses, |_| "/dev/shm".to_string()));
@@ -283,13 +369,22 @@ pub fn table8(analyses: &[&Analysis]) -> Table {
 /// Table IX: shared-storage entity. `measured_peak` comes from the IOR
 /// calibration run.
 pub fn table9(analyses: &[&Analysis], measured_peak: f64) -> Table {
-    let mut t = Table::new("Table IX: Attributes for Shared-Storage Entity Type", analyses);
-    t.row("# parallel servers", col(analyses, |_| "96 NSD + 8 MDS".to_string()));
+    let mut t = Table::new(
+        "Table IX: Attributes for Shared-Storage Entity Type",
+        analyses,
+    );
+    t.row(
+        "# parallel servers",
+        col(analyses, |_| "96 NSD + 8 MDS".to_string()),
+    );
     t.row("Capacity", col(analyses, |_| "24PiB".to_string()));
     t.row(
         "Max I/O BW",
         col(analyses, |_| {
-            format!("{} using 32-node IOR", sim_core::units::fmt_bw(measured_peak))
+            format!(
+                "{} using 32-node IOR",
+                sim_core::units::fmt_bw(measured_peak)
+            )
         }),
     );
     t.row("Dir", col(analyses, |_| "/p/gpfs1".to_string()));
@@ -307,13 +402,23 @@ pub fn table10(analyses: &[&Analysis]) -> Table {
         }),
     );
     t.row("Size", col(analyses, |a| fmt_bytes(a.dataset_bytes())));
-    t.row("# of files", col(analyses, |a| fmt_count(a.n_files() as u64)));
+    t.row(
+        "# of files",
+        col(analyses, |a| fmt_count(a.n_files() as u64)),
+    );
     t.row("I/O", col(analyses, |a| fmt_bytes(a.io_bytes())));
-    t.row("Time (sec)", col(analyses, |a| format!("{:.1}", a.io_time())));
+    t.row(
+        "Time (sec)",
+        col(analyses, |a| format!("{:.1}", a.io_time())),
+    );
     t.row(
         "I/O ops dist (data, meta)",
         col(analyses, |a| {
-            format!("{:.0}%, {:.0}%", a.data_frac() * 100.0, (1.0 - a.data_frac()) * 100.0)
+            format!(
+                "{:.0}%, {:.0}%",
+                a.data_frac() * 100.0,
+                (1.0 - a.data_frac()) * 100.0
+            )
         }),
     );
     t
@@ -321,11 +426,17 @@ pub fn table10(analyses: &[&Analysis]) -> Table {
 
 /// Table XI: file entity (the workload's most-read data file).
 pub fn table11(analyses: &[&Analysis]) -> Table {
-    let mut t = Table::new("Table XI: Attributes for File Entity Type (top data file)", analyses);
+    let mut t = Table::new(
+        "Table XI: Attributes for File Entity Type (top data file)",
+        analyses,
+    );
     t.row(
         "Size",
         col(analyses, |a| {
-            a.files.first().map(|f| fmt_bytes(f.size)).unwrap_or_else(|| "NA".into())
+            a.files
+                .first()
+                .map(|f| fmt_bytes(f.size))
+                .unwrap_or_else(|| "NA".into())
         }),
     );
     t.row(
@@ -402,7 +513,10 @@ pub fn entities_with_completeness(
         Entity::new(EntityType::Workflow, a.kind.name())
             .with("#apps", AttrValue::Count(a.apps.len() as u64))
             .with("io_amount", AttrValue::Bytes(a.io_bytes()))
-            .with("ops_dist_data_meta", AttrValue::Split(a.data_frac(), 1.0 - a.data_frac()))
+            .with(
+                "ops_dist_data_meta",
+                AttrValue::Split(a.data_frac(), 1.0 - a.data_frac()),
+            )
             .with("runtime", AttrValue::Seconds(a.job_time.as_secs_f64())),
     );
     let mut app = Entity::new(EntityType::Application, a.kind.name())
@@ -416,16 +530,28 @@ pub fn entities_with_completeness(
     if a.fault_events > 0 || a.retry_events > 0 {
         app = app
             .with("error_rate", AttrValue::Fraction(a.error_rate()))
-            .with("retry_amplification", AttrValue::Fraction(a.retry_amplification()))
-            .with("time_lost_to_faults", AttrValue::Seconds(a.time_lost_to_faults()));
+            .with(
+                "retry_amplification",
+                AttrValue::Fraction(a.retry_amplification()),
+            )
+            .with(
+                "time_lost_to_faults",
+                AttrValue::Seconds(a.time_lost_to_faults()),
+            );
     }
     // Crash-recovery attributes: only present when the job actually
     // restarted, so crash-free emissions stay byte-identical too.
     if a.restart_events > 0 {
         app = app
             .with("restart_count", AttrValue::Count(a.restart_count()))
-            .with("time_lost_to_crashes", AttrValue::Seconds(a.time_lost_to_crashes()))
-            .with("checkpoint_overhead", AttrValue::Seconds(a.checkpoint_overhead()))
+            .with(
+                "time_lost_to_crashes",
+                AttrValue::Seconds(a.time_lost_to_crashes()),
+            )
+            .with(
+                "checkpoint_overhead",
+                AttrValue::Seconds(a.checkpoint_overhead()),
+            )
             .with("recovery_time", AttrValue::Seconds(a.recovery_seconds()));
     }
     // Trace-integrity annotation for analyses built from salvaged captures.
@@ -433,7 +559,10 @@ pub fn entities_with_completeness(
         app = app
             .with("trace_completeness", AttrValue::Fraction(tc.fraction()))
             .with("trace_records_loaded", AttrValue::Count(tc.loaded_records))
-            .with("trace_records_expected", AttrValue::Count(tc.expected_records));
+            .with(
+                "trace_records_expected",
+                AttrValue::Count(tc.expected_records),
+            );
     }
     out.push(app);
     // Per-server outage impact: bytes each failed NSD server's stripes

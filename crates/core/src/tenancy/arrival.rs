@@ -78,10 +78,16 @@ impl ArrivalProcess {
     /// One-line description for report headers.
     pub fn describe(&self) -> String {
         match self {
-            ArrivalProcess::Open { mean_interarrival, dist } => {
+            ArrivalProcess::Open {
+                mean_interarrival,
+                dist,
+            } => {
                 format!("open/{} mean {mean_interarrival:.3}s", dist.name())
             }
-            ArrivalProcess::Closed { concurrency, think_time } => {
+            ArrivalProcess::Closed {
+                concurrency,
+                think_time,
+            } => {
                 format!("closed/{concurrency} think {think_time:.3}s")
             }
         }

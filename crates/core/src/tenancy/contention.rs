@@ -22,7 +22,8 @@
 //! are built by a sequential sweep in job-id order, so schedules are
 //! deterministic at any worker count.
 
-use super::scheduler::Placement;
+use super::outage::NodeFaultPlan;
+use super::scheduler::{JobSchedule, Placement};
 use sim_core::SimTime;
 use storage_sim::InterferenceSchedule;
 
@@ -38,7 +39,10 @@ pub struct TenantDemand {
 impl TenantDemand {
     /// No demand (an idle tenant).
     pub fn zero() -> Self {
-        TenantDemand { data_frac: 0.0, meta_frac: 0.0 }
+        TenantDemand {
+            data_frac: 0.0,
+            meta_frac: 0.0,
+        }
     }
 }
 
@@ -100,18 +104,115 @@ pub fn interference_for(
     schedule
 }
 
+/// Build job `job`'s interference schedule for its *final* attempt in a
+/// degraded fleet. Two extensions over [`interference_for`]:
+///
+/// * **every attempt interferes** — a neighbor's killed partial attempts
+///   loaded the shared servers while they ran, so each attempt interval
+///   of each other job contributes that job's demand fractions;
+/// * **pool-coupled capacity** — while `down` of the fleet's
+///   `cluster_nodes` are out, the rack-co-located storage serves with
+///   `(cluster_nodes - down) / cluster_nodes` of its hardware, expressed
+///   as [`storage_sim::LoadWindow::capacity`] windows.
+///
+/// With an empty plan and single-attempt schedules this reduces to the
+/// same windows [`interference_for`] builds — but degraded fleets call
+/// this variant only, so the legacy path stays byte-identical untouched.
+pub fn interference_for_degraded(
+    job: usize,
+    schedules: &[JobSchedule],
+    demands: &[TenantDemand],
+    plan: &NodeFaultPlan,
+    cluster_nodes: u32,
+) -> InterferenceSchedule {
+    let me = schedules[job].final_attempt();
+    let (my_start, my_end) = (me.start, me.end);
+    if my_end <= my_start {
+        return InterferenceSchedule::none();
+    }
+    // Neighbor intervals: every attempt of every other job that overlaps
+    // mine, in (job-id, attempt) order.
+    let mut intervals: Vec<(f64, f64, usize)> = Vec::new(); // (start, end, owner)
+    for (j, s) in schedules.iter().enumerate() {
+        if j == job {
+            continue;
+        }
+        for a in &s.attempts {
+            if a.start < my_end && a.end > my_start {
+                intervals.push((a.start, a.end, j));
+            }
+        }
+    }
+    // Breakpoints: my bounds, neighbor edges, and capacity boundaries.
+    let mut cuts: Vec<f64> = vec![my_start, my_end];
+    for &(s, e, _) in &intervals {
+        if s > my_start && s < my_end {
+            cuts.push(s);
+        }
+        if e > my_start && e < my_end {
+            cuts.push(e);
+        }
+    }
+    for b in plan.boundaries() {
+        if b > my_start && b < my_end {
+            cuts.push(b);
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut schedule = InterferenceSchedule::none();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mid = lo + (hi - lo) / 2.0;
+        let (mut data, mut meta) = (0.0f64, 0.0f64);
+        for &(s, e, j) in &intervals {
+            if s <= mid && mid < e {
+                data += demands[j].data_frac;
+                meta += demands[j].meta_frac;
+            }
+        }
+        let capacity = if cluster_nodes == 0 {
+            1.0
+        } else {
+            (cluster_nodes - plan.down_count(mid).min(cluster_nodes)) as f64 / cluster_nodes as f64
+        };
+        // A dead pool still serves through survivors elsewhere in the
+        // datacenter; floor the window instead of dividing by zero.
+        let capacity = capacity.max(1e-3);
+        let (from, until) = (
+            SimTime::from_secs_f64(lo - my_start),
+            SimTime::from_secs_f64(hi - my_start),
+        );
+        if capacity < 1.0 {
+            schedule = schedule.with_window_capacity(from, until, data, meta, capacity);
+        } else if data > 0.0 || meta > 0.0 {
+            schedule = schedule.with_window(from, until, data, meta);
+        }
+    }
+    schedule
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::scheduler::{JobAttempt, JobOutcome};
     use super::*;
 
     fn pl(id: usize, start: f64, end: f64) -> Placement {
-        Placement { id, submit: start, start, end }
+        Placement {
+            id,
+            submit: start,
+            start,
+            end,
+        }
     }
 
     #[test]
     fn lonely_job_gets_empty_schedule() {
         let placements = [pl(0, 0.0, 10.0), pl(1, 20.0, 30.0)];
-        let demands = [TenantDemand { data_frac: 0.5, meta_frac: 0.5 }; 2];
+        let demands = [TenantDemand {
+            data_frac: 0.5,
+            meta_frac: 0.5,
+        }; 2];
         assert!(interference_for(0, &placements, &demands).is_empty());
         assert!(interference_for(1, &placements, &demands).is_empty());
     }
@@ -121,8 +222,14 @@ mod tests {
         // Job 1 runs [5, 15); job 0 runs [0, 10): they overlap on [5, 10).
         let placements = [pl(0, 0.0, 10.0), pl(1, 5.0, 15.0)];
         let demands = [
-            TenantDemand { data_frac: 0.4, meta_frac: 0.1 },
-            TenantDemand { data_frac: 0.2, meta_frac: 0.3 },
+            TenantDemand {
+                data_frac: 0.4,
+                meta_frac: 0.1,
+            },
+            TenantDemand {
+                data_frac: 0.2,
+                meta_frac: 0.3,
+            },
         ];
         let s0 = interference_for(0, &placements, &demands);
         // On job 0's own timeline the neighbor covers [5, 10).
@@ -138,7 +245,10 @@ mod tests {
     #[test]
     fn concurrent_neighbors_add_loads() {
         let placements = [pl(0, 0.0, 10.0), pl(1, 0.0, 10.0), pl(2, 0.0, 10.0)];
-        let demands = [TenantDemand { data_frac: 0.25, meta_frac: 0.0 }; 3];
+        let demands = [TenantDemand {
+            data_frac: 0.25,
+            meta_frac: 0.0,
+        }; 3];
         let s = interference_for(0, &placements, &demands);
         assert!((s.data_factor(SimTime::from_secs_f64(5.0)) - 1.5).abs() < 1e-12);
     }
@@ -148,5 +258,84 @@ mod tests {
         let placements = [pl(0, 0.0, 10.0), pl(1, 0.0, 10.0)];
         let demands = [TenantDemand::zero(); 2];
         assert!(interference_for(0, &placements, &demands).is_empty());
+    }
+
+    fn js(id: usize, attempts: Vec<JobAttempt>) -> JobSchedule {
+        let submit = attempts.first().map(|a| a.start).unwrap_or(0.0);
+        JobSchedule {
+            id,
+            submit,
+            attempts,
+            outcome: JobOutcome::Completed,
+        }
+    }
+
+    fn att(attempt: u32, start: f64, end: f64, killed_by: Option<u32>) -> JobAttempt {
+        JobAttempt {
+            attempt,
+            start,
+            end,
+            killed_by,
+        }
+    }
+
+    #[test]
+    fn degraded_matches_legacy_on_healthy_single_attempt_fleets() {
+        let placements = [pl(0, 0.0, 10.0), pl(1, 5.0, 15.0)];
+        let schedules = [
+            js(0, vec![att(0, 0.0, 10.0, None)]),
+            js(1, vec![att(0, 5.0, 15.0, None)]),
+        ];
+        let demands = [
+            TenantDemand {
+                data_frac: 0.4,
+                meta_frac: 0.1,
+            },
+            TenantDemand {
+                data_frac: 0.2,
+                meta_frac: 0.3,
+            },
+        ];
+        let plan = NodeFaultPlan::none();
+        for j in 0..2 {
+            let legacy = interference_for(j, &placements, &demands);
+            let degraded = interference_for_degraded(j, &schedules, &demands, &plan, 8);
+            assert_eq!(legacy, degraded);
+        }
+    }
+
+    #[test]
+    fn killed_neighbor_attempts_still_interfere() {
+        // Neighbor 1's first attempt [0, 4) was killed; its retry runs
+        // [8, 12). Job 0 runs [0, 12) and sees load in both intervals.
+        let schedules = [
+            js(0, vec![att(0, 0.0, 12.0, None)]),
+            js(1, vec![att(0, 0.0, 4.0, Some(3)), att(1, 8.0, 12.0, None)]),
+        ];
+        let demands = [
+            TenantDemand::zero(),
+            TenantDemand {
+                data_frac: 0.5,
+                meta_frac: 0.0,
+            },
+        ];
+        let plan = NodeFaultPlan::none();
+        let s = interference_for_degraded(0, &schedules, &demands, &plan, 8);
+        assert!((s.data_factor(SimTime::from_secs_f64(2.0)) - 1.5).abs() < 1e-12);
+        assert_eq!(s.data_factor(SimTime::from_secs_f64(6.0)), 1.0);
+        assert!((s.data_factor(SimTime::from_secs_f64(10.0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_outages_degrade_storage_capacity() {
+        // 1 of 4 nodes down over [2, 6) of job 0's run: capacity 0.75.
+        let schedules = [js(0, vec![att(0, 0.0, 10.0, None)])];
+        let demands = [TenantDemand::zero()];
+        let plan = NodeFaultPlan::none().with_outage(1, 2.0, 4.0);
+        let s = interference_for_degraded(0, &schedules, &demands, &plan, 4);
+        assert_eq!(s.data_factor(SimTime::from_secs_f64(1.0)), 1.0);
+        assert!((s.data_factor(SimTime::from_secs_f64(3.0)) - 1.0 / 0.75).abs() < 1e-12);
+        assert!((s.meta_factor(SimTime::from_secs_f64(3.0)) - 1.0 / 0.75).abs() < 1e-12);
+        assert_eq!(s.data_factor(SimTime::from_secs_f64(8.0)), 1.0);
     }
 }

@@ -26,12 +26,15 @@
 //! [`super`] for the full determinism argument.
 
 use super::arrival::{ArrivalProcess, InterArrival};
-use super::contention::{interference_for, TenantDemand};
-use super::scheduler::{fcfs_schedule, JobDemand, ScheduleArrivals};
+use super::contention::{interference_for, interference_for_degraded, TenantDemand};
+use super::outage::{NodeFaultPlan, NodeFaultProfile};
+use super::scheduler::{
+    fcfs_schedule, resilient_schedule, JobDemand, JobSchedule, SchedPolicy, ScheduleArrivals,
+};
 use super::stats::{FleetReport, ProfileSummary};
 use super::FleetError;
 use crate::analyzer::Analysis;
-use crate::sweep::{Driver, ScenarioSet};
+use crate::sweep::{retry_seed, Driver, ScenarioSet};
 use exemplar_workloads::{
     cm1, cosmoflow, hacc, ior, jag, montage, montage_pegasus, WorkloadKind, WorkloadRun,
 };
@@ -40,8 +43,15 @@ use storage_sim::{FaultPlan, GpfsConfig, InterferenceSchedule};
 use vani_rt::rng::Rng;
 
 /// Workload ids the fleet mix may reference.
-pub const KNOWN_WORKLOADS: [&str; 7] =
-    ["cm1", "hacc", "cosmoflow", "jag", "montage-mpi", "montage-pegasus", "ior"];
+pub const KNOWN_WORKLOADS: [&str; 7] = [
+    "cm1",
+    "hacc",
+    "cosmoflow",
+    "jag",
+    "montage-mpi",
+    "montage-pegasus",
+    "ior",
+];
 
 /// Resolve a mix workload id, failing fast with a typed error.
 pub fn parse_workload(id: &str) -> Result<WorkloadKind, FleetError> {
@@ -115,8 +125,25 @@ pub struct JobTemplate {
 impl JobTemplate {
     /// Convenience constructor.
     pub fn new(workload: &str, variant: JobVariant, weight: u32) -> Self {
-        JobTemplate { workload: workload.to_string(), variant, weight }
+        JobTemplate {
+            workload: workload.to_string(),
+            variant,
+            weight,
+        }
     }
+}
+
+/// How a fleet run's node failure domain is specified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFaultSpec {
+    /// A perfectly healthy node pool (the default; bit-identical to the
+    /// pre-failure-domain fleet everywhere).
+    None,
+    /// Draw a seeded outage timeline from the manifest's fourth split RNG
+    /// stream at manifest time.
+    Profile(NodeFaultProfile),
+    /// Use this exact timeline.
+    Plan(NodeFaultPlan),
 }
 
 /// Everything that defines a fleet run.
@@ -139,6 +166,12 @@ pub struct FleetConfig {
     pub arrival: ArrivalProcess,
     /// Weighted workload mix jobs are drawn from.
     pub mix: Vec<JobTemplate>,
+    /// The fleet's node failure domain.
+    pub node_faults: NodeFaultSpec,
+    /// The self-healing scheduler's policy (retry budgets, backoff,
+    /// backfill). With [`NodeFaultSpec::None`] and backfill off the
+    /// scheduler is the legacy FCFS one, bit for bit.
+    pub sched: SchedPolicy,
 }
 
 impl FleetConfig {
@@ -172,7 +205,17 @@ impl FleetConfig {
                 dist: InterArrival::Exponential,
             },
             mix,
+            node_faults: NodeFaultSpec::None,
+            sched: SchedPolicy::standard(),
         }
+    }
+
+    /// The standard fleet with the standard degraded-mode failure domain
+    /// (what `repro -- fleet-sweep --node-faults` runs).
+    pub fn standard_with_node_faults(n_jobs: usize, scale: f64, seed: u64) -> Self {
+        let mut cfg = FleetConfig::standard(n_jobs, scale, seed);
+        cfg.node_faults = NodeFaultSpec::Profile(NodeFaultProfile::standard(scale));
+        cfg
     }
 }
 
@@ -203,11 +246,15 @@ pub struct FleetManifest {
     pub arrival: String,
     /// Cluster size the manifest was validated against.
     pub cluster_nodes: u32,
+    /// The node outage timeline the fleet runs under (empty = healthy).
+    pub node_faults: NodeFaultPlan,
 }
 
 impl FleetManifest {
     /// Render the manifest as stable plain text (pinned by tests and
-    /// digested into the fleet report).
+    /// digested into the fleet report). The outage section appears only
+    /// when the plan is non-empty, so healthy manifests render — and
+    /// digest — byte-identically to the pre-failure-domain fleet.
     pub fn render(&self) -> String {
         let mut out = format!(
             "fleet manifest: {} jobs | arrival {} | cluster {} nodes\n",
@@ -215,12 +262,27 @@ impl FleetManifest {
             self.arrival,
             self.cluster_nodes
         );
-        out.push_str("   id | workload        | variant  | seed             | submit (s) | nodes\n");
+        out.push_str(
+            "   id | workload        | variant  | seed             | submit (s) | nodes\n",
+        );
         for j in &self.jobs {
             out.push_str(&format!(
                 "{:>5} | {:<15} | {:<8} | {:016x} | {:>10.3} | {:>5}\n",
-                j.id, j.workload, j.variant.name(), j.seed, j.submit, j.nodes
+                j.id,
+                j.workload,
+                j.variant.name(),
+                j.seed,
+                j.submit,
+                j.nodes
             ));
+        }
+        if !self.node_faults.is_empty() {
+            out.push_str(&format!(
+                "node fault plan: {} outages, {:.4} node-hours down\n",
+                self.node_faults.outages.len(),
+                self.node_faults.node_hours_down()
+            ));
+            out.push_str(&self.node_faults.render());
         }
         out
     }
@@ -264,12 +326,21 @@ pub fn build_manifest(cfg: &FleetConfig) -> Result<FleetManifest, FleetError> {
             });
         }
     }
-    // Three independent streams so adding a job never shifts another
-    // job's seed relative to its template pick.
+    // Four independent streams so adding a job never shifts another job's
+    // seed relative to its template pick, and turning node faults on or
+    // off never shifts any job stream: the fault stream is split fourth,
+    // *unconditionally*, even when the plan is empty (pinned by
+    // `vani_rt::rng::tests::fourth_split_stream_is_pinned`).
     let mut master = Rng::new(cfg.seed);
     let mut pick_rng = master.split();
     let mut seed_rng = master.split();
     let mut gap_rng = master.split();
+    let mut fault_rng = master.split();
+    let node_faults = match &cfg.node_faults {
+        NodeFaultSpec::None => NodeFaultPlan::none(),
+        NodeFaultSpec::Plan(p) => p.clone(),
+        NodeFaultSpec::Profile(prof) => prof.draw(&mut fault_rng, cfg.cluster_nodes),
+    };
     let mut jobs = Vec::with_capacity(cfg.n_jobs);
     let mut clock = 0.0f64;
     for id in 0..cfg.n_jobs {
@@ -287,7 +358,10 @@ pub fn build_manifest(cfg: &FleetConfig) -> Result<FleetManifest, FleetError> {
             .expect("weighted pick is within total weight");
         let kind = parse_workload(&tpl.workload).expect("validated above");
         let submit = match &cfg.arrival {
-            ArrivalProcess::Open { mean_interarrival, dist } => {
+            ArrivalProcess::Open {
+                mean_interarrival,
+                dist,
+            } => {
                 clock += dist.sample(*mean_interarrival, &mut gap_rng);
                 clock
             }
@@ -302,7 +376,12 @@ pub fn build_manifest(cfg: &FleetConfig) -> Result<FleetManifest, FleetError> {
             nodes: nodes_for(kind, cfg.scale),
         });
     }
-    Ok(FleetManifest { jobs, arrival: cfg.arrival.describe(), cluster_nodes: cfg.cluster_nodes })
+    Ok(FleetManifest {
+        jobs,
+        arrival: cfg.arrival.describe(),
+        cluster_nodes: cfg.cluster_nodes,
+        node_faults,
+    })
 }
 
 /// The constant degraded-PFS plan [`JobVariant::Faulted`] jobs run under.
@@ -447,6 +526,15 @@ pub struct JobRecord {
     pub restart_events: u64,
     /// Runtime / dedicated same-variant profile runtime.
     pub slowdown: f64,
+    /// How the job's fleet story ended (always `Completed` in a healthy
+    /// fleet; abandoned jobs are not simulated and appear only in the
+    /// report's schedules, never in its records).
+    pub outcome: super::scheduler::JobOutcome,
+    /// Node-outage kills absorbed before the simulated (final) attempt.
+    pub retries: u32,
+    /// Node-seconds of scheduler-estimated work the outages destroyed
+    /// across this job's killed attempts.
+    pub lost_work_node_secs: f64,
 }
 
 /// Run the whole fleet. See the module docs for the wave structure.
@@ -456,14 +544,24 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
     // Distinct (workload, variant) combos, in KNOWN_WORKLOADS × variant
     // order. Baselines are also profiled for any workload with crashy
     // jobs: the crash instant anchors to the baseline makespan.
-    let variants = [JobVariant::Baseline, JobVariant::Faulted, JobVariant::Crashy];
+    let variants = [
+        JobVariant::Baseline,
+        JobVariant::Faulted,
+        JobVariant::Crashy,
+    ];
     let mut combos: Vec<(WorkloadKind, JobVariant)> = Vec::new();
     for w in KNOWN_WORKLOADS {
         let kind = parse_workload(w).expect("known");
         for v in variants {
-            let present = manifest.jobs.iter().any(|j| j.workload == w && j.variant == v);
+            let present = manifest
+                .jobs
+                .iter()
+                .any(|j| j.workload == w && j.variant == v);
             let crash_anchor = v == JobVariant::Baseline
-                && manifest.jobs.iter().any(|j| j.workload == w && j.variant == JobVariant::Crashy);
+                && manifest
+                    .jobs
+                    .iter()
+                    .any(|j| j.workload == w && j.variant == JobVariant::Crashy);
             if present || crash_anchor {
                 combos.push((kind, v));
             }
@@ -481,9 +579,21 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
             JobVariant::Faulted => faulted_plan(),
             JobVariant::Crashy => unreachable!("filtered"),
         };
-        w1.add(format!("profile/{}/{}", workload_id(kind), v.name()), move |_| {
-            profile_of(&run_job(kind, scale, seed, plan.clone(), InterferenceSchedule::none()), cap)
-        });
+        w1.add(
+            format!("profile/{}/{}", workload_id(kind), v.name()),
+            move |_| {
+                profile_of(
+                    &run_job(
+                        kind,
+                        scale,
+                        seed,
+                        plan.clone(),
+                        InterferenceSchedule::none(),
+                    ),
+                    cap,
+                )
+            },
+        );
     }
     let w1_profiles = w1.run(driver);
     let mut profiles: Vec<((WorkloadKind, JobVariant), Profile)> =
@@ -510,14 +620,23 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
             let plan = crashy_plan(baseline_runtime(&profiles, kind));
             w1b.add(format!("profile/{}/crashy", workload_id(kind)), move |_| {
                 profile_of(
-                    &run_job(kind, scale, seed, plan.clone(), InterferenceSchedule::none()),
+                    &run_job(
+                        kind,
+                        scale,
+                        seed,
+                        plan.clone(),
+                        InterferenceSchedule::none(),
+                    ),
                     cap,
                 )
             });
         }
         let w1b_profiles = w1b.run(driver);
         profiles.extend(
-            crashy_combos.iter().map(|&k| (k, JobVariant::Crashy)).zip(w1b_profiles),
+            crashy_combos
+                .iter()
+                .map(|&k| (k, JobVariant::Crashy))
+                .zip(w1b_profiles),
         );
     }
 
@@ -530,7 +649,11 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
             .expect("every manifest combo was profiled")
     };
 
-    // Schedule the manifest onto the shared cluster.
+    // Schedule the manifest onto the shared cluster. With an empty outage
+    // plan and backfill off, `resilient_schedule` *delegates* to the
+    // legacy `fcfs_schedule`, so healthy placements — and everything
+    // downstream of them — are bit-identical to the pre-failure-domain
+    // fleet.
     let submits: Vec<f64> = manifest.jobs.iter().map(|j| j.submit).collect();
     let arrivals = ScheduleArrivals::from_process(&cfg.arrival, &submits);
     let demands: Vec<JobDemand> = manifest
@@ -541,29 +664,78 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
             est_runtime: profile_for(&j.workload, j.variant).runtime.as_secs_f64(),
         })
         .collect();
-    let placements = fcfs_schedule(cfg.cluster_nodes, &demands, &arrivals);
+    let degraded = !manifest.node_faults.is_empty() || cfg.sched.backfill;
+    let schedules: Vec<JobSchedule> = resilient_schedule(
+        cfg.cluster_nodes,
+        &demands,
+        &arrivals,
+        &manifest.node_faults,
+        &cfg.sched,
+    );
+    let placements: Vec<_> = schedules.iter().map(JobSchedule::as_placement).collect();
+    // The healthy-fleet counterfactual the degraded tables compare
+    // against: the same demands FCFS-scheduled onto a never-failing pool.
+    let healthy_placements = if degraded {
+        fcfs_schedule(cfg.cluster_nodes, &demands, &arrivals)
+    } else {
+        placements.clone()
+    };
     let tenant_demands: Vec<TenantDemand> = manifest
         .jobs
         .iter()
         .map(|j| profile_for(&j.workload, j.variant).demand)
         .collect();
 
-    // Wave 2: the fleet itself.
+    // Wave 2: the fleet itself. Abandoned jobs never produced a result,
+    // so they are not simulated — their cost shows up in the schedules
+    // (lost work, outcome counts), not the records. Killed-then-retried
+    // jobs re-enter with deterministically re-derived seeds, the
+    // supervised-retry idiom.
     let mut w2 = ScenarioSet::new(cfg.seed ^ 0x2);
+    let mut simulated: Vec<usize> = Vec::with_capacity(manifest.jobs.len());
     for (i, j) in manifest.jobs.iter().enumerate() {
+        if !schedules[i].outcome.completed() {
+            continue;
+        }
+        simulated.push(i);
         let kind = parse_workload(&j.workload).expect("validated");
         let plan = match j.variant {
             JobVariant::Baseline => FaultPlan::none(),
             JobVariant::Faulted => faulted_plan(),
             JobVariant::Crashy => crashy_plan(baseline_runtime(&profiles, kind)),
         };
-        let schedule = interference_for(i, &placements, &tenant_demands);
+        let schedule = if degraded {
+            interference_for_degraded(
+                i,
+                &schedules,
+                &tenant_demands,
+                &manifest.node_faults,
+                cfg.cluster_nodes,
+            )
+        } else {
+            interference_for(i, &placements, &tenant_demands)
+        };
         let placement = placements[i];
+        let retries = schedules[i].outcome.retries();
+        let lost_work = schedules[i].lost_node_secs(j.nodes);
+        let outcome = schedules[i].outcome;
+        let sim_seed = retry_seed(j.seed, retries);
         let dedicated = profile_for(&j.workload, j.variant).runtime.as_secs_f64();
         let job = j.clone();
         let scale = cfg.scale;
-        w2.add(format!("job/{:05}/{}/{}", j.id, j.workload, j.variant.name()), move |_| {
-            let run = run_job(kind, scale, job.seed, plan.clone(), schedule.clone());
+        let id = if retries > 0 {
+            format!(
+                "job/{:05}/{}/{}/retry{}",
+                j.id,
+                j.workload,
+                j.variant.name(),
+                retries
+            )
+        } else {
+            format!("job/{:05}/{}/{}", j.id, j.workload, j.variant.name())
+        };
+        w2.add(id, move |_| {
+            let run = run_job(kind, scale, sim_seed, plan.clone(), schedule.clone());
             // Streaming analysis: the job's trace is sealed into compressed
             // chunks and profiled chunk-at-a-time, never retained — a
             // 10⁴-job fleet holds at most one decoded chunk per worker.
@@ -595,10 +767,14 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
                 fault_events: a.fault_events,
                 restart_events: a.restart_events,
                 slowdown: rt / dedicated.max(1e-9),
+                outcome,
+                retries,
+                lost_work_node_secs: lost_work,
             }
         });
     }
     let records = w2.run(driver);
+    debug_assert_eq!(records.len(), simulated.len());
 
     let profile_summaries: Vec<ProfileSummary> = profiles
         .iter()
@@ -618,5 +794,8 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
         placements,
         profiles: profile_summaries,
         records,
+        policy: cfg.sched,
+        schedules,
+        healthy_placements,
     })
 }

@@ -9,7 +9,14 @@
 //! * [`arrival`] — seeded open (exponential / lognormal inter-arrival) and
 //!   closed (fixed concurrency + think time) arrival processes;
 //! * [`scheduler`] — a deterministic FCFS scheduler placing jobs onto a
-//!   fixed pool of cluster nodes, in strict admission order;
+//!   fixed pool of cluster nodes, in strict admission order — plus the
+//!   self-healing [`scheduler::resilient_schedule`], which requeues jobs
+//!   killed by node outages with retry budgets, exponential backoff, and
+//!   opt-in backfill;
+//! * [`outage`] — fleet-level failure domains: seeded [`NodeFaultPlan`]
+//!   timelines of whole-node outages with repair times, drawn from the
+//!   manifest's fourth split RNG stream so existing job seeds never
+//!   shift;
 //! * [`contention`] — the mean-field contention model: each job's
 //!   neighbors become a piecewise-constant
 //!   [`storage_sim::InterferenceSchedule`] of competing data/metadata load
@@ -37,6 +44,7 @@
 pub mod arrival;
 pub mod contention;
 pub mod fleet;
+pub mod outage;
 pub mod scheduler;
 pub mod stats;
 
@@ -44,9 +52,13 @@ pub use arrival::{ArrivalProcess, InterArrival};
 pub use contention::TenantDemand;
 pub use fleet::{
     build_manifest, fleet_sweep, parse_workload, FleetConfig, FleetManifest, JobRecord,
-    JobTemplate, JobVariant, ManifestJob, KNOWN_WORKLOADS,
+    JobTemplate, JobVariant, ManifestJob, NodeFaultSpec, KNOWN_WORKLOADS,
 };
-pub use scheduler::{fcfs_schedule, JobDemand, Placement, ScheduleArrivals};
+pub use outage::{NodeFaultPlan, NodeFaultProfile, NodeOutage};
+pub use scheduler::{
+    fcfs_schedule, resilient_schedule, JobAttempt, JobDemand, JobOutcome, JobSchedule, Placement,
+    SchedPolicy, ScheduleArrivals,
+};
 pub use stats::{FleetReport, ProfileSummary};
 
 /// A fleet configuration that cannot be run. Surfaced as a typed error —
@@ -74,22 +86,44 @@ pub enum FleetError {
         /// Nodes the shared cluster has.
         cluster_nodes: u32,
     },
+    /// A `--jobs` argument that is not a positive integer.
+    InvalidJobs {
+        /// The argument as the user typed it.
+        arg: String,
+    },
 }
 
 impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FleetError::UnknownWorkload(w) => {
-                write!(f, "unknown workload `{w}` (known: {})", fleet::KNOWN_WORKLOADS.join(", "))
+                write!(
+                    f,
+                    "unknown workload `{w}` (known: {})",
+                    fleet::KNOWN_WORKLOADS.join(", ")
+                )
             }
             FleetError::UnsupportedVariant { workload, variant } => {
-                write!(f, "workload `{workload}` does not support the `{variant}` variant")
+                write!(
+                    f,
+                    "workload `{workload}` does not support the `{variant}` variant"
+                )
             }
             FleetError::EmptyMix => write!(f, "fleet mix is empty (or has zero total weight)"),
-            FleetError::JobTooLarge { workload, nodes, cluster_nodes } => write!(
+            FleetError::JobTooLarge {
+                workload,
+                nodes,
+                cluster_nodes,
+            } => write!(
                 f,
                 "job `{workload}` needs {nodes} nodes but the cluster has {cluster_nodes}"
             ),
+            FleetError::InvalidJobs { arg } => {
+                write!(
+                    f,
+                    "invalid --jobs value `{arg}`: expected a positive integer"
+                )
+            }
         }
     }
 }

@@ -8,8 +8,17 @@
 //! is a placement model, not a second simulator, and its arithmetic is a
 //! sequential fold over job ids so placements are identical on every
 //! machine and at every worker count.
+//!
+//! [`resilient_schedule`] extends this with fleet failure domains: under a
+//! [`NodeFaultPlan`] the schedulable pool shrinks while nodes are down,
+//! any job holding a failed node is killed mid-run, and the self-healing
+//! policy requeues it with exponential backoff until its retry budget is
+//! exhausted ([`JobOutcome::Abandoned`]). With an empty plan and backfill
+//! off, it delegates to [`fcfs_schedule`] — placements are bit-identical
+//! to the pre-failure-domain scheduler by construction.
 
 use super::arrival::ArrivalProcess;
+use super::outage::NodeFaultPlan;
 
 /// What one job asks of the cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,9 +69,13 @@ impl<'a> ScheduleArrivals<'a> {
     pub fn from_process(p: &ArrivalProcess, open_submits: &'a [f64]) -> Self {
         match p {
             ArrivalProcess::Open { .. } => ScheduleArrivals::Open(open_submits),
-            ArrivalProcess::Closed { concurrency, think_time } => {
-                ScheduleArrivals::Closed { concurrency: (*concurrency).max(1), think_time: *think_time }
-            }
+            ArrivalProcess::Closed {
+                concurrency,
+                think_time,
+            } => ScheduleArrivals::Closed {
+                concurrency: (*concurrency).max(1),
+                think_time: *think_time,
+            },
         }
     }
 }
@@ -91,7 +104,10 @@ pub fn fcfs_schedule(
         );
         let submit = match arrivals {
             ScheduleArrivals::Open(ts) => ts[i],
-            ScheduleArrivals::Closed { concurrency, think_time } => {
+            ScheduleArrivals::Closed {
+                concurrency,
+                think_time,
+            } => {
                 if i < *concurrency {
                     0.0
                 } else {
@@ -100,7 +116,11 @@ pub fn fcfs_schedule(
             }
         };
         // No backfill: a job never starts before its predecessor.
-        let mut t = if submit > prev_start { submit } else { prev_start };
+        let mut t = if submit > prev_start {
+            submit
+        } else {
+            prev_start
+        };
         loop {
             // Release everything that has finished by `t`.
             let mut k = 0;
@@ -122,16 +142,422 @@ pub fn fcfs_schedule(
                     next = end;
                 }
             }
-            assert!(next.is_finite(), "deadlock: nothing running but not enough nodes");
+            assert!(
+                next.is_finite(),
+                "deadlock: nothing running but not enough nodes"
+            );
             t = next;
         }
         free -= d.nodes;
         let end = t + d.est_runtime.max(0.0);
         running.push((end, d.nodes));
-        placements.push(Placement { id: i, submit, start: t, end });
+        placements.push(Placement {
+            id: i,
+            submit,
+            start: t,
+            end,
+        });
         prev_start = t;
     }
     placements
+}
+
+/// The self-healing scheduler's knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedPolicy {
+    /// Allow small jobs to flow around a queue head that does not fit
+    /// (first-fit backfill). Off reproduces strict FCFS admission order.
+    pub backfill: bool,
+    /// Requeues a killed job may consume before it is abandoned.
+    pub max_retries: u32,
+    /// Requeue delay after the first kill, seconds.
+    pub base_backoff: f64,
+    /// Backoff growth per further kill.
+    pub backoff_multiplier: f64,
+    /// Backoff ceiling, seconds.
+    pub max_backoff: f64,
+}
+
+impl SchedPolicy {
+    /// The fleet default: strict FCFS, three retries, 30 s → 60 s → 120 s
+    /// exponential backoff capped at 480 s.
+    pub fn standard() -> Self {
+        SchedPolicy {
+            backfill: false,
+            max_retries: 3,
+            base_backoff: 30.0,
+            backoff_multiplier: 2.0,
+            max_backoff: 480.0,
+        }
+    }
+
+    /// Requeue delay after a job's `kills`-th kill (1-based).
+    pub fn requeue_delay(&self, kills: u32) -> f64 {
+        let exp = kills.saturating_sub(1).min(63);
+        (self.base_backoff * self.backoff_multiplier.powi(exp as i32))
+            .min(self.max_backoff)
+            .max(0.0)
+    }
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy::standard()
+    }
+}
+
+/// How one job's fleet story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran once, finished.
+    Completed,
+    /// Killed by node outages `n` times, finished on attempt `n + 1`.
+    CompletedAfterRetry(u32),
+    /// Retry budget exhausted; the job never finished.
+    Abandoned,
+}
+
+impl JobOutcome {
+    /// Stable name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::CompletedAfterRetry(_) => "completed-after-retry",
+            JobOutcome::Abandoned => "abandoned",
+        }
+    }
+
+    /// Kills the job absorbed before this outcome (0 for [`Completed`],
+    /// `n` for both `CompletedAfterRetry(n)` and the abandoned case).
+    pub fn retries(&self) -> u32 {
+        match self {
+            JobOutcome::Completed => 0,
+            JobOutcome::CompletedAfterRetry(n) => *n,
+            JobOutcome::Abandoned => 0,
+        }
+    }
+
+    /// Whether the job eventually produced its result.
+    pub fn completed(&self) -> bool {
+        !matches!(self, JobOutcome::Abandoned)
+    }
+}
+
+/// One placement attempt of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobAttempt {
+    /// Attempt index (0 = first placement).
+    pub attempt: u32,
+    /// Start instant, seconds.
+    pub start: f64,
+    /// End instant: estimated completion, or the kill instant.
+    pub end: f64,
+    /// The failed node that killed this attempt (`None` = ran to
+    /// completion).
+    pub killed_by: Option<u32>,
+}
+
+/// One job's full history under the self-healing scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSchedule {
+    /// Job id (admission position).
+    pub id: usize,
+    /// Submission instant, seconds.
+    pub submit: f64,
+    /// Every placement attempt, in time order (never empty: the pool
+    /// always recovers, so every job starts at least once).
+    pub attempts: Vec<JobAttempt>,
+    /// How the story ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobSchedule {
+    /// The job's last attempt (the completed one unless abandoned).
+    pub fn final_attempt(&self) -> &JobAttempt {
+        self.attempts
+            .last()
+            .expect("every scheduled job has at least one attempt")
+    }
+
+    /// The job's final interval as a legacy [`Placement`] (abandoned jobs
+    /// report their last killed attempt).
+    pub fn as_placement(&self) -> Placement {
+        let a = self.final_attempt();
+        Placement {
+            id: self.id,
+            submit: self.submit,
+            start: a.start,
+            end: a.end,
+        }
+    }
+
+    /// Node-seconds of work the outages destroyed: killed attempts'
+    /// occupancy, charged at the job's node width.
+    pub fn lost_node_secs(&self, nodes: u32) -> f64 {
+        self.attempts
+            .iter()
+            .filter(|a| a.killed_by.is_some())
+            .map(|a| (a.end - a.start).max(0.0) * nodes as f64)
+            .sum::<f64>()
+            + 0.0
+    }
+}
+
+/// Internal: one job currently holding nodes.
+struct Running {
+    job: usize,
+    attempt: u32,
+    start: f64,
+    end: f64,
+    held: Vec<u32>,
+}
+
+/// Place every job onto a cluster whose nodes fail and are repaired per
+/// `plan`, requeueing killed jobs per `policy`. Returns one
+/// [`JobSchedule`] per job, in job-id order.
+///
+/// Event processing at equal instants is fixed — completions, then
+/// repairs, then outage kills, then placements — and every queue is
+/// ordered by `(ready time, job id)`, so the schedule is a deterministic
+/// sequential fold. With an empty plan and backfill off this delegates to
+/// [`fcfs_schedule`], making the healthy fleet bit-identical to the
+/// legacy scheduler.
+pub fn resilient_schedule(
+    cluster_nodes: u32,
+    demands: &[JobDemand],
+    arrivals: &ScheduleArrivals<'_>,
+    plan: &NodeFaultPlan,
+    policy: &SchedPolicy,
+) -> Vec<JobSchedule> {
+    if plan.is_empty() && !policy.backfill {
+        return fcfs_schedule(cluster_nodes, demands, arrivals)
+            .into_iter()
+            .map(|p| JobSchedule {
+                id: p.id,
+                submit: p.submit,
+                attempts: vec![JobAttempt {
+                    attempt: 0,
+                    start: p.start,
+                    end: p.end,
+                    killed_by: None,
+                }],
+                outcome: JobOutcome::Completed,
+            })
+            .collect();
+    }
+    let n = demands.len();
+    for (i, d) in demands.iter().enumerate() {
+        assert!(
+            d.nodes <= cluster_nodes,
+            "job {i} wants {} nodes on a {cluster_nodes}-node cluster",
+            d.nodes
+        );
+    }
+    // Outage starts in (at, node) order; repairs in (until, node) order.
+    let starts: Vec<(f64, u32, f64)> = plan
+        .outages
+        .iter()
+        .map(|o| (o.at, o.node, o.until))
+        .collect();
+    let mut repairs: Vec<(f64, u32)> = plan.outages.iter().map(|o| (o.until, o.node)).collect();
+    repairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut si, mut ri) = (0usize, 0usize);
+
+    // Per-node state: how many active outages cover it, and who holds it.
+    let mut down: Vec<u32> = vec![0; cluster_nodes as usize];
+    let mut holder: Vec<Option<usize>> = vec![None; cluster_nodes as usize];
+
+    // Submission bookkeeping (closed processes derive submits from
+    // terminal events of the job `concurrency` positions earlier).
+    let mut submits: Vec<f64> = vec![f64::NAN; n];
+    let mut queue: Vec<(f64, usize, u32)> = Vec::new(); // (ready, job, attempt)
+    match arrivals {
+        ScheduleArrivals::Open(ts) => {
+            for (i, &s) in ts.iter().enumerate() {
+                submits[i] = s;
+                queue.push((s, i, 0));
+            }
+        }
+        ScheduleArrivals::Closed { concurrency, .. } => {
+            for i in 0..n.min((*concurrency).max(1)) {
+                submits[i] = 0.0;
+                queue.push((0.0, i, 0));
+            }
+        }
+    }
+
+    let mut running: Vec<Running> = Vec::new();
+    let mut kills: Vec<u32> = vec![0; n]; // kills absorbed so far
+    let mut scheds: Vec<JobSchedule> = (0..n)
+        .map(|id| JobSchedule {
+            id,
+            submit: 0.0,
+            attempts: Vec::new(),
+            outcome: JobOutcome::Completed,
+        })
+        .collect();
+    let mut terminal: Vec<Option<f64>> = vec![None; n];
+
+    // The clock starts before every event (all times are ≥ 0). Queue
+    // entries whose ready time is ≤ t are *blocked* — they are retried on
+    // every state-changing event but must not drive the clock, or a job
+    // waiting out an outage would stall it. Only ready times strictly
+    // ahead of the clock count as events.
+    let mut t = -1.0f64;
+    loop {
+        // Next event instant.
+        let mut next = f64::INFINITY;
+        for r in &running {
+            next = next.min(r.end);
+        }
+        if ri < repairs.len() {
+            next = next.min(repairs[ri].0);
+        }
+        if si < starts.len() && (!running.is_empty() || !queue.is_empty() || ri < repairs.len()) {
+            // Outage starts only matter while anything can still happen;
+            // ignoring trailing ones lets the loop terminate early.
+            next = next.min(starts[si].0);
+        }
+        for &(ready, _, _) in &queue {
+            if ready > t {
+                next = next.min(ready);
+            }
+        }
+        if !next.is_finite() {
+            break;
+        }
+        t = next;
+
+        // (a) Completions at t (descending index so swap_remove is sound;
+        // completions commute — each touches only its own job's state).
+        let mut finished: Vec<usize> = Vec::new(); // indices into `running`
+        for (k, r) in running.iter().enumerate() {
+            if r.end <= t {
+                finished.push(k);
+            }
+        }
+        finished.sort_unstable();
+        let mut newly_terminal: Vec<usize> = Vec::new();
+        for &k in finished.iter().rev() {
+            let r = running.swap_remove(k);
+            for &nd in &r.held {
+                holder[nd as usize] = None;
+            }
+            scheds[r.job].attempts.push(JobAttempt {
+                attempt: r.attempt,
+                start: r.start,
+                end: r.end,
+                killed_by: None,
+            });
+            scheds[r.job].outcome = if kills[r.job] == 0 {
+                JobOutcome::Completed
+            } else {
+                JobOutcome::CompletedAfterRetry(kills[r.job])
+            };
+            terminal[r.job] = Some(r.end);
+            newly_terminal.push(r.job);
+        }
+
+        // (b) Repairs at t (before kills: a node repaired and re-failed at
+        // the same instant stays down via its new outage).
+        while ri < repairs.len() && repairs[ri].0 <= t {
+            let nd = repairs[ri].1 as usize;
+            down[nd] = down[nd].saturating_sub(1);
+            ri += 1;
+        }
+
+        // (c) Outage starts at t: take nodes down, kill their holders.
+        while si < starts.len() && starts[si].0 <= t {
+            let (at, node, _until) = starts[si];
+            si += 1;
+            down[node as usize] += 1;
+            if let Some(job) = holder[node as usize] {
+                // Kill: release every node the job held.
+                let k = running
+                    .iter()
+                    .position(|r| r.job == job)
+                    .expect("holder table tracks running jobs");
+                let r = running.swap_remove(k);
+                for &nd in &r.held {
+                    holder[nd as usize] = None;
+                }
+                scheds[job].attempts.push(JobAttempt {
+                    attempt: r.attempt,
+                    start: r.start,
+                    end: at,
+                    killed_by: Some(node),
+                });
+                kills[job] += 1;
+                if kills[job] > policy.max_retries {
+                    scheds[job].outcome = JobOutcome::Abandoned;
+                    terminal[job] = Some(at);
+                    newly_terminal.push(job);
+                } else {
+                    queue.push((at + policy.requeue_delay(kills[job]), job, r.attempt + 1));
+                }
+            }
+        }
+
+        // Closed arrivals: terminal events release successors.
+        if let ScheduleArrivals::Closed {
+            concurrency,
+            think_time,
+        } = arrivals
+        {
+            newly_terminal.sort_unstable();
+            for job in newly_terminal {
+                let succ = job + (*concurrency).max(1);
+                if succ < n && submits[succ].is_nan() {
+                    let s = terminal[job].expect("terminal time recorded") + think_time;
+                    submits[succ] = s;
+                    queue.push((s, succ, 0));
+                }
+            }
+        }
+
+        // (d) Placement pass: FCFS over ready jobs by (ready, id); without
+        // backfill the first non-fitting job blocks the rest of the queue.
+        queue.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (ready, job, attempt) = queue[qi];
+            if ready > t {
+                break; // queue is (ready, id)-sorted; nothing later is ready
+            }
+            let want = demands[job].nodes as usize;
+            let free: Vec<u32> = (0..cluster_nodes)
+                .filter(|&nd| down[nd as usize] == 0 && holder[nd as usize].is_none())
+                .take(want)
+                .collect();
+            if free.len() < want {
+                if policy.backfill {
+                    qi += 1; // flow around the head
+                    continue;
+                }
+                break; // strict FCFS: the head blocks everyone behind it
+            }
+            for &nd in &free {
+                holder[nd as usize] = Some(job);
+            }
+            running.push(Running {
+                job,
+                attempt,
+                start: t,
+                end: t + demands[job].est_runtime.max(0.0),
+                held: free,
+            });
+            queue.remove(qi);
+        }
+    }
+
+    // Record submits (closed processes may leave trailing NaNs only if a
+    // predecessor was never terminal — impossible, the loop drains).
+    for (i, s) in scheds.iter_mut().enumerate() {
+        s.submit = submits[i];
+        assert!(s.submit.is_finite(), "job {i} was never submitted");
+        assert!(!s.attempts.is_empty(), "job {i} was never placed");
+    }
+    scheds
 }
 
 #[cfg(test)]
@@ -139,7 +565,10 @@ mod tests {
     use super::*;
 
     fn d(nodes: u32, rt: f64) -> JobDemand {
-        JobDemand { nodes, est_runtime: rt }
+        JobDemand {
+            nodes,
+            est_runtime: rt,
+        }
     }
 
     #[test]
@@ -161,7 +590,10 @@ mod tests {
         assert_eq!(p[0].start, 0.0);
         assert_eq!(p[1].start, 5.0);
         assert_eq!(p[2].start, 10.0);
-        assert!(p.windows(2).all(|w| w[1].start >= w[0].start), "admission order");
+        assert!(
+            p.windows(2).all(|w| w[1].start >= w[0].start),
+            "admission order"
+        );
     }
 
     #[test]
@@ -177,7 +609,9 @@ mod tests {
 
     #[test]
     fn capacity_is_never_exceeded() {
-        let demands: Vec<JobDemand> = (0..40).map(|i| d(1 + (i % 3), 3.0 + i as f64 * 0.1)).collect();
+        let demands: Vec<JobDemand> = (0..40)
+            .map(|i| d(1 + (i % 3), 3.0 + i as f64 * 0.1))
+            .collect();
         let submits: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
         let cluster = 6u32;
         let p = fcfs_schedule(cluster, &demands, &ScheduleArrivals::Open(&submits));
@@ -200,7 +634,10 @@ mod tests {
         let p = fcfs_schedule(
             64,
             &demands,
-            &ScheduleArrivals::Closed { concurrency: 3, think_time: 1.0 },
+            &ScheduleArrivals::Closed {
+                concurrency: 3,
+                think_time: 1.0,
+            },
         );
         // First three at t=0; job 3 submits when job 0 ends (+1s think).
         assert_eq!(p[0].start, 0.0);
@@ -217,10 +654,159 @@ mod tests {
 
     #[test]
     fn schedule_is_deterministic() {
-        let demands: Vec<JobDemand> = (0..30).map(|i| d(1 + (i % 4), 2.0 + i as f64 * 0.3)).collect();
-        let submits: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7) % 11.0 + i as f64 * 0.2).collect();
+        let demands: Vec<JobDemand> = (0..30)
+            .map(|i| d(1 + (i % 4), 2.0 + i as f64 * 0.3))
+            .collect();
+        let submits: Vec<f64> = (0..30)
+            .map(|i| (i as f64 * 0.7) % 11.0 + i as f64 * 0.2)
+            .collect();
         let a = fcfs_schedule(8, &demands, &ScheduleArrivals::Open(&submits));
         let b = fcfs_schedule(8, &demands, &ScheduleArrivals::Open(&submits));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resilient_with_empty_plan_matches_fcfs_exactly() {
+        let demands: Vec<JobDemand> = (0..25)
+            .map(|i| d(1 + (i % 4), 2.0 + i as f64 * 0.3))
+            .collect();
+        let submits: Vec<f64> = (0..25).map(|i| i as f64 * 0.9).collect();
+        let arrivals = ScheduleArrivals::Open(&submits);
+        let legacy = fcfs_schedule(8, &demands, &arrivals);
+        let plan = NodeFaultPlan::none();
+        let res = resilient_schedule(8, &demands, &arrivals, &plan, &SchedPolicy::standard());
+        let as_placements: Vec<Placement> = res.iter().map(JobSchedule::as_placement).collect();
+        assert_eq!(legacy, as_placements);
+        assert!(res
+            .iter()
+            .all(|s| s.outcome == JobOutcome::Completed && s.attempts.len() == 1));
+    }
+
+    #[test]
+    fn outage_kills_and_requeue_completes_with_backoff() {
+        // One 2-node job on a 2-node cluster; node 0 fails at t=4 for 10 s.
+        let demands = [d(2, 10.0)];
+        let submits = [0.0];
+        let plan = NodeFaultPlan::none().with_outage(0, 4.0, 10.0);
+        let pol = SchedPolicy::standard();
+        let s = &resilient_schedule(2, &demands, &ScheduleArrivals::Open(&submits), &plan, &pol)[0];
+        assert_eq!(s.outcome, JobOutcome::CompletedAfterRetry(1));
+        assert_eq!(s.attempts.len(), 2);
+        assert_eq!(s.attempts[0].killed_by, Some(0));
+        assert_eq!(s.attempts[0].end, 4.0);
+        // Requeued at 4 + 30 s backoff, but node 0 is down until 14; both
+        // nodes are only free at max(34, 14) = 34.
+        assert_eq!(s.attempts[1].start, 34.0);
+        assert_eq!(s.attempts[1].end, 44.0);
+        assert_eq!(s.attempts[1].killed_by, None);
+        assert!((s.lost_node_secs(2) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_abandons_the_job() {
+        // The node the job needs fails every time it runs: first kill at
+        // t=10; the requeue (30 s backoff → restart at 40) is killed again
+        // at t=50, exhausting a budget of one retry.
+        let demands = [d(1, 100.0)];
+        let submits = [0.0];
+        let plan = NodeFaultPlan::none()
+            .with_outage(0, 10.0, 1.0)
+            .with_outage(0, 50.0, 1.0);
+        let pol = SchedPolicy {
+            max_retries: 1,
+            ..SchedPolicy::standard()
+        };
+        let s = &resilient_schedule(1, &demands, &ScheduleArrivals::Open(&submits), &plan, &pol)[0];
+        assert_eq!(s.outcome, JobOutcome::Abandoned);
+        assert_eq!(s.attempts.len(), 2, "first run + one retry, then abandoned");
+        assert!(s.attempts.iter().all(|a| a.killed_by == Some(0)));
+    }
+
+    #[test]
+    fn pool_shrinks_while_nodes_are_down() {
+        // 2 nodes; node 1 is down [0, 50): two 1-node jobs serialize on
+        // node 0 instead of running concurrently.
+        let demands = [d(1, 10.0), d(1, 10.0)];
+        let submits = [0.0, 0.0];
+        let plan = NodeFaultPlan::none().with_outage(1, 0.0, 50.0);
+        let pol = SchedPolicy::standard();
+        let s = resilient_schedule(2, &demands, &ScheduleArrivals::Open(&submits), &plan, &pol);
+        assert_eq!(s[0].attempts[0].start, 0.0);
+        assert_eq!(
+            s[1].attempts[0].start, 10.0,
+            "second job waits for the only up node"
+        );
+        assert!(s.iter().all(|j| j.outcome == JobOutcome::Completed));
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_flow_around_a_blocked_head() {
+        // 4 nodes. Job 0 holds all 4 until t=10; job 1 (wants 4) blocks;
+        // job 2 (wants 0 free... 1 node) — without backfill it waits behind
+        // job 1, with backfill it cannot start either (0 free). Use a
+        // 3-node head instead: job 0 takes 3, job 1 wants 3 (blocked),
+        // job 2 wants 1 and can backfill into the free node.
+        let demands = [d(3, 10.0), d(3, 5.0), d(1, 2.0)];
+        let submits = [0.0, 1.0, 2.0];
+        let plan = NodeFaultPlan::none();
+        let fcfs_pol = SchedPolicy {
+            backfill: false,
+            ..SchedPolicy::standard()
+        };
+        let bf_pol = SchedPolicy {
+            backfill: true,
+            ..SchedPolicy::standard()
+        };
+        let arrivals = ScheduleArrivals::Open(&submits);
+        let strict = resilient_schedule(4, &demands, &arrivals, &plan, &fcfs_pol);
+        let backfilled = resilient_schedule(4, &demands, &arrivals, &plan, &bf_pol);
+        assert_eq!(
+            strict[2].attempts[0].start, 10.0,
+            "strict: waits behind the 3-node head"
+        );
+        assert_eq!(
+            backfilled[2].attempts[0].start, 2.0,
+            "backfill: into the free node"
+        );
+        // The head itself is not delayed by the backfilled job.
+        assert_eq!(strict[1].attempts[0].start, backfilled[1].attempts[0].start);
+    }
+
+    #[test]
+    fn closed_arrivals_release_successors_on_terminal_events() {
+        let demands: Vec<JobDemand> = (0..6).map(|_| d(1, 10.0)).collect();
+        let plan = NodeFaultPlan::none().with_outage(0, 1e9, 1.0); // far-future: active plan, no effect
+        let pol = SchedPolicy::standard();
+        let s = resilient_schedule(
+            4,
+            &demands,
+            &ScheduleArrivals::Closed {
+                concurrency: 2,
+                think_time: 1.0,
+            },
+            &plan,
+            &pol,
+        );
+        assert_eq!(s[0].submit, 0.0);
+        assert_eq!(s[1].submit, 0.0);
+        assert_eq!(s[2].submit, 11.0);
+        assert_eq!(s[3].submit, 11.0);
+        assert_eq!(s[4].submit, 22.0);
+        assert!(s.iter().all(|j| j.outcome == JobOutcome::Completed));
+    }
+
+    #[test]
+    fn requeue_delay_is_monotone_and_capped() {
+        let pol = SchedPolicy::standard();
+        let mut prev = 0.0;
+        for k in 1..20 {
+            let d = pol.requeue_delay(k);
+            assert!(d >= prev, "backoff must be non-decreasing");
+            assert!(d <= pol.max_backoff);
+            prev = d;
+        }
+        assert_eq!(pol.requeue_delay(1), 30.0);
+        assert_eq!(pol.requeue_delay(2), 60.0);
+        assert_eq!(pol.requeue_delay(20), 480.0);
     }
 }

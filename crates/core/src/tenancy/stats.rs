@@ -7,7 +7,7 @@
 //! report (and its digest) is byte-identical at any worker count.
 
 use super::fleet::{FleetManifest, JobRecord};
-use super::scheduler::Placement;
+use super::scheduler::{JobOutcome, JobSchedule, Placement, SchedPolicy};
 use crate::tables::Table;
 use sim_core::units::MIB;
 use vani_rt::stats::{pearson, Quantiles};
@@ -41,8 +41,17 @@ pub struct FleetReport {
     pub placements: Vec<Placement>,
     /// Dedicated profile runs, in profile-wave order.
     pub profiles: Vec<ProfileSummary>,
-    /// Per-job outcomes, in admission order.
+    /// Per-job outcomes, in admission order (abandoned jobs are not
+    /// simulated and have no record; see `schedules`).
     pub records: Vec<JobRecord>,
+    /// The self-healing scheduler's policy.
+    pub policy: SchedPolicy,
+    /// Every job's full attempt history, in admission order.
+    pub schedules: Vec<JobSchedule>,
+    /// The healthy-fleet counterfactual: the same demands FCFS-placed
+    /// onto a never-failing pool (equals `placements` when the plan is
+    /// empty and backfill is off).
+    pub healthy_placements: Vec<Placement>,
 }
 
 /// FNV-1a 64-bit digest; stable, dependency-free, good enough to pin a
@@ -84,8 +93,14 @@ fn attributes() -> Vec<(&'static str, fn(&JobRecord) -> f64)> {
 /// Subset of [`attributes`] used for the correlation matrix (queue wait
 /// and tenant delay are near-duplicates of neighbor load by construction;
 /// the matrix keeps the interesting axes readable).
-const CORR_ATTRS: [&str; 6] =
-    ["runtime (s)", "io time frac", "agg bw (MiB/s)", "meta ops", "neighbor load", "slowdown"];
+const CORR_ATTRS: [&str; 6] = [
+    "runtime (s)",
+    "io time frac",
+    "agg bw (MiB/s)",
+    "meta ops",
+    "neighbor load",
+    "slowdown",
+];
 
 impl FleetReport {
     /// Digest of the manifest plus the admission schedule — what the
@@ -112,9 +127,15 @@ impl FleetReport {
     fn profile_table(&self) -> Table {
         Table {
             title: "Dedicated profiles (wave 1)".to_string(),
-            header: ["workload", "variant", "runtime (s)", "data demand", "meta demand"]
-                .map(String::from)
-                .to_vec(),
+            header: [
+                "workload",
+                "variant",
+                "runtime (s)",
+                "data demand",
+                "meta demand",
+            ]
+            .map(String::from)
+            .to_vec(),
             rows: self
                 .profiles
                 .iter()
@@ -230,6 +251,279 @@ impl FleetReport {
         }
     }
 
+    /// Whether the fleet ran under an active node fault plan (gates every
+    /// degraded-mode section, keeping healthy reports byte-identical to
+    /// the pre-failure-domain renderer).
+    pub fn is_degraded(&self) -> bool {
+        !self.manifest.node_faults.is_empty()
+    }
+
+    /// Total attempts / total jobs: 1.0 in a healthy fleet, > 1 when
+    /// outages force requeues.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.schedules.is_empty() {
+            return 1.0;
+        }
+        let attempts: usize = self.schedules.iter().map(|s| s.attempts.len()).sum();
+        attempts as f64 / self.schedules.len() as f64
+    }
+
+    /// Scheduler-estimated node-seconds of work destroyed by outages.
+    pub fn lost_work_node_secs(&self) -> f64 {
+        self.schedules
+            .iter()
+            .zip(&self.manifest.jobs)
+            .map(|(s, j)| s.lost_node_secs(j.nodes))
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Node-seconds of *useful* (completed final-attempt) work delivered.
+    pub fn useful_work_node_secs(&self) -> f64 {
+        self.schedules
+            .iter()
+            .zip(&self.manifest.jobs)
+            .filter(|(s, _)| s.outcome.completed())
+            .map(|(s, j)| {
+                let a = s.final_attempt();
+                (a.end - a.start).max(0.0) * j.nodes as f64
+            })
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Goodput fraction: useful work / (useful + lost) node-seconds.
+    /// 1.0 when the outages destroyed nothing.
+    pub fn goodput_frac(&self) -> f64 {
+        let useful = self.useful_work_node_secs();
+        let lost = self.lost_work_node_secs();
+        if useful + lost <= 0.0 {
+            1.0
+        } else {
+            useful / (useful + lost)
+        }
+    }
+
+    /// Node-seconds of work the fleet *asked* for (every job, including
+    /// abandoned ones, at its profiled runtime estimate).
+    pub fn offered_node_secs(&self) -> f64 {
+        self.schedules
+            .iter()
+            .zip(&self.manifest.jobs)
+            .map(|(s, j)| {
+                // The first attempt's planned span is the profiled
+                // estimate; killed attempts end early, so re-derive the
+                // estimate from any completed attempt or charge the
+                // estimate the scheduler used.
+                let est = s
+                    .attempts
+                    .iter()
+                    .find(|a| a.killed_by.is_none())
+                    .map(|a| a.end - a.start)
+                    .unwrap_or_else(|| {
+                        s.attempts
+                            .iter()
+                            .map(|a| a.end - a.start)
+                            .fold(0.0, f64::max)
+                    });
+                est.max(0.0) * j.nodes as f64
+            })
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Outcome counts: (completed clean, completed after retry, abandoned).
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.schedules {
+            match s.outcome {
+                JobOutcome::Completed => c.0 += 1,
+                JobOutcome::CompletedAfterRetry(_) => c.1 += 1,
+                JobOutcome::Abandoned => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    fn outage_table(&self) -> Table {
+        Table {
+            title: "Node outage timeline".to_string(),
+            header: ["node", "down at (s)", "repaired (s)", "repair (s)"]
+                .map(String::from)
+                .to_vec(),
+            rows: self
+                .manifest
+                .node_faults
+                .outages
+                .iter()
+                .map(|o| {
+                    vec![
+                        o.node.to_string(),
+                        format!("{:.3}", o.at),
+                        format!("{:.3}", o.until),
+                        format!("{:.3}", o.until - o.at),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn degraded_accounting_table(&self) -> Table {
+        let (clean, retried, abandoned) = self.outcome_counts();
+        let rows = vec![
+            vec!["jobs completed clean".to_string(), clean.to_string()],
+            vec![
+                "jobs completed after retry".to_string(),
+                retried.to_string(),
+            ],
+            vec!["jobs abandoned".to_string(), abandoned.to_string()],
+            vec![
+                "retry amplification (attempts/job)".to_string(),
+                cell(self.retry_amplification()),
+            ],
+            vec![
+                "offered load (node-s)".to_string(),
+                format!("{:.3}", self.offered_node_secs()),
+            ],
+            vec![
+                "goodput (node-s)".to_string(),
+                format!("{:.3}", self.useful_work_node_secs()),
+            ],
+            vec![
+                "lost work (node-s)".to_string(),
+                format!("{:.3}", self.lost_work_node_secs()),
+            ],
+            vec!["goodput fraction".to_string(), cell(self.goodput_frac())],
+            vec![
+                "node-hours lost to outages".to_string(),
+                cell(self.manifest.node_faults.node_hours_down()),
+            ],
+            vec![
+                "scheduler policy".to_string(),
+                format!(
+                    "retries {} | backoff {:.0}s x{:.1} cap {:.0}s | backfill {}",
+                    self.policy.max_retries,
+                    self.policy.base_backoff,
+                    self.policy.backoff_multiplier,
+                    self.policy.max_backoff,
+                    if self.policy.backfill { "on" } else { "off" }
+                ),
+            ],
+        ];
+        Table {
+            title: "Degraded-mode accounting (goodput vs offered load)".to_string(),
+            header: ["metric", "value"].map(String::from).to_vec(),
+            rows,
+        }
+    }
+
+    fn outcome_rows(&self) -> Table {
+        Table {
+            title: "Job outcomes under node failures".to_string(),
+            header: [
+                "job",
+                "workload",
+                "variant",
+                "outcome",
+                "attempts",
+                "lost (node-s)",
+            ]
+            .map(String::from)
+            .to_vec(),
+            rows: self
+                .schedules
+                .iter()
+                .zip(&self.manifest.jobs)
+                .filter(|(s, _)| s.attempts.len() > 1 || s.outcome == JobOutcome::Abandoned)
+                .map(|(s, j)| {
+                    vec![
+                        j.id.to_string(),
+                        j.workload.clone(),
+                        j.variant.name().to_string(),
+                        match s.outcome {
+                            JobOutcome::CompletedAfterRetry(n) => {
+                                format!("completed-after-retry({n})")
+                            }
+                            o => o.name().to_string(),
+                        },
+                        s.attempts.len().to_string(),
+                        format!("{:.3}", s.lost_node_secs(j.nodes)),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn slowdown_vs_healthy_table(&self) -> Table {
+        // Scheduler-level turnaround (terminal end - submit) of completed
+        // jobs, grouped by (workload, variant), against the same jobs'
+        // turnaround in the healthy counterfactual schedule.
+        let mut rows = Vec::new();
+        for p in &self.profiles {
+            let group: Vec<usize> = self
+                .manifest
+                .jobs
+                .iter()
+                .filter(|j| {
+                    j.workload == p.workload
+                        && j.variant.name() == p.variant
+                        && self.schedules[j.id].outcome.completed()
+                })
+                .map(|j| j.id)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let degraded: Vec<f64> = group
+                .iter()
+                .map(|&i| {
+                    let s = &self.schedules[i];
+                    (s.final_attempt().end - s.submit).max(0.0)
+                })
+                .collect();
+            let healthy: Vec<f64> = group
+                .iter()
+                .map(|&i| {
+                    let p = &self.healthy_placements[i];
+                    (p.end - p.submit).max(0.0)
+                })
+                .collect();
+            let qd = Quantiles::of(&degraded);
+            let qh = Quantiles::of(&healthy);
+            let ratio = if qh.mean > 0.0 {
+                qd.mean / qh.mean
+            } else {
+                f64::NAN
+            };
+            rows.push(vec![
+                p.workload.clone(),
+                p.variant.clone(),
+                group.len().to_string(),
+                format!("{:.3}", qh.p50),
+                format!("{:.3}", qd.p50),
+                format!("{:.3}", qh.p99),
+                format!("{:.3}", qd.p99),
+                cell(ratio),
+            ]);
+        }
+        Table {
+            title: "Turnaround slowdown vs healthy fleet".to_string(),
+            header: [
+                "workload",
+                "variant",
+                "jobs",
+                "healthy p50 (s)",
+                "degraded p50 (s)",
+                "healthy p99 (s)",
+                "degraded p99 (s)",
+                "mean slowdown",
+            ]
+            .map(String::from)
+            .to_vec(),
+            rows,
+        }
+    }
+
     /// Render the full report as `repro -- fleet-sweep` prints it.
     pub fn render(&self) -> String {
         let mut out = String::from("== Fleet sweep: multi-tenant shared-PFS characterization\n");
@@ -255,6 +549,16 @@ impl FleetReport {
         out.push_str(&self.correlation_table().render());
         out.push('\n');
         out.push_str(&self.noisy_neighbor_table().render());
+        if self.is_degraded() {
+            out.push('\n');
+            out.push_str(&self.outage_table().render());
+            out.push('\n');
+            out.push_str(&self.degraded_accounting_table().render());
+            out.push('\n');
+            out.push_str(&self.outcome_rows().render());
+            out.push('\n');
+            out.push_str(&self.slowdown_vs_healthy_table().render());
+        }
         out
     }
 
@@ -262,7 +566,13 @@ impl FleetReport {
     /// aggregated tables, not the per-job records (the render has those in
     /// aggregate; the manifest digest pins the raw identity).
     pub fn to_json(&self) -> Json {
-        let jnum = |x: f64| if x.is_finite() { Json::Float(x) } else { Json::Null };
+        let jnum = |x: f64| {
+            if x.is_finite() {
+                Json::Float(x)
+            } else {
+                Json::Null
+            }
+        };
         let quantiles = attributes()
             .iter()
             .map(|(name, f)| {
@@ -295,20 +605,62 @@ impl FleetReport {
                 ])
             })
             .collect::<Vec<_>>();
-        Json::obj([
+        let mut members = vec![
             ("n_jobs", Json::Int(self.records.len() as i128)),
             ("scale", Json::Float(self.scale)),
             ("seed", Json::Int(self.seed as i128)),
-            ("cluster_nodes", Json::Int(self.manifest.cluster_nodes as i128)),
+            (
+                "cluster_nodes",
+                Json::Int(self.manifest.cluster_nodes as i128),
+            ),
             ("arrival", Json::Str(self.manifest.arrival.clone())),
-            ("admission_digest", Json::Str(format!("{:016x}", self.admission_digest()))),
-            ("report_digest", Json::Str(format!("{:016x}", fnv1a64(&self.render())))),
+            (
+                "admission_digest",
+                Json::Str(format!("{:016x}", self.admission_digest())),
+            ),
+            (
+                "report_digest",
+                Json::Str(format!("{:016x}", fnv1a64(&self.render()))),
+            ),
             ("mean_queue_wait_s", jnum(self.mean_wait())),
-            ("quantiles", Json::Obj(
-                quantiles.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-            )),
+            (
+                "quantiles",
+                Json::Obj(
+                    quantiles
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                ),
+            ),
             ("profiles", Json::Arr(profiles)),
-        ])
+        ];
+        // Degraded-mode keys appear only under an active plan, keeping
+        // healthy BENCH_fleet.json bit-identical to the pre-change output.
+        if self.is_degraded() {
+            let (clean, retried, abandoned) = self.outcome_counts();
+            members.push((
+                "node_faults",
+                Json::obj([
+                    (
+                        "outages",
+                        Json::Int(self.manifest.node_faults.outages.len() as i128),
+                    ),
+                    (
+                        "node_hours_down",
+                        jnum(self.manifest.node_faults.node_hours_down()),
+                    ),
+                    ("completed_clean", Json::Int(clean as i128)),
+                    ("completed_after_retry", Json::Int(retried as i128)),
+                    ("abandoned", Json::Int(abandoned as i128)),
+                    ("retry_amplification", jnum(self.retry_amplification())),
+                    ("offered_node_secs", jnum(self.offered_node_secs())),
+                    ("goodput_node_secs", jnum(self.useful_work_node_secs())),
+                    ("lost_work_node_secs", jnum(self.lost_work_node_secs())),
+                    ("goodput_frac", jnum(self.goodput_frac())),
+                ]),
+            ));
+        }
+        Json::obj(members)
     }
 }
 

@@ -28,7 +28,10 @@ fn scalar(s: &str) -> String {
 pub fn emit(entities: &[Entity]) -> String {
     let mut out = String::from("# Vani workload characterization\n");
     for group in ["job", "software", "data"] {
-        let members: Vec<&Entity> = entities.iter().filter(|e| e.etype.group() == group).collect();
+        let members: Vec<&Entity> = entities
+            .iter()
+            .filter(|e| e.etype.group() == group)
+            .collect();
         if members.is_empty() {
             continue;
         }
@@ -87,8 +90,7 @@ mod tests {
             Entity::new(EntityType::JobConfiguration, "CM1")
                 .with("#nodes", AttrValue::Count(32))
                 .with("pfs_dir", AttrValue::Str("/p/gpfs1".into())),
-            Entity::new(EntityType::Dataset, "CM1")
-                .with("size", AttrValue::Bytes(20 << 30)),
+            Entity::new(EntityType::Dataset, "CM1").with("size", AttrValue::Bytes(20 << 30)),
         ];
         let yaml = emit(&ents);
         assert!(yaml.contains("job:"));

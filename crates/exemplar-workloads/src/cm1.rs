@@ -76,10 +76,14 @@ impl Cm1Params {
             faults: FaultPlan::none(),
             interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
-            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
+            ranks_per_node: p
+                .ranks_per_node
+                .min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
             n_config_files: scaled(p.n_config_files as u64, scale, 2) as u32,
             config_bytes: scaled(p.config_bytes, scale.sqrt(), 64 * KIB),
-            config_xfer: p.config_xfer.min(scaled(p.config_bytes, scale.sqrt(), 64 * KIB)),
+            config_xfer: p
+                .config_xfer
+                .min(scaled(p.config_bytes, scale.sqrt(), 64 * KIB)),
             n_shared_files: scaled(p.n_shared_files as u64, scale, 2) as u32,
             write_total: scaled(p.write_total, scale, 1 * MIB),
             write_xfer: p.write_xfer,
@@ -120,7 +124,10 @@ struct Cm1Script {
 
 impl Cm1Script {
     fn shared_path(&self, step: u32) -> String {
-        format!("/p/gpfs1/cm1/out/cm1out_{:06}.dat", step % self.p.n_shared_files)
+        format!(
+            "/p/gpfs1/cm1/out/cm1out_{:06}.dat",
+            step % self.p.n_shared_files
+        )
     }
 
     fn per_step_bytes(&self) -> u64 {
@@ -143,7 +150,11 @@ impl RankScript<IoWorld> for Cm1Script {
                     let path = format!("/p/gpfs1/cm1/config/input_{:04}.cfg", rank.0);
                     let (fd, t) = posix::open(w, rank, &path, OpenFlags::read_only(), now);
                     let fd = fd.expect("config file staged");
-                    self.phase = Phase::ReadConfig { fd, pass: 0, off: 0 };
+                    self.phase = Phase::ReadConfig {
+                        fd,
+                        pass: 0,
+                        off: 0,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::ReadConfig { fd, pass, off } => {
@@ -151,7 +162,11 @@ impl RankScript<IoWorld> for Cm1Script {
                         if pass == 0 {
                             // Restart pass: re-read from the start.
                             let (_, t) = posix::lseek(w, rank, fd, 0, Whence::Set, now);
-                            self.phase = Phase::ReadConfig { fd, pass: 1, off: 0 };
+                            self.phase = Phase::ReadConfig {
+                                fd,
+                                pass: 1,
+                                off: 0,
+                            };
                             return StepEffect::busy_until(t);
                         }
                         self.phase = Phase::CloseConfig { fd };
@@ -159,7 +174,11 @@ impl RankScript<IoWorld> for Cm1Script {
                     }
                     let (n, t) = posix::read(w, rank, fd, self.p.config_xfer, now);
                     let n = n.expect("config read");
-                    self.phase = Phase::ReadConfig { fd, pass, off: off + n.max(1) };
+                    self.phase = Phase::ReadConfig {
+                        fd,
+                        pass,
+                        off: off + n.max(1),
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::CloseConfig { fd } => {
@@ -168,7 +187,9 @@ impl RankScript<IoWorld> for Cm1Script {
                     return StepEffect::busy_until(t);
                 }
                 Phase::Bcast => {
-                    self.phase = Phase::StepCompute { step: self.start_step };
+                    self.phase = Phase::StepCompute {
+                        step: self.start_step,
+                    };
                     return StepEffect {
                         outcome: Outcome::Collective {
                             comm: CommId::WORLD,
@@ -200,17 +221,30 @@ impl RankScript<IoWorld> for Cm1Script {
                         w,
                         rank,
                         &path,
-                        if is_writer { OpenFlags::read_write() } else { OpenFlags { create: true, write: true, ..Default::default() } },
+                        if is_writer {
+                            OpenFlags::read_write()
+                        } else {
+                            OpenFlags {
+                                create: true,
+                                write: true,
+                                ..Default::default()
+                            }
+                        },
                         now,
                     );
                     let fd = match fd {
                         Ok(f) => f,
                         Err(_) => {
                             // First opener creates it.
-                            let (f2, t2) = posix::open(w, rank, &path, OpenFlags::write_create(), now);
+                            let (f2, t2) =
+                                posix::open(w, rank, &path, OpenFlags::write_create(), now);
                             let f2 = f2.expect("create step file");
                             self.phase = if is_writer {
-                                Phase::StepWrite { step, fd: f2, off: 0 }
+                                Phase::StepWrite {
+                                    step,
+                                    fd: f2,
+                                    off: 0,
+                                }
                             } else {
                                 Phase::StepClose { step, fd: f2 }
                             };
@@ -239,7 +273,8 @@ impl RankScript<IoWorld> for Cm1Script {
                             break;
                         }
                         let (_, t2) = posix::lseek(w, rank, fd, o as i64, Whence::Set, t);
-                        let (res, t3) = posix::write_pattern(w, rank, fd, self.p.write_xfer, 11, t2);
+                        let (res, t3) =
+                            posix::write_pattern(w, rank, fd, self.p.write_xfer, 11, t2);
                         res.expect("step write");
                         t = t3;
                         o += self.p.write_xfer;
@@ -253,7 +288,16 @@ impl RankScript<IoWorld> for Cm1Script {
                         // The step file is durable: mark the checkpoint the
                         // harness restarts from (span = open → close).
                         use recorder_sim::record::{Layer, OpKind};
-                        w.trace_io(rank, Layer::App, OpKind::Checkpoint, self.ckpt_begin, t, None, 0, 0);
+                        w.trace_io(
+                            rank,
+                            Layer::App,
+                            OpKind::Checkpoint,
+                            self.ckpt_begin,
+                            t,
+                            None,
+                            0,
+                            0,
+                        );
                     }
                     self.phase = Phase::StepBarrier { step };
                     return StepEffect::busy_until(t);
@@ -280,7 +324,8 @@ fn stage_inputs(world: &mut IoWorld, p: &Cm1Params) {
     let store = world.storage.pfs_mut().store_mut();
     // CM1's atmospheric state variables are normally distributed (Table VI);
     // stage a value prefix the analyzer's distribution fitting can sample.
-    let prefix = sim_core::stats::synth_bytes(sim_core::stats::DistributionFit::Normal, 0xC1, 16384);
+    let prefix =
+        sim_core::stats::synth_bytes(sim_core::stats::DistributionFit::Normal, 0xC1, 16384);
     for i in 0..p.n_config_files {
         let path = format!("/p/gpfs1/cm1/config/input_{i:04}.cfg");
         let key = store.create(&path, false).expect("stage config");
@@ -295,7 +340,11 @@ fn stage_inputs(world: &mut IoWorld, p: &Cm1Params) {
             )
             .expect("stage config body");
         store
-            .write(key, 1024, storage_sim::file::Segment::Bytes(std::sync::Arc::new(prefix.clone())))
+            .write(
+                key,
+                1024,
+                storage_sim::file::Segment::Bytes(std::sync::Arc::new(prefix.clone())),
+            )
             .expect("stage config prefix");
     }
     store.mkdirs("/p/gpfs1/cm1/out").expect("mkdir out");
@@ -322,7 +371,10 @@ pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cm1");
     }
@@ -330,18 +382,24 @@ pub fn run_with(p: Cm1Params, scale: f64, seed: u64) -> WorkloadRun {
     let crashes = p.faults.crashes_sorted();
     // Every launch (cold start or post-crash relaunch) re-reads the config
     // and resumes at the first step without a durable step file.
-    execute_with_recovery(WorkloadKind::Cm1, scale, world, &crashes, move |ckpts_done, _epoch| {
-        (0..n)
-            .map(|_| {
-                Box::new(Cm1Script {
-                    p: p.clone(),
-                    phase: Phase::OpenConfig,
-                    start_step: ckpts_done as u32,
-                    ckpt_begin: SimTime::ZERO,
-                }) as Box<dyn RankScript<IoWorld>>
-            })
-            .collect()
-    })
+    execute_with_recovery(
+        WorkloadKind::Cm1,
+        scale,
+        world,
+        &crashes,
+        move |ckpts_done, _epoch| {
+            (0..n)
+                .map(|_| {
+                    Box::new(Cm1Script {
+                        p: p.clone(),
+                        phase: Phase::OpenConfig,
+                        start_step: ckpts_done as u32,
+                        ckpt_begin: SimTime::ZERO,
+                    }) as Box<dyn RankScript<IoWorld>>
+                })
+                .collect()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -380,7 +438,10 @@ mod tests {
         let wbytes = c.sum_bytes(&c.select(|i| c.op[i] == OpKind::Write));
         // At paper scale the ratio is 20:1; the scaled-down job keeps the
         // direction (reads dominate) even with far fewer reader ranks.
-        assert!(2 * rbytes > 3 * wbytes, "reads {rbytes} should beat writes {wbytes}");
+        assert!(
+            2 * rbytes > 3 * wbytes,
+            "reads {rbytes} should beat writes {wbytes}"
+        );
     }
 
     #[test]
@@ -400,7 +461,10 @@ mod tests {
         let run = tiny();
         let c = run.columnar();
         let posix = c.select(|i| c.layer[i] == Layer::Posix && c.op[i].is_io());
-        let meta = posix.iter().filter(|&&i| c.op[i as usize].is_meta()).count();
+        let meta = posix
+            .iter()
+            .filter(|&&i| c.op[i as usize].is_meta())
+            .count();
         let frac = meta as f64 / posix.len() as f64;
         // Paper: ~70 % of CM1 operations are metadata (Table III).
         assert!(frac > 0.35, "metadata fraction {frac} too low");
@@ -438,7 +502,10 @@ mod tests {
         let restart = c.select(|i| c.op[i] == OpKind::RestartEpoch);
         assert_eq!(crash.len(), 1, "one crash event");
         assert_eq!(restart.len(), 1, "one restart epoch");
-        assert_eq!(c.rank[crash[0] as usize], 3, "crash attributed to the dead rank");
+        assert_eq!(
+            c.rank[crash[0] as usize], 3,
+            "crash attributed to the dead rank"
+        );
         // Lost work is re-run after a restart delay, so the job takes longer.
         assert!(a.report.makespan > healthy.report.makespan);
         // Every step still completed (checkpoints are cumulative; none re-run).

@@ -126,7 +126,7 @@ impl CosmoflowParams {
 pub fn stage_dataset(world: &mut IoWorld, p: &CosmoflowParams) {
     let store = world.storage.pfs_mut().store_mut();
     let voxels = (p.file_bytes / 2).max(1); // int16 elements
-    // Dark-matter density voxels are gamma-distributed (Table VI).
+                                            // Dark-matter density voxels are gamma-distributed (Table VI).
     let prefix = sim_core::stats::synth_bytes(sim_core::stats::DistributionFit::Gamma, 0xC0, 16384);
     for i in 0..p.n_files {
         hdf5::materialize(
@@ -138,7 +138,11 @@ pub fn stage_dataset(world: &mut IoWorld, p: &CosmoflowParams) {
         .expect("stage cosmoflow file");
         let key = store.lookup(&p.file_path(i)).expect("just staged");
         store
-            .write(key, 1024, storage_sim::file::Segment::Bytes(std::sync::Arc::new(prefix.clone())))
+            .write(
+                key,
+                1024,
+                storage_sim::file::Segment::Bytes(std::sync::Arc::new(prefix.clone())),
+            )
             .expect("stage value prefix");
     }
 }
@@ -162,15 +166,37 @@ fn group_of(p: &CosmoflowParams, total_ranks: u32, f: u32) -> Vec<u32> {
 }
 
 enum Phase {
-    Preload { idx: u32 },
-    PreloadRead { idx: u32, fd: io_layers::posix::Fd, left: u64 },
-    PreloadInstall { idx: u32, fd: io_layers::posix::Fd },
+    Preload {
+        idx: u32,
+    },
+    PreloadRead {
+        idx: u32,
+        fd: io_layers::posix::Fd,
+        left: u64,
+    },
+    PreloadInstall {
+        idx: u32,
+        fd: io_layers::posix::Fd,
+    },
     PreloadBarrier,
-    NextFile { idx: u32 },
-    FileRead { idx: u32, off: u64, end_off: u64 },
-    FileClose { idx: u32 },
-    Gpu { idx: u32 },
-    Ckpt { n: u32, off: u64 },
+    NextFile {
+        idx: u32,
+    },
+    FileRead {
+        idx: u32,
+        off: u64,
+        end_off: u64,
+    },
+    FileClose {
+        idx: u32,
+    },
+    Gpu {
+        idx: u32,
+    },
+    Ckpt {
+        n: u32,
+        off: u64,
+    },
     Done,
 }
 
@@ -208,7 +234,11 @@ impl RankScript<IoWorld> for CfScript {
                     let src = self.p.pfs_file_path(f);
                     let (fd, t) = posix::open(w, rank, &src, OpenFlags::read_only(), now);
                     let fd = fd.expect("preload source staged");
-                    self.phase = Phase::PreloadRead { idx, fd, left: self.p.file_bytes + 4096 };
+                    self.phase = Phase::PreloadRead {
+                        idx,
+                        fd,
+                        left: self.p.file_bytes + 4096,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::PreloadRead { idx, fd, left } => {
@@ -221,7 +251,11 @@ impl RankScript<IoWorld> for CfScript {
                     let (res, t) = posix::read(w, rank, fd, this, now);
                     let n = res.expect("preload read");
                     let left2 = if n < this { 0 } else { left - this };
-                    self.phase = Phase::PreloadRead { idx, fd, left: left2 };
+                    self.phase = Phase::PreloadRead {
+                        idx,
+                        fd,
+                        left: left2,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::PreloadInstall { idx, fd } => {
@@ -274,7 +308,10 @@ impl RankScript<IoWorld> for CfScript {
                         if rank.0 == 0 && self.files_done > 0 && self.next_ckpt_at != u32::MAX {
                             self.next_ckpt_at = u32::MAX;
                             self.resume_idx = idx;
-                            self.phase = Phase::Ckpt { n: self.p.n_ckpts.max(1) - 1, off: 0 };
+                            self.phase = Phase::Ckpt {
+                                n: self.p.n_ckpts.max(1) - 1,
+                                off: 0,
+                            };
                             continue;
                         }
                         self.phase = Phase::Done;
@@ -302,7 +339,11 @@ impl RankScript<IoWorld> for CfScript {
                     };
                     self.h5 = Some(h5);
                     let off = my_pos * share;
-                    self.phase = Phase::FileRead { idx, off, end_off: off + share };
+                    self.phase = Phase::FileRead {
+                        idx,
+                        off,
+                        end_off: off + share,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::FileRead { idx, off, end_off } => {
@@ -314,7 +355,11 @@ impl RankScript<IoWorld> for CfScript {
                     let h5 = self.h5.as_mut().expect("file open");
                     let (res, t) = h5.read(w, rank, "universe", off, this, now);
                     res.expect("cosmoflow read");
-                    self.phase = Phase::FileRead { idx, off: off + this, end_off };
+                    self.phase = Phase::FileRead {
+                        idx,
+                        off: off + this,
+                        end_off,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::FileClose { idx } => {
@@ -328,7 +373,10 @@ impl RankScript<IoWorld> for CfScript {
                     let t = w.gpu_compute(rank, self.p.gpu_per_file, now);
                     // Periodic checkpoint from rank 0.
                     let per = (self.my_files.len() as u32 / self.p.n_ckpts.max(1)).max(1);
-                    if rank.0 == 0 && self.files_done >= self.next_ckpt_at && self.next_ckpt_at != u32::MAX {
+                    if rank.0 == 0
+                        && self.files_done >= self.next_ckpt_at
+                        && self.next_ckpt_at != u32::MAX
+                    {
                         self.next_ckpt_at += per;
                         let n = self.files_done / per;
                         self.resume_idx = idx + 1;
@@ -339,7 +387,8 @@ impl RankScript<IoWorld> for CfScript {
                     return StepEffect::busy_until(t);
                 }
                 Phase::Ckpt { n, off } => {
-                    let per_ckpt = (self.p.ckpt_total / self.p.n_ckpts.max(1) as u64).max(self.p.ckpt_xfer);
+                    let per_ckpt =
+                        (self.p.ckpt_total / self.p.n_ckpts.max(1) as u64).max(self.p.ckpt_xfer);
                     if off == 0 {
                         self.ckpt_begin = now;
                         let path = format!("/p/gpfs1/cosmoflow/ckpt/model_{n:03}.ckpt");
@@ -358,9 +407,20 @@ impl RankScript<IoWorld> for CfScript {
                         // The model file is durable: mark the checkpoint the
                         // harness restarts from (span = open → close).
                         use recorder_sim::record::{Layer, OpKind};
-                        w.trace_io(rank, Layer::App, OpKind::Checkpoint, self.ckpt_begin, t, None, 0, 0);
+                        w.trace_io(
+                            rank,
+                            Layer::App,
+                            OpKind::Checkpoint,
+                            self.ckpt_begin,
+                            t,
+                            None,
+                            0,
+                            0,
+                        );
                         self.ckpt_fd = None;
-                        self.phase = Phase::NextFile { idx: self.resume_idx };
+                        self.phase = Phase::NextFile {
+                            idx: self.resume_idx,
+                        };
                         return StepEffect::busy_until(t);
                     }
                     let (res, t) = posix::write_pattern(w, rank, fd, self.p.ckpt_xfer, 0xCF, now);
@@ -379,7 +439,13 @@ impl CfScript {
     /// start). Training position rolls back to where that checkpoint fired;
     /// everything after it is re-run. `first_launch` gates the shm preload:
     /// relaunches skip it because node-local shm survives a job crash.
-    fn resuming(p: CosmoflowParams, total_ranks: u32, rank: u32, start_ckpt: u32, first_launch: bool) -> Self {
+    fn resuming(
+        p: CosmoflowParams,
+        total_ranks: u32,
+        rank: u32,
+        start_ckpt: u32,
+        first_launch: bool,
+    ) -> Self {
         let my_files: Vec<u32> = (0..p.n_files)
             .filter(|&f| group_of(&p, total_ranks, f).contains(&rank))
             .collect();
@@ -458,20 +524,34 @@ pub fn run_with(mut p: CosmoflowParams, scale: f64, seed: u64) -> WorkloadRun {
         stage_dataset(&mut world, &p);
     }
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "cosmoflow");
     }
     let n = world.alloc.total_ranks();
     let crashes = p.faults.crashes_sorted();
-    execute_with_recovery(WorkloadKind::Cosmoflow, scale, world, &crashes, move |ckpts_done, epoch| {
-        (0..n)
-            .map(|r| {
-                Box::new(CfScript::resuming(p.clone(), n, r, ckpts_done as u32, epoch == 0))
-                    as Box<dyn RankScript<IoWorld>>
-            })
-            .collect()
-    })
+    execute_with_recovery(
+        WorkloadKind::Cosmoflow,
+        scale,
+        world,
+        &crashes,
+        move |ckpts_done, epoch| {
+            (0..n)
+                .map(|r| {
+                    Box::new(CfScript::resuming(
+                        p.clone(),
+                        n,
+                        r,
+                        ckpts_done as u32,
+                        epoch == 0,
+                    )) as Box<dyn RankScript<IoWorld>>
+                })
+                .collect()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -506,14 +586,13 @@ mod tests {
         let run = tiny();
         let c = run.columnar();
         // HighLevel layer: meta (open/stat/close) vs data (read/write) time.
-        let hl_meta = c.sum_time(&c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i].is_meta()));
-        let hl_data = c.sum_time(&c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i].is_data()));
+        let hl_meta =
+            c.sum_time(&c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i].is_meta()));
+        let hl_data =
+            c.sum_time(&c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i].is_data()));
         // Note: HighLevel read spans include the inner validation reads, so
         // compare meta records (open + per-access validation) directly.
-        assert!(
-            hl_meta.as_secs_f64() > 0.0,
-            "metadata records must exist"
-        );
+        assert!(hl_meta.as_secs_f64() > 0.0, "metadata records must exist");
         let meta_ops = c.meta_ops(Some(Layer::HighLevel)).len();
         let data_ops = c.data_ops(Some(Layer::HighLevel)).len();
         assert!(
@@ -527,10 +606,15 @@ mod tests {
     fn transfers_are_one_mib() {
         let run = tiny();
         let c = run.columnar();
-        let hl_reads = c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read && c.bytes[i] > 0);
+        let hl_reads = c.select(|i| {
+            c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read && c.bytes[i] > 0
+        });
         assert!(!hl_reads.is_empty());
         let max = hl_reads.iter().map(|&i| c.bytes[i as usize]).max().unwrap();
-        assert!(max <= 1 * MIB, "HDF5 reads capped at the 1 MiB transfer size");
+        assert!(
+            max <= 1 * MIB,
+            "HDF5 reads capped at the 1 MiB transfer size"
+        );
     }
 
     #[test]

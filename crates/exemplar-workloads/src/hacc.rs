@@ -62,10 +62,15 @@ impl HaccParams {
             faults: FaultPlan::none(),
             interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
-            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
+            ranks_per_node: p
+                .ranks_per_node
+                .min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             n_vars: p.n_vars,
             bytes_per_rank: scaled(p.bytes_per_rank, scale, 2 * MIB),
-            xfer: p.xfer.min(scaled(p.bytes_per_rank, scale, 2 * MIB) / 2).max(MIB / 4),
+            xfer: p
+                .xfer
+                .min(scaled(p.bytes_per_rank, scale, 2 * MIB) / 2)
+                .max(MIB / 4),
             gen_compute: Dur::from_secs_f64(p.gen_compute.as_secs_f64() * scale.max(0.02)),
         }
     }
@@ -79,9 +84,21 @@ enum Phase {
     Generate,
     /// Checkpoint (pass 0) then restart (pass 1): per variable, open →
     /// seek → transfers → close.
-    VarOpen { pass: u8, var: u32 },
-    VarIo { pass: u8, var: u32, fd: Fd, off: u64 },
-    VarClose { pass: u8, var: u32, fd: Fd },
+    VarOpen {
+        pass: u8,
+        var: u32,
+    },
+    VarIo {
+        pass: u8,
+        var: u32,
+        fd: Fd,
+        off: u64,
+    },
+    VarClose {
+        pass: u8,
+        var: u32,
+        fd: Fd,
+    },
     FinalBarrier,
     Done,
 }
@@ -129,7 +146,12 @@ impl RankScript<IoWorld> for HaccScript {
                     // Seek to this variable's region (metadata op).
                     let off = var as u64 * self.p.var_bytes();
                     let (_, t2) = posix::lseek(w, rank, fd, off as i64, Whence::Set, t);
-                    self.phase = Phase::VarIo { pass, var, fd, off: 0 };
+                    self.phase = Phase::VarIo {
+                        pass,
+                        var,
+                        fd,
+                        off: 0,
+                    };
                     return StepEffect::busy_until(t2);
                 }
                 Phase::VarIo { pass, var, fd, off } => {
@@ -140,15 +162,25 @@ impl RankScript<IoWorld> for HaccScript {
                     }
                     let this = (total - off).min(self.p.xfer);
                     let t = if pass == 0 {
-                        let (res, t) = posix::write_pattern(w, rank, fd, this, 0xAACC ^ rank.0 as u64, now);
+                        let (res, t) =
+                            posix::write_pattern(w, rank, fd, this, 0xAACC ^ rank.0 as u64, now);
                         res.expect("hacc write");
                         t
                     } else {
                         let (res, t) = posix::read(w, rank, fd, this, now);
-                        assert_eq!(res.expect("hacc read"), this, "restart must read back what was written");
+                        assert_eq!(
+                            res.expect("hacc read"),
+                            this,
+                            "restart must read back what was written"
+                        );
                         t
                     };
-                    self.phase = Phase::VarIo { pass, var, fd, off: off + this };
+                    self.phase = Phase::VarIo {
+                        pass,
+                        var,
+                        fd,
+                        off: off + this,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::VarClose { pass, var, fd } => {
@@ -190,7 +222,10 @@ pub fn run_with(p: HaccParams, scale: f64, seed: u64) -> WorkloadRun {
         .tracer
         .reserve((ranks * (4 + p.n_vars as u64 + p.bytes_per_rank / p.xfer.max(1))) as usize);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "hacc-io");
     }
@@ -280,7 +315,10 @@ mod tests {
             .collect();
         let max = bws.iter().cloned().fold(0.0, f64::max);
         let min = bws.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 1.05, "jitter+contention should spread bandwidth (max {max}, min {min})");
+        assert!(
+            max / min > 1.05,
+            "jitter+contention should spread bandwidth (max {max}, min {min})"
+        );
     }
 
     #[test]

@@ -224,10 +224,21 @@ pub fn execute_with_recovery(
                 // durable, clamped to this launch (earlier epochs' work is
                 // already checkpointed or already counted lost).
                 let (_, last_ckpt_end) = checkpoint_state(&world);
-                let lost_from = last_ckpt_end.map_or(launch_at, |c| c.max(launch_at)).min(at);
+                let lost_from = last_ckpt_end
+                    .map_or(launch_at, |c| c.max(launch_at))
+                    .min(at);
                 world.trace_io(rank, Layer::App, OpKind::Crash, lost_from, at, None, 0, 0);
                 let relaunch = at + restart_delay();
-                world.trace_io(rank, Layer::App, OpKind::RestartEpoch, at, relaunch, None, 0, 0);
+                world.trace_io(
+                    rank,
+                    Layer::App,
+                    OpKind::RestartEpoch,
+                    at,
+                    relaunch,
+                    None,
+                    0,
+                    0,
+                );
                 // The processes died with the job; open descriptors and
                 // buffered stdio streams do not survive into the next epoch.
                 for p in &mut world.procs {
@@ -277,7 +288,14 @@ mod tests {
         let names: Vec<&str> = WorkloadKind::paper_six().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            vec!["CM1", "HACC (FPP)", "Cosmoflow", "JAG", "Montage MPI", "Montage Pegasus"]
+            vec![
+                "CM1",
+                "HACC (FPP)",
+                "Cosmoflow",
+                "JAG",
+                "Montage MPI",
+                "Montage Pegasus"
+            ]
         );
     }
 }

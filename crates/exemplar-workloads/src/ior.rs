@@ -55,7 +55,9 @@ impl IorParams {
             faults: FaultPlan::none(),
             interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
-            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
+            ranks_per_node: p
+                .ranks_per_node
+                .min(scaled(p.ranks_per_node as u64, scale.max(0.25), 2) as u32),
             bytes_per_rank: scaled(p.bytes_per_rank, scale, 2 * MIB),
             xfer: p.xfer.min(scaled(p.bytes_per_rank, scale, 2 * MIB)),
             read_back: p.read_back,
@@ -84,7 +86,10 @@ impl RankScript<IoWorld> for IorScript {
                 Phase::Open => {
                     let path = format!("/p/gpfs1/ior/data.{:05}", rank.0);
                     let (fd, t) = posix::open(w, rank, &path, OpenFlags::write_create(), now);
-                    self.phase = Phase::Write { fd: fd.expect("ior open"), off: 0 };
+                    self.phase = Phase::Write {
+                        fd: fd.expect("ior open"),
+                        off: 0,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::Write { fd, off } => {
@@ -97,7 +102,10 @@ impl RankScript<IoWorld> for IorScript {
                     }
                     let (res, t) = posix::write_pattern(w, rank, fd, self.p.xfer, 0x10, now);
                     res.expect("ior write");
-                    self.phase = Phase::Write { fd, off: off + self.p.xfer };
+                    self.phase = Phase::Write {
+                        fd,
+                        off: off + self.p.xfer,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::Sync { fd } => {
@@ -117,7 +125,10 @@ impl RankScript<IoWorld> for IorScript {
                     }
                     let (res, t) = posix::read_at(w, rank, fd, off, self.p.xfer, now);
                     res.expect("ior read");
-                    self.phase = Phase::Read { fd, off: off + self.p.xfer };
+                    self.phase = Phase::Read {
+                        fd,
+                        off: off + self.p.xfer,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::Close { fd } => {
@@ -143,7 +154,10 @@ pub fn run(p: IorParams, seed: u64) -> WorkloadRun {
         .tracer
         .reserve((ranks * (4 + passes * (p.bytes_per_rank / p.xfer.max(1)))) as usize);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "ior");
     }
@@ -161,8 +175,8 @@ pub fn run(p: IorParams, seed: u64) -> WorkloadRun {
 
 /// Measured aggregate bandwidth of a completed IOR run, bytes/second.
 pub fn aggregate_bw(run: &WorkloadRun) -> f64 {
-    let total = run.world.storage.pfs().stats().bytes_written
-        + run.world.storage.pfs().stats().bytes_read;
+    let total =
+        run.world.storage.pfs().stats().bytes_written + run.world.storage.pfs().stats().bytes_read;
     total as f64 / run.runtime().as_secs_f64()
 }
 
@@ -187,7 +201,10 @@ mod tests {
         // Within an order of magnitude of the configured ceiling, and at
         // least a third of it (queueing + jitter keep it below peak).
         assert!(bw > ceiling * 0.3, "bw {bw} vs ceiling {ceiling}");
-        assert!(bw <= ceiling * 1.05, "bw {bw} cannot exceed ceiling {ceiling}");
+        assert!(
+            bw <= ceiling * 1.05,
+            "bw {bw} cannot exceed ceiling {ceiling}"
+        );
         // Sanity: tens of GiB/s, the paper's 64 GB/s regime.
         assert!(bw > 10.0 * GIB as f64);
     }

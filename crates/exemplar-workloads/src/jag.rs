@@ -98,16 +98,26 @@ pub fn stage_dataset(world: &mut IoWorld, p: &JagParams) {
     };
     let enc = header.encode();
     let store = world.storage.pfs_mut().store_mut();
-    let key = store.create(p.dataset_path(), false).expect("stage jag dataset");
+    let key = store
+        .create(p.dataset_path(), false)
+        .expect("stage jag dataset");
     let len = enc.len() as u64;
     store
         .write(key, 0, Segment::Bytes(std::sync::Arc::new(enc)))
         .expect("stage header");
     store
-        .write(key, len, Segment::Pattern { seed: 0x1A6, len: header.nbytes() })
+        .write(
+            key,
+            len,
+            Segment::Pattern {
+                seed: 0x1A6,
+                len: header.nbytes(),
+            },
+        )
         .expect("stage payload");
     // JAG's implosion scalars are normally distributed (Table VI).
-    let prefix = sim_core::stats::synth_bytes(sim_core::stats::DistributionFit::Normal, 0x1A6, 16384);
+    let prefix =
+        sim_core::stats::synth_bytes(sim_core::stats::DistributionFit::Normal, 0x1A6, 16384);
     store
         .write(key, 1024, Segment::Bytes(std::sync::Arc::new(prefix)))
         .expect("stage value prefix");
@@ -238,12 +248,14 @@ pub fn run_with(p: JagParams, scale: f64, seed: u64) -> WorkloadRun {
     // validation pass re-reads a sample slice per rank.
     let ranks = (p.nodes * p.ranks_per_node) as u64;
     world.tracer.reserve(
-        (p.n_samples * 2
-            + ranks * (4 + p.epochs as u64 * 2 + p.validation_samples)) as usize,
+        (p.n_samples * 2 + ranks * (4 + p.epochs as u64 * 2 + p.validation_samples)) as usize,
     );
     stage_dataset(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "jag-icf");
     }
@@ -277,7 +289,8 @@ mod tests {
         let reads = c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read);
         assert!(!reads.is_empty());
         // All ranks read; one dataset file.
-        let readers: std::collections::HashSet<u32> = reads.iter().map(|&i| c.rank[i as usize]).collect();
+        let readers: std::collections::HashSet<u32> =
+            reads.iter().map(|&i| c.rank[i as usize]).collect();
         assert_eq!(readers.len(), run.world.alloc.total_ranks() as usize);
     }
 
@@ -285,8 +298,13 @@ mod tests {
     fn app_level_accesses_are_small() {
         let run = tiny();
         let c = run.columnar();
-        let stdio_reads = c.select(|i| c.layer[i] == Layer::Stdio && c.op[i] == OpKind::Read && c.bytes[i] > 0);
-        let max = stdio_reads.iter().map(|&i| c.bytes[i as usize]).max().unwrap();
+        let stdio_reads =
+            c.select(|i| c.layer[i] == Layer::Stdio && c.op[i] == OpKind::Read && c.bytes[i] > 0);
+        let max = stdio_reads
+            .iter()
+            .map(|&i| c.bytes[i as usize])
+            .max()
+            .unwrap();
         assert!(max <= 4 * KIB, "JAG accesses stay under 4 KiB, got {max}");
     }
 
@@ -305,12 +323,20 @@ mod tests {
     fn two_read_phases_with_gpu_between() {
         let run = tiny();
         let c = run.columnar();
-        let reads = c.select(|i| c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read && c.rank[i] == 0);
+        let reads = c.select(|i| {
+            c.layer[i] == Layer::HighLevel && c.op[i] == OpKind::Read && c.rank[i] == 0
+        });
         let gpu = c.select(|i| c.op[i] == OpKind::GpuCompute && c.rank[i] == 0);
         let first_gpu_start = gpu.iter().map(|&i| c.start[i as usize]).min().unwrap();
         let last_gpu_end = gpu.iter().map(|&i| c.end[i as usize]).max().unwrap();
-        let before = reads.iter().filter(|&&i| c.end[i as usize] <= first_gpu_start).count();
-        let after = reads.iter().filter(|&&i| c.start[i as usize] >= last_gpu_end).count();
+        let before = reads
+            .iter()
+            .filter(|&&i| c.end[i as usize] <= first_gpu_start)
+            .count();
+        let after = reads
+            .iter()
+            .filter(|&&i| c.start[i as usize] >= last_gpu_end)
+            .count();
         assert!(before > 0, "initial input phase exists");
         assert!(after > 0, "validation phase exists after training");
     }

@@ -15,8 +15,8 @@ use hpc_cluster::engine::{Outcome, RankScript, StepEffect};
 use hpc_cluster::mpi::{CollectiveKind, CommId, Communicator};
 use hpc_cluster::topology::RankId;
 use io_layers::fits::{self, FitsHeader};
-use io_layers::stdio::{self, FileStream};
 pub use io_layers::posix::Whence as SeekWhence;
+use io_layers::stdio::{self, FileStream};
 use io_layers::world::IoWorld;
 use sim_core::units::{KIB, MIB};
 use sim_core::{Dur, SimTime};
@@ -92,7 +92,9 @@ impl MontageParams {
             faults: FaultPlan::none(),
             interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
-            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
+            ranks_per_node: p
+                .ranks_per_node
+                .min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             inputs_per_node: scaled(p.inputs_per_node as u64, scale.max(0.1), 2) as u32,
             image_axes: p.image_axes,
             proj_bytes_per_node: scaled(p.proj_bytes_per_node, scale, 1 * MIB),
@@ -205,15 +207,24 @@ impl RankScript<IoWorld> for MontageScript {
                 Phase::ProjectCompute { i } => {
                     // Compute gets its own step so the I/O that follows
                     // arrives at shared queues in causal order.
-                    let t = w.compute(rank, self.p.stage_compute / (4 * self.p.inputs_per_node as u64).max(1), now);
+                    let t = w.compute(
+                        rank,
+                        self.p.stage_compute / (4 * self.p.inputs_per_node as u64).max(1),
+                        now,
+                    );
                     self.phase = Phase::ProjectOpenOut { i: *i };
                     return StepEffect::busy_until(t);
                 }
                 Phase::ProjectOpenOut { i } => {
-                    let (out, t) = stdio::fopen(w, rank, &format!("{dir}/proj_{:04}.dat", *i), "w", now);
+                    let (out, t) =
+                        stdio::fopen(w, rank, &format!("{dir}/proj_{:04}.dat", *i), "w", now);
                     let out = out.expect("proj create");
                     let idx = *i;
-                    self.phase = Phase::ProjectWrite { i: idx, out, off: 0 };
+                    self.phase = Phase::ProjectWrite {
+                        i: idx,
+                        out,
+                        off: 0,
+                    };
                     return StepEffect::busy_until(t);
                 }
                 Phase::ProjectWrite { i, out, off } => {
@@ -230,7 +241,8 @@ impl RankScript<IoWorld> for MontageScript {
                         if *off >= per_file {
                             break;
                         }
-                        let (res, t2) = stdio::fwrite_pattern(w, rank, *out, self.p.inter_xfer, 0x90, t);
+                        let (res, t2) =
+                            stdio::fwrite_pattern(w, rank, *out, self.p.inter_xfer, 0x90, t);
                         res.expect("proj write");
                         t = t2;
                         *off += self.p.inter_xfer;
@@ -249,7 +261,8 @@ impl RankScript<IoWorld> for MontageScript {
                         return StepEffect::busy_until(t);
                     }
                     // Header stats over projected files.
-                    let (_, t) = io_layers::posix::stat(w, rank, &format!("{dir}/proj_{:04}.dat", *i), now);
+                    let (_, t) =
+                        io_layers::posix::stat(w, rank, &format!("{dir}/proj_{:04}.dat", *i), now);
                     *i += 1;
                     return StepEffect::busy_until(t);
                 }
@@ -270,7 +283,8 @@ impl RankScript<IoWorld> for MontageScript {
                         // Each rank scans a projected file of its node.
                         let local = w.alloc.local_rank(rank);
                         let which = local % self.p.inputs_per_node;
-                        let (f, t) = stdio::fopen(w, rank, &format!("{dir}/proj_{which:04}.dat"), "r", now);
+                        let (f, t) =
+                            stdio::fopen(w, rank, &format!("{dir}/proj_{which:04}.dat"), "r", now);
                         *fs = Some(f.expect("proj exists"));
                         return StepEffect::busy_until(t);
                     }
@@ -301,13 +315,29 @@ impl RankScript<IoWorld> for MontageScript {
                     // shm each node's namespace holds its own region.
                     let my_base = rank.0 as u64 * self.p.madd_write_per_rank;
                     if fs.is_none() {
-                        let mode = if w.alloc.local_rank(rank) == 0 && node == 0 { "w" } else { "r+" };
-                        let (f, t) = stdio::fopen(w, rank, &format!("{}/mosaic.dat", self.p.workdir), mode, now);
+                        let mode = if w.alloc.local_rank(rank) == 0 && node == 0 {
+                            "w"
+                        } else {
+                            "r+"
+                        };
+                        let (f, t) = stdio::fopen(
+                            w,
+                            rank,
+                            &format!("{}/mosaic.dat", self.p.workdir),
+                            mode,
+                            now,
+                        );
                         let f = match f {
                             Ok(f) => f,
                             Err(_) => {
                                 // First accessor on this namespace creates it.
-                                let (f2, t2) = stdio::fopen(w, rank, &format!("{}/mosaic.dat", self.p.workdir), "w", now);
+                                let (f2, t2) = stdio::fopen(
+                                    w,
+                                    rank,
+                                    &format!("{}/mosaic.dat", self.p.workdir),
+                                    "w",
+                                    now,
+                                );
                                 *fs = Some(f2.expect("mosaic create"));
                                 return StepEffect::busy_until(t2);
                             }
@@ -324,14 +354,22 @@ impl RankScript<IoWorld> for MontageScript {
                     let mut t = now;
                     let f = (*fs).expect("open");
                     if *off == 0 {
-                        let (_, t2) = stdio::fseek(w, rank, f, my_base as i64, crate::montage::SeekWhence::Set, t);
+                        let (_, t2) = stdio::fseek(
+                            w,
+                            rank,
+                            f,
+                            my_base as i64,
+                            crate::montage::SeekWhence::Set,
+                            t,
+                        );
                         t = t2;
                     }
                     for _ in 0..8 {
                         if *off >= self.p.madd_write_per_rank {
                             break;
                         }
-                        let (res, t2) = stdio::fwrite_pattern(w, rank, f, self.p.madd_xfer, 0xADD, t);
+                        let (res, t2) =
+                            stdio::fwrite_pattern(w, rank, f, self.p.madd_xfer, 0xADD, t);
                         res.expect("mosaic write");
                         t = t2;
                         *off += self.p.madd_xfer;
@@ -357,9 +395,22 @@ impl RankScript<IoWorld> for MontageScript {
                     w.set_app(rank, "mShrink");
                     let budget = self.p.madd_write_per_rank; // sample one rank's region
                     if fs.is_none() {
-                        let (f, t) = stdio::fopen(w, rank, &format!("{}/mosaic.dat", self.p.workdir), "r", now);
+                        let (f, t) = stdio::fopen(
+                            w,
+                            rank,
+                            &format!("{}/mosaic.dat", self.p.workdir),
+                            "r",
+                            now,
+                        );
                         let f = f.expect("mosaic exists");
-                        let (_, t2) = stdio::fseek(w, rank, f, (rank.0 as u64 * budget) as i64, crate::montage::SeekWhence::Set, t);
+                        let (_, t2) = stdio::fseek(
+                            w,
+                            rank,
+                            f,
+                            (rank.0 as u64 * budget) as i64,
+                            crate::montage::SeekWhence::Set,
+                            t,
+                        );
                         *fs = Some(f);
                         return StepEffect::busy_until(t2);
                     }
@@ -392,11 +443,25 @@ impl RankScript<IoWorld> for MontageScript {
                     // The node's mosaic region: its ranks' concatenated
                     // output, wrapped if the viewer samples more.
                     let region = self.p.ranks_per_node as u64 * self.p.madd_write_per_rank;
-                    let base = (node as u64 * self.p.ranks_per_node as u64) * self.p.madd_write_per_rank;
+                    let base =
+                        (node as u64 * self.p.ranks_per_node as u64) * self.p.madd_write_per_rank;
                     if fs.is_none() {
-                        let (f, t) = stdio::fopen(w, rank, &format!("{}/mosaic.dat", self.p.workdir), "r", now);
+                        let (f, t) = stdio::fopen(
+                            w,
+                            rank,
+                            &format!("{}/mosaic.dat", self.p.workdir),
+                            "r",
+                            now,
+                        );
                         let f = f.expect("mosaic exists");
-                        let (_, t2) = stdio::fseek(w, rank, f, base as i64, crate::montage::SeekWhence::Set, t);
+                        let (_, t2) = stdio::fseek(
+                            w,
+                            rank,
+                            f,
+                            base as i64,
+                            crate::montage::SeekWhence::Set,
+                            t,
+                        );
                         *fs = Some(f);
                         return StepEffect::busy_until(t2);
                     }
@@ -414,7 +479,14 @@ impl RankScript<IoWorld> for MontageScript {
                         }
                         if (*off + self.p.mviewer_xfer) % region < self.p.mviewer_xfer {
                             // Wrap back to the region start.
-                            let (_, t2) = stdio::fseek(w, rank, f, base as i64, crate::montage::SeekWhence::Set, t);
+                            let (_, t2) = stdio::fseek(
+                                w,
+                                rank,
+                                f,
+                                base as i64,
+                                crate::montage::SeekWhence::Set,
+                                t,
+                            );
                             t = t2;
                         }
                         let (res, t2) = stdio::fread(w, rank, f, self.p.mviewer_xfer, t);
@@ -426,7 +498,13 @@ impl RankScript<IoWorld> for MontageScript {
                 }
                 Phase::ViewerWritePng { fs, off } => {
                     if fs.is_none() {
-                        let (f, t) = stdio::fopen(w, rank, &format!("{dir}/mosaic_n{node:02}.png"), "w", now);
+                        let (f, t) = stdio::fopen(
+                            w,
+                            rank,
+                            &format!("{dir}/mosaic_n{node:02}.png"),
+                            "w",
+                            now,
+                        );
                         *fs = Some(f.expect("png create"));
                         return StepEffect::busy_until(t);
                     }
@@ -436,7 +514,14 @@ impl RankScript<IoWorld> for MontageScript {
                         self.phase = Phase::Done;
                         return StepEffect::busy_until(t);
                     }
-                    let (res, t) = stdio::fwrite_pattern(w, rank, *fs.as_ref().expect("open"), 64 * KIB, 0x916, now);
+                    let (res, t) = stdio::fwrite_pattern(
+                        w,
+                        rank,
+                        *fs.as_ref().expect("open"),
+                        64 * KIB,
+                        0x916,
+                        now,
+                    );
                     res.expect("png write");
                     *off += 64 * KIB;
                     return StepEffect::busy_until(t);
@@ -471,7 +556,10 @@ pub fn run_with(p: MontageParams, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "montage");
     }
@@ -512,12 +600,20 @@ mod tests {
         let by_rank = c.group_by_rank(&io);
         let leader_bytes: u64 = by_rank
             .iter()
-            .filter(|(&r, _)| run.world.alloc.is_node_leader(hpc_cluster::topology::RankId(r)))
+            .filter(|(&r, _)| {
+                run.world
+                    .alloc
+                    .is_node_leader(hpc_cluster::topology::RankId(r))
+            })
             .map(|(_, g)| g.bytes)
             .sum();
         let other_bytes: u64 = by_rank
             .iter()
-            .filter(|(&r, _)| !run.world.alloc.is_node_leader(hpc_cluster::topology::RankId(r)))
+            .filter(|(&r, _)| {
+                !run.world
+                    .alloc
+                    .is_node_leader(hpc_cluster::topology::RankId(r))
+            })
             .map(|(_, g)| g.bytes)
             .sum();
         // The paper: first rank per node does ~40× more I/O than the rest
@@ -537,7 +633,10 @@ mod tests {
         let run = tiny();
         let names = run.world.tracer.app_names();
         for app in ["mProject", "mImgTbl", "mAddMPI", "mShrink", "mViewer"] {
-            assert!(names.iter().any(|n| n == app), "{app} missing from {names:?}");
+            assert!(
+                names.iter().any(|n| n == app),
+                "{app} missing from {names:?}"
+            );
         }
     }
 
@@ -546,7 +645,8 @@ mod tests {
         let run = tiny();
         let c = run.columnar();
         // App-level (stdio) ops on intermediates ≤ 4 KiB dominate counts.
-        let stdio_data = c.select(|i| c.layer[i] == Layer::Stdio && c.op[i].is_data() && c.bytes[i] > 0);
+        let stdio_data =
+            c.select(|i| c.layer[i] == Layer::Stdio && c.op[i].is_data() && c.bytes[i] > 0);
         let small = stdio_data
             .iter()
             .filter(|&&i| c.bytes[i as usize] <= 4 * KIB)

@@ -20,9 +20,9 @@ use sim_core::{Dur, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage_sim::file::Segment;
+use storage_sim::{FaultPlan, InterferenceSchedule};
 use workflow_engine::dag::{Dag, Task, TaskId};
 use workflow_engine::queue::WorkQueue;
-use storage_sim::{FaultPlan, InterferenceSchedule};
 
 /// Montage-Pegasus parameters.
 #[derive(Debug, Clone)]
@@ -88,7 +88,9 @@ impl PegasusParams {
             faults: FaultPlan::none(),
             interference: InterferenceSchedule::none(),
             nodes: scaled_nodes(p.nodes, scale),
-            ranks_per_node: p.ranks_per_node.min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
+            ranks_per_node: p
+                .ranks_per_node
+                .min(scaled(p.ranks_per_node as u64, scale.max(0.1), 2) as u32),
             // Counts and per-task sizes both scale as sqrt(scale) so every
             // kernel's *byte total* scales linearly and the paper's byte
             // ratios (mDiff ≈ 60 %) hold at any scale.
@@ -133,7 +135,9 @@ pub fn build_dag(p: &PegasusParams) -> Dag {
     g.add(t(
         "mImgTbl_proj".to_string(),
         "mImgTbl",
-        (0..p.n_images).map(|i| format!("{wd}/proj_{i:04}.fits")).collect(),
+        (0..p.n_images)
+            .map(|i| format!("{wd}/proj_{i:04}.fits"))
+            .collect(),
         vec![format!("{wd}/pimages.tbl")],
     ));
     // mDiff: pairs of projected images → difference fit.
@@ -163,7 +167,9 @@ pub fn build_dag(p: &PegasusParams) -> Dag {
     g.add(t(
         "mConcatFit".to_string(),
         "mConcatFit",
-        (0..p.n_diffs).map(|d| format!("{wd}/fit_{d:05}.txt")).collect(),
+        (0..p.n_diffs)
+            .map(|d| format!("{wd}/fit_{d:05}.txt"))
+            .collect(),
         vec![format!("{wd}/fits.tbl")],
     ));
     // mBgModel.
@@ -188,7 +194,10 @@ pub fn build_dag(p: &PegasusParams) -> Dag {
     // Per tile: mImgTbl, mAdd, mViewer.
     for tile in 0..p.n_tiles {
         let members: Vec<u32> = (0..p.n_images).filter(|i| i % p.n_tiles == tile).collect();
-        let corr: Vec<String> = members.iter().map(|i| format!("{wd}/corr_{i:04}.fits")).collect();
+        let corr: Vec<String> = members
+            .iter()
+            .map(|i| format!("{wd}/corr_{i:04}.fits"))
+            .collect();
         let mut tbl_in = corr.clone();
         tbl_in.push(format!("{wd}/corrections.tbl"));
         g.add(t(
@@ -224,7 +233,14 @@ fn stage_inputs(world: &mut IoWorld, p: &PegasusParams) {
             let path = format!("{}/raw/raw_{i:04}_{k}.fits", p.workdir);
             let key = store.create(&path, false).expect("stage raw");
             store
-                .write(key, 0, Segment::Pattern { seed: (i as u64) << 8 | k as u64, len: p.input_bytes })
+                .write(
+                    key,
+                    0,
+                    Segment::Pattern {
+                        seed: (i as u64) << 8 | k as u64,
+                        len: p.input_bytes,
+                    },
+                )
                 .expect("stage raw body");
         }
     }
@@ -262,7 +278,14 @@ impl PegasusWorker {
                 let i: u32 = name[9..].parse().expect("task index");
                 let mut t = t;
                 for k in 0..p.inputs_per_image {
-                    let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/raw/raw_{i:04}_{k}.fits"), "r", 64 * KIB, t);
+                    let (fs, t2) = stdio::fopen_buffered(
+                        w,
+                        rank,
+                        &format!("{wd}/raw/raw_{i:04}_{k}.fits"),
+                        "r",
+                        64 * KIB,
+                        t,
+                    );
                     let fs = fs.expect("raw staged");
                     let (_, t3) = stdio::fread(w, rank, fs, p.input_bytes, t2);
                     let (_, t4) = stdio::fclose(w, rank, fs, t3);
@@ -270,8 +293,18 @@ impl PegasusWorker {
                 }
                 // Projected output written as a real FITS image.
                 let axes = ((p.proj_bytes / 2) as f64).sqrt() as u64;
-                let hdr = FitsHeader { bitpix: 16, naxes: vec![axes.max(8), axes.max(8)] };
-                let (res, t2) = fits::save(w, rank, &format!("{wd}/proj_{i:04}.fits"), &hdr, i as u64, t);
+                let hdr = FitsHeader {
+                    bitpix: 16,
+                    naxes: vec![axes.max(8), axes.max(8)],
+                };
+                let (res, t2) = fits::save(
+                    w,
+                    rank,
+                    &format!("{wd}/proj_{i:04}.fits"),
+                    &hdr,
+                    i as u64,
+                    t,
+                );
                 res.expect("proj save");
                 t2
             }
@@ -281,7 +314,14 @@ impl PegasusWorker {
                 let b = (d + 1 + d / p.n_images) % p.n_images;
                 let mut t = t;
                 for img in [a, b] {
-                    let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/proj_{img:04}.fits"), "r", 64 * KIB, t);
+                    let (fs, t2) = stdio::fopen_buffered(
+                        w,
+                        rank,
+                        &format!("{wd}/proj_{img:04}.fits"),
+                        "r",
+                        64 * KIB,
+                        t,
+                    );
                     let fs = fs.expect("proj exists");
                     let (_, t3) = stdio::fread(w, rank, fs, p.diff_read_bytes, t2);
                     let (_, t4) = stdio::fclose(w, rank, fs, t3);
@@ -337,7 +377,14 @@ impl PegasusWorker {
             }
             "mBackground" => {
                 let i: u32 = name[12..].parse().expect("task index");
-                let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/proj_{i:04}.fits"), "r", 64 * KIB, t);
+                let (fs, t2) = stdio::fopen_buffered(
+                    w,
+                    rank,
+                    &format!("{wd}/proj_{i:04}.fits"),
+                    "r",
+                    64 * KIB,
+                    t,
+                );
                 let fs = fs.expect("proj exists");
                 let (_, t3) = stdio::fread(w, rank, fs, p.proj_bytes, t2);
                 let (_, t4) = stdio::fclose(w, rank, fs, t3);
@@ -379,13 +426,27 @@ impl PegasusWorker {
                 // Read a strip of every corrected image.
                 let strip = (p.mosaic_bytes / members.len().max(1) as u64).min(p.proj_bytes);
                 for i in &members {
-                    let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/corr_{i:04}.fits"), "r", 64 * KIB, t);
+                    let (fs, t2) = stdio::fopen_buffered(
+                        w,
+                        rank,
+                        &format!("{wd}/corr_{i:04}.fits"),
+                        "r",
+                        64 * KIB,
+                        t,
+                    );
                     let fs = fs.expect("corr exists");
                     let (_, t3) = stdio::fread(w, rank, fs, strip, t2);
                     let (_, t4) = stdio::fclose(w, rank, fs, t3);
                     t = t4;
                 }
-                let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/mosaic_{tile}.fits"), "w", 64 * KIB, t);
+                let (fs, t2) = stdio::fopen_buffered(
+                    w,
+                    rank,
+                    &format!("{wd}/mosaic_{tile}.fits"),
+                    "w",
+                    64 * KIB,
+                    t,
+                );
                 let fs = fs.expect("mosaic create");
                 let mut t = t2;
                 let mut off = 0u64;
@@ -401,16 +462,31 @@ impl PegasusWorker {
             }
             "mViewer" => {
                 let tile: u32 = name[12..].parse().expect("tile index");
-                let (fs, t2) = stdio::fopen_buffered(w, rank, &format!("{wd}/mosaic_{tile}.fits"), "r", 64 * KIB, t);
+                let (fs, t2) = stdio::fopen_buffered(
+                    w,
+                    rank,
+                    &format!("{wd}/mosaic_{tile}.fits"),
+                    "r",
+                    64 * KIB,
+                    t,
+                );
                 let fs = fs.expect("mosaic exists");
                 let (_, t3) = stdio::fread(w, rank, fs, p.mosaic_bytes, t2);
                 let (_, t4) = stdio::fclose(w, rank, fs, t3);
                 // Two large output requests (>16 MiB each in the paper).
-                let (fs, t5) = stdio::fopen_buffered(w, rank, &format!("{wd}/image_{tile}.png"), "w", 64 * KIB, t4);
+                let (fs, t5) = stdio::fopen_buffered(
+                    w,
+                    rank,
+                    &format!("{wd}/image_{tile}.png"),
+                    "w",
+                    64 * KIB,
+                    t4,
+                );
                 let fs = fs.expect("image create");
                 let half = p.image_out_bytes / 2;
                 let (_, t6) = stdio::fwrite_pattern(w, rank, fs, half, 0x1111, t5);
-                let (_, t7) = stdio::fwrite_pattern(w, rank, fs, p.image_out_bytes - half, 0x2222, t6);
+                let (_, t7) =
+                    stdio::fwrite_pattern(w, rank, fs, p.image_out_bytes - half, 0x2222, t6);
                 let (_, t8) = stdio::fclose(w, rank, fs, t7);
                 t8
             }
@@ -495,7 +571,10 @@ pub fn run_with(p: PegasusParams, scale: f64, seed: u64) -> WorkloadRun {
     );
     stage_inputs(&mut world, &p);
     world.storage.pfs_mut().set_fault_plan(p.faults.clone());
-    world.storage.pfs_mut().set_interference(p.interference.clone());
+    world
+        .storage
+        .pfs_mut()
+        .set_interference(p.interference.clone());
     for r in world.alloc.ranks().collect::<Vec<_>>() {
         world.set_app(r, "pegasus-mpi-cluster");
     }
@@ -531,8 +610,15 @@ mod tests {
         let apps = g.app_names();
         assert_eq!(apps.len(), 9);
         for k in [
-            "mProject", "mImgTbl", "mDiff", "mFitPlane", "mConcatFit", "mBgModel", "mBackground",
-            "mAdd", "mViewer",
+            "mProject",
+            "mImgTbl",
+            "mDiff",
+            "mFitPlane",
+            "mConcatFit",
+            "mBgModel",
+            "mBackground",
+            "mAdd",
+            "mViewer",
         ] {
             assert!(apps.contains(&k), "{k} missing");
         }
@@ -557,7 +643,8 @@ mod tests {
     fn mdiff_dominates_io_bytes() {
         let run = tiny();
         let c = run.columnar();
-        let data = c.select(|i| c.op[i].is_data() && c.layer[i] == recorder_sim::record::Layer::Stdio);
+        let data =
+            c.select(|i| c.op[i].is_data() && c.layer[i] == recorder_sim::record::Layer::Stdio);
         let by_app = c.group_by_app(&data);
         let bytes_of = |name: &str| {
             c.app_names
@@ -585,8 +672,16 @@ mod tests {
         let madd_writes = c.select(|i| c.app[i] == madd && c.op[i] == OpKind::Write);
         let mviewer_reads = c.select(|i| c.app[i] == mviewer && c.op[i] == OpKind::Read);
         assert!(!madd_writes.is_empty() && !mviewer_reads.is_empty());
-        let first_viewer = mviewer_reads.iter().map(|&i| c.start[i as usize]).min().unwrap();
-        let first_madd_write = madd_writes.iter().map(|&i| c.start[i as usize]).min().unwrap();
+        let first_viewer = mviewer_reads
+            .iter()
+            .map(|&i| c.start[i as usize])
+            .min()
+            .unwrap();
+        let first_madd_write = madd_writes
+            .iter()
+            .map(|&i| c.start[i as usize])
+            .min()
+            .unwrap();
         assert!(first_viewer > first_madd_write);
     }
 

@@ -126,11 +126,17 @@ pub struct DeadlockError {
 
 impl std::fmt::Display for DeadlockError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "deadlock: queue drained with {} rank(s) still blocked:", self.blocked.len())?;
+        write!(
+            f,
+            "deadlock: queue drained with {} rank(s) still blocked:",
+            self.blocked.len()
+        )?;
         for (rank, b) in &self.blocked {
             match b {
                 Blocker::Gate(g) => write!(f, " {rank} waiting on gate {};", g.0)?,
-                Blocker::Collective(c) => write!(f, " {rank} parked in collective on comm {};", c.0)?,
+                Blocker::Collective(c) => {
+                    write!(f, " {rank} parked in collective on comm {};", c.0)?
+                }
             }
         }
         Ok(())
@@ -326,7 +332,10 @@ impl<W> Engine<W> {
                 if ev.time >= t_kill {
                     // The job dies at t_kill: nothing dispatched at or past
                     // that instant runs. World state up to the crash stays.
-                    return Err(RunHalt::Crashed { rank: victim, at: t_kill });
+                    return Err(RunHalt::Crashed {
+                        rank: victim,
+                        at: t_kill,
+                    });
                 }
             }
             let rank = ev.payload;
@@ -353,7 +362,11 @@ impl<W> Engine<W> {
                 Outcome::Collective { comm, kind, bytes } => {
                     self.arrive_collective(rank, comm, kind, bytes, now);
                 }
-                Outcome::WaitGate(g) => match self.gates.entry(g).or_insert_with(|| GateState::Closed(Vec::new())) {
+                Outcome::WaitGate(g) => match self
+                    .gates
+                    .entry(g)
+                    .or_insert_with(|| GateState::Closed(Vec::new()))
+                {
                     GateState::Open(t_open) => {
                         let resume = now.max(*t_open);
                         self.queue.push(resume, rank);
@@ -489,7 +502,12 @@ mod tests {
     }
 
     impl RankScript<CounterWorld> for ComputeScript {
-        fn next_step(&mut self, world: &mut CounterWorld, rank: RankId, now: SimTime) -> StepEffect {
+        fn next_step(
+            &mut self,
+            world: &mut CounterWorld,
+            rank: RankId,
+            now: SimTime,
+        ) -> StepEffect {
             if self.remaining == 0 {
                 return StepEffect::done();
             }
@@ -522,7 +540,13 @@ mod tests {
         let mut e = Engine::new(world, scripts, model());
         e.set_crash(RankId(1), SimTime::from_secs(4));
         let halt = e.run_checked().unwrap_err();
-        assert_eq!(halt, RunHalt::Crashed { rank: RankId(1), at: SimTime::from_secs(4) });
+        assert_eq!(
+            halt,
+            RunHalt::Crashed {
+                rank: RankId(1),
+                at: SimTime::from_secs(4)
+            }
+        );
         // Work completed strictly before the crash instant survives in the
         // world: dispatches at 0–3 s ran, the 4 s dispatch was killed.
         assert_eq!(e.world().work, vec![4, 4]);
@@ -539,7 +563,13 @@ mod tests {
         e.set_crash(RankId(1), SimTime::from_secs(2));
         e.set_crash(RankId(0), SimTime::from_secs(5));
         let halt = e.run_checked().unwrap_err();
-        assert_eq!(halt, RunHalt::Crashed { rank: RankId(1), at: SimTime::from_secs(2) });
+        assert_eq!(
+            halt,
+            RunHalt::Crashed {
+                rank: RankId(1),
+                at: SimTime::from_secs(2)
+            }
+        );
     }
 
     #[test]
@@ -714,9 +744,18 @@ mod tests {
         }
         let world = CounterWorld { work: vec![0; 3] };
         let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = vec![
-            Box::new(SubBarrier { phase: 0, in_comm: true }),
-            Box::new(SubBarrier { phase: 0, in_comm: true }),
-            Box::new(SubBarrier { phase: 0, in_comm: false }),
+            Box::new(SubBarrier {
+                phase: 0,
+                in_comm: true,
+            }),
+            Box::new(SubBarrier {
+                phase: 0,
+                in_comm: true,
+            }),
+            Box::new(SubBarrier {
+                phase: 0,
+                in_comm: false,
+            }),
         ];
         let mut e = Engine::new(world, scripts, model());
         e.add_comm(Communicator::new(CommId(1), vec![RankId(0), RankId(1)]));
@@ -743,7 +782,10 @@ mod tests {
         let err = e.run().unwrap_err();
         assert_eq!(err.blocked, vec![(RankId(0), Blocker::Gate(GateId(99)))]);
         let msg = err.to_string();
-        assert!(msg.contains("deadlock"), "message must name the failure: {msg}");
+        assert!(
+            msg.contains("deadlock"),
+            "message must name the failure: {msg}"
+        );
         assert!(msg.contains("gate 99"), "message must name the gate: {msg}");
     }
 
@@ -770,10 +812,14 @@ mod tests {
             }
         }
         let world = CounterWorld { work: vec![0; 2] };
-        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> = vec![Box::new(Joins), Box::new(Bails)];
+        let scripts: Vec<Box<dyn RankScript<CounterWorld>>> =
+            vec![Box::new(Joins), Box::new(Bails)];
         let mut e = Engine::new(world, scripts, model());
         let err = e.run().unwrap_err();
-        assert_eq!(err.blocked, vec![(RankId(0), Blocker::Collective(CommId::WORLD))]);
+        assert_eq!(
+            err.blocked,
+            vec![(RankId(0), Blocker::Collective(CommId::WORLD))]
+        );
         assert!(err.to_string().contains("collective"), "diagnostic: {err}");
     }
 

@@ -102,7 +102,8 @@ impl MpiCostModel {
             CollectiveKind::Bcast => hop(bytes) * rounds,
             // Gather serializes (n-1) messages into the root's link.
             CollectiveKind::Gather => {
-                self.latency * rounds + Dur::for_transfer(bytes * (comm_size as u64 - 1), self.bandwidth)
+                self.latency * rounds
+                    + Dur::for_transfer(bytes * (comm_size as u64 - 1), self.bandwidth)
             }
             CollectiveKind::AllReduce => hop(bytes) * (2 * rounds),
             // Pairwise exchange: n-1 rounds each moving `bytes`.

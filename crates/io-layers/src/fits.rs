@@ -176,7 +176,16 @@ pub fn open(
         Err(e) => return (Err(e), t),
     };
     let path_id = w.tracer.file_id(path);
-    let end = w.trace_io(rank, Layer::HighLevel, OpKind::Open, t0, t, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::HighLevel,
+        OpKind::Open,
+        t0,
+        t,
+        Some(path_id),
+        0,
+        0,
+    );
     (
         Ok(FitsFile {
             stream: h,
@@ -213,12 +222,26 @@ impl FitsFile {
             Ok(n) => n,
             Err(e) => return (Err(e), t),
         };
-        let end = w.trace_io(rank, Layer::HighLevel, OpKind::Read, t0, t, Some(self.path_id), self.data_offset, n);
+        let end = w.trace_io(
+            rank,
+            Layer::HighLevel,
+            OpKind::Read,
+            t0,
+            t,
+            Some(self.path_id),
+            self.data_offset,
+            n,
+        );
         (Ok(n), end)
     }
 
     /// Close the file.
-    pub fn close(self, w: &mut IoWorld, rank: RankId, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+    pub fn close(
+        self,
+        w: &mut IoWorld,
+        rank: RankId,
+        now: SimTime,
+    ) -> (Result<(), IoErr>, SimTime) {
         stdio::fclose(w, rank, self.stream, now)
     }
 }

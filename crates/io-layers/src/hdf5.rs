@@ -18,10 +18,10 @@ use crate::posix::{self, Fd, OpenFlags};
 use crate::world::IoWorld;
 use hpc_cluster::topology::RankId;
 use recorder_sim::record::{Layer, OpKind};
-use vani_rt::{FromJson, Json, JsonError, ToJson};
 use sim_core::SimTime;
 use std::collections::HashMap;
 use storage_sim::IoErr;
+use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Superblock size and magic.
 const SUPERBLOCK: u64 = 512;
@@ -95,11 +95,13 @@ struct Header {
 impl ToJson for DsLayout {
     fn to_json(&self) -> Json {
         match self {
-            DsLayout::Contiguous { offset } => Json::obj([(
-                "Contiguous",
-                Json::obj([("offset", offset.to_json())]),
-            )]),
-            DsLayout::Chunked { offset, chunk_bytes } => Json::obj([(
+            DsLayout::Contiguous { offset } => {
+                Json::obj([("Contiguous", Json::obj([("offset", offset.to_json())]))])
+            }
+            DsLayout::Chunked {
+                offset,
+                chunk_bytes,
+            } => Json::obj([(
                 "Chunked",
                 Json::obj([
                     ("offset", offset.to_json()),
@@ -190,7 +192,16 @@ pub fn create(
         return (Err(e), t2);
     }
     let path_id = w.tracer.file_id(path);
-    let end = w.trace_io(rank, Layer::HighLevel, OpKind::Create, t0, t2, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::HighLevel,
+        OpKind::Create,
+        t0,
+        t2,
+        Some(path_id),
+        0,
+        0,
+    );
     (
         Ok(H5Writer {
             fd,
@@ -233,8 +244,15 @@ impl H5Writer {
                 let mut off = 0u64;
                 while off < nbytes {
                     let this = (nbytes - off).min(cb);
-                    let (res, t2) =
-                        posix::write_pattern_at(w, rank, self.fd, offset + off, this, seed ^ off, t);
+                    let (res, t2) = posix::write_pattern_at(
+                        w,
+                        rank,
+                        self.fd,
+                        offset + off,
+                        this,
+                        seed ^ off,
+                        t,
+                    );
                     if let Err(e) = res {
                         return (Err(e), t2);
                     }
@@ -256,12 +274,26 @@ impl H5Writer {
             },
         });
         self.eof = offset + nbytes;
-        let end = w.trace_io(rank, Layer::HighLevel, OpKind::Write, t0, t, path_id, offset, nbytes);
+        let end = w.trace_io(
+            rank,
+            Layer::HighLevel,
+            OpKind::Write,
+            t0,
+            t,
+            path_id,
+            offset,
+            nbytes,
+        );
         (Ok(()), end)
     }
 
     /// Finalize: serialize the header, point the superblock at it, close.
-    pub fn close(self, w: &mut IoWorld, rank: RankId, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+    pub fn close(
+        self,
+        w: &mut IoWorld,
+        rank: RankId,
+        now: SimTime,
+    ) -> (Result<(), IoErr>, SimTime) {
         let t0 = now;
         let path_id = w.fd(rank, self.fd).map(|of| of.path_id).ok();
         let header = Header {
@@ -376,14 +408,24 @@ pub fn open(
         let of = w.fd(rank, fd).expect("just opened");
         (of.handle, of.path_id)
     };
-    let (res, t_sb) = crate::resilience::with_retries(w, rank, Some(path_id), 0, SUPERBLOCK, t, |w, t| {
-        w.storage.read_data(node, handle, 0, SUPERBLOCK, t)
-    });
+    let (res, t_sb) =
+        crate::resilience::with_retries(w, rank, Some(path_id), 0, SUPERBLOCK, t, |w, t| {
+            w.storage.read_data(node, handle, 0, SUPERBLOCK, t)
+        });
     let (sb, t) = match res {
         Ok(sb) => (sb, t_sb),
         Err(e) => return (Err(e), t_sb),
     };
-    let t = w.trace_io(rank, Layer::Posix, OpKind::Read, t0, t, Some(path_id), 0, sb.len() as u64);
+    let t = w.trace_io(
+        rank,
+        Layer::Posix,
+        OpKind::Read,
+        t0,
+        t,
+        Some(path_id),
+        0,
+        sb.len() as u64,
+    );
     if sb.len() < 24 || &sb[..8] != MAGIC {
         return (Err(IoErr::Invalid), t);
     }
@@ -400,7 +442,10 @@ pub fn open(
         header_offset,
         header_len,
         t,
-        |w, t| w.storage.read_data(node, handle, header_offset, header_len, t),
+        |w, t| {
+            w.storage
+                .read_data(node, handle, header_offset, header_len, t)
+        },
     );
     let (hjson, t2) = match res {
         Ok(h) => (h, t_hdr),
@@ -420,7 +465,16 @@ pub fn open(
         Ok(h) => h,
         Err(_) => return (Err(IoErr::Invalid), t),
     };
-    let end = w.trace_io(rank, Layer::HighLevel, OpKind::Open, t0, t, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::HighLevel,
+        OpKind::Open,
+        t0,
+        t,
+        Some(path_id),
+        0,
+        0,
+    );
     (
         Ok(H5File {
             fd,
@@ -482,8 +536,7 @@ impl H5File {
                     if let Err(e) = res {
                         return (Err(e), t3);
                     }
-                    let t4 =
-                        w.trace_io(rank, Layer::HighLevel, OpKind::Stat, t, t3, path_id, 0, 0);
+                    let t4 = w.trace_io(rank, Layer::HighLevel, OpKind::Stat, t, t3, path_id, 0, 0);
                     t = t4;
                 }
                 let (res, t2) = posix::read_at(w, rank, self.fd, base + offset, len, t);
@@ -495,7 +548,10 @@ impl H5File {
                     Err(e) => return (Err(e), t2),
                 }
             }
-            DsLayout::Chunked { offset: base, chunk_bytes } => {
+            DsLayout::Chunked {
+                offset: base,
+                chunk_bytes,
+            } => {
                 let first = offset / chunk_bytes;
                 let last = (offset + len).saturating_sub(1) / chunk_bytes;
                 let mut got = 0u64;
@@ -521,7 +577,16 @@ impl H5File {
                 total = got.min(len);
             }
         }
-        let end = w.trace_io(rank, Layer::HighLevel, OpKind::Read, t0, t, path_id, offset, total);
+        let end = w.trace_io(
+            rank,
+            Layer::HighLevel,
+            OpKind::Read,
+            t0,
+            t,
+            path_id,
+            offset,
+            total,
+        );
         (Ok(total), end)
     }
 
@@ -545,7 +610,12 @@ impl H5File {
     }
 
     /// Close the file.
-    pub fn close(self, w: &mut IoWorld, rank: RankId, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+    pub fn close(
+        self,
+        w: &mut IoWorld,
+        rank: RankId,
+        now: SimTime,
+    ) -> (Result<(), IoErr>, SimTime) {
         let path_id = w.fd(rank, self.fd).map(|of| of.path_id).ok();
         let (res, t) = if self.opts.use_mpiio {
             crate::mpiio::close(w, rank, self.fd, now)
@@ -672,8 +742,20 @@ mod tests {
     fn corrupt_superblock_is_rejected() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/bad.h5", OpenFlags::write_create(), SimTime::ZERO);
-        let (_, t) = posix::write(&mut w, r, fd.unwrap(), b"not an hdf5 file at all, promise!", t);
+        let (fd, t) = posix::open(
+            &mut w,
+            r,
+            "/p/gpfs1/bad.h5",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
+        let (_, t) = posix::write(
+            &mut w,
+            r,
+            fd.unwrap(),
+            b"not an hdf5 file at all, promise!",
+            t,
+        );
         let (_, t) = posix::close(&mut w, r, fd.unwrap(), t);
         let (res, _) = open(&mut w, r, "/p/gpfs1/bad.h5", H5Options::default(), t);
         assert_eq!(res.err().unwrap(), IoErr::Invalid);

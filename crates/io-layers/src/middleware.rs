@@ -65,9 +65,19 @@ impl WriteBuffer {
             Err(e) => return (Err(e), t),
         };
         let (_, t) = posix::close(w, rank, fd, t);
-        self.pending.push((staged.clone(), pfs_path.to_string(), len));
+        self.pending
+            .push((staged.clone(), pfs_path.to_string(), len));
         let path_id = w.tracer.file_id(pfs_path);
-        let end = w.trace_io(rank, Layer::Middleware, OpKind::Write, t0, t, Some(path_id), 0, n);
+        let end = w.trace_io(
+            rank,
+            Layer::Middleware,
+            OpKind::Write,
+            t0,
+            t,
+            Some(path_id),
+            0,
+            n,
+        );
         (Ok(n), end)
     }
 
@@ -77,7 +87,12 @@ impl WriteBuffer {
     }
 
     /// Drain all staged files to the PFS (the async flush at phase end).
-    pub fn drain(&mut self, w: &mut IoWorld, rank: RankId, now: SimTime) -> (Result<u64, IoErr>, SimTime) {
+    pub fn drain(
+        &mut self,
+        w: &mut IoWorld,
+        rank: RankId,
+        now: SimTime,
+    ) -> (Result<u64, IoErr>, SimTime) {
         let t0 = now;
         let mut t = now;
         let mut moved = 0u64;
@@ -139,7 +154,10 @@ impl Prefetcher {
         let (n, mut t) = if sequential && covered {
             // Already prefetched: memory-speed service.
             self.hits += 1;
-            (len, now + Dur::from_micros(2) + Dur::for_transfer(len, 8 * sim_core::units::GIB))
+            (
+                len,
+                now + Dur::from_micros(2) + Dur::for_transfer(len, 8 * sim_core::units::GIB),
+            )
         } else {
             let (res, t) = posix::read_at(w, rank, fd, offset, len, now);
             match res {
@@ -159,7 +177,16 @@ impl Prefetcher {
             self.state.insert(fd.0, (offset + len, offset + len));
         }
         let path_id = w.fd(rank, fd).map(|of| of.path_id).ok();
-        t = w.trace_io(rank, Layer::Middleware, OpKind::Read, t0, t, path_id, offset, n);
+        t = w.trace_io(
+            rank,
+            Layer::Middleware,
+            OpKind::Read,
+            t0,
+            t,
+            path_id,
+            offset,
+            n,
+        );
         (Ok(n), t)
     }
 }
@@ -237,7 +264,16 @@ impl Compression {
         match res {
             Ok(_) => {
                 let path_id = w.fd(rank, fd).map(|of| of.path_id).ok();
-                let end = w.trace_io(rank, Layer::Middleware, OpKind::Write, t0, t, path_id, offset, len);
+                let end = w.trace_io(
+                    rank,
+                    Layer::Middleware,
+                    OpKind::Write,
+                    t0,
+                    t,
+                    path_id,
+                    offset,
+                    len,
+                );
                 (Ok(len), end)
             }
             Err(e) => (Err(e), t),
@@ -262,7 +298,16 @@ impl Compression {
             Ok(_) => {
                 let t = t + Dur::for_transfer(len, self.cfg.decompress_bw);
                 let path_id = w.fd(rank, fd).map(|of| of.path_id).ok();
-                let end = w.trace_io(rank, Layer::Middleware, OpKind::Read, t0, t, path_id, offset, len);
+                let end = w.trace_io(
+                    rank,
+                    Layer::Middleware,
+                    OpKind::Read,
+                    t0,
+                    t,
+                    path_id,
+                    offset,
+                    len,
+                );
                 (Ok(len), end)
             }
             Err(e) => (Err(e), t),
@@ -284,17 +329,34 @@ mod tests {
         let mut w = world();
         let r = RankId(0);
         let mut wb = WriteBuffer::new();
-        let (n, t) = wb.write_staged(&mut w, r, "/p/gpfs1/out/inter.tbl", 1 * MIB, 1, SimTime::ZERO);
+        let (n, t) = wb.write_staged(
+            &mut w,
+            r,
+            "/p/gpfs1/out/inter.tbl",
+            1 * MIB,
+            1,
+            SimTime::ZERO,
+        );
         assert_eq!(n.unwrap(), 1 * MIB);
         assert_eq!(wb.pending(), 1);
         // Staged write is fast (node-local): well under a PFS round trip.
         assert!(t.since(SimTime::ZERO) < Dur::from_millis(2));
         // The file exists in shm, not on the PFS.
-        assert!(w.storage.pfs().store().lookup("/p/gpfs1/out/inter.tbl").is_none());
+        assert!(w
+            .storage
+            .pfs()
+            .store()
+            .lookup("/p/gpfs1/out/inter.tbl")
+            .is_none());
         let (moved, t2) = wb.drain(&mut w, r, t);
         assert_eq!(moved.unwrap(), 1 * MIB);
         assert_eq!(wb.pending(), 0);
-        assert!(w.storage.pfs().store().lookup("/p/gpfs1/out/inter.tbl").is_some());
+        assert!(w
+            .storage
+            .pfs()
+            .store()
+            .lookup("/p/gpfs1/out/inter.tbl")
+            .is_some());
         assert!(t2 > t);
     }
 
@@ -302,7 +364,13 @@ mod tests {
     fn prefetcher_accelerates_sequential_scans() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/seq.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = posix::open(
+            &mut w,
+            r,
+            "/p/gpfs1/seq.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = posix::write_pattern(&mut w, r, fd, 32 * MIB, 1, t);
         let mut pf = Prefetcher::new();
@@ -312,14 +380,24 @@ mod tests {
             res.unwrap();
             t = t2;
         }
-        assert!(pf.hits >= 12, "sequential scan should hit the window, got {}", pf.hits);
+        assert!(
+            pf.hits >= 12,
+            "sequential scan should hit the window, got {}",
+            pf.hits
+        );
     }
 
     #[test]
     fn prefetcher_random_access_does_not_hit() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/rnd.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = posix::open(
+            &mut w,
+            r,
+            "/p/gpfs1/rnd.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = posix::write_pattern(&mut w, r, fd, 32 * MIB, 1, t);
         let mut pf = Prefetcher::new();
@@ -336,7 +414,13 @@ mod tests {
     fn compression_shrinks_normal_and_inflates_uniform() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/c.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = posix::open(
+            &mut w,
+            r,
+            "/p/gpfs1/c.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let cmp = Compression::new(CompressionCfg::default());
         let bytes_before = w.storage.pfs().stats().bytes_written;
@@ -355,7 +439,13 @@ mod tests {
     fn compression_read_pays_cpu_time() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = posix::open(&mut w, r, "/p/gpfs1/d.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = posix::open(
+            &mut w,
+            r,
+            "/p/gpfs1/d.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = posix::write_pattern(&mut w, r, fd, 10 * MIB, 1, t);
         let cmp = Compression::new(CompressionCfg::default());

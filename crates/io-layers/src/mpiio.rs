@@ -91,7 +91,16 @@ pub fn write_at(
     let path_id = w.fd(rank, fd).map(|of| of.path_id).ok();
     let (res, t) = posix::write_pattern_at(w, rank, fd, offset, len, seed, now);
     let n = *res.as_ref().unwrap_or(&0);
-    let end = w.trace_io(rank, Layer::MpiIo, OpKind::Write, now, t, path_id, offset, n);
+    let end = w.trace_io(
+        rank,
+        Layer::MpiIo,
+        OpKind::Write,
+        now,
+        t,
+        path_id,
+        offset,
+        n,
+    );
     (res, end)
 }
 
@@ -205,7 +214,16 @@ pub fn collective_write_part(
             Err(e) => return (Err(e), t2),
         }
     }
-    let end = w.trace_io(rank, Layer::MpiIo, OpKind::Write, now, t, path_id, lo, total);
+    let end = w.trace_io(
+        rank,
+        Layer::MpiIo,
+        OpKind::Write,
+        now,
+        t,
+        path_id,
+        lo,
+        total,
+    );
     (Ok(total), end)
 }
 
@@ -267,7 +285,13 @@ mod tests {
         let mut w = IoWorld::lassen(2, 2, Dur::from_secs(3600), 3);
         let r = RankId(0);
         // Create a 4 MiB file first.
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/coll.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/coll.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (res, t) = write_at(&mut w, r, fd, 0, 4 * MIB, 5, t);
         assert_eq!(res.unwrap(), 4 * MIB);
@@ -290,7 +314,13 @@ mod tests {
     fn mpiio_layer_records_are_captured() {
         let mut w = IoWorld::lassen(1, 1, Dur::from_secs(60), 3);
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/m.dat", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/m.dat",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = write_at(&mut w, r, fd, 0, 1024, 1, t);
         let (_, t) = read_at(&mut w, r, fd, 0, 1024, t);
@@ -307,7 +337,11 @@ mod tests {
             vec![OpKind::Open, OpKind::Write, OpKind::Read, OpKind::Close]
         );
         // POSIX records exist beneath.
-        assert!(w.tracer.records().iter().any(|rec| rec.layer == Layer::Posix));
+        assert!(w
+            .tracer
+            .records()
+            .iter()
+            .any(|rec| rec.layer == Layer::Posix));
     }
 
     #[test]

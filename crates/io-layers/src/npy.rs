@@ -179,7 +179,16 @@ pub fn open(
         Err(e) => return (Err(e), t),
     };
     let path_id = w.tracer.file_id(path);
-    let end = w.trace_io(rank, Layer::HighLevel, OpKind::Open, t0, t, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::HighLevel,
+        OpKind::Open,
+        t0,
+        t,
+        Some(path_id),
+        0,
+        0,
+    );
     (
         Ok(NpyFile {
             stream: h,
@@ -204,7 +213,14 @@ impl NpyFile {
         let t0 = now;
         let esz = self.header.dtype_size();
         let off = self.data_offset + index * esz;
-        let (res, t) = stdio::fseek(w, rank, self.stream, off as i64, crate::posix::Whence::Set, now);
+        let (res, t) = stdio::fseek(
+            w,
+            rank,
+            self.stream,
+            off as i64,
+            crate::posix::Whence::Set,
+            now,
+        );
         if let Err(e) = res {
             return (Err(e), t);
         }
@@ -213,12 +229,26 @@ impl NpyFile {
             Ok(n) => n,
             Err(e) => return (Err(e), t),
         };
-        let end = w.trace_io(rank, Layer::HighLevel, OpKind::Read, t0, t, Some(self.path_id), off, n);
+        let end = w.trace_io(
+            rank,
+            Layer::HighLevel,
+            OpKind::Read,
+            t0,
+            t,
+            Some(self.path_id),
+            off,
+            n,
+        );
         (Ok(n / esz.max(1)), end)
     }
 
     /// Close the file.
-    pub fn close(self, w: &mut IoWorld, rank: RankId, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+    pub fn close(
+        self,
+        w: &mut IoWorld,
+        rank: RankId,
+        now: SimTime,
+    ) -> (Result<(), IoErr>, SimTime) {
         stdio::fclose(w, rank, self.stream, now)
     }
 }

@@ -89,10 +89,15 @@ pub fn open(
 ) -> (Result<Fd, IoErr>, SimTime) {
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
-    let op = if flags.create { OpKind::Create } else { OpKind::Open };
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
-        w.storage.open(node, path, flags.create, flags.exclusive, t)
-    });
+    let op = if flags.create {
+        OpKind::Create
+    } else {
+        OpKind::Open
+    };
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+            w.storage.open(node, path, flags.create, flags.exclusive, t)
+        });
     match res.map(|h| (h, t_settle)) {
         Ok((handle, t_open)) => {
             let mut end = t_open;
@@ -154,7 +159,16 @@ pub fn close(w: &mut IoWorld, rank: RankId, fd: Fd, now: SimTime) -> (Result<(),
         return (Err(IoErr::BadFd), now);
     };
     let t = w.storage.close(node, of.handle, now);
-    let end = w.trace_io(rank, Layer::Posix, OpKind::Close, now, t, Some(of.path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::Posix,
+        OpKind::Close,
+        now,
+        t,
+        Some(of.path_id),
+        0,
+        0,
+    );
     (Ok(()), end)
 }
 
@@ -199,7 +213,14 @@ pub fn write_at(
     data: &[u8],
     now: SimTime,
 ) -> (Result<u64, IoErr>, SimTime) {
-    write_seg(w, rank, fd, Some(offset), Segment::Bytes(Arc::new(data.to_vec())), now)
+    write_seg(
+        w,
+        rank,
+        fd,
+        Some(offset),
+        Segment::Bytes(Arc::new(data.to_vec())),
+        now,
+    )
 }
 
 /// `pwrite` of a synthetic pattern.
@@ -212,7 +233,14 @@ pub fn write_pattern_at(
     seed: u64,
     now: SimTime,
 ) -> (Result<u64, IoErr>, SimTime) {
-    write_seg(w, rank, fd, Some(offset), Segment::Pattern { seed, len }, now)
+    write_seg(
+        w,
+        rank,
+        fd,
+        Some(offset),
+        Segment::Pattern { seed, len },
+        now,
+    )
 }
 
 fn write_seg(
@@ -237,9 +265,10 @@ fn write_seg(
     // The segment is cloned per attempt: a transiently-failed write never
     // reaches the store, so the retry must re-submit the same payload.
     let bytes = seg.len();
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, bytes, now, |w, t| {
-        w.storage.write(node, handle, pos, seg.clone(), t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), pos, bytes, now, |w, t| {
+            w.storage.write(node, handle, pos, seg.clone(), t)
+        });
     match res.map(|n| (n, t_settle)) {
         Ok((n, t)) => {
             {
@@ -251,11 +280,29 @@ fn write_seg(
                 }
                 of.known_size = of.known_size.max(pos + n);
             }
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Write, now, t, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Write,
+                now,
+                t,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(n), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Write, now, t_settle, Some(path_id), pos, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Write,
+                now,
+                t_settle,
+                Some(path_id),
+                pos,
+                0,
+            );
             (Err(e), end)
         }
     }
@@ -300,9 +347,10 @@ fn read_common(
         };
         (of.handle, of.path_id, offset.unwrap_or(of.pos))
     };
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
-        w.storage.read_len(node, handle, pos, len, t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+            w.storage.read_len(node, handle, pos, len, t)
+        });
     match res.map(|n| (n, t_settle)) {
         Ok((n, t)) => {
             if offset.is_none() {
@@ -311,11 +359,29 @@ fn read_common(
                     .expect("fd checked above");
                 of.pos = pos + n;
             }
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(n), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t_settle,
+                Some(path_id),
+                pos,
+                0,
+            );
             (Err(e), end)
         }
     }
@@ -336,9 +402,10 @@ pub fn read_data(
         };
         (of.handle, of.path_id, of.pos)
     };
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
-        w.storage.read_data(node, handle, pos, len, t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+            w.storage.read_data(node, handle, pos, len, t)
+        });
     match res.map(|d| (d, t_settle)) {
         Ok((data, t)) => {
             let n = data.len() as u64;
@@ -346,11 +413,29 @@ pub fn read_data(
                 .as_mut()
                 .expect("fd checked above")
                 .pos = pos + n;
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(data), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t_settle,
+                Some(path_id),
+                pos,
+                0,
+            );
             (Err(e), end)
         }
     }
@@ -385,7 +470,16 @@ pub fn lseek(
         .as_mut()
         .expect("fd checked above")
         .pos = new_pos;
-    let end = w.trace_io(rank, Layer::Posix, OpKind::Seek, now, now, Some(path_id), new_pos, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::Posix,
+        OpKind::Seek,
+        now,
+        now,
+        Some(path_id),
+        new_pos,
+        0,
+    );
     (Ok(new_pos), end)
 }
 
@@ -399,7 +493,16 @@ pub fn fsync(w: &mut IoWorld, rank: RankId, fd: Fd, now: SimTime) -> (Result<(),
         (of.handle, of.path_id)
     };
     let t = w.storage.fsync(node, handle, now);
-    let end = w.trace_io(rank, Layer::Posix, OpKind::Sync, now, t, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::Posix,
+        OpKind::Sync,
+        now,
+        t,
+        Some(path_id),
+        0,
+        0,
+    );
     (Ok(()), end)
 }
 
@@ -417,7 +520,16 @@ pub fn fstat(w: &mut IoWorld, rank: RankId, fd: Fd, now: SimTime) -> (Result<u64
         storage_sim::mounts::Tier::Pfs => w.storage.pfs_mut().meta_op(now),
         storage_sim::mounts::Tier::NodeLocal(_) => now + sim_core::Dur::from_nanos(400),
     };
-    let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::Posix,
+        OpKind::Stat,
+        now,
+        t,
+        Some(path_id),
+        0,
+        0,
+    );
     (Ok(size), end)
 }
 
@@ -430,16 +542,35 @@ pub fn stat(
 ) -> (Result<u64, IoErr>, SimTime) {
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
-        w.storage.stat(node, path, t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+            w.storage.stat(node, path, t)
+        });
     match res {
         Ok(size) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t_settle, Some(path_id), 0, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Stat,
+                now,
+                t_settle,
+                Some(path_id),
+                0,
+                0,
+            );
             (Ok(size), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Stat, now, t_settle, Some(path_id), 0, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Stat,
+                now,
+                t_settle,
+                Some(path_id),
+                0,
+                0,
+            );
             (Err(e), end)
         }
     }
@@ -454,16 +585,35 @@ pub fn unlink(
 ) -> (Result<(), IoErr>, SimTime) {
     let node = w.node_of(rank);
     let path_id = w.tracer.file_id(path);
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
-        w.storage.unlink(node, path, t).map(|end| ((), end))
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), 0, 0, now, |w, t| {
+            w.storage.unlink(node, path, t).map(|end| ((), end))
+        });
     match res {
         Ok(()) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, t_settle, Some(path_id), 0, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Unlink,
+                now,
+                t_settle,
+                Some(path_id),
+                0,
+                0,
+            );
             (Ok(()), end)
         }
         Err(e) => {
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Unlink, now, t_settle, Some(path_id), 0, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Unlink,
+                now,
+                t_settle,
+                Some(path_id),
+                0,
+                0,
+            );
             (Err(e), end)
         }
     }
@@ -482,7 +632,13 @@ mod tests {
     fn open_write_read_close_round_trip() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/t.bin", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/t.bin",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (n, t2) = write(&mut w, r, fd, b"hello", t);
         assert_eq!(n.unwrap(), 5);
@@ -496,7 +652,13 @@ mod tests {
         let ops: Vec<OpKind> = w.tracer.records().iter().map(|r| r.op).collect();
         assert_eq!(
             ops,
-            vec![OpKind::Create, OpKind::Write, OpKind::Seek, OpKind::Read, OpKind::Close]
+            vec![
+                OpKind::Create,
+                OpKind::Write,
+                OpKind::Seek,
+                OpKind::Read,
+                OpKind::Close
+            ]
         );
         assert!(w.tracer.records().iter().all(|r| r.layer == Layer::Posix));
     }
@@ -505,7 +667,13 @@ mod tests {
     fn position_advances_and_eof_reads_zero() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/x", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/x",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = write_pattern(&mut w, r, fd, 100, 1, t);
         let (pos, t) = lseek(&mut w, r, fd, 0, Whence::Set, t);
@@ -522,7 +690,13 @@ mod tests {
     fn append_mode_writes_at_eof() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/log", OpenFlags::append(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/log",
+            OpenFlags::append(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = write(&mut w, r, fd, b"aaa", t);
         // Seek somewhere irrelevant; append ignores it.
@@ -537,7 +711,13 @@ mod tests {
     fn truncate_on_open_clears_contents() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/tr", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/tr",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let (_, t) = write(&mut w, r, fd.unwrap(), b"data", t);
         let (_, t) = close(&mut w, r, fd.unwrap(), t);
         let (fd2, t) = open(&mut w, r, "/p/gpfs1/tr", OpenFlags::write_create(), t);
@@ -550,7 +730,13 @@ mod tests {
     fn read_only_fd_rejects_writes() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/ro", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/ro",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let (_, t) = close(&mut w, r, fd.unwrap(), t);
         let (fd, t) = open(&mut w, r, "/p/gpfs1/ro", OpenFlags::read_only(), t);
         let (res, _) = write(&mut w, r, fd.unwrap(), b"x", t);
@@ -562,11 +748,22 @@ mod tests {
         let mut w = world();
         let r = RankId(0);
         let bad = Fd(42);
-        assert_eq!(read(&mut w, r, bad, 1, SimTime::ZERO).0.unwrap_err(), IoErr::BadFd);
-        assert_eq!(write(&mut w, r, bad, b"x", SimTime::ZERO).0.unwrap_err(), IoErr::BadFd);
-        assert_eq!(close(&mut w, r, bad, SimTime::ZERO).0.unwrap_err(), IoErr::BadFd);
         assert_eq!(
-            lseek(&mut w, r, bad, 0, Whence::Set, SimTime::ZERO).0.unwrap_err(),
+            read(&mut w, r, bad, 1, SimTime::ZERO).0.unwrap_err(),
+            IoErr::BadFd
+        );
+        assert_eq!(
+            write(&mut w, r, bad, b"x", SimTime::ZERO).0.unwrap_err(),
+            IoErr::BadFd
+        );
+        assert_eq!(
+            close(&mut w, r, bad, SimTime::ZERO).0.unwrap_err(),
+            IoErr::BadFd
+        );
+        assert_eq!(
+            lseek(&mut w, r, bad, 0, Whence::Set, SimTime::ZERO)
+                .0
+                .unwrap_err(),
             IoErr::BadFd
         );
     }
@@ -579,7 +776,13 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut fds = Vec::new();
         for i in 0..3 {
-            let (fd, t2) = open(&mut w, r, &format!("/p/gpfs1/f{i}"), OpenFlags::write_create(), t);
+            let (fd, t2) = open(
+                &mut w,
+                r,
+                &format!("/p/gpfs1/f{i}"),
+                OpenFlags::write_create(),
+                t,
+            );
             fds.push(fd.unwrap());
             t = t2;
         }
@@ -594,8 +797,20 @@ mod tests {
     #[test]
     fn ranks_have_independent_fd_tables() {
         let mut w = world();
-        let (fd0, t) = open(&mut w, RankId(0), "/p/gpfs1/a", OpenFlags::write_create(), SimTime::ZERO);
-        let (fd1, _) = open(&mut w, RankId(1), "/p/gpfs1/b", OpenFlags::write_create(), t);
+        let (fd0, t) = open(
+            &mut w,
+            RankId(0),
+            "/p/gpfs1/a",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
+        let (fd1, _) = open(
+            &mut w,
+            RankId(1),
+            "/p/gpfs1/b",
+            OpenFlags::write_create(),
+            t,
+        );
         // Both get fd 0 in their own tables.
         assert_eq!(fd0.unwrap(), Fd(0));
         assert_eq!(fd1.unwrap(), Fd(0));
@@ -605,7 +820,13 @@ mod tests {
     fn pwrite_pread_do_not_move_position() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/p/gpfs1/p", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/p/gpfs1/p",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let (_, t) = write_at(&mut w, r, fd, 10, b"zz", t);
         let (n, t) = read_at(&mut w, r, fd, 10, 2, t);
@@ -619,7 +840,13 @@ mod tests {
     fn shm_paths_work_through_posix() {
         let mut w = world();
         let r = RankId(0);
-        let (fd, t) = open(&mut w, r, "/dev/shm/fast", OpenFlags::write_create(), SimTime::ZERO);
+        let (fd, t) = open(
+            &mut w,
+            r,
+            "/dev/shm/fast",
+            OpenFlags::write_create(),
+            SimTime::ZERO,
+        );
         let fd = fd.unwrap();
         let start = t;
         let (_, t) = write_pattern(&mut w, r, fd, 1 << 20, 1, t);

@@ -107,7 +107,11 @@ impl Resilience {
             * self.policy.multiplier.powi(retry.saturating_sub(1) as i32);
         let capped = base.min(self.policy.max_backoff.as_secs_f64());
         let j = self.policy.jitter.clamp(0.0, 1.0);
-        let scale = if j > 0.0 { self.rng.uniform_f64(1.0 - j, 1.0 + j) } else { 1.0 };
+        let scale = if j > 0.0 {
+            self.rng.uniform_f64(1.0 - j, 1.0 + j)
+        } else {
+            1.0
+        };
         Dur::from_secs_f64(capped * scale)
     }
 }
@@ -139,15 +143,32 @@ pub fn with_retries<T>(
                 attempts += 1;
                 w.resilience.stats.faults += 1;
                 let detect = t + w.resilience.policy.fault_latency;
-                let detect = w.trace_io(rank, Layer::Middleware, OpKind::Fault, t, detect, file, offset, bytes);
+                let detect = w.trace_io(
+                    rank,
+                    Layer::Middleware,
+                    OpKind::Fault,
+                    t,
+                    detect,
+                    file,
+                    offset,
+                    bytes,
+                );
                 if attempts >= w.resilience.policy.max_attempts {
                     w.resilience.stats.exhausted += 1;
                     return (Err(e), detect);
                 }
                 let wait = w.resilience.backoff(attempts);
                 let resume = detect + wait;
-                let resume =
-                    w.trace_io(rank, Layer::Middleware, OpKind::Retry, detect, resume, file, offset, bytes);
+                let resume = w.trace_io(
+                    rank,
+                    Layer::Middleware,
+                    OpKind::Retry,
+                    detect,
+                    resume,
+                    file,
+                    offset,
+                    bytes,
+                );
                 w.resilience.stats.retries += 1;
                 w.resilience.stats.retried_bytes += bytes;
                 t = resume;
@@ -191,7 +212,10 @@ mod tests {
             }
         });
         assert_eq!(res.unwrap(), 7);
-        assert!(end > SimTime::ZERO + Dur::from_millis(2), "backoff must cost time");
+        assert!(
+            end > SimTime::ZERO + Dur::from_millis(2),
+            "backoff must cost time"
+        );
         assert_eq!(w.resilience.stats.faults, 2);
         assert_eq!(w.resilience.stats.retries, 2);
         assert_eq!(w.resilience.stats.retried_bytes, 2 * 4096);
@@ -200,7 +224,11 @@ mod tests {
             ops,
             vec![OpKind::Fault, OpKind::Retry, OpKind::Fault, OpKind::Retry]
         );
-        assert!(w.tracer.records().iter().all(|r| r.layer == Layer::Middleware));
+        assert!(w
+            .tracer
+            .records()
+            .iter()
+            .all(|r| r.layer == Layer::Middleware));
     }
 
     #[test]

@@ -139,7 +139,12 @@ pub fn fopen_buffered(
 }
 
 /// Flush the write buffer through POSIX; returns completion time.
-fn flush_wbuf(w: &mut IoWorld, rank: RankId, h: FileStream, now: SimTime) -> Result<SimTime, IoErr> {
+fn flush_wbuf(
+    w: &mut IoWorld,
+    rank: RankId,
+    h: FileStream,
+    now: SimTime,
+) -> Result<SimTime, IoErr> {
     let (fd, start, buf) = {
         let s = tables(w)[rank.0 as usize].get(h)?;
         if s.wbuf.is_empty() {
@@ -154,14 +159,28 @@ fn flush_wbuf(w: &mut IoWorld, rank: RankId, h: FileStream, now: SimTime) -> Res
 }
 
 /// `fflush`: drain the write buffer.
-pub fn fflush(w: &mut IoWorld, rank: RankId, h: FileStream, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+pub fn fflush(
+    w: &mut IoWorld,
+    rank: RankId,
+    h: FileStream,
+    now: SimTime,
+) -> (Result<(), IoErr>, SimTime) {
     let path_id = match tables(w)[rank.0 as usize].get(h) {
         Ok(s) => s.path_id,
         Err(e) => return (Err(e), now),
     };
     match flush_wbuf(w, rank, h, now) {
         Ok(t) => {
-            let end = w.trace_io(rank, Layer::Stdio, OpKind::Sync, now, t, Some(path_id), 0, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Stdio,
+                OpKind::Sync,
+                now,
+                t,
+                Some(path_id),
+                0,
+                0,
+            );
             (Ok(()), end)
         }
         Err(e) => (Err(e), now),
@@ -214,7 +233,16 @@ pub fn fwrite_pattern(
             let s = tables(w)[rank.0 as usize].get(h).expect("stream exists");
             s.pos += n;
             s.rbuf.clear();
-            let end = w.trace_io(rank, Layer::Stdio, OpKind::Write, t0, t2, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Stdio,
+                OpKind::Write,
+                t0,
+                t2,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(n), end)
         }
         Err(e) => (Err(e), t2),
@@ -269,8 +297,21 @@ fn fwrite_inner(
         t = t + memcpy_cost(take as u64);
     }
     // Invalidate the read cache on writes.
-    tables(w)[rank.0 as usize].get(h).expect("checked").rbuf.clear();
-    let end = w.trace_io(rank, Layer::Stdio, OpKind::Write, t0, t, Some(path_id), pos, written);
+    tables(w)[rank.0 as usize]
+        .get(h)
+        .expect("checked")
+        .rbuf
+        .clear();
+    let end = w.trace_io(
+        rank,
+        Layer::Stdio,
+        OpKind::Write,
+        t0,
+        t,
+        Some(path_id),
+        pos,
+        written,
+    );
     (Ok(written), end)
 }
 
@@ -322,7 +363,11 @@ fn fread_impl(
         Ok(t) => t,
         Err(e) => return (Err(e), now),
     };
-    let mut out: Vec<u8> = Vec::with_capacity(if materialize { len.min(1 << 20) as usize } else { 0 });
+    let mut out: Vec<u8> = Vec::with_capacity(if materialize {
+        len.min(1 << 20) as usize
+    } else {
+        0
+    });
     let mut count = 0u64;
     let mut remaining = len;
     while remaining > 0 {
@@ -440,13 +485,23 @@ fn read_fill_exact(
         };
         (of.handle, of.path_id)
     };
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
-        w.storage.read_data(node, handle, pos, len, t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), pos, len, now, |w, t| {
+            w.storage.read_data(node, handle, pos, len, t)
+        });
     match res {
         Ok(data) => {
             let n = data.len() as u64;
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t_settle,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(data), end)
         }
         Err(e) => (Err(e), t_settle),
@@ -469,13 +524,23 @@ fn read_fill(
         };
         (of.handle, of.path_id)
     };
-    let (res, t_settle) = crate::resilience::with_retries(w, rank, Some(path_id), pos, bufsize, now, |w, t| {
-        w.storage.read_data(node, handle, pos, bufsize, t)
-    });
+    let (res, t_settle) =
+        crate::resilience::with_retries(w, rank, Some(path_id), pos, bufsize, now, |w, t| {
+            w.storage.read_data(node, handle, pos, bufsize, t)
+        });
     match res {
         Ok(data) => {
             let n = data.len() as u64;
-            let end = w.trace_io(rank, Layer::Posix, OpKind::Read, now, t_settle, Some(path_id), pos, n);
+            let end = w.trace_io(
+                rank,
+                Layer::Posix,
+                OpKind::Read,
+                now,
+                t_settle,
+                Some(path_id),
+                pos,
+                n,
+            );
             (Ok(data), end)
         }
         Err(e) => (Err(e), t_settle),
@@ -505,7 +570,16 @@ pub fn fseek(
             let s = tables(w)[rank.0 as usize].get(h).expect("checked");
             s.pos = newpos;
             s.rbuf.clear();
-            let end = w.trace_io(rank, Layer::Stdio, OpKind::Seek, now, t2, Some(path_id), newpos, 0);
+            let end = w.trace_io(
+                rank,
+                Layer::Stdio,
+                OpKind::Seek,
+                now,
+                t2,
+                Some(path_id),
+                newpos,
+                0,
+            );
             (Ok(newpos), end)
         }
         Err(e) => (Err(e), t2),
@@ -518,7 +592,12 @@ pub fn ftell(w: &mut IoWorld, rank: RankId, h: FileStream) -> Result<u64, IoErr>
 }
 
 /// Close the stream: flush, close the descriptor.
-pub fn fclose(w: &mut IoWorld, rank: RankId, h: FileStream, now: SimTime) -> (Result<(), IoErr>, SimTime) {
+pub fn fclose(
+    w: &mut IoWorld,
+    rank: RankId,
+    h: FileStream,
+    now: SimTime,
+) -> (Result<(), IoErr>, SimTime) {
     let path_id = match tables(w)[rank.0 as usize].get(h) {
         Ok(s) => s.path_id,
         Err(e) => return (Err(e), now),
@@ -532,7 +611,16 @@ pub fn fclose(w: &mut IoWorld, rank: RankId, h: FileStream, now: SimTime) -> (Re
         Err(e) => return (Err(e), t),
     };
     let (res, t2) = posix::close(w, rank, s.fd, t);
-    let end = w.trace_io(rank, Layer::Stdio, OpKind::Close, now, t2, Some(path_id), 0, 0);
+    let end = w.trace_io(
+        rank,
+        Layer::Stdio,
+        OpKind::Close,
+        now,
+        t2,
+        Some(path_id),
+        0,
+        0,
+    );
     (res, end)
 }
 
@@ -572,7 +660,10 @@ mod tests {
             .filter(|rec| rec.layer == L::Stdio && rec.op == OpKind::Write)
             .count();
         assert_eq!(stdio_writes, 64);
-        assert_eq!(posix_writes, 2, "16 KiB should flush as two 8 KiB POSIX writes");
+        assert_eq!(
+            posix_writes, 2,
+            "16 KiB should flush as two 8 KiB POSIX writes"
+        );
     }
 
     #[test]

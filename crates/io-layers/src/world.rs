@@ -7,8 +7,8 @@ use hpc_cluster::topology::{ClusterSpec, NodeId, RankId};
 use recorder_sim::record::{AppId, Layer, OpKind};
 use recorder_sim::Tracer;
 use sim_core::{DetRng, Dur, SimTime};
-use storage_sim::mounts::{FileHandle, StorageSystem};
 use storage_sim::file::FileKey;
+use storage_sim::mounts::{FileHandle, StorageSystem};
 
 /// One open POSIX descriptor.
 #[derive(Debug, Clone)]
@@ -87,12 +87,20 @@ pub struct IoWorld {
 
 impl IoWorld {
     /// Assemble a world for a job on a cluster.
-    pub fn new(cluster: &ClusterSpec, alloc: JobAlloc, storage: StorageSystem, tracer: Tracer, seed: u64) -> Self {
+    pub fn new(
+        cluster: &ClusterSpec,
+        alloc: JobAlloc,
+        storage: StorageSystem,
+        tracer: Tracer,
+        seed: u64,
+    ) -> Self {
         let n = alloc.total_ranks() as usize;
         IoWorld {
             mpi: MpiCostModel::from_node(&cluster.node),
             procs: (0..n).map(|_| ProcState::new(1024)).collect(),
-            stdio_streams: (0..n).map(|_| crate::stdio::StreamTable::default()).collect(),
+            stdio_streams: (0..n)
+                .map(|_| crate::stdio::StreamTable::default())
+                .collect(),
             alloc,
             storage,
             tracer,
@@ -131,8 +139,18 @@ impl IoWorld {
         let end = now + dur;
         let node = self.node_of(rank).0;
         let app = self.app_of(rank);
-        self.tracer
-            .record(rank.0, node, app, Layer::App, OpKind::Compute, now, end, None, 0, 0);
+        self.tracer.record(
+            rank.0,
+            node,
+            app,
+            Layer::App,
+            OpKind::Compute,
+            now,
+            end,
+            None,
+            0,
+            0,
+        );
         end
     }
 
@@ -192,9 +210,9 @@ impl IoWorld {
     ) -> SimTime {
         let node = self.node_of(rank).0;
         let app = self.app_of(rank);
-        let ov = self
-            .tracer
-            .record(rank.0, node, app, layer, op, start, end, file, offset, bytes);
+        let ov = self.tracer.record(
+            rank.0, node, app, layer, op, start, end, file, offset, bytes,
+        );
         end + ov
     }
 
@@ -218,7 +236,11 @@ impl IoWorld {
     }
 
     /// Storage-level key of an open descriptor (for assertions in tests).
-    pub fn key_of(&self, rank: RankId, fd: crate::posix::Fd) -> Result<FileKey, storage_sim::IoErr> {
+    pub fn key_of(
+        &self,
+        rank: RankId,
+        fd: crate::posix::Fd,
+    ) -> Result<FileKey, storage_sim::IoErr> {
         Ok(self.fd(rank, fd)?.handle.key)
     }
 }

@@ -43,7 +43,8 @@ fn check_stdio_matches_vec_model(ops: &[Op]) {
     let mut w = IoWorld::lassen(1, 1, Dur::from_secs(3600), 1);
     let r = RankId(0);
     // Small buffer to force plenty of flush/fill boundary cases.
-    let (h, mut t) = stdio::fopen_buffered(&mut w, r, "/p/gpfs1/prop.bin", "w+", 128, SimTime::ZERO);
+    let (h, mut t) =
+        stdio::fopen_buffered(&mut w, r, "/p/gpfs1/prop.bin", "w+", 128, SimTime::ZERO);
     let h = h.unwrap();
     let mut model: Vec<u8> = Vec::new();
     let mut pos: usize = 0;
@@ -105,29 +106,28 @@ fn randomized_stdio_matches_vec_model() {
 fn regression_buffered_write_seek_past_eof_then_read() {
     const BIG: &[u8] = &[
         139, 229, 195, 138, 227, 0, 190, 133, 108, 8, 227, 156, 6, 139, 199, 190, 186, 219, 51,
-        170, 98, 40, 55, 65, 187, 220, 160, 198, 205, 240, 8, 193, 148, 153, 199, 48, 105, 120,
-        56, 170, 156, 101, 80, 175, 205, 52, 67, 226, 102, 218, 229, 43, 197, 198, 106, 161, 33,
-        212, 208, 115, 26, 17, 120, 142, 109, 4, 169, 96, 121, 77, 195, 22, 234, 88, 152, 111,
-        14, 194, 138, 203, 230, 98, 246, 118, 136, 197, 146, 183, 236, 58, 171, 51, 16, 175, 216,
-        95, 69, 193, 125, 189, 124, 0, 181, 57, 156, 254, 28, 101, 13, 33, 69, 66, 238, 251, 217,
-        65, 79, 212, 221, 19, 193, 181, 93, 223, 139, 153, 232, 199, 169, 137, 207, 48, 171, 0,
-        216, 58, 123, 204, 40, 74, 88, 42, 201, 13, 100, 141, 197, 203, 93, 26, 17, 240, 245,
-        205, 13, 253, 224, 17, 68, 173, 182, 194, 2, 212, 123, 252, 110, 20, 144, 227, 108, 36,
-        239, 101, 31, 210, 19, 10, 168, 91, 195, 79, 93, 172, 119, 42, 195, 250, 242, 202, 254,
-        248, 129, 157, 98, 54, 75, 147, 80, 197, 152, 133, 30, 103, 10, 186, 67, 14, 240, 166,
-        84, 99, 113, 160, 71, 203, 37, 126, 224, 118, 188, 250, 5, 95, 114, 82, 171, 26, 229, 87,
-        108, 92, 67, 141, 239, 45, 79, 180, 228, 58, 161, 243, 83, 48, 13, 161, 201, 132, 229,
-        89, 183, 58, 161, 129, 79, 78, 198, 244, 213, 83, 143, 16, 12, 28, 32, 180, 45, 151, 13,
-        133, 82, 80, 177, 159, 18, 245, 167, 111, 50, 52, 132, 72, 122, 39, 160, 213, 195, 190,
-        214, 168, 104, 122, 90, 30, 188, 168, 38, 201, 150, 8, 66, 38, 4, 118, 53, 51, 191, 197,
-        36, 63, 170, 154, 92, 27, 133, 232, 199, 158, 6, 53, 242, 237, 24, 2, 152, 37, 19, 60,
-        216, 111, 131, 215, 240, 234, 166, 108, 126, 125, 23, 28, 11, 233, 76, 150, 214, 142,
-        165, 120, 92, 125, 44, 227, 186, 5, 175, 47, 123, 115, 140, 153, 116, 173, 54, 164, 199,
-        43, 82, 170, 121, 251, 223, 192, 215, 197, 139, 62, 117, 108, 78, 239, 58, 6, 0, 64, 187,
-        87, 18, 90, 35, 185, 110, 91, 136, 202, 107, 33, 212, 112, 82, 0, 104, 54, 163, 126, 226,
-        171, 1, 208, 88, 24, 111, 143, 89, 203, 144, 42, 118, 117, 161, 141, 124, 108, 75, 89,
-        118, 186, 194, 69, 6, 221, 105, 87, 225, 176, 190, 47, 55, 185, 77, 182, 226, 154, 186,
-        61,
+        170, 98, 40, 55, 65, 187, 220, 160, 198, 205, 240, 8, 193, 148, 153, 199, 48, 105, 120, 56,
+        170, 156, 101, 80, 175, 205, 52, 67, 226, 102, 218, 229, 43, 197, 198, 106, 161, 33, 212,
+        208, 115, 26, 17, 120, 142, 109, 4, 169, 96, 121, 77, 195, 22, 234, 88, 152, 111, 14, 194,
+        138, 203, 230, 98, 246, 118, 136, 197, 146, 183, 236, 58, 171, 51, 16, 175, 216, 95, 69,
+        193, 125, 189, 124, 0, 181, 57, 156, 254, 28, 101, 13, 33, 69, 66, 238, 251, 217, 65, 79,
+        212, 221, 19, 193, 181, 93, 223, 139, 153, 232, 199, 169, 137, 207, 48, 171, 0, 216, 58,
+        123, 204, 40, 74, 88, 42, 201, 13, 100, 141, 197, 203, 93, 26, 17, 240, 245, 205, 13, 253,
+        224, 17, 68, 173, 182, 194, 2, 212, 123, 252, 110, 20, 144, 227, 108, 36, 239, 101, 31,
+        210, 19, 10, 168, 91, 195, 79, 93, 172, 119, 42, 195, 250, 242, 202, 254, 248, 129, 157,
+        98, 54, 75, 147, 80, 197, 152, 133, 30, 103, 10, 186, 67, 14, 240, 166, 84, 99, 113, 160,
+        71, 203, 37, 126, 224, 118, 188, 250, 5, 95, 114, 82, 171, 26, 229, 87, 108, 92, 67, 141,
+        239, 45, 79, 180, 228, 58, 161, 243, 83, 48, 13, 161, 201, 132, 229, 89, 183, 58, 161, 129,
+        79, 78, 198, 244, 213, 83, 143, 16, 12, 28, 32, 180, 45, 151, 13, 133, 82, 80, 177, 159,
+        18, 245, 167, 111, 50, 52, 132, 72, 122, 39, 160, 213, 195, 190, 214, 168, 104, 122, 90,
+        30, 188, 168, 38, 201, 150, 8, 66, 38, 4, 118, 53, 51, 191, 197, 36, 63, 170, 154, 92, 27,
+        133, 232, 199, 158, 6, 53, 242, 237, 24, 2, 152, 37, 19, 60, 216, 111, 131, 215, 240, 234,
+        166, 108, 126, 125, 23, 28, 11, 233, 76, 150, 214, 142, 165, 120, 92, 125, 44, 227, 186, 5,
+        175, 47, 123, 115, 140, 153, 116, 173, 54, 164, 199, 43, 82, 170, 121, 251, 223, 192, 215,
+        197, 139, 62, 117, 108, 78, 239, 58, 6, 0, 64, 187, 87, 18, 90, 35, 185, 110, 91, 136, 202,
+        107, 33, 212, 112, 82, 0, 104, 54, 163, 126, 226, 171, 1, 208, 88, 24, 111, 143, 89, 203,
+        144, 42, 118, 117, 161, 141, 124, 108, 75, 89, 118, 186, 194, 69, 6, 221, 105, 87, 225,
+        176, 190, 47, 55, 185, 77, 182, 226, 154, 186, 61,
     ];
     let ops = vec![
         Op::Write(vec![0]),

@@ -143,7 +143,9 @@ impl BitWords {
 
     /// Whether `id` is present.
     pub fn contains(&self, id: usize) -> bool {
-        self.words.get(id / 64).is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+        self.words
+            .get(id / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
     }
 
     /// Union `other` into `self`.
@@ -159,7 +161,9 @@ impl BitWords {
     /// Set ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &bits)| {
-            (0..64).filter(move |b| bits & (1u64 << b) != 0).map(move |b| w * 64 + b)
+            (0..64)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| w * 64 + b)
         })
     }
 }
@@ -230,7 +234,11 @@ impl CompressedChunk {
     /// Seal rows `range` of `c` into a compressed chunk. `scratch` is the
     /// caller's recycled `u64` staging vector (grown to the range length at
     /// most once, then reused across seals).
-    pub fn seal(c: &ColumnarTrace, range: std::ops::Range<usize>, scratch: &mut Vec<u64>) -> CompressedChunk {
+    pub fn seal(
+        c: &ColumnarTrace,
+        range: std::ops::Range<usize>,
+        scratch: &mut Vec<u64>,
+    ) -> CompressedChunk {
         let rows = range.len();
         let mut meta = ChunkMeta::default();
         for i in range.clone() {
@@ -243,14 +251,32 @@ impl CompressedChunk {
         };
         let r = range;
         let cols = [
-            encode(&mut |s| s.extend(c.rank[r.clone()].iter().map(|&v| v as u64)), 4),
-            encode(&mut |s| s.extend(c.node[r.clone()].iter().map(|&v| v as u64)), 4),
-            encode(&mut |s| s.extend(c.app[r.clone()].iter().map(|&v| v as u64)), 2),
-            encode(&mut |s| s.extend(c.layer[r.clone()].iter().map(|&v| v.code() as u64)), 1),
-            encode(&mut |s| s.extend(c.op[r.clone()].iter().map(|&v| v.code() as u64)), 1),
+            encode(
+                &mut |s| s.extend(c.rank[r.clone()].iter().map(|&v| v as u64)),
+                4,
+            ),
+            encode(
+                &mut |s| s.extend(c.node[r.clone()].iter().map(|&v| v as u64)),
+                4,
+            ),
+            encode(
+                &mut |s| s.extend(c.app[r.clone()].iter().map(|&v| v as u64)),
+                2,
+            ),
+            encode(
+                &mut |s| s.extend(c.layer[r.clone()].iter().map(|&v| v.code() as u64)),
+                1,
+            ),
+            encode(
+                &mut |s| s.extend(c.op[r.clone()].iter().map(|&v| v.code() as u64)),
+                1,
+            ),
             encode(&mut |s| s.extend_from_slice(&c.start[r.clone()]), 8),
             encode(&mut |s| s.extend_from_slice(&c.end[r.clone()]), 8),
-            encode(&mut |s| s.extend(c.file[r.clone()].iter().map(|&v| v as u64)), 4),
+            encode(
+                &mut |s| s.extend(c.file[r.clone()].iter().map(|&v| v as u64)),
+                4,
+            ),
             encode(&mut |s| s.extend_from_slice(&c.offset[r.clone()]), 8),
             encode(&mut |s| s.extend_from_slice(&c.bytes[r.clone()]), 8),
         ];
@@ -263,7 +289,11 @@ impl CompressedChunk {
     /// false the `node` column is skipped — nothing in the analyzer reads
     /// it, so the streaming path saves a tenth of the decode work
     /// (`out.node` is left empty; don't `validate` such a buffer).
-    pub fn decode_into(&self, out: &mut ColumnarTrace, decode_node: bool) -> Result<(), CodecError> {
+    pub fn decode_into(
+        &self,
+        out: &mut ColumnarTrace,
+        decode_node: bool,
+    ) -> Result<(), CodecError> {
         let n = self.rows;
         // Each call monomorphizes `decode_column_each` for its closure, so
         // the per-value emit inlines into the codec's decode loops.
@@ -326,12 +356,22 @@ impl CompressedChunk {
     /// by decoding once, so a chunk loaded from disk behaves exactly like
     /// one sealed live.
     pub fn from_encoded(cols: [Vec<u8>; 10], rows: usize) -> Result<CompressedChunk, CodecError> {
-        let mut chunk = CompressedChunk { rows, meta: ChunkMeta::default(), cols };
+        let mut chunk = CompressedChunk {
+            rows,
+            meta: ChunkMeta::default(),
+            cols,
+        };
         let mut buf = ColumnarTrace::with_capacity(rows);
         chunk.decode_into(&mut buf, false)?;
         let mut meta = ChunkMeta::default();
         for i in 0..rows {
-            meta.absorb(buf.rank[i], buf.app[i], buf.layer[i], buf.op[i], buf.file[i]);
+            meta.absorb(
+                buf.rank[i],
+                buf.app[i],
+                buf.layer[i],
+                buf.op[i],
+                buf.file[i],
+            );
         }
         chunk.meta = meta;
         Ok(chunk)
@@ -427,11 +467,23 @@ mod tests {
                 (i % 16) as u32,
                 (i % 4) as u32,
                 AppId((i % 3) as u16),
-                if i % 5 == 0 { Layer::Stdio } else { Layer::Posix },
-                if i % 7 == 0 { OpKind::Open } else { OpKind::Write },
+                if i % 5 == 0 {
+                    Layer::Stdio
+                } else {
+                    Layer::Posix
+                },
+                if i % 7 == 0 {
+                    OpKind::Open
+                } else {
+                    OpKind::Write
+                },
                 SimTime(i * 100),
                 SimTime(i * 100 + 50),
-                if i % 11 == 0 { None } else { Some(FileId((i % 9) as u32)) },
+                if i % 11 == 0 {
+                    None
+                } else {
+                    Some(FileId((i % 9) as u32))
+                },
                 i * 4096,
                 if i % 7 == 0 { 0 } else { 1 << 16 },
             );
@@ -516,7 +568,10 @@ mod tests {
         other.insert(5);
         other.insert(200);
         b.merge(&other);
-        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 1, 5, 63, 64, 129, 200]);
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![0, 1, 5, 63, 64, 129, 200]
+        );
     }
 
     #[test]
@@ -536,7 +591,10 @@ mod tests {
 
     #[test]
     fn resident_bound_scales_with_slots_and_rows() {
-        assert_eq!(resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS), 2 * 65536 * 64);
+        assert_eq!(
+            resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS),
+            2 * 65536 * 64
+        );
         assert!(resident_bound(1024, 2) < resident_bound(65536, 2));
     }
 }

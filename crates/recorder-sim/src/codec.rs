@@ -149,7 +149,10 @@ fn rle_len(values: &[u64]) -> usize {
 /// (1, 2, 4, or 8). Returns the smallest of the three schemes; ties prefer
 /// delta, then RLE, then raw, so the choice is deterministic.
 pub fn encode_column(values: &[u64], width: u8) -> Vec<u8> {
-    assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported column width {width}");
+    assert!(
+        matches!(width, 1 | 2 | 4 | 8),
+        "unsupported column width {width}"
+    );
     debug_assert!(
         width == 8 || values.iter().all(|&v| v >> (width * 8) == 0),
         "value exceeds declared column width"
@@ -209,7 +212,10 @@ pub fn decode_column_each(
     width: u8,
     mut emit: impl FnMut(u64),
 ) -> Result<(), CodecError> {
-    assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported column width {width}");
+    assert!(
+        matches!(width, 1 | 2 | 4 | 8),
+        "unsupported column width {width}"
+    );
     let (&tag, payload) = bytes.split_first().ok_or(CodecError::Truncated)?;
     let fits = |v: u64| width == 8 || v >> (width * 8) == 0;
     match tag {
@@ -285,7 +291,10 @@ pub fn decode_column_each(
                 return Err(CodecError::TrailingBytes);
             }
             if !fits(first) {
-                return Err(CodecError::ValueTooWide { value: first, width });
+                return Err(CodecError::ValueTooWide {
+                    value: first,
+                    width,
+                });
             }
             emit(first);
             let mut prev = first;
@@ -407,7 +416,11 @@ mod tests {
         let values: Vec<u64> = (0..5_000u64).map(|i| 1_000_000 + i * 37).collect();
         let enc = round_trip(&values, 8);
         assert_eq!(enc[0], TAG_DELTA);
-        assert!(enc.len() < values.len() * 2, "delta beats 8B/value: {}", enc.len());
+        assert!(
+            enc.len() < values.len() * 2,
+            "delta beats 8B/value: {}",
+            enc.len()
+        );
     }
 
     #[test]
@@ -427,13 +440,19 @@ mod tests {
         // Splitmix-style scramble: incompressible under all three schemes.
         let values: Vec<u64> = (0..1000u64)
             .map(|i| {
-                let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xbf58_476d_1ce4_e5b9);
+                let mut z = i
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0xbf58_476d_1ce4_e5b9);
                 z ^= z >> 30;
                 z.wrapping_mul(0x94d0_49bb_1331_11eb)
             })
             .collect();
         let enc = round_trip(&values, 8);
-        assert!(enc.len() <= 1 + 8 * values.len(), "never worse than raw: {}", enc.len());
+        assert!(
+            enc.len() <= 1 + 8 * values.len(),
+            "never worse than raw: {}",
+            enc.len()
+        );
     }
 
     #[test]
@@ -463,7 +482,10 @@ mod tests {
         put_varint(&mut forged, 4);
         assert_eq!(
             decode_column(&forged, 4, 1),
-            Err(CodecError::ValueTooWide { value: 300, width: 1 })
+            Err(CodecError::ValueTooWide {
+                value: 300,
+                width: 1
+            })
         );
     }
 
@@ -501,7 +523,17 @@ mod tests {
 
     #[test]
     fn zigzag_is_an_involution() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            -(1 << 40),
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }
@@ -530,18 +562,22 @@ mod tests {
             state
         };
         for width in [1u8, 2, 4, 8] {
-            let mask = if width == 8 { u64::MAX } else { (1u64 << (width * 8)) - 1 };
+            let mask = if width == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (width * 8)) - 1
+            };
             for len in [0usize, 1, 2, 3, 100, 4097] {
                 for shape in 0..4 {
                     let mut acc = 0u64;
                     let values: Vec<u64> = (0..len)
                         .map(|i| match shape {
-                            0 => next() % 3,                        // low cardinality
-                            1 => (i as u64 / 97) & mask,            // step function
-                            2 => next() & mask,                     // random
+                            0 => next() % 3,             // low cardinality
+                            1 => (i as u64 / 97) & mask, // step function
+                            2 => next() & mask,          // random
                             _ => {
                                 acc = acc.wrapping_add(next() % 16) & mask;
-                                acc                                  // monotone-ish
+                                acc // monotone-ish
                             }
                         })
                         .collect();

@@ -169,7 +169,11 @@ impl ColumnarTrace {
     }
 
     /// Convert raw records to columns.
-    pub fn from_records(records: &[TraceRecord], file_paths: Vec<String>, app_names: Vec<String>) -> Self {
+    pub fn from_records(
+        records: &[TraceRecord],
+        file_paths: Vec<String>,
+        app_names: Vec<String>,
+    ) -> Self {
         let n = records.len();
         let mut c = ColumnarTrace {
             rank: Vec::with_capacity(n),
@@ -291,7 +295,12 @@ impl ColumnarTrace {
 
     /// Sum of `bytes` over a selection.
     pub fn sum_bytes(&self, sel: &[u32]) -> u64 {
-        par::par_reduce(sel, || 0u64, |acc, &i| acc + self.bytes[i as usize], |a, b| a + b)
+        par::par_reduce(
+            sel,
+            || 0u64,
+            |acc, &i| acc + self.bytes[i as usize],
+            |a, b| a + b,
+        )
     }
 
     /// Sum of durations over a selection.
@@ -311,7 +320,11 @@ impl ColumnarTrace {
 
     /// Sum of durations over a bitmap selection.
     pub fn sum_time_sel(&self, sel: &Selection) -> Dur {
-        Dur(sel.fold_shards(|| 0u64, |acc, i| *acc += self.end[i] - self.start[i], |a, b| *a += b))
+        Dur(sel.fold_shards(
+            || 0u64,
+            |acc, i| *acc += self.end[i] - self.start[i],
+            |a, b| *a += b,
+        ))
     }
 
     /// Generic group-by over a bitmap selection.
@@ -392,7 +405,12 @@ impl ColumnarTrace {
 
     /// Latest end over the whole trace.
     pub fn t_max(&self) -> SimTime {
-        SimTime(par::par_reduce(&self.end, || 0u64, |acc, &t| acc.max(t), |a, b| a.max(b)))
+        SimTime(par::par_reduce(
+            &self.end,
+            || 0u64,
+            |acc, &t| acc.max(t),
+            |a, b| a.max(b),
+        ))
     }
 }
 
@@ -444,12 +462,67 @@ mod tests {
         let f1 = t.file_id("/b");
         let app = t.app_id("app");
         // rank 0: open, write 100 B (1 s), close on /a
-        t.record(0, 0, app, Layer::Posix, OpKind::Open, SimTime(0), SimTime(10), Some(f0), 0, 0);
-        t.record(0, 0, app, Layer::Posix, OpKind::Write, SimTime(10), SimTime(1_000_000_010), Some(f0), 0, 100);
-        t.record(0, 0, app, Layer::Posix, OpKind::Close, SimTime(1_000_000_010), SimTime(1_000_000_020), Some(f0), 0, 0);
+        t.record(
+            0,
+            0,
+            app,
+            Layer::Posix,
+            OpKind::Open,
+            SimTime(0),
+            SimTime(10),
+            Some(f0),
+            0,
+            0,
+        );
+        t.record(
+            0,
+            0,
+            app,
+            Layer::Posix,
+            OpKind::Write,
+            SimTime(10),
+            SimTime(1_000_000_010),
+            Some(f0),
+            0,
+            100,
+        );
+        t.record(
+            0,
+            0,
+            app,
+            Layer::Posix,
+            OpKind::Close,
+            SimTime(1_000_000_010),
+            SimTime(1_000_000_020),
+            Some(f0),
+            0,
+            0,
+        );
         // rank 1: read 50 B on /b, compute
-        t.record(1, 0, app, Layer::Stdio, OpKind::Read, SimTime(0), SimTime(500), Some(f1), 0, 50);
-        t.record(1, 0, app, Layer::App, OpKind::Compute, SimTime(500), SimTime(10_000), None, 0, 0);
+        t.record(
+            1,
+            0,
+            app,
+            Layer::Stdio,
+            OpKind::Read,
+            SimTime(0),
+            SimTime(500),
+            Some(f1),
+            0,
+            50,
+        );
+        t.record(
+            1,
+            0,
+            app,
+            Layer::App,
+            OpKind::Compute,
+            SimTime(500),
+            SimTime(10_000),
+            None,
+            0,
+            0,
+        );
         t
     }
 
@@ -512,10 +585,18 @@ mod tests {
                         node: r.uniform_u64(0, 4) as u32,
                         app: AppId(0),
                         layer: Layer::Posix,
-                        op: if bytes % 2 == 0 { OpKind::Read } else { OpKind::Open },
+                        op: if bytes % 2 == 0 {
+                            OpKind::Read
+                        } else {
+                            OpKind::Open
+                        },
                         start: SimTime(start),
                         end: SimTime(start + dur),
-                        file: if bytes % 3 == 0 { None } else { Some(FileId(rank)) },
+                        file: if bytes % 3 == 0 {
+                            None
+                        } else {
+                            Some(FileId(rank))
+                        },
                         offset: r.uniform_u64(0, 4096),
                         bytes,
                     }
@@ -532,13 +613,22 @@ mod tests {
         let c = ColumnarTrace::from_tracer(&sample_trace());
         assert_eq!(c.io_mask().to_indices(), c.io_ops());
         assert_eq!(c.data_mask(None).to_indices(), c.data_ops(None));
-        assert_eq!(c.meta_mask(Some(Layer::Posix)).to_indices(), c.meta_ops(Some(Layer::Posix)));
+        assert_eq!(
+            c.meta_mask(Some(Layer::Posix)).to_indices(),
+            c.meta_ops(Some(Layer::Posix))
+        );
         let data = c.data_ops(None);
         let dmask = c.data_mask(None);
         assert_eq!(c.sum_bytes_sel(&dmask), c.sum_bytes(&data));
         assert_eq!(c.sum_time_sel(&dmask), c.sum_time(&data));
-        assert_eq!(c.group_by_sel(&dmask, |i| c.file[i]), c.group_by_file(&data));
-        assert_eq!(c.group_by_sel(&dmask, |i| c.rank[i]), c.group_by_rank(&data));
+        assert_eq!(
+            c.group_by_sel(&dmask, |i| c.file[i]),
+            c.group_by_file(&data)
+        );
+        assert_eq!(
+            c.group_by_sel(&dmask, |i| c.rank[i]),
+            c.group_by_rank(&data)
+        );
     }
 
     /// Bitmap aggregation over a large randomized trace, across worker
@@ -554,7 +644,11 @@ mod tests {
                     node: 0,
                     app: AppId(0),
                     layer: Layer::Posix,
-                    op: if bytes % 3 == 0 { OpKind::Open } else { OpKind::Write },
+                    op: if bytes % 3 == 0 {
+                        OpKind::Open
+                    } else {
+                        OpKind::Write
+                    },
                     start: SimTime(i as u64),
                     end: SimTime(i as u64 + 1 + bytes / 7),
                     file: Some(FileId((bytes % 17) as u32)),
@@ -569,7 +663,11 @@ mod tests {
             let sel = c.data_ops(None);
             let mask = c.data_mask(None);
             assert_eq!(mask.to_indices(), sel, "threads={threads}");
-            assert_eq!(c.sum_bytes_sel(&mask), c.sum_bytes(&sel), "threads={threads}");
+            assert_eq!(
+                c.sum_bytes_sel(&mask),
+                c.sum_bytes(&sel),
+                "threads={threads}"
+            );
             assert_eq!(
                 c.group_by_sel(&mask, |i| c.rank[i]),
                 c.group_by_rank(&sel),

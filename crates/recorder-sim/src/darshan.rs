@@ -169,11 +169,66 @@ mod tests {
         let mut t = Tracer::new();
         let f = t.file_id("/p/gpfs1/a");
         let a = t.app_id("app");
-        t.record(0, 0, a, Layer::Posix, OpKind::Open, SimTime(0), SimTime(100), Some(f), 0, 0);
-        t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(100), SimTime(300), Some(f), 0, 4096);
-        t.record(1, 0, a, Layer::Posix, OpKind::Read, SimTime(150), SimTime(250), Some(f), 0, 1024);
-        t.record(0, 0, a, Layer::Posix, OpKind::Seek, SimTime(300), SimTime(301), Some(f), 512, 0);
-        t.record(0, 0, a, Layer::Posix, OpKind::Close, SimTime(301), SimTime(400), Some(f), 0, 0);
+        t.record(
+            0,
+            0,
+            a,
+            Layer::Posix,
+            OpKind::Open,
+            SimTime(0),
+            SimTime(100),
+            Some(f),
+            0,
+            0,
+        );
+        t.record(
+            0,
+            0,
+            a,
+            Layer::Posix,
+            OpKind::Write,
+            SimTime(100),
+            SimTime(300),
+            Some(f),
+            0,
+            4096,
+        );
+        t.record(
+            1,
+            0,
+            a,
+            Layer::Posix,
+            OpKind::Read,
+            SimTime(150),
+            SimTime(250),
+            Some(f),
+            0,
+            1024,
+        );
+        t.record(
+            0,
+            0,
+            a,
+            Layer::Posix,
+            OpKind::Seek,
+            SimTime(300),
+            SimTime(301),
+            Some(f),
+            512,
+            0,
+        );
+        t.record(
+            0,
+            0,
+            a,
+            Layer::Posix,
+            OpKind::Close,
+            SimTime(301),
+            SimTime(400),
+            Some(f),
+            0,
+            0,
+        );
         t.records().to_vec()
     }
 
@@ -213,8 +268,30 @@ mod tests {
             let mut t = Tracer::new();
             let f = t.file_id("/f");
             let a = t.app_id("app");
-            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(0), SimTime(10), Some(f), 0, 100);
-            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(gap), SimTime(gap + 10), Some(f), 100, 100);
+            t.record(
+                0,
+                0,
+                a,
+                Layer::Posix,
+                OpKind::Write,
+                SimTime(0),
+                SimTime(10),
+                Some(f),
+                0,
+                100,
+            );
+            t.record(
+                0,
+                0,
+                a,
+                Layer::Posix,
+                OpKind::Write,
+                SimTime(gap),
+                SimTime(gap + 10),
+                Some(f),
+                100,
+                100,
+            );
             t.records().to_vec()
         };
         let burst = mk(10); // one phase

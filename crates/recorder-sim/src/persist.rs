@@ -197,12 +197,18 @@ pub fn save_tracer(t: &Tracer, path: &Path) -> io::Result<()> {
 /// mis-attribute every field after the divergence point.
 pub fn load_tracer(path: &Path) -> Result<Tracer, TraceLoadError> {
     let json = fs::read_to_string(path)?;
-    let mut t: Tracer = vani_rt::json::from_str(&json).map_err(|cause| TraceLoadError::Malformed {
-        context: "row-major trace".to_string(),
-        cause,
-    })?;
+    let mut t: Tracer =
+        vani_rt::json::from_str(&json).map_err(|cause| TraceLoadError::Malformed {
+            context: "row-major trace".to_string(),
+            cause,
+        })?;
     if let Err((column, len, rows)) = t.columnar().validate() {
-        return Err(TraceLoadError::ColumnMismatch { group: 0, column, len, rows });
+        return Err(TraceLoadError::ColumnMismatch {
+            group: 0,
+            column,
+            len,
+            rows,
+        });
     }
     t.rebuild_index();
     Ok(t)
@@ -241,7 +247,10 @@ pub fn render_rowgroups(c: &ColumnarTrace, group_rows: usize) -> String {
             ("offset", col_json(&c.offset[lo..hi])),
             ("bytes", col_json(&c.bytes[lo..hi])),
         ];
-        let checksums: Vec<u64> = cols.iter().map(|(_, j)| fnv1a(j.render().as_bytes())).collect();
+        let checksums: Vec<u64> = cols
+            .iter()
+            .map(|(_, j)| fnv1a(j.render().as_bytes()))
+            .collect();
         let line = Json::obj([
             ("rows", ((hi - lo) as u64).to_json()),
             ("checksums", checksums.to_json()),
@@ -270,8 +279,9 @@ pub fn render_chunked(t: &ChunkedTrace) -> String {
     out.push('\n');
     for chunk in &t.chunks {
         let checksums: Vec<u64> = (0..COLUMNS.len()).map(|i| fnv1a(chunk.column(i))).collect();
-        let cols: Vec<Json> =
-            (0..COLUMNS.len()).map(|i| Json::Str(codec::to_hex(chunk.column(i)))).collect();
+        let cols: Vec<Json> = (0..COLUMNS.len())
+            .map(|i| Json::Str(codec::to_hex(chunk.column(i))))
+            .collect();
         let line = Json::obj([
             ("rows", (chunk.rows as u64).to_json()),
             ("checksums", checksums.to_json()),
@@ -286,7 +296,10 @@ pub fn render_chunked(t: &ChunkedTrace) -> String {
 /// Save a columnar trace in the self-verifying row-group layout (v2:
 /// sealed into [`GROUP_ROWS`]-row compressed chunks first).
 pub fn save_columnar(c: &ColumnarTrace, path: &Path) -> io::Result<()> {
-    fs::write(path, render_chunked(&ChunkedTrace::from_columnar(c, GROUP_ROWS)))
+    fs::write(
+        path,
+        render_chunked(&ChunkedTrace::from_columnar(c, GROUP_ROWS)),
+    )
 }
 
 /// Save an already-chunked trace verbatim (capture chunks map 1:1 onto
@@ -319,7 +332,10 @@ fn load_group(j: &Json, g: u64, out: &mut ColumnarTrace) -> Result<u64, TraceLoa
     for (ci, name) in COLUMNS.iter().enumerate() {
         let col = columns.field(name).map_err(malformed)?;
         if fnv1a(col.render().as_bytes()) != checksums[ci] {
-            return Err(TraceLoadError::BadChecksum { group: g, column: name.to_string() });
+            return Err(TraceLoadError::BadChecksum {
+                group: g,
+                column: name.to_string(),
+            });
         }
     }
     let mut part = ColumnarTrace {
@@ -381,8 +397,10 @@ struct RgHeader {
 }
 
 fn parse_header(header_line: &str) -> Result<RgHeader, TraceLoadError> {
-    let malformed =
-        |cause: JsonError| TraceLoadError::Malformed { context: "header".to_string(), cause };
+    let malformed = |cause: JsonError| TraceLoadError::Malformed {
+        context: "header".to_string(),
+        cause,
+    };
     let header = Json::parse(header_line.trim_end()).map_err(malformed)?;
     let format: String = header.decode_field("format").map_err(malformed)?;
     if format != ROWGROUP_FORMAT {
@@ -428,7 +446,10 @@ fn load_group_v2(j: &Json, g: u64) -> Result<CompressedChunk, TraceLoadError> {
             detail: format!("column `{}` is not valid hex", COLUMNS[ci]),
         })?;
         if fnv1a(&bytes) != checksums[ci] {
-            return Err(TraceLoadError::BadChecksum { group: g, column: COLUMNS[ci].to_string() });
+            return Err(TraceLoadError::BadChecksum {
+                group: g,
+                column: COLUMNS[ci].to_string(),
+            });
         }
         cols[ci] = bytes;
     }
@@ -526,9 +547,12 @@ fn parse_rowgroups(
                 // Decode into a staging trace first: a failure must not
                 // leave `out` with ragged columns.
                 let mut part = ColumnarTrace::default();
-                chunk.decode_into(&mut part, true).map_err(|e| {
-                    TraceLoadError::Codec { group: g, detail: e.to_string() }
-                })?;
+                chunk
+                    .decode_into(&mut part, true)
+                    .map_err(|e| TraceLoadError::Codec {
+                        group: g,
+                        detail: e.to_string(),
+                    })?;
                 out.rank.append(&mut part.rank);
                 out.node.append(&mut part.node);
                 out.app.append(&mut part.app);
@@ -665,7 +689,18 @@ mod tests {
         let mut t = Tracer::new();
         let f = t.file_id("/p/gpfs1/x");
         let a = t.app_id("hacc");
-        t.record(3, 1, a, Layer::Posix, OpKind::Write, SimTime(5), SimTime(10), Some(f), 0, 42);
+        t.record(
+            3,
+            1,
+            a,
+            Layer::Posix,
+            OpKind::Write,
+            SimTime(5),
+            SimTime(10),
+            Some(f),
+            0,
+            42,
+        );
         let p = tmp("trace.json");
         save_tracer(&t, &p).unwrap();
         let back = load_tracer(&p).unwrap();
@@ -709,10 +744,16 @@ mod tests {
         fs::write(&p, &text[..cut]).unwrap();
         let err = load_columnar(&p).expect_err("truncated file must be rejected");
         assert!(
-            matches!(err, TraceLoadError::Malformed { .. } | TraceLoadError::Truncated { .. }),
+            matches!(
+                err,
+                TraceLoadError::Malformed { .. } | TraceLoadError::Truncated { .. }
+            ),
             "unexpected error: {err}"
         );
-        assert!(err.to_string().contains("byte"), "error carries byte context: {err}");
+        assert!(
+            err.to_string().contains("byte"),
+            "error carries byte context: {err}"
+        );
         let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
         assert!(!comp.is_complete());
         assert_eq!(comp.expected_records, 25);
@@ -736,7 +777,11 @@ mod tests {
         let group = Json::parse(lines[1]).unwrap();
         let rows: u64 = group.decode_field("rows").unwrap();
         let mut checksums: Vec<u64> = group.decode_field("checksums").unwrap();
-        let mut node: Vec<u32> = group.field("columns").unwrap().decode_field("node").unwrap();
+        let mut node: Vec<u32> = group
+            .field("columns")
+            .unwrap()
+            .decode_field("node")
+            .unwrap();
         node.pop();
         checksums[1] = fnv1a(col_json(&node).render().as_bytes());
         let columns = group.field("columns").unwrap();
@@ -760,7 +805,9 @@ mod tests {
         fs::write(&p, lines.join("\n")).unwrap();
         let err = load_columnar(&p).expect_err("mismatched columns must be rejected");
         match err {
-            TraceLoadError::ColumnMismatch { column, len, rows, .. } => {
+            TraceLoadError::ColumnMismatch {
+                column, len, rows, ..
+            } => {
                 assert_eq!(column, "node");
                 assert_eq!(len, 5);
                 assert_eq!(rows, 6);
@@ -789,11 +836,17 @@ mod tests {
         fs::write(&p, doctored.join("\n")).unwrap();
         let err = load_columnar(&p).expect_err("corrupt payload must be rejected");
         assert!(
-            matches!(err, TraceLoadError::BadChecksum { .. } | TraceLoadError::ColumnMismatch { .. }),
+            matches!(
+                err,
+                TraceLoadError::BadChecksum { .. } | TraceLoadError::ColumnMismatch { .. }
+            ),
             "unexpected error: {err}"
         );
         let (salvaged, comp) = load_columnar_salvaged(&p).unwrap();
-        assert_eq!(comp.loaded_groups, 6, "all groups before the corrupt one salvage");
+        assert_eq!(
+            comp.loaded_groups, 6,
+            "all groups before the corrupt one salvage"
+        );
         assert_eq!(comp.loaded_records, 24);
         assert_eq!(salvaged.rank.len(), 24);
         fs::remove_file(&p).unwrap();
@@ -807,7 +860,11 @@ mod tests {
         save_chunked(&t, &p).unwrap();
         let back = load_chunked(&p).unwrap();
         assert_eq!(back.chunk_rows, 4);
-        assert_eq!(back.chunks.len(), 7, "chunk boundaries survive the disk trip");
+        assert_eq!(
+            back.chunks.len(),
+            7,
+            "chunk boundaries survive the disk trip"
+        );
         assert_eq!(back, t);
         // The materializing loader agrees with the original columns.
         assert_eq!(load_columnar(&p).unwrap(), c);
@@ -833,7 +890,10 @@ mod tests {
         fs::write(&p, doctored.join("\n")).unwrap();
         let err = load_columnar(&p).expect_err("corrupt v2 payload must be rejected");
         assert!(
-            matches!(err, TraceLoadError::BadChecksum { .. } | TraceLoadError::Codec { .. }),
+            matches!(
+                err,
+                TraceLoadError::BadChecksum { .. } | TraceLoadError::Codec { .. }
+            ),
             "unexpected error: {err}"
         );
         // Both salvage entries recover exactly the intact prefix groups.
@@ -844,7 +904,10 @@ mod tests {
         let (chunked, comp2) = load_chunked_salvaged(&p).unwrap();
         assert_eq!(comp2, comp);
         assert_eq!(chunked.chunks.len(), 6);
-        assert_eq!(chunked.to_columnar().unwrap().to_records(), c.to_records()[..24].to_vec());
+        assert_eq!(
+            chunked.to_columnar().unwrap().to_records(),
+            c.to_records()[..24].to_vec()
+        );
         fs::remove_file(&p).unwrap();
     }
 
@@ -869,7 +932,18 @@ mod tests {
         let f = t.file_id("/z");
         let a = t.app_id("w");
         for i in 0..4 {
-            t.record(i, 0, a, Layer::Posix, OpKind::Write, SimTime(0), SimTime(1), Some(f), 0, 1);
+            t.record(
+                i,
+                0,
+                a,
+                Layer::Posix,
+                OpKind::Write,
+                SimTime(0),
+                SimTime(1),
+                Some(f),
+                0,
+                1,
+            );
         }
         let p = tmp("zip.trace.json");
         save_tracer(&t, &p).unwrap();
@@ -877,11 +951,16 @@ mod tests {
         // JSON, but the columns no longer agree.
         let text = fs::read_to_string(&p).unwrap();
         let doctored = text.replacen("\"node\":[0,0,0,0]", "\"node\":[0,0,0]", 1);
-        assert_ne!(text, doctored, "fixture must actually change the node column");
+        assert_ne!(
+            text, doctored,
+            "fixture must actually change the node column"
+        );
         fs::write(&p, doctored).unwrap();
         let err = load_tracer(&p).expect_err("zipped columns must be rejected");
         match err {
-            TraceLoadError::ColumnMismatch { column, len, rows, .. } => {
+            TraceLoadError::ColumnMismatch {
+                column, len, rows, ..
+            } => {
                 assert_eq!(column, "node");
                 assert_eq!(len, 3);
                 assert_eq!(rows, 4);

@@ -358,7 +358,9 @@ impl FromJson for OpKind {
             "Checkpoint" => Ok(OpKind::Checkpoint),
             "Crash" => Ok(OpKind::Crash),
             "RestartEpoch" => Ok(OpKind::RestartEpoch),
-            other => Err(JsonError::shape(format!("unknown OpKind variant `{other}`"))),
+            other => Err(JsonError::shape(format!(
+                "unknown OpKind variant `{other}`"
+            ))),
         }
     }
 }
@@ -436,17 +438,39 @@ mod tests {
 
     #[test]
     fn layer_and_op_codes_round_trip_and_stay_dense() {
-        let layers = [Layer::App, Layer::HighLevel, Layer::MpiIo, Layer::Stdio, Layer::Posix, Layer::Middleware];
+        let layers = [
+            Layer::App,
+            Layer::HighLevel,
+            Layer::MpiIo,
+            Layer::Stdio,
+            Layer::Posix,
+            Layer::Middleware,
+        ];
         for (i, l) in layers.iter().enumerate() {
             assert_eq!(l.code() as usize, i, "layer codes are declaration-dense");
             assert_eq!(Layer::from_code(l.code()), Some(*l));
         }
         assert_eq!(Layer::from_code(6), None);
         let ops = [
-            OpKind::Read, OpKind::Write, OpKind::Open, OpKind::Create, OpKind::Close,
-            OpKind::Stat, OpKind::Seek, OpKind::Sync, OpKind::Unlink, OpKind::Mkdir,
-            OpKind::Compute, OpKind::GpuCompute, OpKind::MpiColl, OpKind::MpiP2p,
-            OpKind::Fault, OpKind::Retry, OpKind::Checkpoint, OpKind::Crash, OpKind::RestartEpoch,
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::Open,
+            OpKind::Create,
+            OpKind::Close,
+            OpKind::Stat,
+            OpKind::Seek,
+            OpKind::Sync,
+            OpKind::Unlink,
+            OpKind::Mkdir,
+            OpKind::Compute,
+            OpKind::GpuCompute,
+            OpKind::MpiColl,
+            OpKind::MpiP2p,
+            OpKind::Fault,
+            OpKind::Retry,
+            OpKind::Checkpoint,
+            OpKind::Crash,
+            OpKind::RestartEpoch,
         ];
         for (i, op) in ops.iter().enumerate() {
             assert_eq!(op.code() as usize, i, "op codes are declaration-dense");

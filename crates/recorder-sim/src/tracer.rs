@@ -54,7 +54,13 @@ impl AdaptiveSampler {
     /// backs off only if the stream proves too hot.
     pub fn new(budget: f64) -> AdaptiveSampler {
         assert!(budget > 0.0, "sampler budget must be positive");
-        AdaptiveSampler { budget, stride: 1, seen: 0, admitted_in_window: 0, window_start: SimTime::ZERO }
+        AdaptiveSampler {
+            budget,
+            stride: 1,
+            seen: 0,
+            admitted_in_window: 0,
+            window_start: SimTime::ZERO,
+        }
     }
 
     /// Admission decision for the next offered record starting at `start`.
@@ -70,7 +76,13 @@ impl AdaptiveSampler {
         if self.seen % SAMPLER_WINDOW == 0 {
             let span = start.since(self.window_start).as_secs_f64();
             let spent = self.admitted_in_window as f64 * per_record_overhead.as_secs_f64();
-            let frac = if span > 0.0 { spent / span } else if spent > 0.0 { f64::INFINITY } else { 0.0 };
+            let frac = if span > 0.0 {
+                spent / span
+            } else if spent > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
             if frac > self.budget {
                 self.stride = (self.stride * 2).min(SAMPLER_MAX_STRIDE);
             } else if frac < self.budget / 2.0 {
@@ -169,7 +181,10 @@ impl Tracer {
     /// [`records`]: Self::records
     pub fn enable_chunked(&mut self, chunk_rows: usize) {
         assert!(chunk_rows > 0, "chunk_rows must be positive");
-        assert!(self.cols.is_empty(), "enable_chunked before capturing records");
+        assert!(
+            self.cols.is_empty(),
+            "enable_chunked before capturing records"
+        );
         if self.chunked.is_some() {
             return;
         }
@@ -219,9 +234,16 @@ impl Tracer {
     /// called — a batch tracer's columns convert via
     /// [`crate::chunk::ChunkedTrace::from_columnar`] instead.
     pub fn into_chunked(mut self) -> ChunkedTrace {
-        let mut cs = self.chunked.take().expect("into_chunked requires enable_chunked");
+        let mut cs = self
+            .chunked
+            .take()
+            .expect("into_chunked requires enable_chunked");
         if !self.cols.is_empty() {
-            cs.chunks.push(CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch));
+            cs.chunks.push(CompressedChunk::seal(
+                &self.cols,
+                0..self.cols.len(),
+                &mut cs.scratch,
+            ));
         }
         ChunkedTrace {
             chunk_rows: cs.chunk_rows,
@@ -332,7 +354,11 @@ impl Tracer {
             .push_row(rank, node, app, layer, op, start, end, file, offset, bytes);
         if let Some(cs) = &mut self.chunked {
             if self.cols.len() >= cs.chunk_rows {
-                cs.chunks.push(CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch));
+                cs.chunks.push(CompressedChunk::seal(
+                    &self.cols,
+                    0..self.cols.len(),
+                    &mut cs.scratch,
+                ));
                 self.cols.clear_rows();
             }
         }
@@ -464,8 +490,30 @@ mod tests {
         let mut t = Tracer::new();
         let f = t.file_id("/f");
         let a = t.app_id("app");
-        t.record(2, 1, a, Layer::Posix, OpKind::Write, SimTime(5), SimTime(9), Some(f), 64, 128);
-        t.record(2, 1, a, Layer::Posix, OpKind::Close, SimTime(9), SimTime(10), Some(f), 0, 0);
+        t.record(
+            2,
+            1,
+            a,
+            Layer::Posix,
+            OpKind::Write,
+            SimTime(5),
+            SimTime(9),
+            Some(f),
+            64,
+            128,
+        );
+        t.record(
+            2,
+            1,
+            a,
+            Layer::Posix,
+            OpKind::Close,
+            SimTime(9),
+            SimTime(10),
+            Some(f),
+            0,
+            0,
+        );
         // Columns are filled directly ...
         assert_eq!(t.columnar().bytes, vec![128, 0]);
         assert_eq!(t.columnar().op, vec![OpKind::Write, OpKind::Close]);
@@ -539,8 +587,16 @@ mod tests {
                 (i % 4) as u32,
                 0,
                 a,
-                if i % 3 == 0 { Layer::Stdio } else { Layer::Posix },
-                if i % 5 == 0 { OpKind::Open } else { OpKind::Write },
+                if i % 3 == 0 {
+                    Layer::Stdio
+                } else {
+                    Layer::Posix
+                },
+                if i % 5 == 0 {
+                    OpKind::Open
+                } else {
+                    OpKind::Write
+                },
                 SimTime(i * 1000),
                 SimTime(i * 1000 + 400),
                 Some(if i % 2 == 0 { f } else { g }),
@@ -560,7 +616,11 @@ mod tests {
             assert!(chunked.sealed_chunks() >= 10_000 / chunk_rows);
             let ct = chunked.into_chunked();
             assert_eq!(ct.len(), 10_000);
-            assert_eq!(ct.to_columnar().expect("decodes"), batch.to_columnar(), "chunk_rows={chunk_rows}");
+            assert_eq!(
+                ct.to_columnar().expect("decodes"),
+                batch.to_columnar(),
+                "chunk_rows={chunk_rows}"
+            );
         }
     }
 
@@ -571,8 +631,16 @@ mod tests {
     fn chunked_reserve_clamps_to_one_chunk() {
         let mut t = Tracer::with_chunked(1024);
         t.reserve(1_000_000);
-        assert!(t.cols.rank.capacity() <= 2 * 1024, "capacity {}", t.cols.rank.capacity());
-        assert!(t.cols.bytes.capacity() <= 2 * 1024, "capacity {}", t.cols.bytes.capacity());
+        assert!(
+            t.cols.rank.capacity() <= 2 * 1024,
+            "capacity {}",
+            t.cols.rank.capacity()
+        );
+        assert!(
+            t.cols.bytes.capacity() <= 2 * 1024,
+            "capacity {}",
+            t.cols.bytes.capacity()
+        );
         // Batch mode keeps honoring the full hint.
         let mut b = Tracer::new();
         b.reserve(100_000);
@@ -584,7 +652,10 @@ mod tests {
         let mut t = Tracer::with_chunked(256);
         feed(&mut t, 5_000);
         assert!(t.cols.len() < 256, "live tail only: {}", t.cols.len());
-        assert!(t.cols.rank.capacity() <= 512, "buffer recycled, not regrown");
+        assert!(
+            t.cols.rank.capacity() <= 512,
+            "buffer recycled, not regrown"
+        );
         assert_eq!(t.sealed_chunks(), 5_000 / 256);
     }
 
@@ -607,13 +678,28 @@ mod tests {
             t.set_sampler_budget(Some(0.08));
             let a = t.app_id("app");
             for i in 0..100_000u64 {
-                t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime(i), SimTime(i + 1), None, 0, 64);
+                t.record(
+                    0,
+                    0,
+                    a,
+                    Layer::Posix,
+                    OpKind::Write,
+                    SimTime(i),
+                    SimTime(i + 1),
+                    None,
+                    0,
+                    64,
+                );
             }
             (t.len(), t.sampler().unwrap().stride())
         };
         let (len1, stride1) = run();
         let (len2, stride2) = run();
-        assert_eq!((len1, stride1), (len2, stride2), "sampling is deterministic");
+        assert_eq!(
+            (len1, stride1),
+            (len2, stride2),
+            "sampling is deterministic"
+        );
         assert!(stride1 > 1, "hot stream must raise the stride");
         assert!(len1 < 100_000 / 4, "most records dropped: {len1}");
     }
@@ -626,7 +712,18 @@ mod tests {
         t.set_sampler_budget(Some(0.08));
         let a = t.app_id("app");
         for i in 0..5_000u64 {
-            t.record(0, 0, a, Layer::Posix, OpKind::Write, SimTime::from_secs(i), SimTime::from_secs(i) + Dur::from_millis(1), None, 0, 64);
+            t.record(
+                0,
+                0,
+                a,
+                Layer::Posix,
+                OpKind::Write,
+                SimTime::from_secs(i),
+                SimTime::from_secs(i) + Dur::from_millis(1),
+                None,
+                0,
+                64,
+            );
         }
         assert_eq!(t.sampler().unwrap().stride(), 1);
         assert_eq!(t.len(), 5_000);

@@ -48,7 +48,10 @@ pub struct JsonError {
 impl JsonError {
     /// A structural error (wrong shape/type), not tied to an input offset.
     pub fn shape(msg: impl Into<String>) -> Self {
-        JsonError { msg: msg.into(), at: 0 }
+        JsonError {
+            msg: msg.into(),
+            at: 0,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ impl Json {
     /// Parse a JSON document (must be a single value with only trailing
     /// whitespace after it).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -88,8 +94,10 @@ impl Json {
 
     /// Parse from raw bytes (must be UTF-8).
     pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| JsonError { msg: format!("invalid utf-8: {e}"), at: e.valid_up_to() })?;
+        let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+            msg: format!("invalid utf-8: {e}"),
+            at: e.valid_up_to(),
+        })?;
         Json::parse(text)
     }
 
@@ -151,7 +159,12 @@ impl Json {
 
     /// Build an object from `(name, value)` pairs.
     pub fn obj<'a>(members: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Member lookup on an object.
@@ -170,15 +183,20 @@ impl Json {
 
     /// Decode a required member.
     pub fn decode_field<T: FromJson>(&self, name: &str) -> Result<T, JsonError> {
-        T::from_json(self.field(name)?)
-            .map_err(|e| JsonError { msg: format!("field `{name}`: {}", e.msg), at: e.at })
+        T::from_json(self.field(name)?).map_err(|e| JsonError {
+            msg: format!("field `{name}`: {}", e.msg),
+            at: e.at,
+        })
     }
 
     /// The array items, or a shape error.
     pub fn as_arr(&self) -> Result<&[Json], JsonError> {
         match self {
             Json::Arr(items) => Ok(items),
-            other => Err(JsonError::shape(format!("expected array, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -186,7 +204,10 @@ impl Json {
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
             Json::Str(s) => Ok(s),
-            other => Err(JsonError::shape(format!("expected string, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -195,7 +216,10 @@ impl Json {
         match self {
             Json::Int(n) => Ok(*n as f64),
             Json::Float(x) => Ok(*x),
-            other => Err(JsonError::shape(format!("expected number, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -203,7 +227,10 @@ impl Json {
     pub fn as_int(&self) -> Result<i128, JsonError> {
         match self {
             Json::Int(n) => Ok(*n),
-            other => Err(JsonError::shape(format!("expected integer, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -247,7 +274,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> JsonError {
-        JsonError { msg: msg.into(), at: self.i }
+        JsonError {
+            msg: msg.into(),
+            at: self.i,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -482,7 +512,10 @@ impl FromJson for bool {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         match j {
             Json::Bool(b) => Ok(*b),
-            other => Err(JsonError::shape(format!("expected bool, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -590,7 +623,11 @@ impl<T: ToJson> ToJson for HashMap<String, T> {
         // Deterministic emission: members in sorted key order.
         let mut keys: Vec<&String> = self.keys().collect();
         keys.sort();
-        Json::Obj(keys.into_iter().map(|k| (k.clone(), self[k].to_json())).collect())
+        Json::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json()))
+                .collect(),
+        )
     }
 }
 
@@ -601,7 +638,10 @@ impl<T: FromJson> FromJson for HashMap<String, T> {
                 .iter()
                 .map(|(k, v)| Ok((k.clone(), T::from_json(v)?)))
                 .collect(),
-            other => Err(JsonError::shape(format!("expected object, got {}", other.kind()))),
+            other => Err(JsonError::shape(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -707,7 +747,16 @@ mod tests {
 
     #[test]
     fn malformed_documents_error_with_position() {
-        for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "01x", "[1] []", ""] {
+        for bad in [
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "[1] []",
+            "",
+        ] {
             let e = Json::parse(bad).unwrap_err();
             assert!(e.at <= bad.len(), "{bad}: {e}");
         }

@@ -40,7 +40,11 @@ pub struct WorkerPanic {
 
 impl std::fmt::Display for WorkerPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "worker {} panicked in chunk {}: {}", self.worker, self.chunk, self.message)
+        write!(
+            f,
+            "worker {} panicked in chunk {}: {}",
+            self.worker, self.chunk, self.message
+        )
     }
 }
 
@@ -86,7 +90,9 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Inputs at or below this length are processed as a single chunk on the
@@ -172,7 +178,11 @@ where
                 results.lock().expect("no panics hold the results lock")[c] = Some(out);
             }
             Err(payload) => {
-                let wp = WorkerPanic { worker: w, chunk: c, message: panic_message(&*payload) };
+                let wp = WorkerPanic {
+                    worker: w,
+                    chunk: c,
+                    message: panic_message(&*payload),
+                };
                 let mut slot = failure.lock().expect("no panics hold the failure lock");
                 if slot.as_ref().map_or(true, |prev| wp.chunk < prev.chunk) {
                     *slot = Some(wp);
@@ -292,7 +302,12 @@ where
 /// left-to-right in chunk order, so the full reduction tree is a pure
 /// function of `items.len()` — bit-identical on any worker count, even for
 /// non-associative floating-point folds.
-pub fn par_reduce<T, A, F, C>(items: &[T], identity: impl Fn() -> A + Sync, fold: F, combine: C) -> A
+pub fn par_reduce<T, A, F, C>(
+    items: &[T],
+    identity: impl Fn() -> A + Sync,
+    fold: F,
+    combine: C,
+) -> A
 where
     T: Sync,
     A: Send,
@@ -345,14 +360,23 @@ where
 /// Morsel boundaries depend only on `len` and `morsel`, and shard
 /// accumulators merge in morsel order on the calling thread, exactly as in
 /// [`par_fold_shards`].
-pub fn par_fold_shards_sized<A, I, F, M>(len: usize, morsel: usize, identity: I, fold: F, merge: M) -> A
+pub fn par_fold_shards_sized<A, I, F, M>(
+    len: usize,
+    morsel: usize,
+    identity: I,
+    fold: F,
+    merge: M,
+) -> A
 where
     A: Send,
     I: Fn() -> A + Sync,
     F: Fn(&mut A, std::ops::Range<usize>) + Sync,
     M: Fn(&mut A, A),
 {
-    assert!(morsel > 0, "par_fold_shards_sized: morsel size must be positive");
+    assert!(
+        morsel > 0,
+        "par_fold_shards_sized: morsel size must be positive"
+    );
     let shards = run_chunked(len, morsel, |_, range| {
         let mut acc = identity();
         fold(&mut acc, range);
@@ -373,7 +397,10 @@ where
     P: Fn(usize) -> bool + Sync,
 {
     let per_chunk = run_chunked_auto(len, |_, range| {
-        range.filter(|&i| pred(i)).map(|i| i as u32).collect::<Vec<u32>>()
+        range
+            .filter(|&i| pred(i))
+            .map(|i| i as u32)
+            .collect::<Vec<u32>>()
     });
     let mut out = Vec::new();
     for chunk in per_chunk {
@@ -456,7 +483,9 @@ mod tests {
     fn par_reduce_floats_bit_identical_across_thread_counts() {
         // Sums of many varied floats: the chunked tree must give the exact
         // same bits for 1 worker and 8 workers.
-        let xs: Vec<f64> = (0..100_000).map(|i| ((i * 2654435761u64) % 1000) as f64 * 0.1).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2654435761u64) % 1000) as f64 * 0.1)
+            .collect();
         let one = with_threads(1, || {
             par_reduce(&xs, || 0.0f64, |a, &x| a + x, |a, b| a + b)
         });
@@ -552,7 +581,12 @@ mod tests {
     fn par_fold_shards_sized_merges_in_morsel_order() {
         // Explicit morsel size, non-commutative merge: the concatenation must
         // equal 0..n for every worker count and any morsel size.
-        for &(n, morsel) in &[(10_000usize, 256usize), (10_000, 8192), (5, 2), (4096, 4096)] {
+        for &(n, morsel) in &[
+            (10_000usize, 256usize),
+            (10_000, 8192),
+            (5, 2),
+            (4096, 4096),
+        ] {
             let got = with_threads(8, || {
                 par_fold_shards_sized(
                     n,
@@ -562,7 +596,11 @@ mod tests {
                     |a, mut b| a.append(&mut b),
                 )
             });
-            assert_eq!(got, (0..n as u32).collect::<Vec<u32>>(), "n={n} morsel={morsel}");
+            assert_eq!(
+                got,
+                (0..n as u32).collect::<Vec<u32>>(),
+                "n={n} morsel={morsel}"
+            );
         }
     }
 
@@ -582,9 +620,16 @@ mod tests {
         });
         assert_eq!(err.chunk, 7);
         assert!(err.worker < 4, "worker index out of range: {}", err.worker);
-        assert!(err.message.contains("boom at 7"), "payload lost: {}", err.message);
+        assert!(
+            err.message.contains("boom at 7"),
+            "payload lost: {}",
+            err.message
+        );
         let shown = err.to_string();
-        assert!(shown.contains("worker") && shown.contains("chunk 7"), "{shown}");
+        assert!(
+            shown.contains("worker") && shown.contains("chunk 7"),
+            "{shown}"
+        );
     }
 
     #[test]
@@ -608,7 +653,9 @@ mod tests {
             }))
             .unwrap_err()
         });
-        let wp = payload.downcast::<WorkerPanic>().expect("typed WorkerPanic payload");
+        let wp = payload
+            .downcast::<WorkerPanic>()
+            .expect("typed WorkerPanic payload");
         assert!(wp.message.contains("late failure"), "{}", wp.message);
     }
 
@@ -619,7 +666,9 @@ mod tests {
             par_map(&[1u32, 2, 3], |&x| if x == 2 { panic!("tiny") } else { x })
         }))
         .unwrap_err();
-        let wp = payload.downcast::<WorkerPanic>().expect("typed payload on fast path");
+        let wp = payload
+            .downcast::<WorkerPanic>()
+            .expect("typed payload on fast path");
         assert_eq!(wp.worker, 0);
         assert!(wp.message.contains("tiny"));
     }

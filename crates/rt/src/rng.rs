@@ -196,6 +196,20 @@ impl Rng {
         -(1.0 - self.next_f64()).ln() / rate
     }
 
+    /// Weibull draw with the given `shape` (k) and `scale` (λ), via
+    /// inversion: `λ * (-ln(1 - U))^(1/k)`. Shape 1 reduces exactly to an
+    /// exponential with mean `λ`; heavier shapes (< 1) model the long
+    /// repair tails real node-outage logs show. One uniform per draw, so
+    /// the fleet's node-fault stream consumes a predictable slice of the
+    /// raw stream. Invalid parameters fall back to `scale`.
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        if !shape.is_finite() || !scale.is_finite() || shape <= 0.0 || scale <= 0.0 {
+            return scale;
+        }
+        // 1 - U is in (0, 1], so ln() is finite and the draw non-negative.
+        scale * (-(1.0 - self.next_f64()).ln()).powf(1.0 / shape)
+    }
+
     /// Bernoulli draw; `p` is clamped to `[0, 1]`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
@@ -368,6 +382,64 @@ mod tests {
         for (g, w) in got.iter().zip(want) {
             assert!((g - w).abs() < 1e-9, "lognormal drifted: {got:?}");
         }
+    }
+
+    /// Pinned values of the *fourth* split stream of a parent generator:
+    /// the fleet manifest splits pick/seed/gap/fault streams in that order,
+    /// and node-fault timelines draw exclusively from the fourth. Freezing
+    /// it here means adding the fault stream can never shift the first
+    /// three (job templates, job seeds, submit times), and any change to
+    /// split order is caught before it silently reshuffles recorded fleets.
+    #[test]
+    fn fourth_split_stream_is_pinned() {
+        let mut master = Rng::new(7);
+        let _pick = master.split();
+        let _seed = master.split();
+        let _gap = master.split();
+        let mut fault = master.split();
+        let got: Vec<u64> = (0..4).map(|_| fault.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                1093435321288409534,
+                1037709814678826942,
+                4938503143131017108,
+                2272506289575213947,
+            ]
+        );
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let mut a = Rng::new(31);
+        let mut b = Rng::new(31);
+        for _ in 0..100 {
+            let w = a.weibull(1.0, 4.0);
+            let e = b.exponential(0.25);
+            assert!(
+                (w - e).abs() < 1e-12,
+                "shape-1 weibull must equal exponential"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_mean_matches_closed_form() {
+        // Mean = scale * Γ(1 + 1/shape); for shape 2 that is scale·√π/2.
+        let mut r = Rng::new(33);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.weibull(2.0, 10.0)).sum::<f64>() / n as f64;
+        let want = 10.0 * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((mean - want).abs() < 0.1, "mean {mean} want {want}");
+    }
+
+    #[test]
+    fn weibull_invalid_params_fall_back_to_scale() {
+        let mut r = Rng::new(35);
+        assert_eq!(r.weibull(0.0, 5.0), 5.0);
+        assert_eq!(r.weibull(-1.0, 5.0), 5.0);
+        assert_eq!(r.weibull(f64::NAN, 5.0), 5.0);
+        assert_eq!(r.weibull(1.0, -2.0), -2.0);
     }
 
     #[test]

@@ -53,12 +53,20 @@ impl Selection {
             |a, mut b| a.append(&mut b),
         );
         let count = words.iter().map(|w| w.count_ones() as usize).sum();
-        Selection { words, domain: len, count }
+        Selection {
+            words,
+            domain: len,
+            count,
+        }
     }
 
     /// An empty selection over `0..len`.
     pub fn empty(len: usize) -> Selection {
-        Selection { words: vec![0; len.div_ceil(64)], domain: len, count: 0 }
+        Selection {
+            words: vec![0; len.div_ceil(64)],
+            domain: len,
+            count: 0,
+        }
     }
 
     /// Number of selected indices.

@@ -29,7 +29,10 @@ pub struct PeakGauge {
 impl PeakGauge {
     /// A fresh gauge at zero.
     pub const fn new() -> PeakGauge {
-        PeakGauge { cur: AtomicU64::new(0), peak: AtomicU64::new(0) }
+        PeakGauge {
+            cur: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
     }
 
     /// Charge `bytes` against the gauge, raising the peak if the new total
@@ -45,7 +48,10 @@ impl PeakGauge {
         let mut cur = self.cur.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(bytes);
-            match self.cur.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .cur
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
             }
@@ -66,7 +72,8 @@ impl PeakGauge {
     /// Restart peak tracking from the current level (live charges persist;
     /// the high-water mark collapses onto them).
     pub fn reset(&self) {
-        self.peak.store(self.cur.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(self.cur.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -119,7 +126,15 @@ impl Quantiles {
     /// panicking mid-report.
     pub fn of(xs: &[f64]) -> Quantiles {
         if xs.is_empty() {
-            return Quantiles { n: 0, min: f64::NAN, p50: f64::NAN, p90: f64::NAN, p99: f64::NAN, max: f64::NAN, mean: f64::NAN };
+            return Quantiles {
+                n: 0,
+                min: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+            };
         }
         let mut sorted = xs.to_vec();
         sorted.sort_by(f64::total_cmp);

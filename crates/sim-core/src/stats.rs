@@ -80,7 +80,10 @@ impl Histogram {
 
     /// Count in the bucket containing `value`.
     pub fn count_at(&self, value: u64) -> u64 {
-        self.counts.get(Self::bucket_of(value)).copied().unwrap_or(0)
+        self.counts
+            .get(Self::bucket_of(value))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Iterate `(bucket_lo, count)` over non-empty buckets.
@@ -288,7 +291,10 @@ impl TimeSeries {
     /// New series with the given bin width.
     pub fn new(bin: Dur) -> Self {
         assert!(bin > Dur::ZERO, "bin width must be positive");
-        TimeSeries { bin, bins: Vec::new() }
+        TimeSeries {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     /// Bin width.
@@ -430,7 +436,11 @@ mod tests {
 
     #[test]
     fn synth_bytes_round_trip_classification() {
-        for dist in [DistributionFit::Uniform, DistributionFit::Normal, DistributionFit::Gamma] {
+        for dist in [
+            DistributionFit::Uniform,
+            DistributionFit::Normal,
+            DistributionFit::Gamma,
+        ] {
             let bytes = synth_bytes(dist, 42, 8192);
             let mut s = Summary::new();
             for &b in &bytes {

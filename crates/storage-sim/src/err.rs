@@ -74,7 +74,10 @@ mod tests {
     fn errors_display_like_errno_strings() {
         assert_eq!(IoErr::NotFound.to_string(), "no such file or directory");
         assert_eq!(IoErr::NoSpace.to_string(), "no space left on device");
-        assert_eq!(IoErr::ServerUnavailable.to_string(), "storage server unavailable");
+        assert_eq!(
+            IoErr::ServerUnavailable.to_string(),
+            "storage server unavailable"
+        );
     }
 
     #[test]

@@ -144,19 +144,31 @@ impl FaultPlan {
 
     /// Builder: add an NSD server outage window.
     pub fn with_nsd_outage(mut self, server: u32, from: SimTime, until: SimTime) -> Self {
-        self.nsd_outages.push(OutageWindow { server, from, until });
+        self.nsd_outages.push(OutageWindow {
+            server,
+            from,
+            until,
+        });
         self
     }
 
     /// Builder: add an NSD brownout window.
     pub fn with_nsd_brownout(mut self, from: SimTime, until: SimTime, slowdown: f64) -> Self {
-        self.nsd_brownouts.push(BrownoutWindow { from, until, slowdown });
+        self.nsd_brownouts.push(BrownoutWindow {
+            from,
+            until,
+            slowdown,
+        });
         self
     }
 
     /// Builder: add an MDS brownout window.
     pub fn with_mds_brownout(mut self, from: SimTime, until: SimTime, slowdown: f64) -> Self {
-        self.mds_brownouts.push(BrownoutWindow { from, until, slowdown });
+        self.mds_brownouts.push(BrownoutWindow {
+            from,
+            until,
+            slowdown,
+        });
         self
     }
 
@@ -175,13 +187,19 @@ impl FaultPlan {
 
     /// Builder: schedule a single-rank crash at `at`.
     pub fn with_rank_crash(mut self, rank: u32, at: SimTime) -> Self {
-        self.crashes.push(CrashEvent { scope: CrashScope::Rank(rank), at });
+        self.crashes.push(CrashEvent {
+            scope: CrashScope::Rank(rank),
+            at,
+        });
         self
     }
 
     /// Builder: schedule a whole-node crash at `at`.
     pub fn with_node_crash(mut self, node: u32, at: SimTime) -> Self {
-        self.crashes.push(CrashEvent { scope: CrashScope::Node(node), at });
+        self.crashes.push(CrashEvent {
+            scope: CrashScope::Node(node),
+            at,
+        });
         self
     }
 
@@ -197,7 +215,9 @@ impl FaultPlan {
     /// Whether NSD server `server` (already reduced modulo the pool size)
     /// is inside an outage window at `t`.
     pub fn server_down(&self, server: u32, t: SimTime) -> bool {
-        self.nsd_outages.iter().any(|o| o.server == server && o.covers(t))
+        self.nsd_outages
+            .iter()
+            .any(|o| o.server == server && o.covers(t))
     }
 
     /// Combined NSD service slowdown at `t` (product of active brownouts;
@@ -307,7 +327,10 @@ impl FromJson for CrashEvent {
             "node" => CrashScope::Node(index),
             other => return Err(JsonError::shape(format!("unknown crash scope `{other}`"))),
         };
-        Ok(CrashEvent { scope, at: j.decode_field("at")? })
+        Ok(CrashEvent {
+            scope,
+            at: j.decode_field("at")?,
+        })
     }
 }
 
@@ -394,7 +417,11 @@ mod tests {
         assert!(!p.is_empty());
         let order = p.crashes_sorted();
         assert_eq!(order[0].scope, CrashScope::Rank(2));
-        assert_eq!(order[1].scope, CrashScope::Rank(9), "rank crash sorts before node crash");
+        assert_eq!(
+            order[1].scope,
+            CrashScope::Rank(9),
+            "rank crash sorts before node crash"
+        );
         assert_eq!(order[2].scope, CrashScope::Node(3));
         // Registration order must not leak into firing order.
         let q = FaultPlan::none()

@@ -247,11 +247,7 @@ impl FileStore {
 
     /// Number of live files (not directories).
     pub fn file_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .flatten()
-            .filter(|n| !n.is_dir)
-            .count()
+        self.nodes.iter().flatten().filter(|n| !n.is_dir).count()
     }
 
     /// Look up a path.
@@ -456,8 +452,10 @@ mod tests {
     fn overwrite_splits_segments() {
         let mut fs = FileStore::new();
         let k = fs.create("/f", false).unwrap();
-        fs.write(k, 0, Segment::Bytes(Arc::new(vec![b'a'; 10]))).unwrap();
-        fs.write(k, 3, Segment::Bytes(Arc::new(vec![b'b'; 4]))).unwrap();
+        fs.write(k, 0, Segment::Bytes(Arc::new(vec![b'a'; 10])))
+            .unwrap();
+        fs.write(k, 3, Segment::Bytes(Arc::new(vec![b'b'; 4])))
+            .unwrap();
         assert_eq!(fs.read(k, 0, 10).unwrap(), b"aaabbbbaaa");
     }
 
@@ -465,7 +463,8 @@ mod tests {
     fn sparse_holes_read_as_zeros() {
         let mut fs = FileStore::new();
         let k = fs.create("/f", false).unwrap();
-        fs.write(k, 8, Segment::Bytes(Arc::new(vec![1, 2]))).unwrap();
+        fs.write(k, 8, Segment::Bytes(Arc::new(vec![1, 2])))
+            .unwrap();
         let data = fs.read(k, 0, 10).unwrap();
         assert_eq!(&data[..8], &[0u8; 8]);
         assert_eq!(&data[8..], &[1, 2]);
@@ -475,7 +474,15 @@ mod tests {
     fn pattern_segments_are_deterministic() {
         let mut fs = FileStore::new();
         let k = fs.create("/big", false).unwrap();
-        fs.write(k, 0, Segment::Pattern { seed: 42, len: 1 << 20 }).unwrap();
+        fs.write(
+            k,
+            0,
+            Segment::Pattern {
+                seed: 42,
+                len: 1 << 20,
+            },
+        )
+        .unwrap();
         let a = fs.read(k, 1000, 64).unwrap();
         let b = fs.read(k, 1000, 64).unwrap();
         assert_eq!(a, b);
@@ -496,25 +503,31 @@ mod tests {
     fn capacity_enforced() {
         let mut fs = FileStore::with_capacity(100);
         let k = fs.create("/f", false).unwrap();
-        fs.write(k, 0, Segment::Pattern { seed: 1, len: 80 }).unwrap();
+        fs.write(k, 0, Segment::Pattern { seed: 1, len: 80 })
+            .unwrap();
         assert_eq!(
             fs.write(k, 80, Segment::Pattern { seed: 1, len: 40 }),
             Err(IoErr::NoSpace)
         );
         // Overwrite within the file is fine — no growth.
-        assert!(fs.write(k, 0, Segment::Pattern { seed: 2, len: 80 }).is_ok());
+        assert!(fs
+            .write(k, 0, Segment::Pattern { seed: 2, len: 80 })
+            .is_ok());
     }
 
     #[test]
     fn unlink_frees_space() {
         let mut fs = FileStore::with_capacity(100);
         let k = fs.create("/f", false).unwrap();
-        fs.write(k, 0, Segment::Pattern { seed: 1, len: 100 }).unwrap();
+        fs.write(k, 0, Segment::Pattern { seed: 1, len: 100 })
+            .unwrap();
         fs.unlink("/f").unwrap();
         assert_eq!(fs.bytes_stored(), 0);
         assert_eq!(fs.lookup("/f"), None);
         let k2 = fs.create("/g", false).unwrap();
-        assert!(fs.write(k2, 0, Segment::Pattern { seed: 1, len: 100 }).is_ok());
+        assert!(fs
+            .write(k2, 0, Segment::Pattern { seed: 1, len: 100 })
+            .is_ok());
     }
 
     #[test]
@@ -523,7 +536,10 @@ mod tests {
         fs.create("/a/b/1", false).unwrap();
         fs.create("/a/2", false).unwrap();
         fs.create("/c/3", false).unwrap();
-        assert_eq!(fs.list("/a"), vec!["/a/2".to_string(), "/a/b/1".to_string()]);
+        assert_eq!(
+            fs.list("/a"),
+            vec!["/a/2".to_string(), "/a/b/1".to_string()]
+        );
         assert_eq!(fs.list("/"), vec!["/a/2", "/a/b/1", "/c/3"]);
     }
 
@@ -541,7 +557,8 @@ mod tests {
     fn truncate_shrinks_and_zero_extends() {
         let mut fs = FileStore::new();
         let k = fs.create("/f", false).unwrap();
-        fs.write(k, 0, Segment::Bytes(Arc::new(b"abcdefgh".to_vec()))).unwrap();
+        fs.write(k, 0, Segment::Bytes(Arc::new(b"abcdefgh".to_vec())))
+            .unwrap();
         fs.truncate(k, 3).unwrap();
         assert_eq!(fs.size_of(k).unwrap(), 3);
         assert_eq!(fs.read(k, 0, 10).unwrap(), b"abc");

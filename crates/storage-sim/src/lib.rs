@@ -35,8 +35,8 @@ pub mod tenancy;
 
 pub use err::IoErr;
 pub use faults::FaultPlan;
-pub use tenancy::{InterferenceSchedule, LoadWindow};
 pub use file::{FileKey, FileStore, Segment};
 pub use mounts::{StorageSystem, Tier};
 pub use node_local::{NodeLocalConfig, NodeLocalFs};
 pub use pfs::{GpfsConfig, GpfsSim};
+pub use tenancy::{InterferenceSchedule, LoadWindow};

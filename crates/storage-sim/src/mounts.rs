@@ -111,7 +111,13 @@ impl StorageSystem {
         match self.resolve(path) {
             Tier::Pfs => {
                 let (key, end) = self.pfs.open(node, path, create, exclusive, now)?;
-                Ok((FileHandle { tier: Tier::Pfs, key }, end))
+                Ok((
+                    FileHandle {
+                        tier: Tier::Pfs,
+                        key,
+                    },
+                    end,
+                ))
             }
             Tier::NodeLocal(i) => {
                 let (key, end) =
@@ -181,7 +187,12 @@ impl StorageSystem {
     }
 
     /// Stat a path from a node.
-    pub fn stat(&mut self, node: NodeId, path: &str, now: SimTime) -> Result<(u64, SimTime), IoErr> {
+    pub fn stat(
+        &mut self,
+        node: NodeId,
+        path: &str,
+        now: SimTime,
+    ) -> Result<(u64, SimTime), IoErr> {
         match self.resolve(path) {
             Tier::Pfs => self.pfs.stat(path, now),
             Tier::NodeLocal(i) => self.locals[i as usize].stat(node, path, now),
@@ -260,10 +271,28 @@ mod tests {
             .unwrap();
         let (hs, t1) = s.open(NodeId(0), "/dev/shm/f", true, false, t).unwrap();
         let (_, t2) = s
-            .write(NodeId(0), hp, 0, Segment::Pattern { seed: 1, len: 1 << 20 }, t1)
+            .write(
+                NodeId(0),
+                hp,
+                0,
+                Segment::Pattern {
+                    seed: 1,
+                    len: 1 << 20,
+                },
+                t1,
+            )
             .unwrap();
         let (_, t3) = s
-            .write(NodeId(0), hs, 0, Segment::Pattern { seed: 1, len: 1 << 20 }, t2)
+            .write(
+                NodeId(0),
+                hs,
+                0,
+                Segment::Pattern {
+                    seed: 1,
+                    len: 1 << 20,
+                },
+                t2,
+            )
             .unwrap();
         let pfs_sync = s.fsync(NodeId(0), hp, t3).since(t3);
         let shm_sync = s.fsync(NodeId(0), hs, t3).since(t3);

@@ -154,7 +154,12 @@ impl NodeLocalFs {
     }
 
     /// Stat.
-    pub fn stat(&mut self, node: NodeId, path: &str, now: SimTime) -> Result<(u64, SimTime), IoErr> {
+    pub fn stat(
+        &mut self,
+        node: NodeId,
+        path: &str,
+        now: SimTime,
+    ) -> Result<(u64, SimTime), IoErr> {
         let end = self.charge(node, 0, now);
         let store = &self.stores[node.0 as usize];
         let key = store.lookup(path).ok_or(IoErr::NotFound)?;
@@ -227,10 +232,13 @@ mod tests {
     #[test]
     fn namespaces_are_per_node() {
         let mut fs = shm();
-        let (_, t) = fs.open(NodeId(0), "/dev/shm/x", true, false, SimTime::ZERO).unwrap();
+        let (_, t) = fs
+            .open(NodeId(0), "/dev/shm/x", true, false, SimTime::ZERO)
+            .unwrap();
         // Node 1 cannot see node 0's file.
         assert_eq!(
-            fs.open(NodeId(1), "/dev/shm/x", false, false, t).unwrap_err(),
+            fs.open(NodeId(1), "/dev/shm/x", false, false, t)
+                .unwrap_err(),
             IoErr::NotFound
         );
     }
@@ -238,12 +246,20 @@ mod tests {
     #[test]
     fn shm_is_orders_of_magnitude_faster_than_pfs_small_io() {
         let mut fs = shm();
-        let (k, t) = fs.open(NodeId(0), "/dev/shm/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/dev/shm/f", true, false, SimTime::ZERO)
+            .unwrap();
         let mut t = t;
         let start = t;
         for i in 0..1000u64 {
             let (_, e) = fs
-                .write(NodeId(0), k, i * 4096, Segment::Pattern { seed: 1, len: 4096 }, t)
+                .write(
+                    NodeId(0),
+                    k,
+                    i * 4096,
+                    Segment::Pattern { seed: 1, len: 4096 },
+                    t,
+                )
                 .unwrap();
             t = e;
         }
@@ -258,25 +274,53 @@ mod tests {
         let mut cfg = NodeLocalConfig::lassen_shm(256 * GIB);
         cfg.capacity = 1 * MIB;
         let mut fs = NodeLocalFs::new(cfg, 2);
-        let (k, t) = fs.open(NodeId(0), "/dev/shm/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/dev/shm/f", true, false, SimTime::ZERO)
+            .unwrap();
         assert_eq!(
-            fs.write(NodeId(0), k, 0, Segment::Pattern { seed: 1, len: 2 * MIB }, t)
-                .unwrap_err(),
+            fs.write(
+                NodeId(0),
+                k,
+                0,
+                Segment::Pattern {
+                    seed: 1,
+                    len: 2 * MIB
+                },
+                t
+            )
+            .unwrap_err(),
             IoErr::NoSpace
         );
         // Node 1 has its own budget.
         let (k1, t1) = fs.open(NodeId(1), "/dev/shm/f", true, false, t).unwrap();
         assert!(fs
-            .write(NodeId(1), k1, 0, Segment::Pattern { seed: 1, len: 512 * KIB }, t1)
+            .write(
+                NodeId(1),
+                k1,
+                0,
+                Segment::Pattern {
+                    seed: 1,
+                    len: 512 * KIB
+                },
+                t1
+            )
             .is_ok());
     }
 
     #[test]
     fn read_back_what_was_written() {
         let mut fs = shm();
-        let (k, t) = fs.open(NodeId(0), "/dev/shm/d", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/dev/shm/d", true, false, SimTime::ZERO)
+            .unwrap();
         let (_, t2) = fs
-            .write(NodeId(0), k, 0, Segment::Bytes(std::sync::Arc::new(b"payload".to_vec())), t)
+            .write(
+                NodeId(0),
+                k,
+                0,
+                Segment::Bytes(std::sync::Arc::new(b"payload".to_vec())),
+                t,
+            )
             .unwrap();
         let (data, _) = fs.read_data(NodeId(0), k, 0, 7, t2).unwrap();
         assert_eq!(data, b"payload");
@@ -285,7 +329,9 @@ mod tests {
     #[test]
     fn stat_unlink_cycle() {
         let mut fs = shm();
-        let (k, t) = fs.open(NodeId(0), "/dev/shm/s", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/dev/shm/s", true, false, SimTime::ZERO)
+            .unwrap();
         let (_, t2) = fs
             .write(NodeId(0), k, 0, Segment::Pattern { seed: 9, len: 123 }, t)
             .unwrap();

@@ -72,7 +72,10 @@ mod tests {
     fn normalization_collapses_separators() {
         assert_eq!(normalize("/a//b/").unwrap(), "/a/b");
         assert_eq!(normalize("/").unwrap(), "/");
-        assert_eq!(normalize("/p/gpfs1/run/out.bin").unwrap(), "/p/gpfs1/run/out.bin");
+        assert_eq!(
+            normalize("/p/gpfs1/run/out.bin").unwrap(),
+            "/p/gpfs1/run/out.bin"
+        );
     }
 
     #[test]

@@ -281,7 +281,11 @@ impl GpfsSim {
     /// to one that never had a schedule installed — this is what lets a
     /// single-tenant fleet reproduce dedicated-run results exactly.
     pub fn set_interference(&mut self, schedule: InterferenceSchedule) {
-        self.interference = if schedule.is_empty() { None } else { Some(schedule) };
+        self.interference = if schedule.is_empty() {
+            None
+        } else {
+            Some(schedule)
+        };
     }
 
     /// The active interference schedule, if one is installed.
@@ -343,12 +347,18 @@ impl GpfsSim {
     fn meta_service(&mut self, now: SimTime) -> SimTime {
         self.stats.meta_ops += 1;
         let mut svc = self.jittered(self.cfg.meta_op_cost);
-        let slow = self.fault_plan.as_ref().map_or(1.0, |p| p.mds_slowdown(now));
+        let slow = self
+            .fault_plan
+            .as_ref()
+            .map_or(1.0, |p| p.mds_slowdown(now));
         if slow > 1.0 {
             svc = Dur::from_secs_f64(svc.as_secs_f64() * slow);
             self.stats.browned_meta_ops += 1;
         }
-        let tenant = self.interference.as_ref().map_or(1.0, |i| i.meta_factor(now));
+        let tenant = self
+            .interference
+            .as_ref()
+            .map_or(1.0, |i| i.meta_factor(now));
         if tenant > 1.0 {
             let base = svc.as_secs_f64();
             svc = Dur::from_secs_f64(base * tenant);
@@ -523,7 +533,9 @@ impl GpfsSim {
         let (slow, down) = match &self.fault_plan {
             Some(p) => (
                 p.data_slowdown(after_nic) * p.node_slowdown(node.0),
-                (0..n).map(|s| p.server_down(s as u32, after_nic)).collect::<Vec<bool>>(),
+                (0..n)
+                    .map(|s| p.server_down(s as u32, after_nic))
+                    .collect::<Vec<bool>>(),
             ),
             None => (1.0, Vec::new()),
         };
@@ -532,7 +544,10 @@ impl GpfsSim {
         }
         // Competing-tenant stretch, like the fault picture constant across
         // the stripes of one transfer (evaluated at arrival time).
-        let tenant = self.interference.as_ref().map_or(1.0, |i| i.data_factor(after_nic));
+        let tenant = self
+            .interference
+            .as_ref()
+            .map_or(1.0, |i| i.data_factor(after_nic));
         if tenant > 1.0 {
             self.stats.contended_data_ops += 1;
         }
@@ -556,7 +571,9 @@ impl GpfsSim {
             let mut target = stripe_idx;
             if !down.is_empty() && down[target % n] {
                 let home = target % n;
-                let probe = (1..n).find(|&p| !down[(target + p) % n]).expect("a live server exists");
+                let probe = (1..n)
+                    .find(|&p| !down[(target + p) % n])
+                    .expect("a live server exists");
                 target += probe;
                 self.rerouted_per_server[home] += in_block;
                 self.stats.rerouted_stripes += 1;
@@ -687,7 +704,12 @@ impl GpfsSim {
 
     /// Wait for this file's outstanding write-behind flushes, then one MDS op.
     pub fn fsync(&mut self, key: FileKey, now: SimTime) -> SimTime {
-        let start = now.max(self.flush_horizon.get(&key).copied().unwrap_or(SimTime::ZERO));
+        let start = now.max(
+            self.flush_horizon
+                .get(&key)
+                .copied()
+                .unwrap_or(SimTime::ZERO),
+        );
         self.meta_service(start + self.cfg.client_overhead)
     }
 
@@ -738,7 +760,9 @@ mod tests {
     #[test]
     fn small_write_absorbs_into_cache_and_read_hits() {
         let mut fs = sim(GpfsConfig::tiny());
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let (n, wend) = fs.write_pattern(NodeId(0), k, 0, 64 * KIB, 1, t).unwrap();
         assert_eq!(n, 64 * KIB);
         // Cached write is much faster than a synchronous 64 KiB PFS write:
@@ -760,7 +784,9 @@ mod tests {
         let mut cfg = GpfsConfig::tiny();
         cfg.client_cache_bytes = 1 * MIB;
         let mut fs = sim(cfg);
-        let (k, t) = fs.open(NodeId(0), "/big", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/big", true, false, SimTime::ZERO)
+            .unwrap();
         // 8 MiB write at 1 MiB blocks: 8 stripes over 4 servers → 2 rounds.
         let (_, end) = fs.write_pattern(NodeId(0), k, 0, 8 * MIB, 1, t).unwrap();
         let elapsed = end.since(t).as_secs_f64();
@@ -775,10 +801,14 @@ mod tests {
         let mut cfg = GpfsConfig::tiny();
         cfg.client_cache_bytes = 0; // force synchronous writes
         let mut fs = sim(cfg);
-        let (k, mut t) = fs.open(NodeId(0), "/log", true, false, SimTime::ZERO).unwrap();
+        let (k, mut t) = fs
+            .open(NodeId(0), "/log", true, false, SimTime::ZERO)
+            .unwrap();
         let start = t;
         for i in 0..100u64 {
-            let (_, end) = fs.write_pattern(NodeId(0), k, i * 4096, 4096, 1, t).unwrap();
+            let (_, end) = fs
+                .write_pattern(NodeId(0), k, i * 4096, 4096, 1, t)
+                .unwrap();
             t = end;
         }
         let bw = t.since(start).bandwidth(100 * 4096);
@@ -791,7 +821,9 @@ mod tests {
         let mut cfg = GpfsConfig::tiny();
         cfg.client_cache_bytes = 0;
         let mut fs = sim(cfg);
-        let (k, t0) = fs.open(NodeId(0), "/shared", true, false, SimTime::ZERO).unwrap();
+        let (k, t0) = fs
+            .open(NodeId(0), "/shared", true, false, SimTime::ZERO)
+            .unwrap();
         let (_, t1) = fs.open(NodeId(1), "/shared", false, false, t0).unwrap();
         // Node 0 writes repeatedly: one transfer (initial grab), then none.
         let (_, t2) = fs.write_pattern(NodeId(0), k, 0, 4096, 1, t1).unwrap();
@@ -809,10 +841,14 @@ mod tests {
     #[test]
     fn unshared_files_never_pay_tokens() {
         let mut fs = sim(GpfsConfig::tiny());
-        let (k, t) = fs.open(NodeId(2), "/fpp.2", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(2), "/fpp.2", true, false, SimTime::ZERO)
+            .unwrap();
         let mut t = t;
         for i in 0..10 {
-            let (_, end) = fs.write_pattern(NodeId(2), k, i * 4096, 4096, 1, t).unwrap();
+            let (_, end) = fs
+                .write_pattern(NodeId(2), k, i * 4096, 4096, 1, t)
+                .unwrap();
             t = end;
         }
         assert_eq!(fs.stats().token_transfers, 0);
@@ -821,7 +857,9 @@ mod tests {
     #[test]
     fn fsync_waits_for_background_flush() {
         let mut fs = sim(GpfsConfig::tiny());
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let (_, wend) = fs.write_pattern(NodeId(0), k, 0, 2 * MIB, 1, t).unwrap();
         let synced = fs.fsync(k, wend);
         // The flush of 2 MiB at ~100 MiB/s takes ≈ 20 ms beyond the absorb.
@@ -833,7 +871,9 @@ mod tests {
         let mut cfg = GpfsConfig::tiny();
         cfg.capacity = 10 * MIB;
         let mut fs = sim(cfg);
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let r = fs.write_pattern(NodeId(0), k, 0, 11 * MIB, 1, t);
         assert_eq!(r.unwrap_err(), IoErr::NoSpace);
     }
@@ -865,10 +905,14 @@ mod tests {
 
         // Sequential on one node:
         let mut fs2 = sim(cfg);
-        let (k, t) = fs2.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs2
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let mut t = t;
         for i in 0..4 {
-            let (_, e) = fs2.write_pattern(NodeId(0), k, i * 4 * MIB, 4 * MIB, 1, t).unwrap();
+            let (_, e) = fs2
+                .write_pattern(NodeId(0), k, i * 4 * MIB, 4 * MIB, 1, t)
+                .unwrap();
             t = e;
         }
         let seq_end = t.since(t_open).as_secs_f64();
@@ -881,7 +925,9 @@ mod tests {
     #[test]
     fn stat_and_unlink_round_trip() {
         let mut fs = sim(GpfsConfig::tiny());
-        let (k, t) = fs.open(NodeId(0), "/s", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/s", true, false, SimTime::ZERO)
+            .unwrap();
         let (_, t2) = fs.write_pattern(NodeId(0), k, 0, 1000, 1, t).unwrap();
         let (size, t3) = fs.stat("/s", t2).unwrap();
         assert_eq!(size, 1000);
@@ -895,7 +941,9 @@ mod tests {
         let mut cfg = fs.config().clone();
         cfg.capacity = 10 * MIB;
         fs.set_config(cfg).unwrap();
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let r = fs.write_pattern(NodeId(0), k, 0, 11 * MIB, 1, t);
         assert_eq!(r.unwrap_err(), IoErr::NoSpace);
     }
@@ -903,7 +951,9 @@ mod tests {
     #[test]
     fn set_config_rejects_shrink_below_stored() {
         let mut fs = sim(GpfsConfig::tiny());
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         fs.write_pattern(NodeId(0), k, 0, 8 * MIB, 1, t).unwrap();
         let mut cfg = fs.config().clone();
         cfg.capacity = 1 * MIB;
@@ -915,10 +965,14 @@ mod tests {
         let mut cfg = GpfsConfig::tiny();
         cfg.client_cache_bytes = 0;
         let mut fs = sim(cfg);
-        fs.set_fault_plan(
-            crate::faults::FaultPlan::none().with_nsd_outage(0, SimTime::ZERO, SimTime::from_secs(1000)),
-        );
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        fs.set_fault_plan(crate::faults::FaultPlan::none().with_nsd_outage(
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        ));
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         // 4 MiB over 1 MiB blocks on 4 servers: normally one stripe per
         // server; with server 0 down its stripe lands elsewhere.
         let (_, _end) = fs.write_pattern(NodeId(0), k, 0, 4 * MIB, 1, t).unwrap();
@@ -933,11 +987,15 @@ mod tests {
         cfg.client_cache_bytes = 0;
         let mut healthy = sim(cfg.clone());
         let mut degraded = sim(cfg);
-        degraded.set_fault_plan(
-            crate::faults::FaultPlan::none().with_nsd_outage(1, SimTime::ZERO, SimTime::from_secs(1000)),
-        );
+        degraded.set_fault_plan(crate::faults::FaultPlan::none().with_nsd_outage(
+            1,
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        ));
         let run = |fs: &mut GpfsSim| {
-            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (k, t) = fs
+                .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+                .unwrap();
             let (_, end) = fs.write_pattern(NodeId(0), k, 0, 16 * MIB, 1, t).unwrap();
             end.since(t).as_secs_f64()
         };
@@ -959,7 +1017,9 @@ mod tests {
             plan = plan.with_nsd_outage(s, SimTime::ZERO, SimTime::from_secs(1000));
         }
         fs.set_fault_plan(plan);
-        let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+        let (k, t) = fs
+            .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+            .unwrap();
         let r = fs.write_pattern(NodeId(0), k, 0, 1 * MIB, 1, t);
         assert_eq!(r.unwrap_err(), IoErr::ServerUnavailable);
     }
@@ -968,11 +1028,19 @@ mod tests {
     fn mds_brownout_lengthens_metadata() {
         let mut healthy = sim(GpfsConfig::tiny());
         let mut browned = sim(GpfsConfig::tiny());
-        browned.set_fault_plan(
-            crate::faults::FaultPlan::none().with_mds_brownout(SimTime::ZERO, SimTime::from_secs(1000), 10.0),
-        );
-        let t_ok = healthy.open(NodeId(0), "/a", true, false, SimTime::ZERO).unwrap().1;
-        let t_slow = browned.open(NodeId(0), "/a", true, false, SimTime::ZERO).unwrap().1;
+        browned.set_fault_plan(crate::faults::FaultPlan::none().with_mds_brownout(
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+            10.0,
+        ));
+        let t_ok = healthy
+            .open(NodeId(0), "/a", true, false, SimTime::ZERO)
+            .unwrap()
+            .1;
+        let t_slow = browned
+            .open(NodeId(0), "/a", true, false, SimTime::ZERO)
+            .unwrap()
+            .1;
         assert!(t_slow.as_nanos() > t_ok.as_nanos() * 5);
         assert_eq!(browned.stats().browned_meta_ops, 2);
     }
@@ -1011,7 +1079,10 @@ mod tests {
         let (c, _) = collect(43);
         assert_eq!(a, b, "same seed must fault identically");
         assert_eq!(ea, eb);
-        assert!(ea > 0, "a 30% rate over 33 attempts should fault at least once");
+        assert!(
+            ea > 0,
+            "a 30% rate over 33 attempts should fault at least once"
+        );
         assert_ne!(a, c, "different seeds should fault differently");
     }
 
@@ -1022,7 +1093,9 @@ mod tests {
             if install_empty {
                 fs.set_interference(InterferenceSchedule::none());
             }
-            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (k, t) = fs
+                .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+                .unwrap();
             let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 32 * MIB, 1, t).unwrap();
             let (_, e2) = fs.read_len(NodeId(1), k, 0, 32 * MIB, e1).unwrap();
             (e1, e2, fs.stats().clone())
@@ -1051,7 +1124,9 @@ mod tests {
             if let Some(s) = schedule {
                 fs.set_interference(s);
             }
-            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (k, t) = fs
+                .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+                .unwrap();
             let (_, end) = fs.write_pattern(NodeId(0), k, 0, 8 * MIB, 1, t).unwrap();
             (end.since(SimTime::ZERO).as_secs_f64(), fs.stats().clone())
         };
@@ -1065,7 +1140,10 @@ mod tests {
         let (t_shared, s_shared) = run(Some(loaded));
         // Doubled competing demand halves the effective rate, so the
         // server-dominated transfer takes noticeably longer.
-        assert!(t_shared > t_alone * 1.5, "shared {t_shared} vs alone {t_alone}");
+        assert!(
+            t_shared > t_alone * 1.5,
+            "shared {t_shared} vs alone {t_alone}"
+        );
         assert_eq!(s_alone.contended_data_ops, 0);
         assert_eq!(s_alone.tenant_delay_nanos, 0);
         assert!(s_shared.contended_data_ops >= 1);
@@ -1081,7 +1159,9 @@ mod tests {
             if let Some(s) = schedule {
                 fs.set_interference(s);
             }
-            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (k, t) = fs
+                .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+                .unwrap();
             let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 2 * MIB, 1, t).unwrap();
             (e1, fs.stats().clone())
         };
@@ -1102,7 +1182,9 @@ mod tests {
             if install_empty {
                 fs.set_fault_plan(crate::faults::FaultPlan::none());
             }
-            let (k, t) = fs.open(NodeId(0), "/f", true, false, SimTime::ZERO).unwrap();
+            let (k, t) = fs
+                .open(NodeId(0), "/f", true, false, SimTime::ZERO)
+                .unwrap();
             let (_, e1) = fs.write_pattern(NodeId(0), k, 0, 32 * MIB, 1, t).unwrap();
             let (_, e2) = fs.read_len(NodeId(1), k, 0, 32 * MIB, e1).unwrap();
             (e1, e2, fs.stats().clone())

@@ -41,6 +41,15 @@ pub struct LoadWindow {
     /// Competing metadata-path demand as a fraction of the aggregate MDS
     /// service capacity.
     pub meta_load: f64,
+    /// Fraction of the shared storage capacity that is actually *serving*
+    /// during this window, in `(0, 1]`. The fleet's failure domains couple
+    /// storage to the node pool (rack-co-located NSDs / burst buffers), so
+    /// while part of the pool is down the survivors serve the same demand
+    /// with less hardware: service times stretch by `1 / capacity` on top
+    /// of the processor-sharing load factor. `1.0` (the default, and the
+    /// only value pre-failure-domain schedules carry) is bit-identical to
+    /// the capacity-unaware model.
+    pub capacity: f64,
 }
 
 impl LoadWindow {
@@ -64,36 +73,91 @@ impl InterferenceSchedule {
         InterferenceSchedule::default()
     }
 
-    /// Whether the schedule carries no load at all.
+    /// Whether the schedule carries no load at all (and no degraded
+    /// capacity): an empty schedule is bit-identical to never installing
+    /// one, so a window whose only effect is `capacity < 1` counts as load.
     pub fn is_empty(&self) -> bool {
-        self.windows.iter().all(|w| w.data_load <= 0.0 && w.meta_load <= 0.0)
+        self.windows
+            .iter()
+            .all(|w| w.data_load <= 0.0 && w.meta_load <= 0.0 && w.capacity >= 1.0)
     }
 
     /// Add a window of competing demand (builder style).
-    pub fn with_window(mut self, from: SimTime, until: SimTime, data_load: f64, meta_load: f64) -> Self {
-        self.windows.push(LoadWindow { from, until, data_load, meta_load });
+    pub fn with_window(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        data_load: f64,
+        meta_load: f64,
+    ) -> Self {
+        self.windows.push(LoadWindow {
+            from,
+            until,
+            data_load,
+            meta_load,
+            capacity: 1.0,
+        });
         self
     }
 
+    /// Add a window of competing demand served by a degraded storage pool
+    /// (builder style). `capacity` is clamped into `(0, 1]`.
+    pub fn with_window_capacity(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        data_load: f64,
+        meta_load: f64,
+        capacity: f64,
+    ) -> Self {
+        let capacity = if capacity.is_finite() {
+            capacity.clamp(1e-6, 1.0)
+        } else {
+            1.0
+        };
+        self.windows.push(LoadWindow {
+            from,
+            until,
+            data_load,
+            meta_load,
+            capacity,
+        });
+        self
+    }
+
+    /// Surviving-capacity fraction at instant `t`: the *minimum* capacity
+    /// over covering windows (overlapping failure domains do not restore
+    /// hardware), `1.0` when no degraded window covers `t`.
+    fn capacity_at(&self, t: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.covers(t) && w.capacity < 1.0)
+            .map(|w| w.capacity)
+            .fold(1.0, f64::min)
+    }
+
     /// Data-path service-time stretch factor at instant `t`:
-    /// `1 + Σ data_load` over covering windows; `1.0` on a dedicated machine.
+    /// `(1 + Σ data_load) / capacity` over covering windows; `1.0` on a
+    /// dedicated, fully healthy machine.
     pub fn data_factor(&self, t: SimTime) -> f64 {
-        1.0 + self
+        (1.0 + self
             .windows
             .iter()
             .filter(|w| w.covers(t) && w.data_load > 0.0)
             .map(|w| w.data_load)
-            .sum::<f64>()
+            .sum::<f64>())
+            / self.capacity_at(t)
     }
 
     /// Metadata-path service-time stretch factor at instant `t`.
     pub fn meta_factor(&self, t: SimTime) -> f64 {
-        1.0 + self
+        (1.0 + self
             .windows
             .iter()
             .filter(|w| w.covers(t) && w.meta_load > 0.0)
             .map(|w| w.meta_load)
-            .sum::<f64>()
+            .sum::<f64>())
+            / self.capacity_at(t)
     }
 
     /// Mean data-path load over `[SimTime::ZERO, horizon)`, weighted by
@@ -121,22 +185,33 @@ impl InterferenceSchedule {
 
 impl ToJson for LoadWindow {
     fn to_json(&self) -> Json {
-        Json::obj([
+        // `capacity` is emitted only when degraded so pre-failure-domain
+        // schedules serialize byte-identically to before the field existed.
+        let mut fields = vec![
             ("from", self.from.to_json()),
             ("until", self.until.to_json()),
             ("data_load", self.data_load.to_json()),
             ("meta_load", self.meta_load.to_json()),
-        ])
+        ];
+        if self.capacity < 1.0 {
+            fields.push(("capacity", self.capacity.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
 impl FromJson for LoadWindow {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let capacity = match j.get("capacity") {
+            Some(c) => f64::from_json(c)?,
+            None => 1.0,
+        };
         Ok(LoadWindow {
             from: j.decode_field("from")?,
             until: j.decode_field("until")?,
             data_load: j.decode_field("data_load")?,
             meta_load: j.decode_field("meta_load")?,
+            capacity,
         })
     }
 }
@@ -149,7 +224,9 @@ impl ToJson for InterferenceSchedule {
 
 impl FromJson for InterferenceSchedule {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
-        Ok(InterferenceSchedule { windows: j.decode_field("windows")? })
+        Ok(InterferenceSchedule {
+            windows: j.decode_field("windows")?,
+        })
     }
 }
 
@@ -214,6 +291,48 @@ mod tests {
             .with_window(t(10), t(11), 2.0, 0.0);
         let j = s.to_json();
         let back = InterferenceSchedule::from_json(&j).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn degraded_capacity_stretches_both_paths() {
+        let s = InterferenceSchedule::none()
+            .with_window(t(0), t(10), 0.5, 0.0)
+            .with_window_capacity(t(5), t(20), 0.0, 0.0, 0.8);
+        assert!(!s.is_empty());
+        // Healthy region: pure processor sharing.
+        assert_eq!(s.data_factor(t(2)), 1.5);
+        // Degraded overlap: (1 + 0.5) / 0.8.
+        assert!((s.data_factor(t(7)) - 1.5 / 0.8).abs() < 1e-12);
+        // Degraded, no competing load: 1 / 0.8 on both paths.
+        assert!((s.data_factor(t(15)) - 1.25).abs() < 1e-12);
+        assert!((s.meta_factor(t(15)) - 1.25).abs() < 1e-12);
+        assert_eq!(s.data_factor(t(25)), 1.0);
+    }
+
+    #[test]
+    fn overlapping_capacity_windows_take_the_minimum() {
+        let s = InterferenceSchedule::none()
+            .with_window_capacity(t(0), t(10), 0.0, 0.0, 0.9)
+            .with_window_capacity(t(5), t(10), 0.0, 0.0, 0.5);
+        assert!((s.data_factor(t(2)) - 1.0 / 0.9).abs() < 1e-12);
+        assert!((s.data_factor(t(7)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_capacity_window_stays_empty_and_serializes_unchanged() {
+        let s = InterferenceSchedule::none().with_window_capacity(t(0), t(10), 0.0, 0.0, 1.0);
+        assert!(s.is_empty());
+        // Full-capacity windows serialize without the field, so old readers
+        // and old byte-for-byte snapshots are unaffected.
+        let legacy = InterferenceSchedule::none().with_window(t(0), t(10), 0.0, 0.0);
+        assert_eq!(s.to_json().render(), legacy.to_json().render());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_capacity() {
+        let s = InterferenceSchedule::none().with_window_capacity(t(3), t(9), 0.75, 0.125, 0.625);
+        let back = InterferenceSchedule::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -119,7 +119,10 @@ impl Dag {
     pub fn topo_order(&self) -> Option<Vec<TaskId>> {
         let n = self.tasks.len();
         let mut indeg: Vec<usize> = self.deps.iter().map(Vec::len).collect();
-        let mut q: VecDeque<TaskId> = (0..n as u32).map(TaskId).filter(|t| indeg[t.0 as usize] == 0).collect();
+        let mut q: VecDeque<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.0 as usize] == 0)
+            .collect();
         let mut out = Vec::with_capacity(n);
         while let Some(t) = q.pop_front() {
             out.push(t);
@@ -141,7 +144,9 @@ impl Dag {
     /// Tasks grouped by topological level (level = longest path from a
     /// root); the "stages" of the workflow.
     pub fn levels(&self) -> Vec<Vec<TaskId>> {
-        let order = self.topo_order().expect("levels() requires an acyclic graph");
+        let order = self
+            .topo_order()
+            .expect("levels() requires an acyclic graph");
         let mut level = vec![0usize; self.tasks.len()];
         for &t in &order {
             for &d in &self.deps[t.0 as usize] {
@@ -263,7 +268,12 @@ mod tests {
     fn app_dependencies_collapse_instances() {
         let mut g = Dag::new();
         for i in 0..4 {
-            g.add(task(&format!("p{i}"), "mProject", &["raw.fits"], &[&format!("proj{i}")]));
+            g.add(task(
+                &format!("p{i}"),
+                "mProject",
+                &["raw.fits"],
+                &[&format!("proj{i}")],
+            ));
         }
         let inputs: Vec<String> = (0..4).map(|i| format!("proj{i}")).collect();
         let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();

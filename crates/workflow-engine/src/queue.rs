@@ -44,7 +44,9 @@ impl WorkQueue {
     pub fn new(dag: Dag, gate_base: u64) -> Self {
         assert!(dag.is_acyclic(), "work queue requires an acyclic DAG");
         let n = dag.len();
-        let missing_deps: Vec<usize> = (0..n).map(|i| dag.deps_of(TaskId(i as u32)).len()).collect();
+        let missing_deps: Vec<usize> = (0..n)
+            .map(|i| dag.deps_of(TaskId(i as u32)).len())
+            .collect();
         let mut state = vec![TaskState::Blocked; n];
         let mut ready = VecDeque::new();
         for (i, &m) in missing_deps.iter().enumerate() {

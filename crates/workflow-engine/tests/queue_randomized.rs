@@ -34,7 +34,12 @@ fn random_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
 /// Draw `count` random node pairs in `0..bound`.
 fn random_edges(r: &mut Rng, bound: u64, count: usize) -> Vec<(usize, usize)> {
     (0..count)
-        .map(|_| (r.uniform_u64(0, bound) as usize, r.uniform_u64(0, bound) as usize))
+        .map(|_| {
+            (
+                r.uniform_u64(0, bound) as usize,
+                r.uniform_u64(0, bound) as usize,
+            )
+        })
         .collect()
 }
 

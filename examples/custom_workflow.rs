@@ -38,7 +38,9 @@ fn build_dag(n: u32) -> Dag {
     g.add(Task {
         name: "merge".into(),
         app: "merge".into(),
-        inputs: (0..n).map(|i| format!("/p/gpfs1/wf/cooked_{i}.bin")).collect(),
+        inputs: (0..n)
+            .map(|i| format!("/p/gpfs1/wf/cooked_{i}.bin"))
+            .collect(),
         outputs: vec!["/p/gpfs1/wf/result.bin".into()],
     });
     g.infer_edges_from_files();
@@ -115,16 +117,29 @@ fn main() {
     let world = IoWorld::lassen(2, 4, Dur::from_secs(600), 11);
     let q = Rc::new(RefCell::new(WorkQueue::new(dag, 1 << 40)));
     let scripts: Vec<Box<dyn RankScript<IoWorld>>> = (0..8)
-        .map(|_| Box::new(Worker { q: Rc::clone(&q), pending: None }) as Box<_>)
+        .map(|_| {
+            Box::new(Worker {
+                q: Rc::clone(&q),
+                pending: None,
+            }) as Box<_>
+        })
         .collect();
     let cost = vani_suite::cluster::mpi::MpiCostModel::from_node(
         &vani_suite::cluster::topology::ClusterSpec::lassen().node,
     );
     let mut engine = vani_suite::cluster::engine::Engine::new(world, scripts, cost);
     let report = engine.run().expect("workflow must not deadlock");
-    println!("workflow completed in {:.3}s simulated", report.makespan.as_secs_f64());
+    println!(
+        "workflow completed in {:.3}s simulated",
+        report.makespan.as_secs_f64()
+    );
     let world = engine.into_world();
     println!("trace: {} records", world.tracer.len());
-    assert!(world.storage.pfs().store().lookup("/p/gpfs1/wf/result.bin").is_some());
+    assert!(world
+        .storage
+        .pfs()
+        .store()
+        .lookup("/p/gpfs1/wf/result.bin")
+        .is_some());
     println!("final output exists on the PFS — workflow dependencies held.");
 }

@@ -39,6 +39,10 @@ fn main() {
     // 4. Ask the optimizer what the storage system should do.
     println!("--- recommendations ---");
     for advice in optimizer::recommend(&analysis) {
-        println!("* {:<28} because {}", advice.recommendation.name(), advice.rationale);
+        println!(
+            "* {:<28} because {}",
+            advice.recommendation.name(),
+            advice.rationale
+        );
     }
 }

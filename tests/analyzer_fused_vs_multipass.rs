@@ -55,7 +55,10 @@ fn faulted_six() -> Vec<(&'static str, exemplar_workloads::WorkloadRun)> {
         ("cosmoflow+faults", wl::cosmoflow::run_with(cosmo, 0.001, 5)),
         ("jag+faults", wl::jag::run_with(jag, 0.01, 5)),
         ("montage+faults", wl::montage::run_with(montage, 0.01, 5)),
-        ("pegasus+faults", wl::montage_pegasus::run_with(pegasus, 0.01, 5)),
+        (
+            "pegasus+faults",
+            wl::montage_pegasus::run_with(pegasus, 0.01, 5),
+        ),
     ]
 }
 
@@ -81,7 +84,10 @@ fn fused_matches_multipass_on_all_workloads_and_worker_counts() {
         "stress_plan produced no absorbed faults on any workload"
     );
     // The oracle at the default worker count is the reference point.
-    let oracles: Vec<Analysis> = runs.iter().map(|(_, r)| Analysis::from_run_multipass(r)).collect();
+    let oracles: Vec<Analysis> = runs
+        .iter()
+        .map(|(_, r)| Analysis::from_run_multipass(r))
+        .collect();
     for workers in [1u32, 2, 8] {
         par::set_threads(workers as usize);
         for ((name, run), oracle) in runs.iter().zip(&oracles) {
@@ -138,5 +144,8 @@ fn rendered_artifacts_are_byte_stable() {
     };
     let first = render();
     let second = render();
-    assert_eq!(first, second, "rendered artifacts changed between identical runs");
+    assert_eq!(
+        first, second,
+        "rendered artifacts changed between identical runs"
+    );
 }

@@ -58,7 +58,11 @@ fn phases_are_ordered_and_cover_all_interface_ops() {
         assert_eq!(phase_meta, a.meta_ops, "{name}: phase meta ops");
         // Phase byte totals match too.
         let phase_bytes: u64 = a.phases.iter().map(|p| p.bytes).sum();
-        assert_eq!(phase_bytes, a.read_bytes + a.write_bytes, "{name}: phase bytes");
+        assert_eq!(
+            phase_bytes,
+            a.read_bytes + a.write_bytes,
+            "{name}: phase bytes"
+        );
     }
 }
 
@@ -72,7 +76,11 @@ fn file_profiles_partition_interface_bytes() {
         assert_eq!(file_read, a.read_bytes, "{name}: per-file reads");
         assert_eq!(file_write, a.write_bytes, "{name}: per-file writes");
         // FPP + shared partition the file set.
-        assert_eq!(a.fpp_files() + a.shared_files(), a.n_files(), "{name}: partition");
+        assert_eq!(
+            a.fpp_files() + a.shared_files(),
+            a.n_files(),
+            "{name}: partition"
+        );
     }
 }
 
@@ -128,8 +136,16 @@ fn granularity_brackets_every_histogram_bucket_mass() {
             let buckets: Vec<u64> = a.req_sizes.iter().map(|(b, _)| b).collect();
             let min_b = *buckets.first().expect("non-empty");
             let max_b = *buckets.last().expect("non-empty");
-            assert!(lo >= min_b, "{}: lo {lo} < min bucket {min_b}", a.kind.name());
-            assert!(hi <= max_b, "{}: hi {hi} > max bucket {max_b}", a.kind.name());
+            assert!(
+                lo >= min_b,
+                "{}: lo {lo} < min bucket {min_b}",
+                a.kind.name()
+            );
+            assert!(
+                hi <= max_b,
+                "{}: hi {hi} > max bucket {max_b}",
+                a.kind.name()
+            );
         }
     }
 }

@@ -107,7 +107,11 @@ fn shuffled_offsets_classify_mixed() {
     // Seek backwards before most writes: offsets are non-monotonic.
     let mut ops = Vec::new();
     for i in 0..30u64 {
-        let dst = if i % 2 == 0 { (30 - i) * 8192 } else { i * 8192 };
+        let dst = if i % 2 == 0 {
+            (30 - i) * 8192
+        } else {
+            i * 8192
+        };
         ops.push(SynOp::Seek(dst));
         ops.push(SynOp::Write(4096));
     }

@@ -98,7 +98,9 @@ fn every_column_shape_round_trips_across_seeds_widths_and_lengths() {
                     let vals = column(shape, &mut rng, n, width);
                     let enc = encode_column(&vals, width);
                     let dec = decode_column(&enc, n, width).unwrap_or_else(|e| {
-                        panic!("seed {seed} shape {shape} width {width} n {n}: decode failed: {e:?}")
+                        panic!(
+                            "seed {seed} shape {shape} width {width} n {n}: decode failed: {e:?}"
+                        )
                     });
                     assert_eq!(dec, vals, "seed {seed} shape {shape} width {width} n {n}");
 
@@ -124,11 +126,20 @@ fn corrupt_buffers_are_rejected_not_decoded() {
     let mut rng = Rng::new(42);
     let vals = column(3, &mut rng, 200, 8);
     let enc = encode_column(&vals, 8);
-    assert!(decode_column(&enc[..enc.len() - 1], 200, 8).is_err(), "truncated payload");
-    assert!(decode_column(&[], 200, 8).is_err(), "empty buffer, nonzero rows");
+    assert!(
+        decode_column(&enc[..enc.len() - 1], 200, 8).is_err(),
+        "truncated payload"
+    );
+    assert!(
+        decode_column(&[], 200, 8).is_err(),
+        "empty buffer, nonzero rows"
+    );
     let mut bad_tag = enc.clone();
     bad_tag[0] = 0xFF;
-    assert!(decode_column(&bad_tag, 200, 8).is_err(), "unknown codec tag");
+    assert!(
+        decode_column(&bad_tag, 200, 8).is_err(),
+        "unknown codec tag"
+    );
     // Asking for a different row count than encoded must not panic either.
     let _ = decode_column(&enc, 199, 8);
     let _ = decode_column(&enc, 201, 8);
@@ -152,9 +163,17 @@ fn synthetic_trace(n: usize, seed: u64) -> ColumnarTrace {
         let (layer, op, file) = if i % 17 == 0 {
             (Layer::Posix, OpKind::Open, None)
         } else if i % 2 == 0 {
-            (Layer::Posix, OpKind::Read, Some(FileId((rng.below(4)) as u32)))
+            (
+                Layer::Posix,
+                OpKind::Read,
+                Some(FileId((rng.below(4)) as u32)),
+            )
         } else {
-            (Layer::Stdio, OpKind::Write, Some(FileId((rng.below(4)) as u32)))
+            (
+                Layer::Stdio,
+                OpKind::Write,
+                Some(FileId((rng.below(4)) as u32)),
+            )
         };
         let bytes = 1 + rng.below(1 << 20);
         c.push_row(
@@ -202,12 +221,20 @@ fn sealed_chunks_round_trip_and_revalidate() {
 #[test]
 fn chunked_trace_is_lossless_at_every_chunk_size() {
     let c = synthetic_trace(5000, 9);
-    let raw_bytes: usize = 5000 * COLUMN_WIDTHS.iter().map(|&(_, w)| w as usize).sum::<usize>();
+    let raw_bytes: usize = 5000
+        * COLUMN_WIDTHS
+            .iter()
+            .map(|&(_, w)| w as usize)
+            .sum::<usize>();
     for &rows in &[64usize, 1000, 4096, 1 << 20] {
         let t = ChunkedTrace::from_columnar(&c, rows);
         assert_eq!(t.len(), c.len());
         assert_eq!(t.chunks.len(), c.len().div_ceil(rows));
-        assert_eq!(t.to_columnar().expect("to_columnar"), c, "chunk_rows = {rows}");
+        assert_eq!(
+            t.to_columnar().expect("to_columnar"),
+            c,
+            "chunk_rows = {rows}"
+        );
         assert!(
             t.compressed_bytes() < raw_bytes,
             "chunk_rows = {rows}: {} compressed vs {raw_bytes} raw",

@@ -100,11 +100,20 @@ fn crash_recovery_is_deterministic_and_supervised() {
     for workers in [1usize, 2, 8] {
         vani_rt::par::set_threads(workers);
         let pair = crashed_pair(Driver::Parallel, cm1_at, cf_at);
-        assert_eq!(pair, pair_ref, "crash-recovery output diverged at {workers} workers");
+        assert_eq!(
+            pair, pair_ref,
+            "crash-recovery output diverged at {workers} workers"
+        );
         let sweep = crashsweep::crash_sweep(CF_SCALE, 7, Driver::Parallel).render();
-        assert_eq!(sweep, sweep_ref, "crash-sweep report diverged at {workers} workers");
+        assert_eq!(
+            sweep, sweep_ref,
+            "crash-sweep report diverged at {workers} workers"
+        );
         let salvage = salvaged_analysis(&crashed_capture, cm1_at);
-        assert_eq!(salvage, salvage_ref, "salvaged-trace YAML diverged at {workers} workers");
+        assert_eq!(
+            salvage, salvage_ref,
+            "salvaged-trace YAML diverged at {workers} workers"
+        );
         vani_rt::par::set_threads(0);
     }
 
@@ -112,7 +121,9 @@ fn crash_recovery_is_deterministic_and_supervised() {
     // crash-recovering workload completes: the healthy result comes back,
     // the panic becomes a typed failure in the manifest.
     let mut set = ScenarioSet::new(23);
-    set.add("boom", |_| -> String { panic!("synthetic scenario failure") });
+    set.add("boom", |_| -> String {
+        panic!("synthetic scenario failure")
+    });
     set.add("cm1/crash", move |_| {
         let mut p = wl::cm1::Cm1Params::scaled(CM1_SCALE);
         p.faults = FaultPlan::none().with_rank_crash(0, cm1_at);
@@ -125,9 +136,14 @@ fn crash_recovery_is_deterministic_and_supervised() {
     assert_eq!(err.id, "boom");
     assert_eq!(err.attempts, 2);
     assert!(err.message.contains("synthetic scenario failure"));
-    let ok = report.results[1].as_ref().expect("the crashed CM1 run must recover");
+    let ok = report.results[1]
+        .as_ref()
+        .expect("the crashed CM1 run must recover");
     assert!(ok.contains("restart_count"));
     assert!(!report.is_clean());
     let manifest = report.manifest();
-    assert!(manifest.contains("boom"), "manifest must name the failure:\n{manifest}");
+    assert!(
+        manifest.contains("boom"),
+        "manifest must name the failure:\n{manifest}"
+    );
 }

@@ -38,7 +38,11 @@ fn single_nsd_outage_costs_about_the_server_share() {
 #[test]
 fn preload_to_shm_is_a_fault_shield() {
     let s = faultsweep::shm_shield_impact(0.02, 7);
-    assert!(s.baseline.degradation() > 1.5, "baseline: {:.2}x", s.baseline.degradation());
+    assert!(
+        s.baseline.degradation() > 1.5,
+        "baseline: {:.2}x",
+        s.baseline.degradation()
+    );
     assert!(
         s.preloaded.degradation() < 1.0 + 0.5 * (s.baseline.degradation() - 1.0),
         "preload ({:.2}x) must shield at least half of the baseline's slowdown ({:.2}x)",
@@ -75,19 +79,32 @@ fn injected_faults_never_panic_and_surface_as_attributes() {
         wl::montage::run_with(montage, 0.01, 13),
     ] {
         let a = Analysis::from_run(&run);
-        assert!(a.fault_events > 0, "{}: the 5% error rate must fire", run.kind.name());
+        assert!(
+            a.fault_events > 0,
+            "{}: the 5% error rate must fire",
+            run.kind.name()
+        );
         assert_eq!(
-            a.fault_events, a.retry_events,
+            a.fault_events,
+            a.retry_events,
             "{}: every absorbed fault is followed by exactly one retry",
             run.kind.name()
         );
-        assert!(a.retried_bytes > 0, "{}: retried data ops re-submit their payload", run.kind.name());
+        assert!(
+            a.retried_bytes > 0,
+            "{}: retried data ops re-submit their payload",
+            run.kind.name()
+        );
         assert!(a.time_lost_to_faults() > 0.0);
         assert!(a.error_rate() > 0.0 && a.error_rate() < 1.0);
         assert!(a.retry_amplification() > 0.0);
         // A faulted run's YAML carries the resilience attributes ...
         let y = yaml::emit(&tables::entities_for(&a));
-        assert!(y.contains("error_rate"), "{}: YAML must carry error_rate", run.kind.name());
+        assert!(
+            y.contains("error_rate"),
+            "{}: YAML must carry error_rate",
+            run.kind.name()
+        );
         assert!(y.contains("retry_amplification"));
         assert!(y.contains("time_lost_to_faults"));
         // ... and, when the dead server's stripes were actually touched
@@ -98,7 +115,10 @@ fn injected_faults_never_panic_and_surface_as_attributes() {
             assert!(y.contains("nsd_outage_impact"));
         }
     }
-    assert!(any_rerouted, "at least one workload must hit the dead server's stripes");
+    assert!(
+        any_rerouted,
+        "at least one workload must hit the dead server's stripes"
+    );
 
     // A fault-free run emits none of this: the attributes are strictly
     // additive and golden outputs stay byte-identical.
@@ -126,5 +146,8 @@ fn faulted_runs_are_deterministic() {
     assert_eq!(t1, t2, "same seed, same plan: identical makespan");
     assert_eq!(a1, a2, "same seed, same plan: identical analysis");
     let (t3, a3) = run(22);
-    assert!(t3 != t1 || a3 != a1, "a different seed should perturb the faulted run");
+    assert!(
+        t3 != t1 || a3 != a1,
+        "a different seed should perturb the faulted run"
+    );
 }

@@ -19,7 +19,7 @@ use vani_suite::vani::analyzer::Analysis;
 use vani_suite::vani::sweep::Driver;
 use vani_suite::vani::tenancy::{
     build_manifest, fleet_sweep, ArrivalProcess, FleetConfig, FleetError, InterArrival,
-    JobTemplate, JobVariant,
+    JobTemplate, JobVariant, NodeFaultSpec, SchedPolicy,
 };
 use vani_suite::workloads as wl;
 
@@ -53,7 +53,10 @@ fn fleet_report_is_byte_identical_at_any_worker_count() {
         assert!(render_ref.contains("Fleet attribute distributions"));
         assert!(render_ref.contains("Noisy neighbor impact"));
         if with_faults {
-            assert!(render_ref.contains("crashy"), "crashy tenants must appear in the report");
+            assert!(
+                render_ref.contains("crashy"),
+                "crashy tenants must appear in the report"
+            );
         }
 
         for workers in [1usize, 2, 8] {
@@ -95,6 +98,8 @@ fn single_tenant_fleet_reproduces_the_dedicated_run_byte_equal() {
             dist: InterArrival::Exponential,
         },
         mix: vec![JobTemplate::new("cm1", JobVariant::Baseline, 1)],
+        node_faults: NodeFaultSpec::None,
+        sched: SchedPolicy::standard(),
     };
     let manifest = build_manifest(&cfg).expect("valid config");
     let job_seed = manifest.jobs[0].seed;
@@ -102,12 +107,19 @@ fn single_tenant_fleet_reproduces_the_dedicated_run_byte_equal() {
     let report = fleet_sweep(&cfg, Driver::Sequential).expect("valid config");
     assert_eq!(report.records.len(), 1);
     let r = &report.records[0];
-    assert_eq!(r.mean_neighbor_load, 0.0, "a lonely tenant has no neighbors");
+    assert_eq!(
+        r.mean_neighbor_load, 0.0,
+        "a lonely tenant has no neighbors"
+    );
     assert_eq!(r.tenant_delay_secs, 0.0);
     assert_eq!(r.contended_ops, 0);
 
     let dedicated = Analysis::from_run(&wl::cm1::run(SCALE, job_seed));
-    assert_eq!(r.runtime, dedicated.job_time.as_secs_f64(), "runtime must be byte-equal");
+    assert_eq!(
+        r.runtime,
+        dedicated.job_time.as_secs_f64(),
+        "runtime must be byte-equal"
+    );
     assert_eq!(r.io_time_frac, dedicated.io_time_frac);
     assert_eq!(r.read_bytes, dedicated.read_bytes);
     assert_eq!(r.write_bytes, dedicated.write_bytes);
@@ -120,18 +132,23 @@ fn single_tenant_fleet_reproduces_the_dedicated_run_byte_equal() {
 #[test]
 fn unknown_workload_is_a_typed_error_not_a_panic() {
     let mut cfg = small_cfg(false);
-    cfg.mix.push(JobTemplate::new("lammps", JobVariant::Baseline, 1));
+    cfg.mix
+        .push(JobTemplate::new("lammps", JobVariant::Baseline, 1));
     let err = fleet_sweep(&cfg, Driver::Sequential).unwrap_err();
     assert_eq!(err, FleetError::UnknownWorkload("lammps".to_string()));
     let msg = err.to_string();
-    assert!(msg.contains("lammps") && msg.contains("cm1"), "message lists known ids: {msg}");
+    assert!(
+        msg.contains("lammps") && msg.contains("cm1"),
+        "message lists known ids: {msg}"
+    );
 }
 
 #[test]
 fn unsupported_variant_and_oversized_jobs_are_typed_errors() {
     // HACC has no checkpoint/restart recovery: crashy must be rejected.
     let mut cfg = small_cfg(false);
-    cfg.mix.push(JobTemplate::new("hacc", JobVariant::Crashy, 1));
+    cfg.mix
+        .push(JobTemplate::new("hacc", JobVariant::Crashy, 1));
     match fleet_sweep(&cfg, Driver::Sequential).unwrap_err() {
         FleetError::UnsupportedVariant { workload, variant } => {
             assert_eq!(workload, "hacc");
@@ -153,5 +170,8 @@ fn unsupported_variant_and_oversized_jobs_are_typed_errors() {
     for t in &mut cfg.mix {
         t.weight = 0;
     }
-    assert_eq!(fleet_sweep(&cfg, Driver::Sequential).unwrap_err(), FleetError::EmptyMix);
+    assert_eq!(
+        fleet_sweep(&cfg, Driver::Sequential).unwrap_err(),
+        FleetError::EmptyMix
+    );
 }

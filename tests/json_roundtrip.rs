@@ -64,8 +64,16 @@ fn reloaded_trace_renders_identical_attribute_tables() {
     let cols_b = [&b];
     for (name, ta, tb) in [
         ("table1", tables::table1(&cols_a), tables::table1(&cols_b)),
-        ("table10", tables::table10(&cols_a), tables::table10(&cols_b)),
-        ("table11", tables::table11(&cols_a), tables::table11(&cols_b)),
+        (
+            "table10",
+            tables::table10(&cols_a),
+            tables::table10(&cols_b),
+        ),
+        (
+            "table11",
+            tables::table11(&cols_a),
+            tables::table11(&cols_b),
+        ),
     ] {
         assert_eq!(ta.render(), tb.render(), "{name} diverged after reload");
     }
@@ -110,8 +118,13 @@ fn malformed_traces_fail_with_byte_offset_context() {
     persist::save_columnar(&c, &cpath).unwrap();
     let cgood = fs::read_to_string(&cpath).unwrap();
     fs::write(&cpath, &cgood[..cgood.len() - cgood.len() / 3]).unwrap();
-    let msg = persist::load_columnar(&cpath).expect_err("truncated columnar").to_string();
-    assert!(msg.contains("byte"), "columnar error must carry byte-offset context: {msg}");
+    let msg = persist::load_columnar(&cpath)
+        .expect_err("truncated columnar")
+        .to_string();
+    assert!(
+        msg.contains("byte"),
+        "columnar error must carry byte-offset context: {msg}"
+    );
 
     // A missing file is an io::Error, not a panic.
     assert!(persist::load_tracer(&dir.join("never_written.json")).is_err());

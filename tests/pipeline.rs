@@ -42,14 +42,23 @@ fn table1_shape_invariants_hold_across_all_six() {
     assert!(cf.read_bytes > 100 * cf.write_bytes.max(1));
 
     // Metadata-heavy vs data-heavy op mixes.
-    assert!(by_name("Cosmoflow").data_frac() < 0.5, "CosmoFlow is metadata-bound");
-    assert!(by_name("Montage MPI").data_frac() > 0.5, "Montage is data-bound");
+    assert!(
+        by_name("Cosmoflow").data_frac() < 0.5,
+        "CosmoFlow is metadata-bound"
+    );
+    assert!(
+        by_name("Montage MPI").data_frac() > 0.5,
+        "Montage is data-bound"
+    );
 
     // Every workload detected at least one I/O phase and one app.
     for a in &analyses {
         assert!(!a.phases.is_empty(), "{} has no phases", a.kind.name());
         assert!(!a.apps.is_empty(), "{} has no apps", a.kind.name());
-        assert_eq!(a.access_pattern == "Seq", a.kind.name() != "Montage Pegasus");
+        assert_eq!(
+            a.access_pattern == "Seq",
+            a.kind.name() != "Montage Pegasus"
+        );
     }
 }
 
@@ -72,8 +81,14 @@ fn optimizer_rules_fire_selectively() {
     use vani_suite::vani::optimizer::recommend;
     let cf = Analysis::from_run(&wl::cosmoflow::run(0.002, 7));
     let hc = Analysis::from_run(&wl::hacc::run(0.02, 7));
-    let cf_names: Vec<&str> = recommend(&cf).iter().map(|a| a.recommendation.name()).collect::<Vec<_>>();
-    let hc_names: Vec<&str> = recommend(&hc).iter().map(|a| a.recommendation.name()).collect::<Vec<_>>();
+    let cf_names: Vec<&str> = recommend(&cf)
+        .iter()
+        .map(|a| a.recommendation.name())
+        .collect::<Vec<_>>();
+    let hc_names: Vec<&str> = recommend(&hc)
+        .iter()
+        .map(|a| a.recommendation.name())
+        .collect::<Vec<_>>();
     assert!(cf_names.contains(&"preload-dataset-to-shm"));
     assert!(hc_names.contains(&"disable-locking"));
     assert!(!hc_names.contains(&"preload-dataset-to-shm"));

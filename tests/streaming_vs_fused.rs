@@ -13,7 +13,9 @@
 //! One worker-sweep `#[test]` on purpose: `rt::par::set_threads` is
 //! process-global, so the sweep must not interleave with itself.
 
-use vani_suite::recorder::chunk::{resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS};
+use vani_suite::recorder::chunk::{
+    resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS,
+};
 use vani_suite::recorder::tracer::Tracer;
 use vani_suite::recorder::ColumnarTrace;
 use vani_suite::rt::par;
@@ -73,7 +75,10 @@ fn faulted_seven() -> Vec<(&'static str, WorkloadRun)> {
         ("cosmoflow+faults", wl::cosmoflow::run_with(cosmo, 0.001, 5)),
         ("jag+faults", wl::jag::run_with(jag, 0.01, 5)),
         ("montage+faults", wl::montage::run_with(montage, 0.01, 5)),
-        ("pegasus+faults", wl::montage_pegasus::run_with(pegasus, 0.01, 5)),
+        (
+            "pegasus+faults",
+            wl::montage_pegasus::run_with(pegasus, 0.01, 5),
+        ),
         ("ior+faults", wl::ior::run(ior, 5)),
     ]
 }
@@ -88,10 +93,14 @@ fn faulted_seven() -> Vec<(&'static str, WorkloadRun)> {
 fn streaming_profile_matches_fused_on_all_workloads_and_worker_counts() {
     let mut runs = paper_seven();
     runs.extend(faulted_seven());
-    let captures: Vec<(&str, ColumnarTrace, Dur)> =
-        runs.iter().map(|(n, r)| (*n, r.columnar(), r.runtime())).collect();
-    let oracles: Vec<TraceProfile> =
-        captures.iter().map(|(_, c, rt)| TraceProfile::fused(c, *rt)).collect();
+    let captures: Vec<(&str, ColumnarTrace, Dur)> = runs
+        .iter()
+        .map(|(n, r)| (*n, r.columnar(), r.runtime()))
+        .collect();
+    let oracles: Vec<TraceProfile> = captures
+        .iter()
+        .map(|(_, c, rt)| TraceProfile::fused(c, *rt))
+        .collect();
 
     for workers in [1usize, 2, 8] {
         par::set_threads(workers);
@@ -183,15 +192,21 @@ fn streaming_peak_memory_stays_under_the_ring_bound() {
 fn sampler_is_off_by_default_and_deterministic_under_budget() {
     let run = wl::jag::run(0.01, 5);
     let c = run.columnar();
-    assert!(run.world.tracer.sampler().is_none(), "sampling must be opt-in");
+    assert!(
+        run.world.tracer.sampler().is_none(),
+        "sampling must be opt-in"
+    );
 
     let replay = |budget: Option<f64>| -> ColumnarTrace {
         let mut t = Tracer::with_overhead(Dur::from_nanos(10_000));
         t.set_sampler_budget(budget);
         for i in 0..c.len() {
             let file = c.file_id(i).map(|f| t.file_id(run.world.tracer.path_of(f)));
-            let app =
-                t.app_id(run.world.tracer.app_name(vani_suite::recorder::record::AppId(c.app[i])));
+            let app = t.app_id(
+                run.world
+                    .tracer
+                    .app_name(vani_suite::recorder::record::AppId(c.app[i])),
+            );
             t.record(
                 c.rank[i],
                 c.node[i],

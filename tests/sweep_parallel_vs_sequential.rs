@@ -72,11 +72,20 @@ fn parallel_driver_is_byte_identical_to_sequential() {
     for workers in [1usize, 2, 8] {
         vani_rt::par::set_threads(workers);
         let six = render_six(&sweep::paper_six(SCALE, SEED, Driver::Parallel));
-        assert_eq!(six, six_ref, "paper-six output diverged at {workers} workers");
+        assert_eq!(
+            six, six_ref,
+            "paper-six output diverged at {workers} workers"
+        );
         let fsw = sweep::fault_sweep(FAULT_SCALE, 7, 20.0, Driver::Parallel).render();
-        assert_eq!(fsw, sweep_ref, "fault-sweep report diverged at {workers} workers");
+        assert_eq!(
+            fsw, sweep_ref,
+            "fault-sweep report diverged at {workers} workers"
+        );
         let faulted = faulted_pair(Driver::Parallel);
-        assert_eq!(faulted, faulted_ref, "faulted-pair YAML diverged at {workers} workers");
+        assert_eq!(
+            faulted, faulted_ref,
+            "faulted-pair YAML diverged at {workers} workers"
+        );
         vani_rt::par::set_threads(0);
     }
 }

@@ -8,10 +8,11 @@
 //! including its `Crash`/`RestartEpoch`/`Checkpoint` records — survives
 //! the disk round-trip losslessly.
 
+use sim_core::SimTime;
 use std::fs;
 use std::path::PathBuf;
-use sim_core::SimTime;
 use storage_sim::FaultPlan;
+use vani_suite::recorder::chunk::ChunkedTrace;
 use vani_suite::recorder::persist;
 use vani_suite::recorder::tracer::Tracer;
 use vani_suite::vani::analyzer::Analysis;
@@ -30,7 +31,11 @@ fn truncated_capture_salvages_a_consistent_prefix() {
     let path = temp_path("cm1.truncated.rg.json");
     // Small row groups so truncation can land between group boundaries
     // even at test scale.
-    fs::write(&path, persist::render_rowgroups(run.world.tracer.columnar(), 64)).unwrap();
+    fs::write(
+        &path,
+        persist::render_rowgroups(run.world.tracer.columnar(), 64),
+    )
+    .unwrap();
 
     // The writer died mid-record: chop the capture two thirds in.
     let text = fs::read_to_string(&path).unwrap();
@@ -43,7 +48,10 @@ fn truncated_capture_salvages_a_consistent_prefix() {
     // Salvage recovers the longest consistent prefix and says how much.
     let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
     fs::remove_file(&path).unwrap();
-    assert!(tc.loaded_records > 0, "two thirds of a capture must salvage something");
+    assert!(
+        tc.loaded_records > 0,
+        "two thirds of a capture must salvage something"
+    );
     assert!(!tc.is_complete());
     assert!(tc.fraction() < 1.0);
     assert_eq!(tc.loaded_records as usize, salvaged.len());
@@ -60,7 +68,10 @@ fn truncated_capture_salvages_a_consistent_prefix() {
     partial.world.tracer = Tracer::from_columnar(salvaged);
     let fused = Analysis::from_run(&partial);
     let multi = Analysis::from_run_multipass(&partial);
-    assert_eq!(fused, multi, "fused and multipass must agree on salvaged traces");
+    assert_eq!(
+        fused, multi,
+        "fused and multipass must agree on salvaged traces"
+    );
 
     let annotated = yaml::emit(&tables::entities_with_completeness(&fused, Some(&tc)));
     assert!(annotated.contains("trace_completeness"), "{annotated}");
@@ -92,6 +103,76 @@ fn corrupted_group_stops_salvage_at_the_last_verified_group() {
     let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
     fs::remove_file(&path).unwrap();
     assert!(tc.loaded_groups < tc.expected_groups);
+    assert!(salvaged.len() < c.len());
+    assert_eq!(salvaged.to_records(), c.to_records()[..salvaged.len()]);
+}
+
+#[test]
+fn v2_capture_truncated_mid_sealed_chunk_salvages_the_prefix() {
+    let run = wl::cm1::run(0.01, 11);
+    let c = run.world.tracer.columnar();
+    let path = temp_path("cm1.truncated.v2.rg.json");
+    // Small sealed chunks so the cut lands well inside the chunk stream.
+    let text = persist::render_chunked(&ChunkedTrace::from_columnar(c, 64));
+    // The writer died mid-chunk: chop the capture two thirds in, which
+    // lands inside a sealed chunk's hex-encoded column payload.
+    fs::write(&path, &text[..text.len() * 2 / 3]).unwrap();
+
+    let err = persist::load_columnar(&path).expect_err("strict load must fail");
+    assert!(err.to_string().contains("byte"), "{err}");
+
+    let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    assert!(
+        tc.loaded_records > 0,
+        "two thirds of a v2 capture must salvage something"
+    );
+    assert!(!tc.is_complete());
+    assert!(tc.fraction() < 1.0);
+    assert!(tc.loaded_groups < tc.expected_groups);
+    assert_eq!(tc.loaded_records as usize, salvaged.len());
+    assert_eq!(
+        salvaged.to_records(),
+        c.to_records()[..salvaged.len()],
+        "salvaged rows must be a prefix of the original capture"
+    );
+}
+
+#[test]
+fn v2_chunk_checksum_corruption_stops_salvage_at_the_last_verified_chunk() {
+    let run = wl::cosmoflow::run(0.01, 11);
+    let c = run.world.tracer.columnar();
+    let path = temp_path("cosmo.corrupt.v2.rg.json");
+    let text = persist::render_chunked(&ChunkedTrace::from_columnar(c, 64));
+
+    // Flip one hex digit inside the last sealed chunk's encoded column
+    // payload without breaking JSON: the per-column checksum must catch
+    // it and salvage must stop at the preceding chunk boundary.
+    let lines: Vec<&str> = text.lines().collect();
+    let last = lines.len() - 1;
+    let pos = lines[last].rfind('"').unwrap() - 2;
+    let mut doctored = lines[last].to_string();
+    let old = doctored.as_bytes()[pos];
+    let new = if old == b'0' { "1" } else { "0" };
+    doctored.replace_range(pos..pos + 1, new);
+    let mut out: Vec<&str> = lines[..last].to_vec();
+    out.push(&doctored);
+    fs::write(&path, out.join("\n")).unwrap();
+
+    let err = persist::load_columnar(&path).expect_err("strict load must fail");
+    assert!(
+        err.to_string().contains("checksum") || err.to_string().contains("decode"),
+        "{err}"
+    );
+
+    let (salvaged, tc) = persist::load_columnar_salvaged(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    assert!(tc.loaded_groups < tc.expected_groups);
+    assert_eq!(
+        tc.loaded_records as usize,
+        tc.loaded_groups as usize * 64,
+        "salvage stops exactly on a sealed-chunk boundary"
+    );
     assert!(salvaged.len() < c.len());
     assert_eq!(salvaged.to_records(), c.to_records()[..salvaged.len()]);
 }
