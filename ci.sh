@@ -94,4 +94,34 @@ cargo test --release --offline --test fleet_sweep
 # its retry budget is abandoned without being simulated.
 cargo test --release --offline --test fleet_resilience
 
+# Spill identity suite: spill-capture -> recover -> off-disk streaming
+# analysis is bit-identical to the in-memory fused profile on all seven
+# exemplars, clean and faulted, at 1/2/8 workers and two chunk sizes; a
+# v3 log loads through every v1/v2 persistence entry point; capture and
+# analysis stay under the chunk-ring resident bound.
+cargo test --release --offline --test spill_identity
+
+# Spill torture suite: every injected fault class (torn final write,
+# partial append, ENOSPC, bit flip, crash-before-commit) at several
+# target chunks recovers the longest committed prefix with a typed
+# diagnostic — never a panic — and analyzing the recovered prefix off
+# disk equals in-memory streaming over the same records at 1/2/8
+# workers. ENOSPC leaves no temp-file litter.
+cargo test --release --offline --test spill_torture
+
+# Persistence corruption property suite: seeded random truncations and
+# bit flips over all three trace generations (v1 row-group JSON, v2
+# chunked JSON, v3 binary spill log) never panic any loader — typed
+# errors or honest-prefix salvage only — and a checksum-fixed meta
+# mutation is caught by deep verification as codec-class damage.
+cargo test --release --offline --test persist_corruption
+
+# fleet-sweep spill smoke: the short fleet with every per-job trace
+# staged through an on-disk spill log. The report gains the spill
+# durability section (all records durable on a clean run) and the job
+# logs land in the scratch directory; exits non-zero on any divergence.
+spill_dir="$(mktemp -d)"
+cargo run --release --offline -p bench --bin repro -- fleet-sweep --short --spill "$spill_dir" > /dev/null
+rm -rf "$spill_dir"
+
 echo "ci: OK"

@@ -1,12 +1,14 @@
-//! Analyzer throughput, three generations: the legacy one-scan-per-statistic
+//! Analyzer throughput, four generations: the legacy one-scan-per-statistic
 //! pipeline ([`TraceProfile::multipass`]), the fused single-pass scan
-//! ([`TraceProfile::fused`]), and the streaming bounded-memory path
-//! ([`TraceProfile::streaming`] over compressed chunks), on synthetic traces
-//! from 10^4 to 10^7 records and on all six exemplar workloads of the paper.
-//! Streaming rows also report compressed bytes per record and the peak
-//! resident decoded-trace bytes (which must stay flat across trace sizes and
-//! under the chunk-ring bound — asserted here, so the CI smoke run fails if
-//! the streaming path ever holds more than its ring).
+//! ([`TraceProfile::fused`]), the streaming bounded-memory path
+//! ([`TraceProfile::streaming`] over compressed chunks), and the spill path
+//! ([`TraceProfile::streaming_source`] over an on-disk segment log), on
+//! synthetic traces from 10^4 to 10^7 records and on all six exemplar
+//! workloads of the paper. Streaming and spill rows also report bytes per
+//! record and the peak resident decoded-trace bytes (which must stay flat
+//! across trace sizes and under the chunk-ring bound — asserted here for
+//! both paths, so the CI smoke run fails if either ever holds more than
+//! its ring; the full sweep proves the 10⁷-record larger-than-RAM claim).
 //!
 //! Writes `BENCH_analyzer.json` at the repository root and prints a summary
 //! table. Run with:
@@ -29,7 +31,8 @@ use recorder_sim::chunk::{
     resident_bound, trace_gauge, ChunkedTrace, DEFAULT_CHUNK_ROWS, RING_SLOTS,
 };
 use recorder_sim::record::{Layer, OpKind};
-use recorder_sim::ColumnarTrace;
+use recorder_sim::spill::{spill_columnar, SpillSource};
+use recorder_sim::{ColumnarTrace, SpillFaultPlan};
 use sim_core::Dur;
 use vani_core::analyzer::TraceProfile;
 use vani_rt::json::Json;
@@ -44,8 +47,11 @@ struct SizeResult {
     multipass_ns: u64,
     fused_ns: u64,
     streaming_ns: u64,
+    spill_ns: u64,
     compressed_bytes: usize,
+    spill_log_bytes: u64,
     peak_resident_bytes: u64,
+    spill_peak_resident_bytes: u64,
 }
 
 /// One exemplar workload measurement.
@@ -160,12 +166,28 @@ fn time_path<F: Fn() -> TraceProfile>(samples: usize, f: F) -> (TraceProfile, u6
     (reference, best)
 }
 
-/// Measure all three paths on one trace and cross-check them for equality.
+/// What [`measure`] produced for one trace.
+struct Measured {
+    multipass_ns: u64,
+    fused_ns: u64,
+    streaming_ns: u64,
+    spill_ns: u64,
+    compressed_bytes: usize,
+    spill_log_bytes: u64,
+    peak_resident_bytes: u64,
+    spill_peak_resident_bytes: u64,
+}
+
+/// Measure all four paths on one trace and cross-check them for equality.
 /// Streaming is timed on a pre-sealed [`ChunkedTrace`] (seal cost belongs to
 /// capture, not analysis) and its gauge peak is asserted under the ring
-/// bound. Returns `(multipass_ns, fused_ns, streaming_ns, compressed_bytes,
-/// peak_resident_bytes)`.
-fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> (u64, u64, u64, usize, u64) {
+/// bound. The spill path writes the same chunks into an on-disk segment
+/// log (once — the write is capture cost), then profiles straight off
+/// disk; its gauge peak covers the writer's staging buffers *and* the
+/// off-disk scan, and must also stay at the ring bound — the
+/// larger-than-RAM claim, asserted on every run including the 10⁷-record
+/// full sweep.
+fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> Measured {
     let (multi, multipass_ns) = time_path(samples, || TraceProfile::multipass(c, job_time));
     let (fused, fused_ns) = time_path(samples, || TraceProfile::fused(c, job_time));
     assert_eq!(fused, multi, "fused profile diverged from multipass");
@@ -175,18 +197,38 @@ fn measure(c: &ColumnarTrace, job_time: Dur, samples: usize) -> (u64, u64, u64, 
     let (streamed, streaming_ns) = time_path(samples, || TraceProfile::streaming(&t, job_time));
     let peak = trace_gauge().peak();
     assert_eq!(streamed, fused, "streaming profile diverged from fused");
+    let bound = resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS);
     assert!(
-        peak <= resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS),
-        "streaming peak {peak} B exceeds resident_bound({DEFAULT_CHUNK_ROWS}, {RING_SLOTS}) = {} B",
-        resident_bound(DEFAULT_CHUNK_ROWS, RING_SLOTS)
+        peak <= bound,
+        "streaming peak {peak} B exceeds resident_bound({DEFAULT_CHUNK_ROWS}, {RING_SLOTS}) = {bound} B"
     );
-    (
+
+    let spill_path = std::env::temp_dir().join(format!("vani-bench-spill-{}.vsp3", c.len()));
+    trace_gauge().reset();
+    let summary = spill_columnar(c, DEFAULT_CHUNK_ROWS, &spill_path, SpillFaultPlan::none())
+        .expect("clean spill capture");
+    let src = SpillSource::open_strict(&spill_path).expect("clean log opens strict");
+    let (spilled, spill_ns) = time_path(samples, || {
+        TraceProfile::streaming_source(&src, job_time).expect("off-disk streaming")
+    });
+    let spill_peak = trace_gauge().peak();
+    assert_eq!(spilled, fused, "off-disk spill profile diverged from fused");
+    assert!(
+        spill_peak <= bound,
+        "spill peak {spill_peak} B exceeds resident_bound({DEFAULT_CHUNK_ROWS}, {RING_SLOTS}) = {bound} B"
+    );
+    std::fs::remove_file(&spill_path).expect("remove bench spill log");
+
+    Measured {
         multipass_ns,
         fused_ns,
         streaming_ns,
-        t.compressed_bytes(),
-        peak,
-    )
+        spill_ns,
+        compressed_bytes: t.compressed_bytes(),
+        spill_log_bytes: summary.bytes,
+        peak_resident_bytes: peak,
+        spill_peak_resident_bytes: spill_peak,
+    }
 }
 
 fn main() {
@@ -207,26 +249,30 @@ fn main() {
     let mut synthetic = Vec::new();
     for &n in sizes {
         let (c, job_time) = synthetic_trace(n, 0x5eed_0001 + n as u64);
-        let (multipass_ns, fused_ns, streaming_ns, compressed_bytes, peak_resident_bytes) =
-            measure(&c, job_time, samples);
+        let m = measure(&c, job_time, samples);
         eprintln!(
-            "  synthetic {:>9} records: multipass {:>9.3} ms, fused {:>9.3} ms ({:>6.1} Mrec/s), streaming {:>9.3} ms ({:>6.1} Mrec/s), {:>5.2} B/rec, peak {:>9} B",
+            "  synthetic {:>9} records: multipass {:>9.3} ms, fused {:>9.3} ms ({:>6.1} Mrec/s), streaming {:>9.3} ms ({:>6.1} Mrec/s), spill {:>9.3} ms, {:>5.2} B/rec, peak {:>9} B (spill peak {:>9} B)",
             n,
-            multipass_ns as f64 / 1e6,
-            fused_ns as f64 / 1e6,
-            records_per_sec(n, fused_ns) / 1e6,
-            streaming_ns as f64 / 1e6,
-            records_per_sec(n, streaming_ns) / 1e6,
-            compressed_bytes as f64 / n.max(1) as f64,
-            peak_resident_bytes,
+            m.multipass_ns as f64 / 1e6,
+            m.fused_ns as f64 / 1e6,
+            records_per_sec(n, m.fused_ns) / 1e6,
+            m.streaming_ns as f64 / 1e6,
+            records_per_sec(n, m.streaming_ns) / 1e6,
+            m.spill_ns as f64 / 1e6,
+            m.compressed_bytes as f64 / n.max(1) as f64,
+            m.peak_resident_bytes,
+            m.spill_peak_resident_bytes,
         );
         synthetic.push(SizeResult {
             records: n,
-            multipass_ns,
-            fused_ns,
-            streaming_ns,
-            compressed_bytes,
-            peak_resident_bytes,
+            multipass_ns: m.multipass_ns,
+            fused_ns: m.fused_ns,
+            streaming_ns: m.streaming_ns,
+            spill_ns: m.spill_ns,
+            compressed_bytes: m.compressed_bytes,
+            spill_log_bytes: m.spill_log_bytes,
+            peak_resident_bytes: m.peak_resident_bytes,
+            spill_peak_resident_bytes: m.spill_peak_resident_bytes,
         });
     }
 
@@ -242,21 +288,21 @@ fn main() {
     let mut workloads = Vec::new();
     for (name, run) in &runs {
         let c = run.columnar();
-        let (multipass_ns, fused_ns, streaming_ns, _, _) = measure(&c, run.runtime(), samples);
+        let m = measure(&c, run.runtime(), samples);
         eprintln!(
             "  workload {name:>16} ({:>7} records): multipass {:>8.3} ms, fused {:>8.3} ms, streaming {:>8.3} ms, speedup {:>5.2}x",
             c.len(),
-            multipass_ns as f64 / 1e6,
-            fused_ns as f64 / 1e6,
-            streaming_ns as f64 / 1e6,
-            speedup(multipass_ns, fused_ns),
+            m.multipass_ns as f64 / 1e6,
+            m.fused_ns as f64 / 1e6,
+            m.streaming_ns as f64 / 1e6,
+            speedup(m.multipass_ns, m.fused_ns),
         );
         workloads.push(WorkloadResult {
             name,
             records: c.len(),
-            multipass_ns,
-            fused_ns,
-            streaming_ns,
+            multipass_ns: m.multipass_ns,
+            fused_ns: m.fused_ns,
+            streaming_ns: m.streaming_ns,
         });
     }
     par::set_threads(0);
@@ -301,6 +347,19 @@ fn main() {
                             (
                                 "peak_resident_bytes",
                                 Json::Int(r.peak_resident_bytes as i128),
+                            ),
+                            ("spill_ns", Json::Int(r.spill_ns as i128)),
+                            (
+                                "spill_records_per_sec",
+                                Json::Float(records_per_sec(r.records, r.spill_ns)),
+                            ),
+                            (
+                                "spill_log_bytes_per_record",
+                                Json::Float(r.spill_log_bytes as f64 / r.records.max(1) as f64),
+                            ),
+                            (
+                                "spill_peak_resident_bytes",
+                                Json::Int(r.spill_peak_resident_bytes as i128),
                             ),
                         ])
                     })

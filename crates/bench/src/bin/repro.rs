@@ -7,7 +7,8 @@
 //! VANI_SCALE=0.1 cargo run --release -p bench --bin repro -- fig8
 //! cargo run --release -p bench --bin repro -- fault-sweep
 //! cargo run --release -p bench --bin repro -- crash-sweep
-//! cargo run --release -p bench --bin repro -- fleet-sweep [--short] [--jobs N] [--node-faults]
+//! cargo run --release -p bench --bin repro -- fleet-sweep [--short] [--jobs N] [--node-faults] [--spill DIR]
+//! cargo run --release -p bench --bin repro -- trace-fsck PATH
 //! cargo run --release -p bench --bin repro -- bench-pipeline [--short]
 //! ```
 //!
@@ -31,21 +32,44 @@ fn main() {
     // flag and its value so neither is mistaken for an artifact name.
     // Validation goes through the typed `FleetError::InvalidJobs` — `0` or
     // a non-numeric value exits 2 with a usage message, never a panic.
+    // `--spill DIR` is validated the same way (typed
+    // `FleetError::InvalidSpillDir`, exit 2) before any simulation starts.
     let mut jobs: Option<usize> = None;
+    let mut spill: Option<String> = None;
     let mut args_out: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        let value = if a == "--jobs" {
+        let jobs_value = if a == "--jobs" {
             Some(it.next().unwrap_or_default())
         } else {
             a.strip_prefix("--jobs=").map(str::to_string)
         };
-        match value {
-            Some(v) => match bench::fleet::parse_jobs(&v) {
+        if let Some(v) = jobs_value {
+            match bench::fleet::parse_jobs(&v) {
                 Ok(n) => jobs = Some(n),
                 Err(e) => {
                     eprintln!("{e}");
-                    eprintln!("usage: repro -- fleet-sweep [--short] [--jobs N] [--node-faults]");
+                    eprintln!(
+                        "usage: repro -- fleet-sweep [--short] [--jobs N] [--node-faults] [--spill DIR]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        let spill_value = if a == "--spill" {
+            Some(it.next().unwrap_or_default())
+        } else {
+            a.strip_prefix("--spill=").map(str::to_string)
+        };
+        match spill_value {
+            Some(v) => match bench::fleet::validate_spill_dir(&v) {
+                Ok(_) => spill = Some(v),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!(
+                        "usage: repro -- fleet-sweep [--short] [--jobs N] [--node-faults] [--spill DIR]"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -53,6 +77,27 @@ fn main() {
         }
     }
     let args = args_out;
+
+    // `trace-fsck PATH` is a standalone subcommand: walk the spill log,
+    // print the recovery report, and exit — a missing or unreadable path
+    // is a typed error and exit 2, never a panic.
+    if args.first().map(String::as_str) == Some("trace-fsck") {
+        let Some(path) = args.get(1) else {
+            eprintln!("trace-fsck: missing PATH argument");
+            eprintln!("usage: repro -- trace-fsck PATH");
+            std::process::exit(2);
+        };
+        match bench::fsck::run_fsck(path) {
+            Ok(text) => {
+                print!("{text}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("trace-fsck failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -162,7 +207,7 @@ fn main() {
             }
             "fleet-sweep" => {
                 eprintln!("running fleet sweep (multi-tenant shared-PFS characterization) ...");
-                match bench::fleet::run_fleet(short, scale, jobs, node_faults) {
+                match bench::fleet::run_fleet(short, scale, jobs, node_faults, spill.as_deref()) {
                     Ok(render) => print!("{render}"),
                     Err(e) => {
                         eprintln!("fleet-sweep failed: {e}");

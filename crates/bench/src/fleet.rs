@@ -1,6 +1,12 @@
 //! Fleet sweep driver: the multi-tenant datacenter mode, invoked as
-//! `repro -- fleet-sweep [--short] [--jobs N] [--node-faults]`; writes
-//! `BENCH_fleet.json` at the repository root.
+//! `repro -- fleet-sweep [--short] [--jobs N] [--node-faults]
+//! [--spill DIR]`; writes `BENCH_fleet.json` at the repository root.
+//!
+//! With `--spill DIR` every job's captured trace streams into a
+//! crash-consistent segment log under `DIR` (`job-NNNNN.vsp3`), is
+//! recovered, and is analyzed straight off disk — the larger-than-RAM
+//! fleet mode. The directory is validated up front with the typed
+//! [`FleetError::InvalidSpillDir`] (exit 2), mirroring `--jobs`.
 //!
 //! The full run admits 1000 heterogeneous jobs (the short run 64; `--jobs`
 //! overrides either, e.g. `--jobs 10000` for the bounded-memory fleet
@@ -19,10 +25,11 @@
 //! as a typed [`FleetError`] so the binary can fail fast with a message
 //! instead of a panic.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use vani_core::sweep::Driver;
-use vani_core::tenancy::{fleet_sweep, FleetConfig, FleetError, FleetReport};
+use vani_core::tenancy::{fleet_sweep, FleetConfig, FleetError, FleetReport, SpillSpec};
 use vani_rt::json::Json;
 use vani_rt::par;
 
@@ -40,6 +47,26 @@ pub fn parse_jobs(arg: &str) -> Result<usize, FleetError> {
             arg: arg.to_string(),
         }),
     }
+}
+
+/// Validate a `--spill` directory: it must exist, be a directory, and be
+/// writable (probed by creating and removing a marker file). Failures are
+/// the typed [`FleetError::InvalidSpillDir`] — the same exit-2 contract as
+/// `--jobs` — never a panic or a mid-sweep I/O error.
+pub fn validate_spill_dir(arg: &str) -> Result<PathBuf, FleetError> {
+    let bad = |detail: &str| FleetError::InvalidSpillDir {
+        dir: arg.to_string(),
+        detail: detail.to_string(),
+    };
+    let dir = PathBuf::from(arg);
+    let meta = std::fs::metadata(&dir).map_err(|e| bad(&format!("cannot stat ({e})")))?;
+    if !meta.is_dir() {
+        return Err(bad("not a directory"));
+    }
+    let probe = dir.join(".vani-spill-probe");
+    std::fs::write(&probe, b"probe").map_err(|e| bad(&format!("not writable ({e})")))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(dir)
 }
 
 /// The fleet configuration the benchmark runs: the standard heterogeneous
@@ -67,9 +94,13 @@ pub fn run_fleet(
     scale: f64,
     jobs: Option<usize>,
     node_faults: bool,
+    spill: Option<&str>,
 ) -> Result<String, FleetError> {
     let scale = scale.clamp(0.005, 0.05);
-    let cfg = bench_config(short, scale, jobs, node_faults);
+    let mut cfg = bench_config(short, scale, jobs, node_faults);
+    if let Some(dir) = spill {
+        cfg.spill = Some(SpillSpec::clean(&validate_spill_dir(dir)?));
+    }
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -136,6 +167,11 @@ pub fn run_fleet(
     if node_faults {
         config_members.push(("node_faults", Json::Bool(true)));
     }
+    // Likewise the `spill` key: absent unless the fleet spilled, keeping
+    // the in-memory BENCH_fleet.json byte-stable.
+    if let Some(dir) = spill {
+        config_members.push(("spill", Json::Str(dir.to_string())));
+    }
     let json = Json::obj([
         ("config", Json::obj(config_members)),
         (
@@ -194,6 +230,54 @@ mod tests {
                 other => panic!("`{bad}` must be InvalidJobs, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn spill_dir_validation_rejects_missing_and_non_directory_paths() {
+        match validate_spill_dir("/nonexistent/vani/spill/dir") {
+            Err(FleetError::InvalidSpillDir { dir, detail }) => {
+                assert_eq!(dir, "/nonexistent/vani/spill/dir");
+                assert!(detail.contains("cannot stat"), "detail: {detail}");
+            }
+            other => panic!("missing dir must be InvalidSpillDir, got {other:?}"),
+        }
+        let file = std::env::temp_dir().join("vani-spill-not-a-dir.txt");
+        std::fs::write(&file, b"x").expect("write probe file");
+        match validate_spill_dir(file.to_str().expect("utf8 temp path")) {
+            Err(FleetError::InvalidSpillDir { detail, .. }) => {
+                assert_eq!(detail, "not a directory");
+            }
+            other => panic!("file path must be InvalidSpillDir, got {other:?}"),
+        }
+        std::fs::remove_file(&file).expect("cleanup");
+    }
+
+    #[test]
+    fn spill_dir_validation_accepts_a_writable_directory() {
+        let dir = std::env::temp_dir().join("vani-spill-ok");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ok = validate_spill_dir(dir.to_str().expect("utf8 temp path"))
+            .expect("writable dir validates");
+        assert_eq!(ok, dir);
+        assert!(
+            !dir.join(".vani-spill-probe").exists(),
+            "probe file is removed after validation"
+        );
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn spill_errors_render_with_the_flag_name() {
+        let e = FleetError::InvalidSpillDir {
+            dir: "/tmp/x".to_string(),
+            detail: "not a directory".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("--spill"),
+            "usage message names the flag: {msg}"
+        );
+        assert!(msg.contains("/tmp/x"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use vani_core::analyzer::Analysis;
 use vani_core::sweep::{self, Driver};
 
 pub mod fleet;
+pub mod fsck;
 pub mod harness;
 pub mod pipeline;
 

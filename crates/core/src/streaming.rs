@@ -47,9 +47,11 @@
 
 use recorder_sim::chunk::{columnar_capacity_bytes, GaugeCharge};
 use recorder_sim::record::Layer;
-use recorder_sim::{ChunkedTrace, ColumnarTrace, DEFAULT_CHUNK_ROWS};
+use recorder_sim::spill::{spill_columnar, ChunkSource, SpillError, SpillFaultPlan, SpillSource};
+use recorder_sim::{ChunkedTrace, ColumnarTrace, FsckReport, DEFAULT_CHUNK_ROWS};
 use sim_core::{Dur, Histogram, SimTime, TimeSeries};
 use std::collections::HashMap;
+use std::path::Path;
 use vani_rt::par;
 
 use crate::analyzer::{
@@ -254,32 +256,32 @@ impl PatternTracker {
         }
     }
 
-    /// Classify. If the certificate failed, re-decode every chunk and
+    /// Classify. If the certificate failed, re-scan every chunk and
     /// replay the frontier scan in stable start order (exactly the offline
     /// scan's visit order).
-    pub(crate) fn finish(self, t: &ChunkedTrace, ctx: &SelCtx) -> String {
+    pub(crate) fn finish(self, src: &dyn ChunkSource, ctx: &SelCtx) -> Result<String, SpillError> {
         if !self.any {
-            return "Seq".to_string();
+            return Ok("Seq".to_string());
         }
         let (seq, total) = if self.violated {
-            replay_sorted(t, ctx)
+            replay_sorted(src, ctx)?
         } else {
             (self.seq, self.total)
         };
-        if total == 0 || seq as f64 / total as f64 >= 0.85 {
+        Ok(if total == 0 || seq as f64 / total as f64 >= 0.85 {
             "Seq".to_string()
         } else {
             "Mixed".to_string()
-        }
+        })
     }
 }
 
 /// Fallback path: collect every selected data record that names a file (in
 /// capture order), stable-sort by start, and replay the frontier scan.
-fn replay_sorted(t: &ChunkedTrace, ctx: &SelCtx) -> (u64, u64) {
+fn replay_sorted(src: &dyn ChunkSource, ctx: &SelCtx) -> Result<(u64, u64), SpillError> {
     let mut recs: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
     let mut buf = ColumnarTrace::default();
-    for chunk in &t.chunks {
+    src.scan_chunks(&mut |chunk| {
         buf.clear_rows();
         chunk.decode_into(&mut buf, false).expect("chunk re-decode");
         for i in 0..buf.len() {
@@ -290,7 +292,7 @@ fn replay_sorted(t: &ChunkedTrace, ctx: &SelCtx) -> (u64, u64) {
                 recs.push((buf.start[i], buf.rank[i], f.0, buf.offset[i], buf.bytes[i]));
             }
         }
-    }
+    })?;
     // Vec::sort_by_key is stable: equal starts keep capture order, same as
     // the offline path's stable index sort.
     recs.sort_by_key(|r| r.0);
@@ -307,7 +309,7 @@ fn replay_sorted(t: &ChunkedTrace, ctx: &SelCtx) -> (u64, u64) {
         }
         last.insert((rank, file), offset + bytes);
     }
-    (seq, total)
+    Ok((seq, total))
 }
 
 impl TraceProfile {
@@ -315,10 +317,22 @@ impl TraceProfile {
     /// module docs for the determinism contract ties to
     /// [`TraceProfile::fused`].
     pub fn streaming(t: &ChunkedTrace, job_time: Dur) -> TraceProfile {
-        let meta = t.merged_meta();
+        TraceProfile::streaming_source(t, job_time).expect("in-memory chunk scan cannot fail")
+    }
+
+    /// Profile any [`ChunkSource`] — an in-memory [`ChunkedTrace`] or an
+    /// on-disk [`SpillSource`] — chunk-at-a-time in bounded memory. The
+    /// fold visits chunks in capture order regardless of source, so the
+    /// profile is bit-identical across sources holding the same chunks.
+    /// Errors surface only from a disk-backed source whose re-scan fails.
+    pub fn streaming_source(
+        src: &dyn ChunkSource,
+        job_time: Dur,
+    ) -> Result<TraceProfile, SpillError> {
+        let meta = src.merged_meta();
         let dims = Dims {
-            n_files: meta.n_files.max(t.file_paths.len()),
-            n_apps: meta.n_apps.max(t.app_names.len()),
+            n_files: meta.n_files.max(src.file_paths().len()),
+            n_apps: meta.n_apps.max(src.app_names().len()),
             n_ranks: meta.n_ranks,
         };
         let interface = interface_from_presence(&meta.present);
@@ -354,7 +368,7 @@ impl TraceProfile {
         let mut buf = ColumnarTrace::default();
         let mut charge = GaugeCharge::new(0);
 
-        for chunk in &t.chunks {
+        src.scan_chunks(&mut |chunk| {
             buf.clear_rows();
             chunk
                 .decode_into(&mut buf, false)
@@ -401,15 +415,15 @@ impl TraceProfile {
             shard.io_idx.clear();
             shard.data_idx.clear();
             global.merge(shard);
-        }
+        })?;
 
         let phases = phases.finish();
-        let access_pattern = pattern.finish(t, &ctx);
+        let access_pattern = pattern.finish(src, &ctx)?;
 
-        emit_profile(
+        Ok(emit_profile(
             global,
-            &t.file_paths,
-            &t.app_names,
+            src.file_paths(),
+            src.app_names(),
             job_time,
             interface,
             access_pattern,
@@ -417,7 +431,7 @@ impl TraceProfile {
             read_timeline,
             write_timeline,
             data_ops,
-        )
+        ))
     }
 }
 
@@ -441,6 +455,40 @@ impl Analysis {
         empty.file_paths = chunked.file_paths;
         empty.app_names = chunked.app_names;
         Analysis::assemble(run, empty, profile)
+    }
+
+    /// Analyze a completed run through the on-disk spill path: the columnar
+    /// trace streams into a crash-consistent segment log at `path`, then the
+    /// log is recovered (salvaging the longest committed prefix if `fault`
+    /// injected damage) and profiled chunk-at-a-time straight off disk.
+    ///
+    /// Returns the analysis alongside the recovery verdict. On a clean log
+    /// the profile is bit-identical to [`Analysis::from_run_streaming`]; on
+    /// a damaged log it matches the in-memory profile truncated to the
+    /// surviving records. A crash-class injected fault is absorbed here —
+    /// recovery proceeds from whatever the simulated crash left on disk —
+    /// while environmental failures (ENOSPC, unwritable dir) surface as
+    /// errors.
+    pub fn from_run_spilled(
+        run: &WorkloadRun,
+        path: &Path,
+        fault: SpillFaultPlan,
+    ) -> Result<(Analysis, FsckReport), SpillError> {
+        let c = run.columnar();
+        let spill_path = match spill_columnar(&c, DEFAULT_CHUNK_ROWS, path, fault) {
+            Ok(sum) => sum.path,
+            // A simulated crash leaves a partial segment behind; recover
+            // from exactly what the crash left.
+            Err(SpillError::Injected { path, .. }) => path,
+            Err(e) => return Err(e),
+        };
+        let src = SpillSource::open_salvaged(&spill_path)?;
+        let profile = TraceProfile::streaming_source(&src, run.runtime())?;
+        let report = src.report().clone();
+        let mut empty = ColumnarTrace::default();
+        empty.file_paths = src.file_paths().to_vec();
+        empty.app_names = src.app_names().to_vec();
+        Ok((Analysis::assemble(run, empty, profile), report))
     }
 }
 

@@ -38,7 +38,9 @@ use crate::sweep::{retry_seed, Driver, ScenarioSet};
 use exemplar_workloads::{
     cm1, cosmoflow, hacc, ior, jag, montage, montage_pegasus, WorkloadKind, WorkloadRun,
 };
+use recorder_sim::spill::SpillFaultPlan;
 use sim_core::{Dur, SimTime};
+use std::path::{Path, PathBuf};
 use storage_sim::{FaultPlan, GpfsConfig, InterferenceSchedule};
 use vani_rt::rng::Rng;
 
@@ -146,6 +148,32 @@ pub enum NodeFaultSpec {
     Plan(NodeFaultPlan),
 }
 
+/// Where — and under what injected-fault plan — fleet jobs spill their
+/// captured traces. With a spec installed, every simulated job streams its
+/// trace into a crash-consistent segment log (`job-NNNNN.vsp3` under
+/// `dir`), recovers it, and analyzes the recovered prefix straight off
+/// disk, so a 10⁵-job sweep's peak resident trace bytes stay at the
+/// chunk-ring bound regardless of trace length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillSpec {
+    /// Directory the per-job segment logs are written into.
+    pub dir: PathBuf,
+    /// Fault plan installed into every job's spill writer —
+    /// [`SpillFaultPlan::none`] for a clean durable sweep; armed plans
+    /// drive the torture-test fleets.
+    pub fault: SpillFaultPlan,
+}
+
+impl SpillSpec {
+    /// A clean (fault-free) spill into `dir`.
+    pub fn clean(dir: &Path) -> Self {
+        SpillSpec {
+            dir: dir.to_path_buf(),
+            fault: SpillFaultPlan::none(),
+        }
+    }
+}
+
 /// Everything that defines a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -172,6 +200,9 @@ pub struct FleetConfig {
     /// backfill). With [`NodeFaultSpec::None`] and backfill off the
     /// scheduler is the legacy FCFS one, bit for bit.
     pub sched: SchedPolicy,
+    /// Spill-to-disk capture (`None` = in-memory streaming analysis,
+    /// bit-identical to the pre-spill fleet).
+    pub spill: Option<SpillSpec>,
 }
 
 impl FleetConfig {
@@ -207,6 +238,7 @@ impl FleetConfig {
             mix,
             node_faults: NodeFaultSpec::None,
             sched: SchedPolicy::standard(),
+            spill: None,
         }
     }
 
@@ -535,6 +567,12 @@ pub struct JobRecord {
     /// Node-seconds of scheduler-estimated work the outages destroyed
     /// across this job's killed attempts.
     pub lost_work_node_secs: f64,
+    /// Fraction of the job's captured trace that survived spill recovery
+    /// (1.0 on the in-memory path and for fully durable spills).
+    pub trace_complete_frac: f64,
+    /// Captured trace records lost to spill faults (0 on the in-memory
+    /// path).
+    pub trace_lost_records: u64,
 }
 
 /// Run the whole fleet. See the module docs for the wave structure.
@@ -723,6 +761,7 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
         let dedicated = profile_for(&j.workload, j.variant).runtime.as_secs_f64();
         let job = j.clone();
         let scale = cfg.scale;
+        let spill = cfg.spill.clone();
         let id = if retries > 0 {
             format!(
                 "job/{:05}/{}/{}/retry{}",
@@ -741,8 +780,31 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
             // 10⁴-job fleet holds at most one decoded chunk per worker.
             // Every JobRecord field is profile-level, and the streaming
             // profile is bit-identical to the fused one, so the rendered
-            // report is byte-for-byte unchanged.
-            let a = Analysis::from_run_streaming(&run);
+            // report is byte-for-byte unchanged. With a spill spec the
+            // chunks detour through an on-disk segment log and the
+            // analysis covers whatever prefix recovery salvaged; an
+            // environmental spill failure (ENOSPC, unwritable dir) falls
+            // back to the in-memory path with the trace marked fully
+            // non-durable.
+            let captured = run.columnar_view().len() as u64;
+            let (a, trace_complete_frac, trace_lost_records) = match &spill {
+                Some(spec) => {
+                    let path = spec.dir.join(format!("job-{:05}.vsp3", job.id));
+                    match Analysis::from_run_spilled(&run, &path, spec.fault) {
+                        Ok((a, fsck)) => {
+                            let durable = fsck.committed_records.min(captured);
+                            let frac = if captured == 0 {
+                                1.0
+                            } else {
+                                durable as f64 / captured as f64
+                            };
+                            (a, frac, captured - durable)
+                        }
+                        Err(_) => (Analysis::from_run_streaming(&run), 0.0, captured),
+                    }
+                }
+                None => (Analysis::from_run_streaming(&run), 1.0, 0),
+            };
             let s = run.world.storage.pfs().stats();
             let rt = run.runtime().as_secs_f64();
             JobRecord {
@@ -770,6 +832,8 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
                 outcome,
                 retries,
                 lost_work_node_secs: lost_work,
+                trace_complete_frac,
+                trace_lost_records,
             }
         });
     }
@@ -787,6 +851,11 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
         })
         .collect();
 
+    let spill = cfg
+        .spill
+        .as_ref()
+        .map(|_| super::stats::SpillFleetStats::from_records(&records));
+
     Ok(FleetReport {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -797,5 +866,6 @@ pub fn fleet_sweep(cfg: &FleetConfig, driver: Driver) -> Result<FleetReport, Fle
         policy: cfg.sched,
         schedules,
         healthy_placements,
+        spill,
     })
 }

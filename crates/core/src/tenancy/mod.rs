@@ -52,14 +52,14 @@ pub use arrival::{ArrivalProcess, InterArrival};
 pub use contention::TenantDemand;
 pub use fleet::{
     build_manifest, fleet_sweep, parse_workload, FleetConfig, FleetManifest, JobRecord,
-    JobTemplate, JobVariant, ManifestJob, NodeFaultSpec, KNOWN_WORKLOADS,
+    JobTemplate, JobVariant, ManifestJob, NodeFaultSpec, SpillSpec, KNOWN_WORKLOADS,
 };
 pub use outage::{NodeFaultPlan, NodeFaultProfile, NodeOutage};
 pub use scheduler::{
     fcfs_schedule, resilient_schedule, JobAttempt, JobDemand, JobOutcome, JobSchedule, Placement,
     SchedPolicy, ScheduleArrivals,
 };
-pub use stats::{FleetReport, ProfileSummary};
+pub use stats::{FleetReport, ProfileSummary, SpillFleetStats};
 
 /// A fleet configuration that cannot be run. Surfaced as a typed error —
 /// never a panic — so `repro -- fleet-sweep` can fail fast with a message.
@@ -90,6 +90,14 @@ pub enum FleetError {
     InvalidJobs {
         /// The argument as the user typed it.
         arg: String,
+    },
+    /// A `--spill` directory that does not exist, is not a directory, or
+    /// is not writable.
+    InvalidSpillDir {
+        /// The directory as the user typed it.
+        dir: String,
+        /// Why it cannot be used.
+        detail: String,
     },
 }
 
@@ -123,6 +131,9 @@ impl std::fmt::Display for FleetError {
                     f,
                     "invalid --jobs value `{arg}`: expected a positive integer"
                 )
+            }
+            FleetError::InvalidSpillDir { dir, detail } => {
+                write!(f, "invalid --spill directory `{dir}`: {detail}")
             }
         }
     }

@@ -28,6 +28,59 @@ pub struct ProfileSummary {
     pub meta_frac: f64,
 }
 
+/// Trace-durability accounting for a spilled fleet: how many jobs'
+/// on-disk segment logs survived recovery intact, partially, or not at
+/// all. Present only when the fleet ran with `--spill`, so in-memory
+/// reports render — and digest — byte-identically to the pre-spill fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillFleetStats {
+    /// Jobs that spilled (every simulated job when spill is armed).
+    pub jobs: usize,
+    /// Jobs whose entire captured trace was durable on disk.
+    pub fully_durable: usize,
+    /// Jobs that lost a suffix of their trace to an injected fault but
+    /// recovered a non-empty committed prefix.
+    pub partial: usize,
+    /// Jobs whose log was unrecoverable (or whose spill failed
+    /// environmentally and fell back to in-memory analysis).
+    pub lost_entirely: usize,
+    /// Captured trace records lost across the fleet.
+    pub lost_records: u64,
+    /// Mean surviving-trace fraction across spilled jobs.
+    pub mean_complete_frac: f64,
+}
+
+impl SpillFleetStats {
+    /// Sequential job-id-order fold over the records (worker-count
+    /// independent, like every other reduction here).
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut s = SpillFleetStats {
+            jobs: records.len(),
+            fully_durable: 0,
+            partial: 0,
+            lost_entirely: 0,
+            lost_records: 0,
+            mean_complete_frac: f64::NAN,
+        };
+        let mut frac_sum = 0.0f64;
+        for r in records {
+            if r.trace_lost_records == 0 {
+                s.fully_durable += 1;
+            } else if r.trace_complete_frac > 0.0 {
+                s.partial += 1;
+            } else {
+                s.lost_entirely += 1;
+            }
+            s.lost_records += r.trace_lost_records;
+            frac_sum += r.trace_complete_frac;
+        }
+        if !records.is_empty() {
+            s.mean_complete_frac = frac_sum / records.len() as f64;
+        }
+        s
+    }
+}
+
 /// Everything a fleet sweep produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -52,6 +105,10 @@ pub struct FleetReport {
     /// onto a never-failing pool (equals `placements` when the plan is
     /// empty and backfill is off).
     pub healthy_placements: Vec<Placement>,
+    /// Trace-durability accounting, present only when the fleet spilled
+    /// its traces to disk (gates the spill section exactly like
+    /// `node_faults` gates the degraded sections).
+    pub spill: Option<SpillFleetStats>,
 }
 
 /// FNV-1a 64-bit digest; stable, dependency-free, good enough to pin a
@@ -256,6 +313,28 @@ impl FleetReport {
     /// the pre-failure-domain renderer).
     pub fn is_degraded(&self) -> bool {
         !self.manifest.node_faults.is_empty()
+    }
+
+    fn spill_table(&self, s: &SpillFleetStats) -> Table {
+        let rows = vec![
+            vec!["jobs spilled".to_string(), s.jobs.to_string()],
+            vec!["fully durable".to_string(), s.fully_durable.to_string()],
+            vec![
+                "partial (prefix recovered)".to_string(),
+                s.partial.to_string(),
+            ],
+            vec!["lost entirely".to_string(), s.lost_entirely.to_string()],
+            vec!["records lost".to_string(), s.lost_records.to_string()],
+            vec![
+                "mean surviving fraction".to_string(),
+                cell(s.mean_complete_frac),
+            ],
+        ];
+        Table {
+            title: "Spill durability (trace records recovered from disk)".to_string(),
+            header: ["metric", "value"].map(String::from).to_vec(),
+            rows,
+        }
     }
 
     /// Total attempts / total jobs: 1.0 in a healthy fleet, > 1 when
@@ -549,6 +628,10 @@ impl FleetReport {
         out.push_str(&self.correlation_table().render());
         out.push('\n');
         out.push_str(&self.noisy_neighbor_table().render());
+        if let Some(s) = &self.spill {
+            out.push('\n');
+            out.push_str(&self.spill_table(s).render());
+        }
         if self.is_degraded() {
             out.push('\n');
             out.push_str(&self.outage_table().render());
@@ -634,6 +717,22 @@ impl FleetReport {
             ),
             ("profiles", Json::Arr(profiles)),
         ];
+        // Spill keys appear only when the fleet spilled, keeping
+        // in-memory BENCH_fleet.json bit-identical to the pre-spill
+        // output.
+        if let Some(s) = &self.spill {
+            members.push((
+                "spill",
+                Json::obj([
+                    ("jobs", Json::Int(s.jobs as i128)),
+                    ("fully_durable", Json::Int(s.fully_durable as i128)),
+                    ("partial", Json::Int(s.partial as i128)),
+                    ("lost_entirely", Json::Int(s.lost_entirely as i128)),
+                    ("lost_records", Json::Int(s.lost_records as i128)),
+                    ("mean_complete_frac", jnum(s.mean_complete_frac)),
+                ]),
+            ));
+        }
         // Degraded-mode keys appear only under an active plan, keeping
         // healthy BENCH_fleet.json bit-identical to the pre-change output.
         if self.is_degraded() {

@@ -166,6 +166,16 @@ impl BitWords {
                 .map(move |b| w * 64 + b)
         })
     }
+
+    /// The backing words (little-bit-endian), for byte serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from backing words (the serialization inverse).
+    pub fn from_words(words: Vec<u64>) -> BitWords {
+        BitWords { words }
+    }
 }
 
 /// Per-chunk statistics folded at seal time: exactly the quantities the
@@ -190,7 +200,7 @@ pub struct ChunkMeta {
 
 impl ChunkMeta {
     /// Fold one record (mirrors the analyzer prescan's per-record body).
-    fn absorb(&mut self, rank: u32, app: u16, layer: Layer, op: OpKind, file: u32) {
+    pub(crate) fn absorb(&mut self, rank: u32, app: u16, layer: Layer, op: OpKind, file: u32) {
         self.rows += 1;
         let l = layer.code() as usize;
         self.present[l] = true;
@@ -349,6 +359,14 @@ impl CompressedChunk {
     /// the persistence layer checksums and hex-encodes these verbatim.
     pub fn column(&self, idx: usize) -> &[u8] {
         &self.cols[idx]
+    }
+
+    /// Rebuild a chunk from its encoded columns and a trusted seal-time
+    /// meta without a decode pass. The spill loader uses this after its
+    /// deep-verify walk has already decoded the chunk once and checked the
+    /// persisted meta against a recompute.
+    pub(crate) fn from_parts(rows: usize, meta: ChunkMeta, cols: [Vec<u8>; 10]) -> CompressedChunk {
+        CompressedChunk { rows, meta, cols }
     }
 
     /// Rebuild a chunk from its ten encoded columns (the persistence

@@ -22,6 +22,10 @@
 //!   stay bounded regardless of trace length (tracked by a process-wide
 //!   peak gauge),
 //! * [`persist`] — JSON save/load of whole traces,
+//! * [`spill`] — the crash-consistent on-disk segment log (persistence
+//!   v3): sealed chunks stream to an append-only, checksummed, fsync-
+//!   pointed file so traces larger than RAM survive capture, with a
+//!   seeded fault-injection plan and an fsck recovery pass,
 //! * [`darshan`] — a Darshan-style aggregate-counter profiler, implemented
 //!   as a fold over the full trace to demonstrate (as the paper argues in
 //!   §III-C) which analyses aggregation destroys.
@@ -32,9 +36,14 @@ pub mod columnar;
 pub mod darshan;
 pub mod persist;
 pub mod record;
+pub mod spill;
 pub mod tracer;
 
 pub use chunk::{ChunkMeta, ChunkedTrace, CompressedChunk, DEFAULT_CHUNK_ROWS, RING_SLOTS};
 pub use columnar::ColumnarTrace;
 pub use record::{AppId, FileId, Layer, OpKind, TraceRecord};
+pub use spill::{
+    ChunkSource, FsckReport, SpillError, SpillFaultKind, SpillFaultPlan, SpillSource, SpillSummary,
+    SpillWriter,
+};
 pub use tracer::{AdaptiveSampler, Tracer};

@@ -26,13 +26,21 @@
 //!
 //! Both loaders dispatch on the header's `version`; salvage semantics are
 //! identical (longest consistent group prefix).
+//!
+//! A third generation lives in [`crate::spill`]: **v3** is the binary
+//! append-only segment log spill capture writes (magic `vanispill3\n`).
+//! The path-taking loaders here sniff those magic bytes *before* reading
+//! the file as UTF-8 and route v3 files to the spill loaders, so every
+//! generation loads through the same entry points with the same
+//! strict/salvage semantics.
 
 use crate::chunk::{ChunkedTrace, CompressedChunk};
 use crate::codec;
 use crate::columnar::ColumnarTrace;
+use crate::spill::{self, SpillError, SPILL_MAGIC};
 use crate::tracer::Tracer;
 use std::fs;
-use std::io;
+use std::io::{self, Read};
 use std::path::Path;
 use vani_rt::{Json, JsonError, ToJson};
 
@@ -101,6 +109,8 @@ pub enum TraceLoadError {
         /// Records actually present.
         loaded_records: u64,
     },
+    /// A v3 spill log failed to load (see [`crate::spill::SpillError`]).
+    Spill(SpillError),
 }
 
 impl std::fmt::Display for TraceLoadError {
@@ -125,6 +135,7 @@ impl std::fmt::Display for TraceLoadError {
                 f,
                 "trace truncated at byte {at_byte}: {loaded_records} of {expected_records} records present"
             ),
+            TraceLoadError::Spill(e) => write!(f, "spill log: {e}"),
         }
     }
 }
@@ -133,6 +144,7 @@ impl std::error::Error for TraceLoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceLoadError::Io(e) => Some(e),
+            TraceLoadError::Spill(e) => Some(e),
             _ => None,
         }
     }
@@ -141,6 +153,12 @@ impl std::error::Error for TraceLoadError {
 impl From<io::Error> for TraceLoadError {
     fn from(e: io::Error) -> Self {
         TraceLoadError::Io(e)
+    }
+}
+
+impl From<SpillError> for TraceLoadError {
+    fn from(e: SpillError) -> Self {
+        TraceLoadError::Spill(e)
     }
 }
 
@@ -607,8 +625,35 @@ fn parse_chunked(
     ))
 }
 
+/// Whether `path` starts with the v3 spill magic. Binary spill logs are
+/// not valid UTF-8, so this must run *before* any `read_to_string`.
+fn sniff_spill(path: &Path) -> io::Result<bool> {
+    let mut head = [0u8; 11];
+    let mut file = fs::File::open(path)?;
+    let mut got = 0usize;
+    while got < head.len() {
+        match file.read(&mut head[got..])? {
+            0 => return Ok(false),
+            n => got += n,
+        }
+    }
+    Ok(&head == SPILL_MAGIC)
+}
+
+/// Decode a chunked trace's committed chunks into whole columns (the v3
+/// materializing path; chunks were deep-verified at load).
+fn materialize(t: ChunkedTrace) -> Result<ColumnarTrace, TraceLoadError> {
+    t.to_columnar().map_err(|e| TraceLoadError::Codec {
+        group: 0,
+        detail: e.to_string(),
+    })
+}
+
 /// Load a chunked trace, requiring every row group to verify.
 pub fn load_chunked(path: &Path) -> Result<ChunkedTrace, TraceLoadError> {
+    if sniff_spill(path)? {
+        return Ok(spill::load_spill(path)?);
+    }
     let text = fs::read_to_string(path)?;
     parse_chunked(&text, false).map(|(t, _)| t)
 }
@@ -619,6 +664,9 @@ pub fn load_chunked(path: &Path) -> Result<ChunkedTrace, TraceLoadError> {
 pub fn load_chunked_salvaged(
     path: &Path,
 ) -> Result<(ChunkedTrace, TraceCompleteness), TraceLoadError> {
+    if sniff_spill(path)? {
+        return Ok(spill::load_spill_salvaged(path)?);
+    }
     let text = fs::read_to_string(path)?;
     parse_chunked(&text, true)
 }
@@ -628,6 +676,9 @@ pub fn load_chunked_salvaged(
 /// the precise reason; use [`load_columnar_salvaged`] to recover a prefix
 /// instead.
 pub fn load_columnar(path: &Path) -> Result<ColumnarTrace, TraceLoadError> {
+    if sniff_spill(path)? {
+        return materialize(spill::load_spill(path)?);
+    }
     let text = fs::read_to_string(path)?;
     parse_rowgroups(&text, false).map(|(c, _)| c)
 }
@@ -639,6 +690,10 @@ pub fn load_columnar(path: &Path) -> Result<ColumnarTrace, TraceLoadError> {
 pub fn load_columnar_salvaged(
     path: &Path,
 ) -> Result<(ColumnarTrace, TraceCompleteness), TraceLoadError> {
+    if sniff_spill(path)? {
+        let (t, comp) = spill::load_spill_salvaged(path)?;
+        return Ok((materialize(t)?, comp));
+    }
     let text = fs::read_to_string(path)?;
     parse_rowgroups(&text, true)
 }
@@ -923,6 +978,27 @@ mod tests {
         assert!(comp.is_complete());
         assert_eq!(t.chunk_rows, 4);
         assert_eq!(t.to_columnar().unwrap().to_records(), c.to_records());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn v3_spill_logs_load_through_every_entry_point() {
+        use crate::spill::{spill_columnar, SpillFaultPlan};
+        let c = sample(25);
+        let p = tmp("v3.vsp3");
+        spill_columnar(&c, 4, &p, SpillFaultPlan::none()).unwrap();
+        // The chunked loader routes on the magic bytes; a binary log would
+        // otherwise fail `read_to_string` with an Io error.
+        let t = load_chunked(&p).unwrap();
+        assert_eq!(t.chunk_rows, 4);
+        assert_eq!(t.chunks.len(), 7);
+        assert_eq!(load_columnar(&p).unwrap(), c);
+        let (ts, comp) = load_chunked_salvaged(&p).unwrap();
+        assert!(comp.is_complete());
+        assert_eq!(ts, t);
+        let (cs, comp2) = load_columnar_salvaged(&p).unwrap();
+        assert_eq!(comp2, comp);
+        assert_eq!(cs, c);
         fs::remove_file(&p).unwrap();
     }
 

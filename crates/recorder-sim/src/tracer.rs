@@ -17,8 +17,10 @@
 use crate::chunk::{columnar_capacity_bytes, ChunkedTrace, CompressedChunk, GaugeCharge};
 use crate::columnar::ColumnarTrace;
 use crate::record::{AppId, FileId, Layer, OpKind, TraceRecord};
+use crate::spill::{SpillError, SpillFaultPlan, SpillSummary, SpillWriter};
 use sim_core::{Dur, SimTime};
 use std::collections::HashMap;
+use std::path::Path;
 use vani_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Records per adaptive-sampler feedback window.
@@ -101,13 +103,37 @@ impl AdaptiveSampler {
 }
 
 /// Chunked-capture state: sealed chunks so far, the recycled codec scratch,
-/// and the gauge charge covering the live buffer + scratch.
-#[derive(Debug, Clone)]
+/// and the gauge charge covering the live buffer + scratch. With a spill
+/// writer attached, sealed chunks stream to disk instead of accumulating
+/// in `chunks` — the larger-than-RAM capture path.
+#[derive(Debug)]
 struct ChunkState {
     chunk_rows: usize,
     chunks: Vec<CompressedChunk>,
     scratch: Vec<u64>,
     charge: GaugeCharge,
+    writer: Option<SpillWriter>,
+    /// First spill failure, surfaced at [`Tracer::into_spill`] — `record`
+    /// returns a `Dur` and cannot propagate it. After a failure sealed
+    /// chunks fall back to accumulating in memory so the capture itself
+    /// is never lost.
+    spill_error: Option<SpillError>,
+}
+
+impl Clone for ChunkState {
+    /// A cloned tracer is a fresh in-memory capture: the spill writer
+    /// holds an open file handle and an exclusive temp path, so it (and
+    /// any stored spill error) stays with the original.
+    fn clone(&self) -> ChunkState {
+        ChunkState {
+            chunk_rows: self.chunk_rows,
+            chunks: self.chunks.clone(),
+            scratch: self.scratch.clone(),
+            charge: self.charge.clone(),
+            writer: None,
+            spill_error: None,
+        }
+    }
 }
 
 /// The trace capture sink for one workload run.
@@ -196,7 +222,54 @@ impl Tracer {
             chunks: Vec::new(),
             scratch,
             charge: GaugeCharge::new(bytes),
+            writer: None,
+            spill_error: None,
         });
+    }
+
+    /// Attach a spill writer: from now on sealed chunks stream to the
+    /// append-only log at `path` instead of accumulating in memory, so
+    /// capture handles traces larger than RAM. Requires chunked mode and
+    /// must be called before any chunk seals.
+    pub fn enable_spill(&mut self, path: &Path, fault: SpillFaultPlan) -> Result<(), SpillError> {
+        let cs = self
+            .chunked
+            .as_mut()
+            .expect("enable_spill requires enable_chunked");
+        assert!(
+            cs.chunks.is_empty() && cs.writer.is_none(),
+            "enable_spill before any chunk seals"
+        );
+        cs.writer = Some(SpillWriter::create(path, cs.chunk_rows, fault)?);
+        Ok(())
+    }
+
+    /// Whether a spill writer is attached and healthy.
+    pub fn is_spilling(&self) -> bool {
+        self.chunked
+            .as_ref()
+            .is_some_and(|cs| cs.writer.is_some() && cs.spill_error.is_none())
+    }
+
+    /// Finish spill capture: seal the tail, append it, persist the intern
+    /// tables, and seal the log. Returns the first spill failure if any
+    /// append failed mid-run (the capture up to that point survives
+    /// in-memory via [`into_chunked`](Self::into_chunked) semantics).
+    pub fn into_spill(mut self) -> Result<SpillSummary, SpillError> {
+        let mut cs = self
+            .chunked
+            .take()
+            .expect("into_spill requires enable_chunked");
+        if let Some(e) = cs.spill_error.take() {
+            return Err(e);
+        }
+        let mut writer = cs.writer.take().expect("into_spill requires enable_spill");
+        writer.intern(&self.cols.file_paths, &self.cols.app_names)?;
+        if !self.cols.is_empty() {
+            let chunk = CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch);
+            writer.append(&chunk, &self.cols.file_paths, &self.cols.app_names)?;
+        }
+        writer.finish()
     }
 
     /// New chunked tracer (see [`enable_chunked`](Self::enable_chunked)).
@@ -354,11 +427,23 @@ impl Tracer {
             .push_row(rank, node, app, layer, op, start, end, file, offset, bytes);
         if let Some(cs) = &mut self.chunked {
             if self.cols.len() >= cs.chunk_rows {
-                cs.chunks.push(CompressedChunk::seal(
-                    &self.cols,
-                    0..self.cols.len(),
-                    &mut cs.scratch,
-                ));
+                let chunk = CompressedChunk::seal(&self.cols, 0..self.cols.len(), &mut cs.scratch);
+                match &mut cs.writer {
+                    Some(w) => {
+                        if let Err(e) =
+                            w.append(&chunk, &self.cols.file_paths, &self.cols.app_names)
+                        {
+                            // `record` returns a `Dur`, so stash the typed
+                            // failure for `into_spill` and fall back to
+                            // in-memory accumulation: the capture outlives
+                            // the broken device.
+                            cs.spill_error = Some(e);
+                            cs.writer = None;
+                            cs.chunks.push(chunk);
+                        }
+                    }
+                    None => cs.chunks.push(chunk),
+                }
                 self.cols.clear_rows();
             }
         }
@@ -657,6 +742,26 @@ mod tests {
             "buffer recycled, not regrown"
         );
         assert_eq!(t.sealed_chunks(), 5_000 / 256);
+    }
+
+    #[test]
+    fn spill_capture_round_trips_through_the_log() {
+        let dir = std::env::temp_dir().join(format!("vani-tracer-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.vsp3");
+        let mut mem = Tracer::with_chunked(256);
+        feed(&mut mem, 5_000);
+        let mut sp = Tracer::with_chunked(256);
+        sp.enable_spill(&path, SpillFaultPlan::none())
+            .expect("spill on");
+        feed(&mut sp, 5_000);
+        assert!(sp.is_spilling());
+        assert_eq!(sp.sealed_chunks(), 0, "sealed chunks stream to disk");
+        let sum = sp.into_spill().expect("seals");
+        assert_eq!(sum.records, 5_000);
+        let loaded = crate::spill::load_spill(&path).expect("loads");
+        assert_eq!(loaded, mem.into_chunked());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -100,6 +100,7 @@ fn single_tenant_fleet_reproduces_the_dedicated_run_byte_equal() {
         mix: vec![JobTemplate::new("cm1", JobVariant::Baseline, 1)],
         node_faults: NodeFaultSpec::None,
         sched: SchedPolicy::standard(),
+        spill: None,
     };
     let manifest = build_manifest(&cfg).expect("valid config");
     let job_seed = manifest.jobs[0].seed;
